@@ -1,0 +1,169 @@
+// Experiment T-DB (DESIGN.md): throughput of the embedded relational
+// engine — the lowest layer of the paper's Fig. 1 architecture. Campaign
+// logging writes one LoggedSystemState row per experiment; the analysis
+// phase reads them back with SQL.
+#include <benchmark/benchmark.h>
+
+#include "core/goofi_schema.h"
+#include "db/sql/executor.h"
+#include "db/sql/parser.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace goofi;
+using db::Value;
+
+db::Database MakeGoofiDb() {
+  db::Database database;
+  if (!core::CreateGoofiSchema(database).ok()) std::abort();
+  (void)database.Insert("TargetSystemData",
+                        {Value::Text_("thor_rd"), Value::Text_("card"),
+                         Value::Text_("bench")});
+  (void)database.Insert(
+      "CampaignData",
+      {Value::Text_("bench"), Value::Text_("thor_rd"), Value::Text_("scifi"),
+       Value::Text_("isort"), Value::Integer(1000), Value::Integer(1),
+       Value::Text_("transient"), Value::Integer(1), Value::Text_(""),
+       Value::Integer(0), Value::Integer(0), Value::Text_("instret"),
+       Value::Integer(0), Value::Integer(0), Value::Text_("normal"),
+       Value::Integer(0), Value::Integer(0), Value::Integer(0),
+       Value::Integer(1), Value::Text_("configured"), Value::Integer(0)});
+  return database;
+}
+
+db::Row LoggedRow(int i) {
+  return {Value::Text_(StrFormat("bench/exp%07d", i)), Value::Null(),
+          Value::Text_("bench"),
+          Value::Text_("technique=scifi;targets=cpu.regs.r3:5"),
+          Value::Text_("stop=halted\ninstructions=2639\n")};
+}
+
+void BM_FkCheckedInsert(benchmark::State& state) {
+  db::Database database = MakeGoofiDb();
+  int i = 0;
+  for (auto _ : state) {
+    if (!database.Insert("LoggedSystemState", LoggedRow(i++)).ok()) {
+      std::abort();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FkCheckedInsert);
+
+void BM_PlainTableInsert(benchmark::State& state) {
+  // Same row shape without FK checking, for the constraint overhead.
+  db::TableSchema schema("plain");
+  (void)schema.AddColumn({"experiment_name", db::ColumnType::kText, false,
+                          false, true});
+  (void)schema.AddColumn({"parent", db::ColumnType::kText, false, false,
+                          false});
+  (void)schema.AddColumn({"campaign", db::ColumnType::kText, true, false,
+                          false});
+  (void)schema.AddColumn({"data", db::ColumnType::kText, false, false,
+                          false});
+  (void)schema.AddColumn({"state", db::ColumnType::kText, false, false,
+                          false});
+  db::Table table(schema);
+  int i = 0;
+  for (auto _ : state) {
+    if (!table.Insert(LoggedRow(i++)).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainTableInsert);
+
+void BM_IndexedPointLookup(benchmark::State& state) {
+  db::Database database = MakeGoofiDb();
+  const int rows = static_cast<int>(state.range(0));
+  for (int i = 0; i < rows; ++i) {
+    (void)database.Insert("LoggedSystemState", LoggedRow(i));
+  }
+  const db::Table* table = database.FindTable("LoggedSystemState");
+  int i = 0;
+  for (auto _ : state) {
+    const auto found = table->FindByUnique(
+        0, Value::Text_(StrFormat("bench/exp%07d", i++ % rows)));
+    if (!found) std::abort();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedPointLookup)->Arg(1000)->Arg(10000);
+
+void BM_SqlSelectWhereScan(benchmark::State& state) {
+  db::Database database = MakeGoofiDb();
+  const int rows = static_cast<int>(state.range(0));
+  for (int i = 0; i < rows; ++i) {
+    (void)database.Insert("LoggedSystemState", LoggedRow(i));
+  }
+  for (auto _ : state) {
+    auto result = db::sql::ExecuteSql(
+        database,
+        "SELECT COUNT(*) FROM LoggedSystemState WHERE campaign_name = "
+        "'bench' AND parent_experiment IS NULL");
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SqlSelectWhereScan)->Arg(1000)->Arg(10000);
+
+void BM_SqlParseOnly(benchmark::State& state) {
+  const std::string sql =
+      "SELECT experiment_name, state_vector FROM LoggedSystemState WHERE "
+      "campaign_name = 'bench' AND experiment_data LIKE '%cpu.regs%' "
+      "ORDER BY experiment_name DESC LIMIT 25";
+  for (auto _ : state) {
+    auto parsed = db::sql::ParseStatement(sql);
+    if (!parsed.ok()) std::abort();
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlParseOnly);
+
+void BM_SqlGroupByAggregate(benchmark::State& state) {
+  db::Database database;
+  if (!db::sql::ExecuteSql(database,
+                           "CREATE TABLE outcomes (id INTEGER PRIMARY KEY, "
+                           "class TEXT, bits INTEGER)")
+           .ok()) {
+    std::abort();
+  }
+  const char* classes[] = {"detected", "escaped", "latent", "overwritten"};
+  for (int i = 0; i < 4000; ++i) {
+    (void)database.Insert("outcomes",
+                          {Value::Integer(i), Value::Text_(classes[i % 4]),
+                           Value::Integer(i % 97)});
+  }
+  for (auto _ : state) {
+    auto result = db::sql::ExecuteSql(
+        database,
+        "SELECT class, COUNT(*), AVG(bits) FROM outcomes GROUP BY class");
+    if (!result.ok() || result->rows.size() != 4) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_SqlGroupByAggregate);
+
+void BM_SaveLoadRoundTrip(benchmark::State& state) {
+  db::Database database = MakeGoofiDb();
+  for (int i = 0; i < 500; ++i) {
+    (void)database.Insert("LoggedSystemState", LoggedRow(i));
+  }
+  const std::string dir = "/tmp/goofi_bench_db";
+  for (auto _ : state) {
+    if (!database.SaveToDirectory(dir).ok()) std::abort();
+    auto loaded = db::Database::LoadFromDirectory(dir);
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SaveLoadRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Experiment T-ABLATION (DESIGN.md §3, ablation benches): contribution
+// of each error-detection mechanism to overall coverage, measured by
+// disabling mechanisms one at a time and re-running the identical
+// campaign (same seed, same faults).
+//
+// This is the design-validation use the paper opens with: "Fault
+// injection ... can be used to identify dependability weaknesses in the
+// design of a fault tolerant system."
+#include "bench_util.h"
+
+namespace {
+
+using namespace goofi;
+
+core::CampaignAnalysis RunWithEdm(const sim::EdmConfig& edm,
+                                  const std::string& label) {
+  db::Database database;
+  target::TestCardOptions options;
+  options.cpu_config.edm = edm;
+  target::ThorRdTarget target(options);
+  core::CampaignConfig config;
+  config.name = "ablate_" + label;
+  config.workload = "isort";
+  config.num_experiments = 400;
+  config.seed = 271828;
+  config.location_filters = {"cpu.regs.*", "cpu.pc", "cpu.ir", "icache.*",
+                             "dcache.*"};
+  return bench::RunCampaign(database, target, config).analysis;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== T-ABLATION: per-EDM contribution to coverage ==\n");
+  std::printf("(isort, identical 400-fault campaign per row; 'all' row "
+              "is the baseline)\n\n");
+  std::printf("%-22s | %8s %8s %8s | %9s %12s\n", "disabled mechanism",
+              "detect", "escape", "latent+", "coverage", "vs baseline");
+
+  const sim::EdmConfig baseline_config;
+  const core::CampaignAnalysis baseline = RunWithEdm(baseline_config, "none");
+  auto print_row = [&](const std::string& label,
+                       const core::CampaignAnalysis& analysis) {
+    std::printf("%-22s | %8zu %8zu %8zu | %8.1f%% %+11.1f%%\n",
+                label.c_str(), analysis.detected, analysis.escaped,
+                analysis.latent + analysis.overwritten +
+                    analysis.not_injected,
+                100.0 * analysis.detection_coverage.estimate,
+                100.0 * (analysis.detection_coverage.estimate -
+                         baseline.detection_coverage.estimate));
+  };
+  print_row("(all enabled)", baseline);
+
+  const sim::EdmType ablatable[] = {
+      sim::EdmType::kIcacheParity,  sim::EdmType::kDcacheParity,
+      sim::EdmType::kMemProtection, sim::EdmType::kPcOutOfRange,
+      sim::EdmType::kIllegalOpcode, sim::EdmType::kWatchdog,
+      sim::EdmType::kMisalignedAccess,
+  };
+  for (const sim::EdmType mechanism : ablatable) {
+    sim::EdmConfig edm;
+    edm.SetEnabled(mechanism, false);
+    print_row(std::string("- ") + sim::EdmTypeName(mechanism),
+              RunWithEdm(edm, sim::EdmTypeName(mechanism)));
+  }
+
+  // The other direction: arming the (default-off) overflow checker.
+  {
+    sim::EdmConfig edm;
+    edm.SetEnabled(sim::EdmType::kArithOverflow, true);
+    print_row("+ arith_overflow",
+              RunWithEdm(edm, "plus_overflow"));
+  }
+
+  std::printf(
+      "\nExpected shape: dropping a parity checker moves its detections\n"
+      "into latent/escaped outcomes (cache faults go unnoticed);\n"
+      "dropping mem_protection or pc_out_of_range converts crashes into\n"
+      "silent data corruption or watchdog timeouts; mechanisms that\n"
+      "never fired in the baseline cost nothing to remove.\n");
+  return 0;
+}

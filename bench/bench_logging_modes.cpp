@@ -1,0 +1,93 @@
+// Experiment T-MODES (DESIGN.md): normal vs detail logging mode.
+//
+// Paper §3.3: "In normal mode, the system state is logged only when the
+// termination condition is fulfilled. In detail mode the system state is
+// logged as frequently as the target system allows, typically after the
+// execution of each machine instruction, which increases the
+// time-overhead. ... (Such logging is normally not done for each fault
+// in a campaign because it is too time-consuming.)"
+#include "bench_util.h"
+
+int main() {
+  using namespace goofi;
+  std::printf("== T-MODES: normal vs detail logging mode ==\n\n");
+  std::printf("%-14s %-8s %8s | %12s %14s %12s\n", "workload", "mode", "N",
+              "wall (s)", "state-vector", "overhead");
+  std::printf("%-14s %-8s %8s | %12s %14s %12s\n", "", "", "", "",
+              "(bytes/exp)", "(x normal)");
+
+  for (const std::string workload : {"fib", "crc32", "engine_control"}) {
+    double normal_seconds = 0.0;
+    for (const bool detail : {false, true}) {
+      db::Database database;
+      target::ThorRdTarget target;
+      core::CampaignConfig config;
+      config.name = workload + (detail ? "_detail" : "_normal");
+      config.workload = workload;
+      config.num_experiments = 40;
+      config.seed = 8;
+      config.location_filters = {"cpu.regs.*"};
+      config.logging_mode = detail ? target::LoggingMode::kDetail
+                                   : target::LoggingMode::kNormal;
+      const bench::CampaignRun run =
+          bench::RunCampaign(database, target, config);
+      if (!detail) normal_seconds = run.wall_seconds;
+
+      // Average logged state-vector size across the campaign's rows.
+      std::uint64_t bytes = 0;
+      std::uint64_t rows = 0;
+      const db::Table* logged = database.FindTable("LoggedSystemState");
+      for (const db::Row& row : logged->rows()) {
+        bytes += row[4].AsText().size();
+        ++rows;
+      }
+      std::printf("%-14s %-8s %8zu | %12.3f %14llu %11.1fx\n",
+                  workload.c_str(), detail ? "detail" : "normal",
+                  run.analysis.total, run.wall_seconds,
+                  static_cast<unsigned long long>(bytes / rows),
+                  detail && normal_seconds > 0
+                      ? run.wall_seconds / normal_seconds
+                      : 1.0);
+    }
+  }
+
+  std::printf(
+      "\n-- the parentExperiment workflow: one detail re-run --\n");
+  {
+    db::Database database;
+    target::ThorRdTarget target;
+    core::CampaignConfig config;
+    config.name = "rerun_demo";
+    config.workload = "engine_control";
+    config.num_experiments = 30;
+    config.seed = 3;
+    config.location_filters = {"cpu.regs.*"};
+    const bench::CampaignRun run =
+        bench::RunCampaign(database, target, config);
+    (void)run;
+    // Find an escaped (fail-silence) experiment and re-run it.
+    std::string interesting;
+    for (const auto& experiment : run.analysis.experiments) {
+      if (experiment.classification.outcome ==
+          core::OutcomeClass::kEscaped) {
+        interesting = experiment.name;
+        break;
+      }
+    }
+    if (interesting.empty() && !run.analysis.experiments.empty()) {
+      interesting = run.analysis.experiments.front().name;
+    }
+    core::CampaignRunner runner(&database, &target);
+    auto child = runner.ReRunInDetailMode(interesting);
+    if (child.ok()) {
+      const db::Table* logged = database.FindTable("LoggedSystemState");
+      const auto index = logged->FindByUnique(0, db::Value::Text_(*child));
+      const auto observation = target::Observation::Deserialize(
+          logged->row(*index)[4].AsText());
+      std::printf("re-ran %s as %s: %zu per-instruction trace entries\n",
+                  interesting.c_str(), child->c_str(),
+                  observation->detail_trace.size());
+    }
+  }
+  return 0;
+}

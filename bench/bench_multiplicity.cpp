@@ -1,0 +1,35 @@
+// Experiment T-MULTIPLICITY (DESIGN.md; paper §1: "GOOFI is capable of
+// injecting single or multiple transient bit-flip faults"): outcome
+// distribution as the number of simultaneously flipped bits grows.
+#include "bench_util.h"
+
+int main() {
+  using namespace goofi;
+  std::printf("== T-MULTIPLICITY: single vs multi-bit transient faults "
+              "==\n");
+  std::printf("(isort; every experiment flips N uniformly sampled "
+              "scan-chain bits at one instant)\n\n");
+  bench::PrintTaxonomyHeader("bits/fault");
+
+  for (const std::uint32_t multiplicity : {1u, 2u, 4u, 8u, 16u}) {
+    db::Database database;
+    target::ThorRdTarget target;
+    core::CampaignConfig config;
+    config.name = "multi_" + std::to_string(multiplicity);
+    config.workload = "isort";
+    config.num_experiments = 300;
+    config.seed = 1234;
+    config.multiplicity = multiplicity;
+    config.location_filters = {"cpu.regs.*", "cpu.pc", "cpu.ir",
+                               "icache.*", "dcache.*"};
+    const bench::CampaignRun run =
+        bench::RunCampaign(database, target, config);
+    bench::PrintTaxonomyRow(std::to_string(multiplicity), run.analysis);
+  }
+  std::printf(
+      "\nExpected shape: the overwritten fraction shrinks monotonically\n"
+      "with multiplicity (more bits -> more chances that one of them is\n"
+      "live), while detections grow — multi-bit upsets are easier to\n"
+      "catch but also more likely to do damage before being caught.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment T-OUTCOME (DESIGN.md): the paper's §3.4 dependability
+// measures — Effective (Detected per mechanism / Escaped) and
+// Non-effective (Latent / Overwritten) error counts — for full SCIFI
+// campaigns on three workloads, plus the per-mechanism and per-location-
+// category breakdowns.
+#include "bench_util.h"
+
+int main() {
+  using namespace goofi;
+  std::printf("== T-OUTCOME: SCIFI outcome taxonomy per workload ==\n");
+  std::printf("(transient single bit flips, uniform over scan-chain bits "
+              "and time)\n\n");
+  bench::PrintTaxonomyHeader("workload");
+
+  std::vector<core::CampaignAnalysis> analyses;
+  for (const std::string workload : {"isort", "matmul", "engine_control",
+                                     "crc32"}) {
+    db::Database database;
+    target::ThorRdTarget target;
+    core::CampaignConfig config;
+    config.name = "outcome_" + workload;
+    config.workload = workload;
+    config.num_experiments = 400;
+    config.seed = 20030623;
+    config.location_filters = {"cpu.regs.*", "cpu.pc", "cpu.ir", "cpu.wdt",
+                               "icache.*", "dcache.*", "pins.*"};
+    const bench::CampaignRun run =
+        bench::RunCampaign(database, target, config);
+    bench::PrintTaxonomyRow(workload, run.analysis);
+    analyses.push_back(run.analysis);
+  }
+
+  std::printf("\n-- detected errors by mechanism (paper: \"classified "
+              "into errors detected by each of the various mechanisms\") "
+              "--\n");
+  std::printf("%-16s", "workload");
+  const std::vector<std::string> mechanisms = {
+      "icache_parity", "dcache_parity", "mem_protection", "pc_out_of_range",
+      "illegal_opcode", "watchdog", "assertion", "div_by_zero",
+      "misaligned_access"};
+  for (const auto& mechanism : mechanisms) {
+    std::printf(" %9.9s", mechanism.c_str());
+  }
+  std::printf("\n");
+  const std::vector<std::string> workloads = {"isort", "matmul",
+                                              "engine_control", "crc32"};
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    std::printf("%-16s", workloads[i].c_str());
+    for (const auto& mechanism : mechanisms) {
+      const auto it = analyses[i].detected_by_mechanism.find(mechanism);
+      std::printf(" %9zu",
+                  it == analyses[i].detected_by_mechanism.end()
+                      ? std::size_t{0}
+                      : it->second);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- outcomes by fault-location category (isort) --\n");
+  std::printf("%-10s %8s %8s %8s %8s\n", "category", "detect", "escape",
+              "latent", "overwr");
+  for (const auto& [category, outcomes] : analyses[0].by_category) {
+    auto count = [&](core::OutcomeClass outcome) {
+      const auto it = outcomes.find(outcome);
+      return it == outcomes.end() ? std::size_t{0} : it->second;
+    };
+    std::printf("%-10s %8zu %8zu %8zu %8zu\n", category.c_str(),
+                count(core::OutcomeClass::kDetected),
+                count(core::OutcomeClass::kEscaped),
+                count(core::OutcomeClass::kLatent),
+                count(core::OutcomeClass::kOverwritten) +
+                    count(core::OutcomeClass::kNotInjected));
+  }
+
+  std::printf("\n-- outcomes by injection time (isort) --\n%s",
+              core::FormatTimeHistogram(
+                  core::BuildTimeHistogram(analyses[0], 8)).c_str());
+
+  std::printf("\n-- escaped errors by failure mode --\n");
+  std::printf("%-16s %12s %14s %12s\n", "workload", "wrong_out",
+              "fail_silence", "timeliness");
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    std::printf("%-16s %12zu %14zu %12zu\n", workloads[i].c_str(),
+                analyses[i].wrong_output, analyses[i].fail_silence,
+                analyses[i].timeliness);
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Experiment T-SCAN (DESIGN.md): SCIFI access mechanics. Scan access
+// costs TCK cycles proportional to chain length — the fundamental cost
+// model behind the paper's observation that detail-mode logging through
+// the chains "increases the time-overhead".
+#include <benchmark/benchmark.h>
+
+#include "sim/assembler.h"
+#include "sim/debug_unit.h"
+#include "sim/tap.h"
+#include "target/test_card.h"
+
+namespace {
+
+using namespace goofi;
+
+void BM_InternalChainCapture(benchmark::State& state) {
+  sim::Cpu cpu;
+  (void)cpu.memory().AddSegment({"code", 0, 0x1000, true, false, true,
+                                 false});
+  const sim::ScanChainSet chains = sim::BuildThorRdScanChains(cpu);
+  const sim::ScanChain* internal = chains.FindChain("internal");
+  for (auto _ : state) {
+    BitVector image = internal->Capture(cpu);
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["chain_bits"] =
+      static_cast<double>(internal->bit_length());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InternalChainCapture);
+
+void BM_TapReadChain(benchmark::State& state) {
+  // Full TAP-honest read: instruction load + capture + 2x shift + update.
+  sim::Cpu cpu;
+  (void)cpu.memory().AddSegment({"code", 0, 0x1000, true, false, true,
+                                 false});
+  sim::ScanChainSet chains = sim::BuildThorRdScanChains(cpu);
+  sim::TapController tap(&chains, &cpu);
+  tap.Reset();
+  tap.LoadInstruction(sim::TapInstruction::kScanInternal);
+  std::uint64_t cycles_before = tap.tck_cycles();
+  for (auto _ : state) {
+    BitVector image = tap.ReadDataRegister();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["tck_per_read"] =
+      static_cast<double>(tap.tck_cycles() - cycles_before) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TapReadChain);
+
+void BM_TapExchangeChain(benchmark::State& state) {
+  // The SCIFI injection step: shift out, flip, shift back in.
+  sim::Cpu cpu;
+  (void)cpu.memory().AddSegment({"code", 0, 0x1000, true, false, true,
+                                 false});
+  sim::ScanChainSet chains = sim::BuildThorRdScanChains(cpu);
+  sim::TapController tap(&chains, &cpu);
+  tap.Reset();
+  tap.LoadInstruction(sim::TapInstruction::kScanInternal);
+  BitVector image = chains.FindChain("internal")->Capture(cpu);
+  for (auto _ : state) {
+    image.Flip(37);
+    BitVector out = tap.ExchangeDataRegister(image);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TapExchangeChain);
+
+void BM_TapBypassAccess(benchmark::State& state) {
+  // 1-bit bypass register: the short-chain baseline.
+  sim::Cpu cpu;
+  (void)cpu.memory().AddSegment({"code", 0, 0x1000, true, false, true,
+                                 false});
+  sim::ScanChainSet chains = sim::BuildThorRdScanChains(cpu);
+  sim::TapController tap(&chains, &cpu);
+  tap.Reset();
+  tap.LoadInstruction(sim::TapInstruction::kBypass);
+  for (auto _ : state) {
+    BitVector image = tap.ReadDataRegister();
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TapBypassAccess);
+
+void BM_SimulatorInstructionRate(benchmark::State& state) {
+  // Raw target execution speed: the denominator of every campaign-cost
+  // estimate.
+  target::TestCard card;
+  if (!card.Initialize().ok()) std::abort();
+  const auto program = sim::Assemble(R"(
+  li r1, 0
+loop:
+  addi r1, r1, 1
+  b loop
+)");
+  if (!program.ok()) std::abort();
+  if (!program->LoadInto(card.cpu().memory()).ok()) std::abort();
+  card.ResetTarget(0);
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = card.Run(/*max_instructions=*/10000);
+    executed += result.instructions_executed;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_SimulatorInstructionRate);
+
+void BM_BreakpointLatency(benchmark::State& state) {
+  // Cost of arming a breakpoint and running to it (the waitForBreakpoint
+  // phase) for increasing injection times.
+  target::TestCard card;
+  if (!card.Initialize().ok()) std::abort();
+  const auto program = sim::Assemble(R"(
+  li r1, 0
+loop:
+  addi r1, r1, 1
+  b loop
+)");
+  if (!program.ok()) std::abort();
+  if (!program->LoadInto(card.cpu().memory()).ok()) std::abort();
+  const std::uint64_t when = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    card.ResetTarget(0);
+    sim::Breakpoint bp;
+    bp.kind = sim::Breakpoint::Kind::kInstretReached;
+    bp.count = when;
+    card.SetBreakpoint(bp);
+    const sim::RunResult result = card.Run(when + 100);
+    if (result.reason != sim::StopReason::kBreakpoint) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(when));
+}
+BENCHMARK(BM_BreakpointLatency)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

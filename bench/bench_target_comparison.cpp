@@ -1,0 +1,53 @@
+// Experiment T-TARGETS (DESIGN.md extension): Thor vs Thor RD.
+//
+// The paper: the Thor RD "is an improved version of the Thor
+// microprocessor evaluated in [10] featuring parity protected
+// instruction and data caches". Running the identical SCIFI campaign
+// (same seed, same scan-chain location space) on both boards measures
+// what the parity upgrade buys — the FTCS-28 companion's
+// coverage-improvement story as a controlled A/B experiment.
+#include "bench_util.h"
+
+int main() {
+  using namespace goofi;
+  std::printf("== T-TARGETS: Thor (no cache parity) vs Thor RD ==\n");
+  std::printf("(identical 400-fault SCIFI campaigns, cache-array and "
+              "register faults)\n\n");
+  bench::PrintTaxonomyHeader("target");
+
+  core::CampaignAnalysis results[2];
+  int row = 0;
+  for (const bool rad_hard : {false, true}) {
+    db::Database database;
+    std::unique_ptr<target::ThorRdTarget> board =
+        rad_hard ? std::make_unique<target::ThorRdTarget>()
+                 : target::MakeThorTarget();
+    core::CampaignConfig config;
+    config.name = rad_hard ? "ab_thor_rd" : "ab_thor";
+    config.target = board->target_name();
+    config.workload = "isort";
+    config.num_experiments = 400;
+    config.seed = 1998;  // FTCS-28
+    config.location_filters = {"cpu.regs.*", "icache.*", "dcache.*"};
+    const bench::CampaignRun run =
+        bench::RunCampaign(database, *board, config);
+    bench::PrintTaxonomyRow(board->target_name(), run.analysis);
+    results[row++] = run.analysis;
+  }
+
+  const double thor = results[0].detection_coverage.estimate;
+  const double thor_rd = results[1].detection_coverage.estimate;
+  std::printf("\ncoverage improvement from the parity-protected caches: "
+              "%.1f%% -> %.1f%% (%.1fx)\n",
+              100.0 * thor, 100.0 * thor_rd,
+              thor > 0 ? thor_rd / thor : 0.0);
+  std::printf("escaped+latent errors: thor=%zu, thor_rd=%zu\n",
+              results[0].escaped + results[0].latent,
+              results[1].escaped + results[1].latent);
+  std::printf(
+      "\nExpected shape: with ~89%% of the scan-chain bits in the cache\n"
+      "arrays, the parity checkers dominate detection; the Thor board\n"
+      "leaves those same faults latent (most cache corruption is read\n"
+      "as plain wrong data or never read at all).\n");
+  return 0;
+}

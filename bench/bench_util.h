@@ -1,0 +1,87 @@
+// Shared plumbing for the experiment benches: run a campaign end to end
+// and print taxonomy rows in the shape of the paper's §3.4 measures.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/goofi.h"
+#include "util/strings.h"
+
+namespace goofi::bench {
+
+struct CampaignRun {
+  core::CampaignSummary summary;
+  core::CampaignAnalysis analysis;
+  double wall_seconds = 0.0;
+};
+
+// Store + run + analyze `config` against a fresh Thor RD target bound to
+// `database`. Aborts the process on tool errors (benches have no user to
+// report to).
+inline CampaignRun RunCampaign(db::Database& database,
+                               target::TargetSystemInterface& target,
+                               const core::CampaignConfig& config) {
+  auto workload = target::GetBuiltinWorkload(config.workload);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload %s: %s\n", config.workload.c_str(),
+                 workload.status().ToString().c_str());
+    std::abort();
+  }
+  if (auto s = target.SetWorkload(*workload); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::abort();
+  }
+  if (auto s = core::RegisterTargetSystem(database, target, "bench-card",
+                                          "bench board");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::abort();
+  }
+  if (auto s = core::StoreCampaign(database, config); !s.ok()) {
+    std::fprintf(stderr, "store %s: %s\n", config.name.c_str(),
+                 s.ToString().c_str());
+    std::abort();
+  }
+  core::CampaignRunner runner(&database, &target);
+  const auto begin = std::chrono::steady_clock::now();
+  auto summary = runner.Run(config.name);
+  const auto end = std::chrono::steady_clock::now();
+  if (!summary.ok()) {
+    std::fprintf(stderr, "run %s: %s\n", config.name.c_str(),
+                 summary.status().ToString().c_str());
+    std::abort();
+  }
+  auto analysis = core::AnalyzeCampaign(database, config.name);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analyze %s: %s\n", config.name.c_str(),
+                 analysis.status().ToString().c_str());
+    std::abort();
+  }
+  CampaignRun run;
+  run.summary = std::move(*summary);
+  run.analysis = std::move(*analysis);
+  run.wall_seconds =
+      std::chrono::duration<double>(end - begin).count();
+  return run;
+}
+
+inline void PrintTaxonomyHeader(const char* first_column) {
+  std::printf(
+      "%-16s %6s | %8s %8s | %8s %8s %8s | %8s %12s\n", first_column, "N",
+      "detect", "escape", "latent", "overwr", "noinj", "cover", "cover95");
+}
+
+inline void PrintTaxonomyRow(const std::string& label,
+                             const core::CampaignAnalysis& analysis) {
+  std::printf(
+      "%-16s %6zu | %8zu %8zu | %8zu %8zu %8zu | %7.1f%% [%4.1f,%5.1f]%%\n",
+      label.c_str(), analysis.total, analysis.detected, analysis.escaped,
+      analysis.latent, analysis.overwritten, analysis.not_injected,
+      100.0 * analysis.detection_coverage.estimate,
+      100.0 * analysis.detection_coverage.low,
+      100.0 * analysis.detection_coverage.high);
+}
+
+}  // namespace goofi::bench

@@ -1,0 +1,104 @@
+// The control-application scenario (paper §3.2 and companion study
+// [12]): a PI engine-speed controller running as an infinite loop,
+// exchanging sensor/actuator data with an environment simulator at every
+// iteration, with executable assertions as application-level EDMs.
+//
+// Demonstrates:
+//  - an iteration-bounded campaign with an environment simulator,
+//  - the Fig. 7 progress window (text form) with pause/stop controls,
+//  - fail-silence classification: a corrupted actuator value that
+//    escapes all mechanisms is the failure class the study cares about,
+//  - coverage comparison with assertions armed vs disarmed (the
+//    target's assertion EDM disabled).
+#include <cstdio>
+
+#include "core/goofi.h"
+
+namespace {
+
+using namespace goofi;
+
+core::CampaignAnalysis RunOnce(bool assertions_enabled,
+                               std::uint32_t experiments) {
+  db::Database database;
+  target::TestCardOptions options;
+  options.cpu_config.edm.SetEnabled(sim::EdmType::kAssertion,
+                                    assertions_enabled);
+  target::ThorRdTarget target(options);
+
+  auto workload = target::GetBuiltinWorkload("engine_control");
+  if (!workload.ok() || !target.SetWorkload(*workload).ok()) std::abort();
+  if (!core::RegisterTargetSystem(database, target, "sim-card", "").ok()) {
+    std::abort();
+  }
+
+  core::CampaignConfig config;
+  config.name = "engine";
+  config.workload = "engine_control";
+  config.num_experiments = experiments;
+  config.seed = 20010701;  // DSN 2001, Gothenburg
+  config.location_filters = {"cpu.regs.*", "cpu.pc", "cpu.ir"};
+  if (!core::StoreCampaign(database, config).ok()) std::abort();
+
+  core::CampaignRunner runner(&database, &target);
+  core::CampaignController controller;
+  runner.set_controller(&controller);
+  runner.set_progress_callback([](const core::ProgressInfo& info) {
+    // The paper's progress window, one line at a time.
+    if (info.experiments_done % 50 == 0) {
+      std::printf("  [progress] %zu/%zu experiments, %zu faults injected "
+                  "(%s)\n",
+                  info.experiments_done, info.experiments_total,
+                  info.faults_injected, info.current_experiment.c_str());
+    }
+  });
+  auto summary = runner.FaultInjectorSCIFI("engine");
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    std::abort();
+  }
+  std::printf("  reference: %llu instructions over %llu control "
+              "iterations\n",
+              static_cast<unsigned long long>(
+                  summary->reference.instructions),
+              static_cast<unsigned long long>(
+                  summary->reference.iterations));
+  auto analysis = core::AnalyzeCampaign(database, "engine");
+  if (!analysis.ok()) std::abort();
+  return *analysis;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t experiments =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 250;
+
+  std::printf("=== engine-control campaign, executable assertions ARMED "
+              "===\n");
+  const core::CampaignAnalysis armed = RunOnce(true, experiments);
+  std::printf("%s\n", core::FormatAnalysisReport(armed).c_str());
+
+  std::printf("=== same campaign, executable assertions DISARMED ===\n");
+  const core::CampaignAnalysis disarmed = RunOnce(false, experiments);
+  std::printf("%s\n", core::FormatAnalysisReport(disarmed).c_str());
+
+  std::printf("=== fail-silence comparison ===\n");
+  std::printf("assertions ARMED:    %zu fail-silence violations, "
+              "%zu assertion detections\n",
+              armed.fail_silence,
+              armed.detected_by_mechanism.count("assertion")
+                  ? armed.detected_by_mechanism.at("assertion")
+                  : 0);
+  std::printf("assertions DISARMED: %zu fail-silence violations\n",
+              disarmed.fail_silence);
+  std::printf(
+      "\nThe companion study [12] used exactly this shape of experiment\n"
+      "on the Thor microprocessor. Assertions catch state corruption\n"
+      "(implausible sensor values, out-of-bound integral terms, stack\n"
+      "damage) early; fail-silence violations that remain are in-range\n"
+      "actuator corruptions, which plausibility checks cannot separate\n"
+      "from legal commands — the residual that motivated [12]'s best\n"
+      "effort recovery.\n");
+  return 0;
+}

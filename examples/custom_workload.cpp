@@ -1,0 +1,104 @@
+// Running a user-provided workload from disk: the tool assembles
+// workloads/vector_scale.s at campaign time (paper §3.2: the user
+// "selects the target system workload"), runs a pre-runtime SWIFI
+// campaign against its memory image, and analyses the outcome.
+#include <cstdio>
+
+#include "core/goofi.h"
+
+#ifndef GOOFI_WORKLOADS_DIR
+#define GOOFI_WORKLOADS_DIR "workloads"
+#endif
+
+using namespace goofi;
+
+int main() {
+  const std::string path =
+      std::string(GOOFI_WORKLOADS_DIR) + "/vector_scale.workload";
+  auto workload = target::LoadWorkloadSpecFromFile(path);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded workload '%s' (%zu bytes of assembly)\n",
+              workload->name.c_str(), workload->assembly.size());
+
+  db::Database database;
+  target::ThorRdTarget target;
+  if (!target.SetWorkload(*workload).ok()) return 1;
+  if (!core::RegisterTargetSystem(database, target, "sim-card", "").ok()) {
+    return 1;
+  }
+
+  // Golden run first, to show the workload actually works.
+  target::ExperimentSpec reference;
+  reference.name = "golden";
+  target.set_experiment(reference);
+  if (auto s = target.MakeReferenceRun(); !s.ok()) {
+    std::fprintf(stderr, "reference: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const target::Observation golden = target.TakeObservation();
+  std::printf("golden checksum: 0x%08x after %llu instructions\n",
+              golden.emitted.empty() ? 0u : golden.emitted[0],
+              static_cast<unsigned long long>(golden.instructions));
+
+  // Pre-runtime SWIFI campaign over the program and data image.
+  core::CampaignConfig config;
+  config.name = "vector_scale_swifi";
+  config.workload = "vector_scale";  // ignored by the runner? no:
+  // The runner resolves built-in workloads by name; for file-based
+  // workloads the target is configured directly and the campaign must
+  // reference a placeholder. We therefore run the campaign through the
+  // lower-level per-experiment API instead, which is exactly what the
+  // runner does internally.
+  (void)config;
+
+  Rng rng(99);
+  auto space = core::LocationSpace::Build(
+      target.ListLocations(), target::Technique::kSwifiPreRuntime, {});
+  if (!space.ok()) {
+    std::fprintf(stderr, "%s\n", space.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pre-runtime SWIFI location space: %llu bits over %zu "
+              "ranges\n",
+              static_cast<unsigned long long>(space->total_bits()),
+              space->entries().size());
+
+  std::size_t detected = 0;
+  std::size_t escaped = 0;
+  std::size_t latent = 0;
+  std::size_t overwritten = 0;
+  const int experiments = 300;
+  for (int i = 0; i < experiments; ++i) {
+    target::ExperimentSpec spec;
+    spec.name = "vs/exp" + std::to_string(i);
+    spec.technique = target::Technique::kSwifiPreRuntime;
+    spec.targets = {space->SampleBit(rng)};
+    target.set_experiment(spec);
+    if (auto s = target.RunExperiment(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    const core::Classification result =
+        core::Classify(golden, target.TakeObservation());
+    switch (result.outcome) {
+      case core::OutcomeClass::kDetected: ++detected; break;
+      case core::OutcomeClass::kEscaped: ++escaped; break;
+      case core::OutcomeClass::kLatent: ++latent; break;
+      default: ++overwritten; break;
+    }
+  }
+  std::printf("\n%d memory-image bit flips:\n", experiments);
+  std::printf("  detected:    %zu\n", detected);
+  std::printf("  escaped:     %zu\n", escaped);
+  std::printf("  latent:      %zu\n", latent);
+  std::printf("  overwritten: %zu\n", overwritten);
+  std::printf("\n(code-image faults mostly hit cold bytes — overwritten —\n"
+              "or decode as illegal/protection-faulting instructions —\n"
+              "detected; data-image faults on the input vector escape as\n"
+              "wrong checksums.)\n");
+  return 0;
+}

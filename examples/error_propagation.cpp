@@ -1,0 +1,114 @@
+// Error-propagation tracing (paper §3.3 detail mode + §2.3's E1/E2
+// parentExperiment workflow):
+//
+//  1. run a normal-mode campaign,
+//  2. pick an experiment with an interesting outcome (escaped or latent),
+//  3. re-run it in detail mode — logged as a child row whose
+//     parentExperiment points at the original,
+//  4. re-run the fault-free reference in detail mode,
+//  5. diff the two per-instruction scan-chain traces: when did the
+//     corruption appear, which state elements did it reach, how did the
+//     number of corrupted bits evolve.
+#include <cstdio>
+
+#include "core/goofi.h"
+
+using namespace goofi;
+
+int main(int argc, char** argv) {
+  const char* workload_name = argc > 1 ? argv[1] : "isort";
+
+  db::Database database;
+  target::ThorRdTarget target;
+  auto workload = target::GetBuiltinWorkload(workload_name);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  if (!target.SetWorkload(*workload).ok()) return 1;
+  if (!core::RegisterTargetSystem(database, target, "sim-card", "").ok()) {
+    return 1;
+  }
+
+  core::CampaignConfig config;
+  config.name = "prop";
+  config.workload = workload_name;
+  config.num_experiments = 150;
+  config.seed = 4711;
+  config.location_filters = {"cpu.regs.*"};
+  if (!core::StoreCampaign(database, config).ok()) return 1;
+
+  core::CampaignRunner runner(&database, &target);
+  auto summary = runner.Run("prop");
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  auto analysis = core::AnalyzeCampaign(database, "prop");
+  if (!analysis.ok()) return 1;
+
+  // Find an interesting experiment: prefer escaped, then latent.
+  std::string interesting;
+  for (const auto want :
+       {core::OutcomeClass::kEscaped, core::OutcomeClass::kLatent}) {
+    for (const auto& experiment : analysis->experiments) {
+      if (experiment.classification.outcome == want) {
+        interesting = experiment.name;
+        break;
+      }
+    }
+    if (!interesting.empty()) break;
+  }
+  if (interesting.empty()) {
+    std::printf("no escaped/latent experiment in %zu runs; try another "
+                "seed\n", analysis->total);
+    return 0;
+  }
+  std::printf("investigating %s\n", interesting.c_str());
+
+  // Detail re-run of the experiment (E2, parented to E1)...
+  auto child = runner.ReRunInDetailMode(interesting);
+  if (!child.ok()) {
+    std::fprintf(stderr, "%s\n", child.status().ToString().c_str());
+    return 1;
+  }
+  const db::Table* logged = database.FindTable("LoggedSystemState");
+  const auto child_row = logged->FindByUnique(0, db::Value::Text_(*child));
+  auto faulty = target::Observation::Deserialize(
+      logged->row(*child_row)[4].AsText());
+  if (!faulty.ok()) return 1;
+
+  // ...and a detail run of the fault-free reference for the golden trace.
+  target::ExperimentSpec reference_spec;
+  reference_spec.name = "prop/reference-detail";
+  target.set_experiment(reference_spec);
+  target.set_logging_mode(target::LoggingMode::kDetail);
+  if (!target.MakeReferenceRun().ok()) return 1;
+  const target::Observation golden = target.TakeObservation();
+
+  const sim::ScanChain* internal =
+      target.test_card().chains().FindChain("internal");
+  auto report =
+      core::AnalyzeErrorPropagation(*internal, golden, *faulty);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== error propagation report for %s ===\n",
+              interesting.c_str());
+  std::printf("%s", report->Format().c_str());
+
+  // A compact propagation curve (corrupted bits over time, decimated).
+  std::printf("\npropagation curve (time: corrupted bits):\n");
+  const auto& timeline = report->timeline;
+  const std::size_t stride =
+      std::max<std::size_t>(1, timeline.size() / 12);
+  for (std::size_t i = 0; i < timeline.size(); i += stride) {
+    std::printf("  t=%-8llu %zu\n",
+                static_cast<unsigned long long>(timeline[i].first),
+                timeline[i].second);
+  }
+  std::printf("\nthe detail rows live in the database: parentExperiment "
+              "of %s is %s\n", child->c_str(), interesting.c_str());
+  return 0;
+}

@@ -1,0 +1,291 @@
+// goofi_tool: the command-line face of GOOFI++ — the reproduction's
+// substitute for the paper's graphical user interface. Each subcommand
+// corresponds to a GUI window:
+//
+//   targets / workloads          the configuration-phase pickers (Fig. 5)
+//   run <campaign.ini>           set-up + fault-injection phase (Figs. 6, 7)
+//   resume <campaign>            continue a stopped campaign
+//   analyze <campaign>           the analysis phase (§3.4 report)
+//   rerun <experiment>           detail-mode re-run with parentExperiment
+//   sql "<statement>"            ad-hoc queries over the campaign database
+//   schema                       print the Fig. 4 schema as SQL
+//
+// The campaign database persists in the directory given by --db (default
+// ./goofi_db), so phases can run in separate invocations, as they would
+// with the Java tool and its SQL database.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/goofi.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace goofi;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+struct Arguments {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string db_dir = "goofi_db";
+};
+
+Arguments ParseArguments(int argc, char** argv) {
+  Arguments arguments;
+  if (argc > 1) arguments.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      arguments.db_dir = argv[++i];
+    } else {
+      arguments.positional.emplace_back(argv[i]);
+    }
+  }
+  return arguments;
+}
+
+// Load the database directory if it exists, else start fresh.
+db::Database LoadOrCreate(const std::string& dir) {
+  auto loaded = db::Database::LoadFromDirectory(dir);
+  if (loaded.ok()) return std::move(*loaded);
+  db::Database database;
+  (void)core::CreateGoofiSchema(database);
+  return database;
+}
+
+Result<std::unique_ptr<target::TargetSystemInterface>> MakeTarget(
+    const std::string& name, const std::string& workload_name) {
+  core::TargetRegistry& registry = core::TargetRegistry::Instance();
+  core::RegisterBuiltinTargets(registry);
+  ASSIGN_OR_RETURN(auto target, registry.Create(name));
+  if (!workload_name.empty()) {
+    if (EndsWith(workload_name, ".workload")) {
+      ASSIGN_OR_RETURN(target::WorkloadSpec workload,
+                       target::LoadWorkloadSpecFromFile(workload_name));
+      RETURN_IF_ERROR(target->SetWorkload(std::move(workload)));
+    } else {
+      ASSIGN_OR_RETURN(target::WorkloadSpec workload,
+                       target::GetBuiltinWorkload(workload_name));
+      RETURN_IF_ERROR(target->SetWorkload(std::move(workload)));
+    }
+  }
+  return target;
+}
+
+int CmdTargets() {
+  core::TargetRegistry& registry = core::TargetRegistry::Instance();
+  core::RegisterBuiltinTargets(registry);
+  std::printf("registered target systems:\n");
+  for (const std::string& name : registry.Names()) {
+    auto target = registry.Create(name);
+    if (!target.ok()) continue;
+    std::printf("  %-12s (%zu fault-injection locations before workload "
+                "load)\n",
+                name.c_str(), (*target)->ListLocations().size());
+  }
+  return 0;
+}
+
+int CmdWorkloads() {
+  std::printf("built-in workloads:\n");
+  for (const std::string& name : target::BuiltinWorkloadNames()) {
+    auto workload = target::GetBuiltinWorkload(name);
+    std::printf("  %-16s output %u bytes @0x%08x%s%s\n", name.c_str(),
+                workload->output_length, workload->output_base,
+                workload->environment.empty() ? "" : ", environment: ",
+                workload->environment.c_str());
+  }
+  std::printf("(or pass a .workload file path in the campaign config's "
+              "'workload_file' key)\n");
+  return 0;
+}
+
+int CmdRun(const Arguments& arguments, bool resume) {
+  if (arguments.positional.empty()) {
+    std::fprintf(stderr, resume ? "usage: goofi_tool resume <campaign> "
+                                  "[--db DIR]\n"
+                                : "usage: goofi_tool run <campaign.ini> "
+                                  "[--db DIR]\n");
+    return 1;
+  }
+  db::Database database = LoadOrCreate(arguments.db_dir);
+
+  std::string campaign_name;
+  std::string workload_file;
+  if (resume) {
+    campaign_name = arguments.positional[0];
+  } else {
+    auto file = Config::LoadFile(arguments.positional[0]);
+    if (!file.ok()) return Fail(file.status());
+    const ConfigSection* section = file->FindSection("campaign");
+    if (section == nullptr) {
+      return Fail(InvalidArgumentError("no [campaign] section"));
+    }
+    auto config = core::ParseCampaignConfig(*section);
+    if (!config.ok()) return Fail(config.status());
+    workload_file = section->GetStringOr("workload_file", "");
+    campaign_name = config->name;
+    // Idempotent target registration + campaign storage.
+    if (!database.HasTable(core::kCampaignDataTable)) {
+      (void)core::CreateGoofiSchema(database);
+    }
+    const db::Table* campaigns =
+        database.FindTable(core::kCampaignDataTable);
+    if (!campaigns->FindByUnique(0, db::Value::Text_(campaign_name))) {
+      auto target = MakeTarget(config->target, "");
+      if (!target.ok()) return Fail(target.status());
+      if (auto s = core::RegisterTargetSystem(database, **target,
+                                              "goofi-tool-card", "");
+          !s.ok()) {
+        return Fail(s);
+      }
+      if (auto s = core::StoreCampaign(database, *config); !s.ok()) {
+        return Fail(s);
+      }
+    }
+  }
+
+  auto loaded = core::LoadCampaign(database, campaign_name);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto target = MakeTarget(loaded->target, workload_file.empty()
+                                               ? loaded->workload
+                                               : workload_file);
+  if (!target.ok()) return Fail(target.status());
+
+  core::CampaignRunner runner(&database, target->get());
+  runner.set_progress_callback([](const core::ProgressInfo& info) {
+    if (info.experiments_done % 100 == 0 ||
+        info.experiments_done == info.experiments_total) {
+      std::printf("\r[%zu/%zu] %zu faults injected   ",
+                  info.experiments_done, info.experiments_total,
+                  info.faults_injected);
+      std::fflush(stdout);
+    }
+  });
+  auto summary = resume ? runner.Resume(campaign_name)
+                        : runner.Run(campaign_name);
+  std::printf("\n");
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("campaign %s: %zu experiments run (%zu skipped early)\n",
+              campaign_name.c_str(), summary->experiments_run,
+              summary->experiments_stopped_early);
+
+  auto analysis = core::AnalyzeCampaign(database, campaign_name);
+  if (!analysis.ok()) return Fail(analysis.status());
+  std::printf("%s", core::FormatAnalysisReport(*analysis).c_str());
+
+  if (auto s = database.SaveToDirectory(arguments.db_dir); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("database saved to %s\n", arguments.db_dir.c_str());
+  return 0;
+}
+
+int CmdAnalyze(const Arguments& arguments, bool csv) {
+  if (arguments.positional.empty()) {
+    std::fprintf(stderr, "usage: goofi_tool %s <campaign> [--db DIR]\n",
+                 csv ? "export" : "analyze");
+    return 1;
+  }
+  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  if (!database.ok()) return Fail(database.status());
+  auto analysis =
+      core::AnalyzeCampaign(*database, arguments.positional[0]);
+  if (!analysis.ok()) return Fail(analysis.status());
+  std::printf("%s", csv ? core::FormatAnalysisCsv(*analysis).c_str()
+                        : core::FormatAnalysisReport(*analysis).c_str());
+  return 0;
+}
+
+int CmdRerun(const Arguments& arguments) {
+  if (arguments.positional.empty()) {
+    std::fprintf(stderr, "usage: goofi_tool rerun <experiment> [--db DIR]\n");
+    return 1;
+  }
+  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  if (!database.ok()) return Fail(database.status());
+  // Resolve the experiment's campaign to know which target to build.
+  const db::Table* logged =
+      database->FindTable(core::kLoggedSystemStateTable);
+  if (logged == nullptr) return Fail(NotFoundError("empty database"));
+  const auto row =
+      logged->FindByUnique(0, db::Value::Text_(arguments.positional[0]));
+  if (!row) {
+    return Fail(NotFoundError("no experiment '" + arguments.positional[0] +
+                              "'"));
+  }
+  auto config = core::LoadCampaign(*database,
+                                   logged->row(*row)[2].AsText());
+  if (!config.ok()) return Fail(config.status());
+  auto target = MakeTarget(config->target, config->workload);
+  if (!target.ok()) return Fail(target.status());
+  core::CampaignRunner runner(&(*database), target->get());
+  auto child = runner.ReRunInDetailMode(arguments.positional[0]);
+  if (!child.ok()) return Fail(child.status());
+  std::printf("detail re-run logged as %s (parentExperiment = %s)\n",
+              child->c_str(), arguments.positional[0].c_str());
+  if (auto s = database->SaveToDirectory(arguments.db_dir); !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+int CmdSql(const Arguments& arguments) {
+  if (arguments.positional.empty()) {
+    std::fprintf(stderr, "usage: goofi_tool sql \"<statement>\" [--db DIR]\n");
+    return 1;
+  }
+  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  if (!database.ok()) return Fail(database.status());
+  auto result = db::sql::ExecuteSql(*database, arguments.positional[0]);
+  if (!result.ok()) return Fail(result.status());
+  if (!result->columns.empty()) {
+    std::printf("%s", result->ToAsciiTable().c_str());
+    std::printf("(%zu rows)\n", result->rows.size());
+  } else {
+    std::printf("%zu rows affected\n", result->affected_rows);
+    if (auto s = database->SaveToDirectory(arguments.db_dir); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Arguments arguments = ParseArguments(argc, argv);
+  if (arguments.command == "targets") return CmdTargets();
+  if (arguments.command == "workloads") return CmdWorkloads();
+  if (arguments.command == "run") return CmdRun(arguments, false);
+  if (arguments.command == "resume") return CmdRun(arguments, true);
+  if (arguments.command == "analyze") return CmdAnalyze(arguments, false);
+  if (arguments.command == "export") return CmdAnalyze(arguments, true);
+  if (arguments.command == "rerun") return CmdRerun(arguments);
+  if (arguments.command == "sql") return CmdSql(arguments);
+  if (arguments.command == "schema") {
+    std::printf("%s\n", core::GoofiSchemaSql());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "GOOFI++ command-line tool\n"
+               "usage: goofi_tool <command> [args] [--db DIR]\n"
+               "commands:\n"
+               "  targets                 list registered target systems\n"
+               "  workloads               list built-in workloads\n"
+               "  run <campaign.ini>      store + run a campaign, print "
+               "analysis\n"
+               "  resume <campaign>       continue a stopped campaign\n"
+               "  analyze <campaign>      re-print the analysis report\n"
+               "  export <campaign>       per-experiment outcomes as CSV\n"
+               "  rerun <experiment>      detail-mode re-run "
+               "(parentExperiment)\n"
+               "  sql \"<statement>\"       query the campaign database\n"
+               "  schema                  print the Fig. 4 schema as SQL\n");
+  return arguments.command.empty() ? 0 : 1;
+}

@@ -1,0 +1,217 @@
+// Porting GOOFI to a new target system (paper §2.2 and Fig. 3):
+//
+//   "When support for a new target system is added to GOOFI, a new
+//    TargetSystemInterface class must be created. To do this the
+//    programmer uses the Framework class as a template. This means that
+//    the programmer only needs to implement the abstract methods used by
+//    the fault injection algorithms."
+//
+// The new target here is a triple-modular-redundant (TMR) voter machine:
+// three redundant copies of a counter vote on every step. Faults in one
+// copy are outvoted (the machine's EDM reports the masked mismatch);
+// faults that hit two copies in the same place defeat the voter. The
+// inherited SCIFI algorithm drives it without modification.
+#include <cstdio>
+
+#include "core/goofi.h"
+
+namespace {
+
+using namespace goofi;
+
+class TmrVoterTarget : public target::FrameworkTarget {
+ public:
+  const std::string& target_name() const override {
+    static const std::string kName = "tmr_voter";
+    return kName;
+  }
+
+  std::vector<LocationInfo> ListLocations() const override {
+    std::vector<LocationInfo> locations;
+    for (int copy = 0; copy < 3; ++copy) {
+      LocationInfo info;
+      info.kind = LocationInfo::Kind::kScanElement;
+      info.name = "copy" + std::to_string(copy) + ".counter";
+      info.chain = "internal";
+      info.width_bits = 32;
+      info.writable = true;
+      info.category = "reg";
+      locations.push_back(std::move(info));
+    }
+    return locations;
+  }
+
+  Status initTestCard() override {
+    for (auto& c : copies_) c = 0;
+    time_ = 0;
+    mismatch_detected_ = false;
+    return Status::Ok();
+  }
+  Status loadWorkload() override { return Status::Ok(); }
+  Status writeMemory() override { return Status::Ok(); }
+  Status runWorkload() override { return Status::Ok(); }
+
+  Status waitForBreakpoint() override {
+    Step(spec_.trigger.count);
+    observation_.stop_reason = time_ < kDuration
+                                   ? sim::StopReason::kBreakpoint
+                                   : sim::StopReason::kHalted;
+    return Status::Ok();
+  }
+
+  Status readScanChain() override {
+    BitVector image(3 * 32);
+    for (int i = 0; i < 3; ++i) image.SetField(i * 32u, 32, copies_[i]);
+    observation_.chain_images["internal"] = image;
+    snapshot_ = std::move(image);
+    return Status::Ok();
+  }
+
+  Status injectFault() override {
+    for (const target::FaultTarget& fault : spec_.targets) {
+      if (fault.location.size() < 6 ||
+          fault.location.compare(0, 4, "copy") != 0) {
+        return NotFoundError("no location " + fault.location);
+      }
+      const unsigned copy = static_cast<unsigned>(fault.location[4] - '0');
+      if (copy >= 3 || fault.bit >= 32) {
+        return OutOfRangeError("bad TMR location");
+      }
+      snapshot_.Flip(copy * 32u + fault.bit);
+    }
+    observation_.fault_was_injected = true;
+    return Status::Ok();
+  }
+
+  Status writeScanChain() override {
+    for (int i = 0; i < 3; ++i) {
+      copies_[i] =
+          static_cast<std::uint32_t>(snapshot_.GetField(i * 32u, 32));
+    }
+    return Status::Ok();
+  }
+
+  Status waitForTermination() override {
+    Step(kDuration);
+    observation_.instructions = time_;
+    if (mismatch_detected_) {
+      // The voter's disagreement detector: a masked fault is *detected*
+      // (and corrected) — the TMR analogue of a parity EDM.
+      observation_.stop_reason = sim::StopReason::kEdm;
+      sim::EdmEvent edm;
+      edm.type = sim::EdmType::kAssertion;
+      edm.time = mismatch_time_;
+      observation_.edm = edm;
+    } else {
+      observation_.stop_reason = sim::StopReason::kHalted;
+    }
+    return Status::Ok();
+  }
+
+  Status readMemory() override {
+    observation_.emitted = {Vote()};
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::uint64_t kDuration = 64;
+
+  std::uint32_t Vote() const {
+    // Majority bit-vote across the three copies.
+    return (copies_[0] & copies_[1]) | (copies_[0] & copies_[2]) |
+           (copies_[1] & copies_[2]);
+  }
+
+  void Step(std::uint64_t until) {
+    while (time_ < std::min(until, kDuration)) {
+      ++time_;
+      const std::uint32_t voted = Vote();
+      if (copies_[0] != voted || copies_[1] != voted ||
+          copies_[2] != voted) {
+        if (!mismatch_detected_) {
+          mismatch_detected_ = true;
+          mismatch_time_ = time_;
+        }
+        // Forward recovery: resynchronise all copies from the vote.
+        for (auto& c : copies_) c = voted;
+      }
+      for (auto& c : copies_) c += static_cast<std::uint32_t>(time_);
+    }
+  }
+
+  std::uint32_t copies_[3] = {0, 0, 0};
+  std::uint64_t time_ = 0;
+  bool mismatch_detected_ = false;
+  std::uint64_t mismatch_time_ = 0;
+  BitVector snapshot_;
+};
+
+}  // namespace
+
+int main() {
+  // Register the new target alongside the built-ins, as a plugin would.
+  core::TargetRegistry registry;
+  core::RegisterBuiltinTargets(registry);
+  (void)registry.Register("tmr_voter", []() {
+    return std::unique_ptr<target::TargetSystemInterface>(
+        new TmrVoterTarget());
+  });
+  std::printf("registered targets:");
+  for (const std::string& name : registry.Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  auto created = registry.Create("tmr_voter");
+  if (!created.ok()) return 1;
+  target::TargetSystemInterface& tmr = **created;
+
+  if (!tmr.MakeReferenceRun().ok()) return 1;
+  const target::Observation golden = tmr.TakeObservation();
+  std::printf("golden vote after %llu steps: %u\n\n",
+              static_cast<unsigned long long>(golden.instructions),
+              golden.emitted[0]);
+
+  // Sweep single faults over every copy/bit at one injection time: TMR
+  // must mask (and detect) every single fault.
+  int masked = 0;
+  int escaped = 0;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (unsigned bit = 0; bit < 32; ++bit) {
+      target::ExperimentSpec spec;
+      spec.technique = target::Technique::kScifi;
+      spec.trigger.count = 20;
+      spec.targets = {{"copy" + std::to_string(copy) + ".counter", bit}};
+      tmr.set_experiment(spec);
+      if (!tmr.RunExperiment().ok()) return 1;
+      const target::Observation obs = tmr.TakeObservation();
+      const bool output_ok = obs.emitted == golden.emitted;
+      if (obs.stop_reason == sim::StopReason::kEdm && output_ok) {
+        ++masked;
+      } else {
+        ++escaped;
+      }
+    }
+  }
+  std::printf("single faults:  %d masked+detected, %d escaped "
+              "(TMR must mask all: %s)\n",
+              masked, escaped, escaped == 0 ? "PASS" : "FAIL");
+
+  // Double faults in the *same bit* of two copies defeat the voter.
+  int double_escaped = 0;
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    target::ExperimentSpec spec;
+    spec.technique = target::Technique::kScifi;
+    spec.trigger.count = 20;
+    spec.targets = {{"copy0.counter", bit}, {"copy1.counter", bit}};
+    tmr.set_experiment(spec);
+    if (!tmr.RunExperiment().ok()) return 1;
+    if (tmr.observation().emitted != golden.emitted) ++double_escaped;
+  }
+  std::printf("double faults (same bit, two copies): %d/32 corrupted the "
+              "voted output\n", double_escaped);
+  std::printf("\nThe SCIFI algorithm, the outcome taxonomy and the "
+              "campaign machinery all came from the framework; only the "
+              "ten abstract methods above are new code (paper Fig. 3).\n");
+  return 0;
+}

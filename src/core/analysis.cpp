@@ -1,0 +1,346 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment_codec.h"
+#include "core/goofi_schema.h"
+#include "util/strings.h"
+
+namespace goofi::core {
+
+const char* OutcomeClassName(OutcomeClass outcome) {
+  switch (outcome) {
+    case OutcomeClass::kDetected: return "detected";
+    case OutcomeClass::kEscaped: return "escaped";
+    case OutcomeClass::kLatent: return "latent";
+    case OutcomeClass::kOverwritten: return "overwritten";
+    case OutcomeClass::kNotInjected: return "not_injected";
+  }
+  return "?";
+}
+
+const char* EscapeKindName(EscapeKind kind) {
+  switch (kind) {
+    case EscapeKind::kWrongOutput: return "wrong_output";
+    case EscapeKind::kFailSilenceViolation: return "fail_silence_violation";
+    case EscapeKind::kTimelinessViolation: return "timeliness_violation";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t ChainDiffBits(const target::Observation& reference,
+                          const target::Observation& experiment) {
+  std::size_t bits = 0;
+  for (const auto& [chain, ref_image] : reference.chain_images) {
+    const auto it = experiment.chain_images.find(chain);
+    if (it == experiment.chain_images.end()) continue;
+    if (it->second.size() != ref_image.size()) {
+      // Different chain geometry should never happen within one target;
+      // count it as fully different.
+      bits += std::max(it->second.size(), ref_image.size());
+      continue;
+    }
+    bits += ref_image.HammingDistance(it->second);
+  }
+  return bits;
+}
+
+bool OutputsMatch(const target::Observation& reference,
+                  const target::Observation& experiment) {
+  return experiment.output_region == reference.output_region &&
+         experiment.emitted == reference.emitted &&
+         experiment.env_outputs == reference.env_outputs;
+}
+
+}  // namespace
+
+Classification Classify(const target::Observation& reference,
+                        const target::Observation& experiment) {
+  Classification result;
+  result.state_diff_bits = ChainDiffBits(reference, experiment);
+
+  // 1. An EDM terminated the run: detected, attributed to its mechanism.
+  if (experiment.stop_reason == sim::StopReason::kEdm && experiment.edm) {
+    result.outcome = OutcomeClass::kDetected;
+    result.detected_by = experiment.edm->type;
+    return result;
+  }
+
+  const bool outputs_match = OutputsMatch(reference, experiment);
+
+  // 2. The run did not terminate the way the fault-free run did: the
+  //    tool-level time-out expired (or the termination mode changed) —
+  //    a timeliness violation that escaped every mechanism.
+  if (experiment.stop_reason != reference.stop_reason) {
+    result.outcome = OutcomeClass::kEscaped;
+    result.escape_kind = EscapeKind::kTimelinessViolation;
+    return result;
+  }
+
+  // 3. Wrong results that nothing caught.
+  if (!outputs_match) {
+    result.outcome = OutcomeClass::kEscaped;
+    result.escape_kind =
+        experiment.env_outputs != reference.env_outputs
+            ? EscapeKind::kFailSilenceViolation
+            : EscapeKind::kWrongOutput;
+    return result;
+  }
+
+  // 4. Correct outputs: latent (state still differs) or overwritten.
+  if (result.state_diff_bits > 0) {
+    result.outcome = OutcomeClass::kLatent;
+  } else {
+    result.outcome = experiment.fault_was_injected
+                         ? OutcomeClass::kOverwritten
+                         : OutcomeClass::kNotInjected;
+  }
+  return result;
+}
+
+ConfidenceInterval WilsonInterval95(std::size_t successes,
+                                    std::size_t trials) {
+  ConfidenceInterval interval;
+  if (trials == 0) return interval;
+  const double z = 1.959963985;  // 97.5th percentile of N(0,1)
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))) / denom;
+  interval.estimate = p;
+  interval.low = std::max(0.0, center - margin);
+  interval.high = std::min(1.0, center + margin);
+  return interval;
+}
+
+std::string LocationCategory(const std::string& location) {
+  if (StartsWith(location, "cpu.regs.")) return "reg";
+  if (StartsWith(location, "cpu.")) return "control";
+  if (StartsWith(location, "icache.")) return "icache";
+  if (StartsWith(location, "dcache.")) return "dcache";
+  if (StartsWith(location, "pins.")) return "pin";
+  if (StartsWith(location, "mem@")) return "memory";
+  return "?";
+}
+
+Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
+                                         const std::string& campaign_name) {
+  const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
+  if (logged == nullptr) return NotFoundError("no LoggedSystemState table");
+
+  // Fetch the reference observation.
+  const auto ref_index = logged->FindByUnique(
+      0, db::Value::Text_(campaign_name + "/reference"));
+  if (!ref_index) {
+    return NotFoundError("campaign '" + campaign_name +
+                         "' has no logged reference run");
+  }
+  ASSIGN_OR_RETURN(
+      target::Observation reference,
+      target::Observation::Deserialize(
+          logged->row(*ref_index)[4].AsText()));
+
+  CampaignAnalysis analysis;
+  analysis.campaign = campaign_name;
+  for (const db::Row& row : logged->rows()) {
+    if (row[2].AsText() != campaign_name) continue;
+    if (!row[1].is_null()) continue;  // detail re-run child
+    if (row[3].AsText() == "reference") continue;
+
+    ASSIGN_OR_RETURN(target::Observation observation,
+                     target::Observation::Deserialize(row[4].AsText()));
+    ExperimentResult result;
+    result.name = row[0].AsText();
+    const auto spec = ParseExperimentSpec(row[3].AsText());
+    if (spec.ok() && !spec.value().targets.empty()) {
+      result.location = spec.value().targets.front().location;
+      result.category = LocationCategory(result.location);
+      if (spec.value().trigger.kind ==
+          sim::Breakpoint::Kind::kInstretReached) {
+        result.injection_time = spec.value().trigger.count;
+      }
+    }
+    result.classification = Classify(reference, observation);
+
+    // Detection latency: only measurable for instret-triggered detected
+    // experiments (the injection time is then exact).
+    if (result.classification.outcome == OutcomeClass::kDetected &&
+        observation.edm && result.injection_time > 0 &&
+        observation.edm->time >= result.injection_time) {
+      const std::uint64_t latency =
+          observation.edm->time - result.injection_time;
+      analysis.latency_mean =
+          (analysis.latency_mean *
+               static_cast<double>(analysis.latency_samples) +
+           static_cast<double>(latency)) /
+          static_cast<double>(analysis.latency_samples + 1);
+      ++analysis.latency_samples;
+      analysis.latency_max = std::max(analysis.latency_max, latency);
+    }
+
+    ++analysis.total;
+    switch (result.classification.outcome) {
+      case OutcomeClass::kDetected:
+        ++analysis.detected;
+        ++analysis.detected_by_mechanism[sim::EdmTypeName(
+            *result.classification.detected_by)];
+        break;
+      case OutcomeClass::kEscaped:
+        ++analysis.escaped;
+        switch (*result.classification.escape_kind) {
+          case EscapeKind::kWrongOutput: ++analysis.wrong_output; break;
+          case EscapeKind::kFailSilenceViolation:
+            ++analysis.fail_silence;
+            break;
+          case EscapeKind::kTimelinessViolation:
+            ++analysis.timeliness;
+            break;
+        }
+        break;
+      case OutcomeClass::kLatent: ++analysis.latent; break;
+      case OutcomeClass::kOverwritten: ++analysis.overwritten; break;
+      case OutcomeClass::kNotInjected: ++analysis.not_injected; break;
+    }
+    if (!result.category.empty()) {
+      ++analysis.by_category[result.category][result.classification.outcome];
+    }
+    analysis.experiments.push_back(std::move(result));
+  }
+
+  const std::size_t effective = analysis.detected + analysis.escaped;
+  analysis.detection_coverage = WilsonInterval95(analysis.detected, effective);
+  analysis.effectiveness = WilsonInterval95(effective, analysis.total);
+  return analysis;
+}
+
+std::string FormatAnalysisCsv(const CampaignAnalysis& analysis) {
+  std::string out =
+      "experiment,location,category,injection_time,outcome,detected_by,"
+      "escape_kind,state_diff_bits\n";
+  for (const ExperimentResult& experiment : analysis.experiments) {
+    const Classification& c = experiment.classification;
+    out += experiment.name + "," + experiment.location + "," +
+           experiment.category + "," +
+           std::to_string(experiment.injection_time) + "," +
+           OutcomeClassName(c.outcome) + ",";
+    out += c.detected_by ? sim::EdmTypeName(*c.detected_by) : "";
+    out += ",";
+    out += c.escape_kind ? EscapeKindName(*c.escape_kind) : "";
+    out += "," + std::to_string(c.state_diff_bits) + "\n";
+  }
+  return out;
+}
+
+TimeHistogram BuildTimeHistogram(const CampaignAnalysis& analysis,
+                                 std::size_t bucket_count) {
+  TimeHistogram histogram;
+  if (bucket_count == 0) return histogram;
+  std::uint64_t max_time = 0;
+  for (const ExperimentResult& experiment : analysis.experiments) {
+    max_time = std::max(max_time, experiment.injection_time);
+  }
+  if (max_time == 0) return histogram;
+  const std::uint64_t width = (max_time + bucket_count) / bucket_count;
+  histogram.buckets.resize(bucket_count);
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    histogram.buckets[i].lo = i * width;
+    histogram.buckets[i].hi = (i + 1) * width - 1;
+  }
+  for (const ExperimentResult& experiment : analysis.experiments) {
+    if (experiment.injection_time == 0) continue;  // no instret trigger
+    const std::size_t index = std::min<std::size_t>(
+        experiment.injection_time / width, bucket_count - 1);
+    TimeHistogram::Bucket& bucket = histogram.buckets[index];
+    switch (experiment.classification.outcome) {
+      case OutcomeClass::kDetected: ++bucket.detected; break;
+      case OutcomeClass::kEscaped: ++bucket.escaped; break;
+      case OutcomeClass::kLatent: ++bucket.latent; break;
+      case OutcomeClass::kOverwritten:
+      case OutcomeClass::kNotInjected:
+        ++bucket.non_effective;
+        break;
+    }
+    ++histogram.covered_experiments;
+  }
+  return histogram;
+}
+
+std::string FormatTimeHistogram(const TimeHistogram& histogram) {
+  std::string out = StrFormat(
+      "outcomes by injection time (%zu experiments with exact times)\n",
+      histogram.covered_experiments);
+  out += StrFormat("%-22s %8s %8s %8s %8s\n", "time window", "detect",
+                   "escape", "latent", "no-eff");
+  for (const TimeHistogram::Bucket& bucket : histogram.buckets) {
+    out += StrFormat("[%8llu, %8llu]   %8zu %8zu %8zu %8zu\n",
+                     static_cast<unsigned long long>(bucket.lo),
+                     static_cast<unsigned long long>(bucket.hi),
+                     bucket.detected, bucket.escaped, bucket.latent,
+                     bucket.non_effective);
+  }
+  return out;
+}
+
+std::string FormatAnalysisReport(const CampaignAnalysis& analysis) {
+  std::string out;
+  out += StrFormat("Campaign %s: %zu experiments\n",
+                   analysis.campaign.c_str(), analysis.total);
+  const std::size_t effective = analysis.detected + analysis.escaped;
+  out += StrFormat("  Effective errors:      %zu\n", effective);
+  out += StrFormat("    Detected errors:     %zu\n", analysis.detected);
+  for (const auto& [mechanism, count] : analysis.detected_by_mechanism) {
+    out += StrFormat("      %-20s %zu\n", mechanism.c_str(), count);
+  }
+  out += StrFormat("    Escaped errors:      %zu\n", analysis.escaped);
+  out += StrFormat("      wrong output:        %zu\n", analysis.wrong_output);
+  out += StrFormat("      fail-silence viol.:  %zu\n", analysis.fail_silence);
+  out += StrFormat("      timeliness viol.:    %zu\n", analysis.timeliness);
+  out += StrFormat("  Non-effective errors:  %zu\n",
+                   analysis.latent + analysis.overwritten +
+                       analysis.not_injected);
+  out += StrFormat("    Latent errors:       %zu\n", analysis.latent);
+  out += StrFormat("    Overwritten errors:  %zu\n", analysis.overwritten);
+  if (analysis.not_injected > 0) {
+    out += StrFormat("    (never injected):    %zu\n", analysis.not_injected);
+  }
+  out += StrFormat(
+      "  Detection coverage:    %.3f  [%.3f, %.3f] (95%% Wilson)\n",
+      analysis.detection_coverage.estimate, analysis.detection_coverage.low,
+      analysis.detection_coverage.high);
+  out += StrFormat(
+      "  Effectiveness:         %.3f  [%.3f, %.3f] (95%% Wilson)\n",
+      analysis.effectiveness.estimate, analysis.effectiveness.low,
+      analysis.effectiveness.high);
+  if (analysis.latency_samples > 0) {
+    out += StrFormat(
+        "  Detection latency:     mean %.1f, max %llu instructions "
+        "(%zu samples)\n",
+        analysis.latency_mean,
+        static_cast<unsigned long long>(analysis.latency_max),
+        analysis.latency_samples);
+  }
+  if (!analysis.by_category.empty()) {
+    out += "  By location category:\n";
+    for (const auto& [category, outcomes] : analysis.by_category) {
+      std::string line = StrFormat("    %-10s", category.c_str());
+      for (const auto outcome :
+           {OutcomeClass::kDetected, OutcomeClass::kEscaped,
+            OutcomeClass::kLatent, OutcomeClass::kOverwritten,
+            OutcomeClass::kNotInjected}) {
+        const auto it = outcomes.find(outcome);
+        line += StrFormat(" %s=%zu", OutcomeClassName(outcome),
+                          it == outcomes.end() ? std::size_t{0} : it->second);
+      }
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,148 @@
+// The analysis phase (paper §3.4): classify every logged experiment
+// against the reference run.
+//
+//   Effective errors:
+//     Detected  — caught by an error-detection mechanism of the target
+//                 ("further classified into errors detected by each of
+//                 the various mechanisms"),
+//     Escaped   — escaped the mechanisms, causing "failures such as
+//                 incorrect results or timeliness violations" (for the
+//                 control workload, a wrong actuator value is a
+//                 fail-silence violation).
+//   Non-effective errors:
+//     Latent      — state differs from the fault-free run but nothing
+//                   detected/escaped,
+//     Overwritten — no difference at all.
+//
+// The paper notes "there is no support for automatic generation of
+// software that analyses the LoggedSystemState table. The user must
+// write tailor made scripts"; this module is that tailor-made analysis
+// for the Thor RD target (and the last §4 extension, automated).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "target/target_types.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+enum class OutcomeClass {
+  kDetected,
+  kEscaped,
+  kLatent,
+  kOverwritten,
+  // The sampled injection time lay beyond the (shortened) run, so the
+  // fault was never injected. Reported separately for transparency;
+  // counted with the non-effective outcomes.
+  kNotInjected,
+};
+
+const char* OutcomeClassName(OutcomeClass outcome);
+
+enum class EscapeKind {
+  kWrongOutput,
+  kFailSilenceViolation,  // actuator sequence diverged from the golden run
+  kTimelinessViolation,   // tool-level time-out expired
+};
+
+const char* EscapeKindName(EscapeKind kind);
+
+struct Classification {
+  OutcomeClass outcome = OutcomeClass::kOverwritten;
+  std::optional<sim::EdmType> detected_by;
+  std::optional<EscapeKind> escape_kind;
+  std::size_t state_diff_bits = 0;  // Hamming distance over chain images
+};
+
+// Classify one experiment against the fault-free reference.
+Classification Classify(const target::Observation& reference,
+                        const target::Observation& experiment);
+
+// 95% Wilson score interval for a binomial proportion.
+struct ConfidenceInterval {
+  double estimate = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+ConfidenceInterval WilsonInterval95(std::size_t successes,
+                                    std::size_t trials);
+
+// Coarse location category for grouping ("reg", "control", "icache",
+// "dcache", "pin", "memory", "?").
+std::string LocationCategory(const std::string& location);
+
+struct ExperimentResult {
+  std::string name;
+  std::string location;  // first fault target (empty if unparsable)
+  std::string category;
+  std::uint64_t injection_time = 0;  // instret triggers only
+  Classification classification;
+};
+
+struct CampaignAnalysis {
+  std::string campaign;
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::size_t escaped = 0;
+  std::size_t latent = 0;
+  std::size_t overwritten = 0;
+  std::size_t not_injected = 0;
+  std::map<std::string, std::size_t> detected_by_mechanism;
+  std::size_t wrong_output = 0;
+  std::size_t fail_silence = 0;
+  std::size_t timeliness = 0;
+  // detected / (detected + escaped): the error-detection coverage.
+  ConfidenceInterval detection_coverage;
+  // (detected + escaped) / total: how often a random fault mattered.
+  ConfidenceInterval effectiveness;
+  // per location category -> per outcome -> count
+  std::map<std::string, std::map<OutcomeClass, std::size_t>> by_category;
+  std::vector<ExperimentResult> experiments;
+  // Detection latency (instructions from injection to EDM event), over
+  // detected experiments with instruction-count triggers.
+  std::size_t latency_samples = 0;
+  double latency_mean = 0.0;
+  std::uint64_t latency_max = 0;
+};
+
+// Load the campaign's rows from LoggedSystemState and classify them.
+// Detail-mode re-runs (rows with a parentExperiment) are excluded from
+// the statistics.
+Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
+                                         const std::string& campaign_name);
+
+// Human-readable report in the shape of the §3.4 taxonomy.
+std::string FormatAnalysisReport(const CampaignAnalysis& analysis);
+
+// Machine-readable per-experiment export: one CSV row per experiment
+// (experiment, location, category, injection_time, outcome,
+// detected_by, escape_kind, state_diff_bits) — for the "tailor made
+// scripts" the paper expects users to write around the tool.
+std::string FormatAnalysisCsv(const CampaignAnalysis& analysis);
+
+// Outcomes bucketed by injection time (experiments with instruction-
+// count triggers only): where in the workload's lifetime faults matter.
+struct TimeHistogram {
+  struct Bucket {
+    std::uint64_t lo = 0;  // inclusive
+    std::uint64_t hi = 0;  // inclusive
+    std::size_t detected = 0;
+    std::size_t escaped = 0;
+    std::size_t latent = 0;
+    std::size_t non_effective = 0;  // overwritten + never injected
+  };
+  std::vector<Bucket> buckets;
+  std::size_t covered_experiments = 0;  // experiments with a known time
+};
+
+TimeHistogram BuildTimeHistogram(const CampaignAnalysis& analysis,
+                                 std::size_t bucket_count);
+std::string FormatTimeHistogram(const TimeHistogram& histogram);
+
+}  // namespace goofi::core

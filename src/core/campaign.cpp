@@ -1,0 +1,254 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "core/goofi_schema.h"
+#include "util/strings.h"
+
+namespace goofi::core {
+
+using db::Row;
+using db::Value;
+
+Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
+  CampaignConfig config;
+  const auto name = section.GetString("name");
+  if (!name || name->empty()) {
+    return InvalidArgumentError("campaign needs a name");
+  }
+  config.name = *name;
+  config.target = section.GetStringOr("target", config.target);
+  if (const auto technique = section.GetString("technique")) {
+    const auto parsed = target::TechniqueFromName(*technique);
+    if (!parsed) return InvalidArgumentError("unknown technique '" +
+                                             *technique + "'");
+    config.technique = *parsed;
+  }
+  config.workload = section.GetStringOr("workload", "");
+  if (config.workload.empty()) {
+    return InvalidArgumentError("campaign needs a workload");
+  }
+  config.num_experiments = static_cast<std::uint32_t>(
+      section.GetIntOr("experiments", config.num_experiments));
+  config.seed = static_cast<std::uint64_t>(
+      section.GetIntOr("seed", static_cast<std::int64_t>(config.seed)));
+  if (const auto model = section.GetString("fault_model")) {
+    const auto parsed = target::FaultModelKindFromName(*model);
+    if (!parsed) return InvalidArgumentError("unknown fault model '" +
+                                             *model + "'");
+    config.model.kind = *parsed;
+  }
+  config.model.period = static_cast<std::uint64_t>(section.GetIntOr(
+      "intermittent_period", static_cast<std::int64_t>(config.model.period)));
+  config.model.occurrences = static_cast<std::uint32_t>(section.GetIntOr(
+      "intermittent_occurrences", config.model.occurrences));
+  config.model.stuck_to_one = section.GetBoolOr("stuck_to_one", true);
+  config.multiplicity = static_cast<std::uint32_t>(
+      section.GetIntOr("multiplicity", config.multiplicity));
+  if (config.multiplicity == 0) {
+    return InvalidArgumentError("multiplicity must be >= 1");
+  }
+  config.location_filters = section.GetList("location");
+  config.time_window_lo = static_cast<std::uint64_t>(
+      section.GetIntOr("time_window_lo", 0));
+  config.time_window_hi = static_cast<std::uint64_t>(
+      section.GetIntOr("time_window_hi", 0));
+  config.trigger_kind = section.GetStringOr("trigger", "instret");
+  config.termination.max_instructions = static_cast<std::uint64_t>(
+      section.GetIntOr("max_instructions", 0));
+  config.termination.max_iterations = static_cast<std::uint64_t>(
+      section.GetIntOr("max_iterations", 0));
+  const std::string logging = section.GetStringOr("logging", "normal");
+  if (EqualsIgnoreCase(logging, "normal")) {
+    config.logging_mode = target::LoggingMode::kNormal;
+  } else if (EqualsIgnoreCase(logging, "detail")) {
+    config.logging_mode = target::LoggingMode::kDetail;
+  } else {
+    return InvalidArgumentError("unknown logging mode '" + logging + "'");
+  }
+  config.use_preinjection_analysis =
+      section.GetBoolOr("preinjection", false);
+  return config;
+}
+
+Result<CampaignConfig> LoadCampaignConfigFile(const std::string& path) {
+  ASSIGN_OR_RETURN(Config config, Config::LoadFile(path));
+  const ConfigSection* section = config.FindSection("campaign");
+  if (section == nullptr) {
+    return InvalidArgumentError("config file has no [campaign] section");
+  }
+  return ParseCampaignConfig(*section);
+}
+
+Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
+  RETURN_IF_ERROR(CreateGoofiSchema(database));
+  Row row;
+  row.push_back(Value::Text_(config.name));
+  row.push_back(Value::Text_(config.target));
+  row.push_back(Value::Text_(target::TechniqueName(config.technique)));
+  row.push_back(Value::Text_(config.workload));
+  row.push_back(Value::Integer(config.num_experiments));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(config.seed)));
+  row.push_back(Value::Text_(target::FaultModelKindName(config.model.kind)));
+  row.push_back(Value::Integer(config.multiplicity));
+  row.push_back(Value::Text_(JoinStrings(config.location_filters, "|")));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.time_window_lo)));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.time_window_hi)));
+  row.push_back(Value::Text_(config.trigger_kind));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.termination.max_instructions)));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.termination.max_iterations)));
+  row.push_back(Value::Text_(
+      config.logging_mode == target::LoggingMode::kDetail ? "detail"
+                                                          : "normal"));
+  row.push_back(Value::Integer(config.use_preinjection_analysis ? 1 : 0));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.model.period)));
+  row.push_back(Value::Integer(config.model.occurrences));
+  row.push_back(Value::Integer(config.model.stuck_to_one ? 1 : 0));
+  row.push_back(Value::Text_("configured"));
+  row.push_back(Value::Integer(0));
+  return database.Insert(kCampaignDataTable, std::move(row));
+}
+
+Result<CampaignConfig> LoadCampaign(db::Database& database,
+                                    const std::string& campaign_name) {
+  const db::Table* table = database.FindTable(kCampaignDataTable);
+  if (table == nullptr) return NotFoundError("no CampaignData table");
+  const auto index = table->FindByUnique(0, Value::Text_(campaign_name));
+  if (!index) {
+    return NotFoundError("no campaign '" + campaign_name + "'");
+  }
+  const Row& row = table->row(*index);
+  CampaignConfig config;
+  config.name = row[0].AsText();
+  config.target = row[1].AsText();
+  const auto technique = target::TechniqueFromName(row[2].AsText());
+  if (!technique) return DataLossError("bad technique in CampaignData");
+  config.technique = *technique;
+  config.workload = row[3].AsText();
+  config.num_experiments = static_cast<std::uint32_t>(row[4].AsInteger());
+  config.seed = static_cast<std::uint64_t>(row[5].AsInteger());
+  const auto model = target::FaultModelKindFromName(row[6].AsText());
+  if (!model) return DataLossError("bad fault model in CampaignData");
+  config.model.kind = *model;
+  config.multiplicity = static_cast<std::uint32_t>(row[7].AsInteger());
+  if (!row[8].is_null() && !row[8].AsText().empty()) {
+    config.location_filters = SplitString(row[8].AsText(), '|');
+  }
+  config.time_window_lo = static_cast<std::uint64_t>(row[9].AsInteger());
+  config.time_window_hi = static_cast<std::uint64_t>(row[10].AsInteger());
+  config.trigger_kind = row[11].AsText();
+  config.termination.max_instructions =
+      static_cast<std::uint64_t>(row[12].AsInteger());
+  config.termination.max_iterations =
+      static_cast<std::uint64_t>(row[13].AsInteger());
+  config.logging_mode = row[14].AsText() == "detail"
+                            ? target::LoggingMode::kDetail
+                            : target::LoggingMode::kNormal;
+  config.use_preinjection_analysis = row[15].AsInteger() != 0;
+  config.model.period = static_cast<std::uint64_t>(row[16].AsInteger());
+  config.model.occurrences = static_cast<std::uint32_t>(row[17].AsInteger());
+  config.model.stuck_to_one = row[18].AsInteger() != 0;
+  return config;
+}
+
+Result<CampaignConfig> MergeCampaigns(db::Database& database,
+                                      const std::vector<std::string>& sources,
+                                      const std::string& merged_name) {
+  if (sources.empty()) {
+    return InvalidArgumentError("nothing to merge");
+  }
+  ASSIGN_OR_RETURN(CampaignConfig merged, LoadCampaign(database, sources[0]));
+  merged.name = merged_name;
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    ASSIGN_OR_RETURN(CampaignConfig next, LoadCampaign(database, sources[i]));
+    if (next.target != merged.target || next.workload != merged.workload ||
+        next.technique != merged.technique) {
+      return FailedPreconditionError(
+          "campaigns to merge must share target, technique and workload");
+    }
+    merged.num_experiments += next.num_experiments;
+    for (const std::string& filter : next.location_filters) {
+      if (std::find(merged.location_filters.begin(),
+                    merged.location_filters.end(),
+                    filter) == merged.location_filters.end()) {
+        merged.location_filters.push_back(filter);
+      }
+    }
+  }
+  RETURN_IF_ERROR(StoreCampaign(database, merged));
+  return merged;
+}
+
+Status RegisterTargetSystem(db::Database& database,
+                            target::TargetSystemInterface& target,
+                            const std::string& test_card_name,
+                            const std::string& description) {
+  RETURN_IF_ERROR(CreateGoofiSchema(database));
+  const db::Table* tsd = database.FindTable(kTargetSystemDataTable);
+  if (tsd->FindByUnique(0, Value::Text_(target.target_name()))) {
+    return Status::Ok();  // already registered
+  }
+  RETURN_IF_ERROR(database.Insert(
+      kTargetSystemDataTable,
+      {Value::Text_(target.target_name()), Value::Text_(test_card_name),
+       Value::Text_(description)}));
+  const db::Table* locations = database.FindTable(kTargetLocationTable);
+  std::int64_t next_id =
+      static_cast<std::int64_t>(locations->row_count()) + 1;
+  for (const auto& info : target.ListLocations()) {
+    Row row;
+    row.push_back(Value::Integer(next_id++));
+    row.push_back(Value::Text_(target.target_name()));
+    row.push_back(Value::Text_(info.name));
+    row.push_back(Value::Text_(
+        info.kind ==
+                target::TargetSystemInterface::LocationInfo::Kind::kScanElement
+            ? "scan_element"
+            : "memory_range"));
+    row.push_back(Value::Text_(info.chain));
+    row.push_back(Value::Integer(info.width_bits));
+    row.push_back(Value::Integer(info.writable ? 1 : 0));
+    row.push_back(Value::Text_(info.category));
+    row.push_back(Value::Integer(info.base));
+    row.push_back(Value::Integer(info.size));
+    RETURN_IF_ERROR(database.Insert(kTargetLocationTable, std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<target::TargetSystemInterface::LocationInfo>>
+LoadTargetLocations(db::Database& database,
+                    const std::string& target_name) {
+  using LocationInfo = target::TargetSystemInterface::LocationInfo;
+  const db::Table* system = database.FindTable(kTargetSystemDataTable);
+  if (system == nullptr ||
+      !system->FindByUnique(0, Value::Text_(target_name))) {
+    return NotFoundError("target '" + target_name +
+                         "' is not registered in TargetSystemData");
+  }
+  const db::Table* table = database.FindTable(kTargetLocationTable);
+  std::vector<LocationInfo> locations;
+  for (const Row& row : table->rows()) {
+    if (row[1].AsText() != target_name) continue;
+    LocationInfo info;
+    info.name = row[2].AsText();
+    info.kind = row[3].AsText() == "scan_element"
+                    ? LocationInfo::Kind::kScanElement
+                    : LocationInfo::Kind::kMemoryRange;
+    info.chain = row[4].is_null() ? "" : row[4].AsText();
+    info.width_bits = static_cast<std::uint32_t>(row[5].AsInteger());
+    info.writable = row[6].AsInteger() != 0;
+    info.category = row[7].is_null() ? "" : row[7].AsText();
+    info.base = static_cast<std::uint32_t>(row[8].AsInteger());
+    info.size = static_cast<std::uint32_t>(row[9].AsInteger());
+    locations.push_back(std::move(info));
+  }
+  return locations;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,103 @@
+// Campaign configuration: the set-up phase of the tool.
+//
+// In the paper the user fills the configuration and set-up GUI windows
+// (Figs. 5, 6); here campaigns are declarative config files (or structs
+// built in code) whose contents are stored in — and re-read from — the
+// CampaignData table, exactly as the GUI stores its selections
+// ("The selections made by the user in the set-up phase are stored in
+// the database table CampaignData").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "target/fault_injection_algorithms.h"
+#include "target/target_types.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+struct CampaignConfig {
+  std::string name;
+  std::string target = "thor_rd";
+  target::Technique technique = target::Technique::kScifi;
+  std::string workload;
+  std::uint32_t num_experiments = 100;
+  std::uint64_t seed = 1;
+
+  target::FaultModel model;
+  std::uint32_t multiplicity = 1;  // bits flipped per experiment
+
+  // Glob patterns over location names ("cpu.regs.*", "icache.*",
+  // "mem.*"); empty = every writable location the technique can reach.
+  std::vector<std::string> location_filters;
+
+  // Injection-time window in executed instructions; 0,0 = the full
+  // reference-run duration.
+  std::uint64_t time_window_lo = 0;
+  std::uint64_t time_window_hi = 0;
+  // Trigger kind: "instret" (default), "pc", "data_read", "data_write",
+  // "branch", "call", "rtc".
+  std::string trigger_kind = "instret";
+
+  // Termination overrides (0 = the workload's defaults).
+  target::TerminationSpec termination{0, 0};
+
+  target::LoggingMode logging_mode = target::LoggingMode::kNormal;
+
+  // Paper §4 extension: sample only (location, time) points that hold
+  // live data, using the reference run's access trace.
+  bool use_preinjection_analysis = false;
+};
+
+// ---- config file <-> struct ------------------------------------------
+// File format: a [campaign] section, e.g.
+//   [campaign]
+//   name = regs_scifi
+//   target = thor_rd
+//   technique = scifi
+//   workload = isort
+//   experiments = 500
+//   seed = 42
+//   fault_model = transient
+//   multiplicity = 1
+//   location[] = cpu.regs.*
+//   logging = normal
+Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section);
+Result<CampaignConfig> LoadCampaignConfigFile(const std::string& path);
+
+// ---- database round trip -----------------------------------------------
+// Insert (or error on duplicate) the campaign into CampaignData with
+// status 'configured'. The target must already be registered.
+Status StoreCampaign(db::Database& database, const CampaignConfig& config);
+Result<CampaignConfig> LoadCampaign(db::Database& database,
+                                    const std::string& campaign_name);
+
+// Merge several stored campaigns into a new one (paper §3.2: "merge
+// campaign data from several fault injection campaigns into a new fault
+// injection campaign"): the new campaign takes base's settings, unions
+// the location filters, and sums the experiment counts. All sources must
+// share target/technique/workload.
+Result<CampaignConfig> MergeCampaigns(
+    db::Database& database, const std::vector<std::string>& sources,
+    const std::string& merged_name);
+
+// ---- target registration (configuration phase, paper Fig. 5) ----------
+// Store the target's identity and its location list (TargetSystemData +
+// TargetLocation rows). Idempotent per target name.
+Status RegisterTargetSystem(db::Database& database,
+                            target::TargetSystemInterface& target,
+                            const std::string& test_card_name,
+                            const std::string& description);
+
+// The set-up phase's inverse (paper §3.2: "the corresponding target
+// system data is interpreted presenting the user with an overview of
+// the possible fault locations"): rebuild the location list from the
+// stored TargetLocation rows, without a live target.
+Result<std::vector<target::TargetSystemInterface::LocationInfo>>
+LoadTargetLocations(db::Database& database, const std::string& target_name);
+
+}  // namespace goofi::core

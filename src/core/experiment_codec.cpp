@@ -1,0 +1,141 @@
+#include "core/experiment_codec.h"
+
+#include "util/strings.h"
+
+namespace goofi::core {
+
+namespace {
+
+const char* BreakpointKindName(sim::Breakpoint::Kind kind) {
+  switch (kind) {
+    case sim::Breakpoint::Kind::kPcEquals: return "pc";
+    case sim::Breakpoint::Kind::kInstretReached: return "instret";
+    case sim::Breakpoint::Kind::kDataRead: return "data_read";
+    case sim::Breakpoint::Kind::kDataWrite: return "data_write";
+    case sim::Breakpoint::Kind::kBranchTaken: return "branch";
+    case sim::Breakpoint::Kind::kCall: return "call";
+    case sim::Breakpoint::Kind::kRtcMicros: return "rtc";
+  }
+  return "?";
+}
+
+std::optional<sim::Breakpoint::Kind> BreakpointKindFromName(
+    const std::string& name) {
+  for (const auto kind :
+       {sim::Breakpoint::Kind::kPcEquals, sim::Breakpoint::Kind::kInstretReached,
+        sim::Breakpoint::Kind::kDataRead, sim::Breakpoint::Kind::kDataWrite,
+        sim::Breakpoint::Kind::kBranchTaken, sim::Breakpoint::Kind::kCall,
+        sim::Breakpoint::Kind::kRtcMicros}) {
+    if (name == BreakpointKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string SerializeTrigger(const sim::Breakpoint& trigger) {
+  return StrFormat("%s,0x%08x,%llu,%llu", BreakpointKindName(trigger.kind),
+                   trigger.address,
+                   static_cast<unsigned long long>(trigger.count),
+                   static_cast<unsigned long long>(trigger.micros));
+}
+
+Result<sim::Breakpoint> ParseTrigger(const std::string& text) {
+  const auto pieces = SplitString(text, ',');
+  if (pieces.size() != 4) return ParseError("bad trigger '" + text + "'");
+  const auto kind = BreakpointKindFromName(pieces[0]);
+  const auto address = ParseUint64(pieces[1]);
+  const auto count = ParseUint64(pieces[2]);
+  const auto micros = ParseUint64(pieces[3]);
+  if (!kind || !address || !count || !micros) {
+    return ParseError("bad trigger '" + text + "'");
+  }
+  sim::Breakpoint trigger;
+  trigger.kind = *kind;
+  trigger.address = static_cast<std::uint32_t>(*address);
+  trigger.count = *count;
+  trigger.micros = *micros;
+  trigger.one_shot = true;
+  return trigger;
+}
+
+std::string SerializeExperimentSpec(const target::ExperimentSpec& spec) {
+  std::string targets;
+  for (std::size_t i = 0; i < spec.targets.size(); ++i) {
+    if (i != 0) targets += "+";
+    targets += spec.targets[i].location + ":" +
+               std::to_string(spec.targets[i].bit);
+  }
+  return StrFormat(
+      "name=%s;technique=%s;trigger=%s;targets=%s;model=%s;period=%llu;"
+      "occurrences=%u;stuck=%d;max_instructions=%llu;max_iterations=%llu",
+      spec.name.c_str(), target::TechniqueName(spec.technique),
+      SerializeTrigger(spec.trigger).c_str(), targets.c_str(),
+      target::FaultModelKindName(spec.model.kind),
+      static_cast<unsigned long long>(spec.model.period),
+      spec.model.occurrences, spec.model.stuck_to_one ? 1 : 0,
+      static_cast<unsigned long long>(spec.termination.max_instructions),
+      static_cast<unsigned long long>(spec.termination.max_iterations));
+}
+
+Result<target::ExperimentSpec> ParseExperimentSpec(const std::string& text) {
+  target::ExperimentSpec spec;
+  for (const std::string& piece : SplitString(text, ';')) {
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      return ParseError("bad experiment data field '" + piece + "'");
+    }
+    const std::string key = piece.substr(0, eq);
+    const std::string value = piece.substr(eq + 1);
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "technique") {
+      const auto technique = target::TechniqueFromName(value);
+      if (!technique) return ParseError("bad technique '" + value + "'");
+      spec.technique = *technique;
+    } else if (key == "trigger") {
+      ASSIGN_OR_RETURN(spec.trigger, ParseTrigger(value));
+    } else if (key == "targets") {
+      if (value.empty()) continue;
+      for (const std::string& one : SplitString(value, '+')) {
+        const std::size_t colon = one.rfind(':');
+        if (colon == std::string::npos) {
+          return ParseError("bad fault target '" + one + "'");
+        }
+        const auto bit = ParseUint64(one.substr(colon + 1));
+        if (!bit) return ParseError("bad fault target '" + one + "'");
+        target::FaultTarget target;
+        target.location = one.substr(0, colon);
+        target.bit = static_cast<std::uint32_t>(*bit);
+        spec.targets.push_back(std::move(target));
+      }
+    } else if (key == "model") {
+      const auto kind = target::FaultModelKindFromName(value);
+      if (!kind) return ParseError("bad fault model '" + value + "'");
+      spec.model.kind = *kind;
+    } else if (key == "period") {
+      const auto parsed = ParseUint64(value);
+      if (!parsed) return ParseError("bad period");
+      spec.model.period = *parsed;
+    } else if (key == "occurrences") {
+      const auto parsed = ParseUint64(value);
+      if (!parsed) return ParseError("bad occurrences");
+      spec.model.occurrences = static_cast<std::uint32_t>(*parsed);
+    } else if (key == "stuck") {
+      spec.model.stuck_to_one = value == "1";
+    } else if (key == "max_instructions") {
+      const auto parsed = ParseUint64(value);
+      if (!parsed) return ParseError("bad max_instructions");
+      spec.termination.max_instructions = *parsed;
+    } else if (key == "max_iterations") {
+      const auto parsed = ParseUint64(value);
+      if (!parsed) return ParseError("bad max_iterations");
+      spec.termination.max_iterations = *parsed;
+    } else {
+      return ParseError("unknown experiment data key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,21 @@
+// Serialization of ExperimentSpec into the `experimentData` attribute of
+// LoggedSystemState ("contains information about the experiment such as
+// the fault injection location"). The inverse enables the paper's
+// parentExperiment workflow: re-running a logged experiment E1 in detail
+// mode as E2 with identical campaign data.
+#pragma once
+
+#include <string>
+
+#include "target/target_types.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+std::string SerializeExperimentSpec(const target::ExperimentSpec& spec);
+Result<target::ExperimentSpec> ParseExperimentSpec(const std::string& text);
+
+std::string SerializeTrigger(const sim::Breakpoint& trigger);
+Result<sim::Breakpoint> ParseTrigger(const std::string& text);
+
+}  // namespace goofi::core

@@ -1,0 +1,77 @@
+#include "core/goofi_schema.h"
+
+#include "db/sql/executor.h"
+
+namespace goofi::core {
+
+const char* GoofiSchemaSql() {
+  return R"sql(
+CREATE TABLE TargetSystemData (
+  target_name    TEXT PRIMARY KEY,
+  test_card_name TEXT NOT NULL,
+  description    TEXT
+);
+
+CREATE TABLE TargetLocation (
+  location_id   INTEGER PRIMARY KEY,
+  target_name   TEXT NOT NULL,
+  location_name TEXT NOT NULL,
+  kind          TEXT NOT NULL,
+  chain         TEXT,
+  width_bits    INTEGER,
+  writable      INTEGER NOT NULL,
+  category      TEXT,
+  base          INTEGER,
+  size          INTEGER,
+  FOREIGN KEY (target_name) REFERENCES TargetSystemData(target_name)
+);
+
+CREATE TABLE CampaignData (
+  campaign_name            TEXT PRIMARY KEY,
+  target_name              TEXT NOT NULL,
+  technique                TEXT NOT NULL,
+  workload                 TEXT NOT NULL,
+  num_experiments          INTEGER NOT NULL,
+  seed                     INTEGER NOT NULL,
+  fault_model              TEXT NOT NULL,
+  multiplicity             INTEGER NOT NULL,
+  location_filter          TEXT,
+  time_window_lo           INTEGER,
+  time_window_hi           INTEGER,
+  trigger_kind             TEXT,
+  max_instructions         INTEGER,
+  max_iterations           INTEGER,
+  logging_mode             TEXT NOT NULL,
+  preinjection             INTEGER NOT NULL,
+  intermittent_period      INTEGER,
+  intermittent_occurrences INTEGER,
+  stuck_to_one             INTEGER,
+  status                   TEXT NOT NULL,
+  experiments_done         INTEGER NOT NULL,
+  FOREIGN KEY (target_name) REFERENCES TargetSystemData(target_name)
+);
+
+CREATE TABLE LoggedSystemState (
+  experiment_name   TEXT PRIMARY KEY,
+  parent_experiment TEXT,
+  campaign_name     TEXT NOT NULL,
+  experiment_data   TEXT,
+  state_vector      TEXT,
+  FOREIGN KEY (campaign_name) REFERENCES CampaignData(campaign_name),
+  FOREIGN KEY (parent_experiment) REFERENCES LoggedSystemState(experiment_name)
+);
+)sql";
+}
+
+Status CreateGoofiSchema(db::Database& database) {
+  if (database.HasTable(kTargetSystemDataTable) &&
+      database.HasTable(kTargetLocationTable) &&
+      database.HasTable(kCampaignDataTable) &&
+      database.HasTable(kLoggedSystemStateTable)) {
+    return Status::Ok();
+  }
+  const auto result = db::sql::ExecuteScript(database, GoofiSchemaSql());
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+}  // namespace goofi::core

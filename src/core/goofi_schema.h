@@ -1,0 +1,35 @@
+// The GOOFI database schema (paper Fig. 4).
+//
+// Three tables linked by foreign keys: TargetSystemData ("all information
+// about the target system required for setting up new fault injection
+// campaigns"), CampaignData ("all the information needed to conduct a
+// campaign") and LoggedSystemState ("the system state during and after an
+// experiment"), whose `parentExperiment` attribute lets a detail-mode
+// re-run E2 reference the campaign data of the original experiment E1.
+//
+// TargetLocation is a normalization of the location list inside
+// TargetSystemData (one row per fault-injection location), so the
+// analysis phase can query locations with plain SQL.
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+inline constexpr const char* kTargetSystemDataTable = "TargetSystemData";
+inline constexpr const char* kTargetLocationTable = "TargetLocation";
+inline constexpr const char* kCampaignDataTable = "CampaignData";
+inline constexpr const char* kLoggedSystemStateTable = "LoggedSystemState";
+
+// Create the four tables (idempotent: returns OK if they already exist
+// with any shape; callers own migration concerns).
+Status CreateGoofiSchema(db::Database& database);
+
+// The CREATE TABLE script used by CreateGoofiSchema — exposed so tests
+// and the documentation can show the schema as SQL.
+const char* GoofiSchemaSql();
+
+}  // namespace goofi::core

@@ -1,0 +1,92 @@
+#include "core/location.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace goofi::core {
+
+using LocationInfo = target::TargetSystemInterface::LocationInfo;
+
+bool LocationSpace::TechniqueCanReach(target::Technique technique,
+                                      const LocationInfo& info) {
+  switch (technique) {
+    case target::Technique::kScifi:
+      return info.kind == LocationInfo::Kind::kScanElement && info.writable;
+    case target::Technique::kSwifiPreRuntime:
+      return info.kind == LocationInfo::Kind::kMemoryRange;
+    case target::Technique::kSwifiRuntime:
+      if (info.kind == LocationInfo::Kind::kMemoryRange) return true;
+      return info.writable && (StartsWith(info.name, "cpu.regs.r") ||
+                               info.name == "cpu.pc");
+  }
+  return false;
+}
+
+Result<LocationSpace> LocationSpace::Build(
+    const std::vector<LocationInfo>& all, target::Technique technique,
+    const std::vector<std::string>& filters) {
+  LocationSpace space;
+  for (const LocationInfo& info : all) {
+    if (!TechniqueCanReach(technique, info)) continue;
+    if (!filters.empty()) {
+      bool matched = false;
+      for (const std::string& filter : filters) {
+        if (GlobMatch(filter, info.name)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) continue;
+    }
+    Entry entry;
+    entry.info = info;
+    entry.bit_count = info.kind == LocationInfo::Kind::kScanElement
+                          ? info.width_bits
+                          : static_cast<std::uint64_t>(info.size) * 8;
+    if (entry.bit_count == 0) continue;
+    entry.cumulative_start = space.total_bits_;
+    space.total_bits_ += entry.bit_count;
+    space.entries_.push_back(std::move(entry));
+  }
+  if (space.total_bits_ == 0) {
+    return InvalidArgumentError(
+        "location filters select nothing the technique can inject into");
+  }
+  return space;
+}
+
+target::FaultTarget LocationSpace::SampleIndex(
+    std::uint64_t bit_index) const {
+  assert(bit_index < total_bits_);
+  // Binary search over cumulative starts.
+  std::size_t lo = 0;
+  std::size_t hi = entries_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (entries_[mid].cumulative_start <= bit_index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Entry& entry = entries_[lo];
+  const std::uint64_t offset = bit_index - entry.cumulative_start;
+  target::FaultTarget target;
+  if (entry.info.kind == LocationInfo::Kind::kScanElement) {
+    target.location = entry.info.name;
+    target.bit = static_cast<std::uint32_t>(offset);
+  } else {
+    const std::uint32_t byte =
+        entry.info.base + static_cast<std::uint32_t>(offset / 8);
+    target.location = StrFormat("mem@0x%08x", byte);
+    target.bit = static_cast<std::uint32_t>(offset % 8);
+  }
+  return target;
+}
+
+target::FaultTarget LocationSpace::SampleBit(Rng& rng) const {
+  return SampleIndex(rng.NextBelow(total_bits_));
+}
+
+}  // namespace goofi::core

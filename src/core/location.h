@@ -1,0 +1,58 @@
+// The fault-location space of a campaign: the user-selected subset of
+// the target's locations (paper Fig. 6, "the user chooses the fault
+// injection locations from a hierarchical list of possible locations"),
+// restricted to what the chosen technique can physically reach, with
+// uniform sampling over the covered *bits*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "target/fault_injection_algorithms.h"
+#include "target/target_types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+class LocationSpace {
+ public:
+  struct Entry {
+    target::TargetSystemInterface::LocationInfo info;
+    std::uint64_t bit_count = 0;
+    std::uint64_t cumulative_start = 0;  // first bit index in the space
+  };
+
+  // Which locations a technique can inject into:
+  //  - SCIFI: writable scan-chain elements,
+  //  - pre-runtime SWIFI: memory ranges (program/data image),
+  //  - runtime SWIFI: registers, the PC, and memory ranges.
+  static bool TechniqueCanReach(
+      target::Technique technique,
+      const target::TargetSystemInterface::LocationInfo& info);
+
+  // Build from a target's location list. `filters` are glob patterns
+  // over location names; empty = everything reachable. Errors if the
+  // result is empty.
+  static Result<LocationSpace> Build(
+      const std::vector<target::TargetSystemInterface::LocationInfo>& all,
+      target::Technique technique,
+      const std::vector<std::string>& filters);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+
+  // Uniformly sample one bit of the space and name it as a FaultTarget.
+  target::FaultTarget SampleBit(Rng& rng) const;
+
+  // Deterministic mapping from a bit index (0..total_bits-1); SampleBit
+  // is SampleIndex(rng.NextBelow(total_bits)).
+  target::FaultTarget SampleIndex(std::uint64_t bit_index) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace goofi::core

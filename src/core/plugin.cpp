@@ -1,0 +1,49 @@
+#include "core/plugin.h"
+
+#include <dlfcn.h>
+
+#include <cstring>
+
+namespace goofi::core {
+
+Status LoadTargetPlugin(const std::string& path, TargetRegistry& registry) {
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* error = dlerror();
+    return IoError("dlopen('" + path + "') failed: " +
+                   (error != nullptr ? error : "unknown error"));
+  }
+  using AbiFn = const char* (*)();
+  using RegisterFn = void (*)(TargetRegistry*);
+  // POSIX requires the dance through memcpy — dlsym returns void*.
+  AbiFn abi_fn = nullptr;
+  void* abi_sym = dlsym(handle, "goofi_plugin_abi");
+  std::memcpy(&abi_fn, &abi_sym, sizeof abi_fn);
+  if (abi_fn == nullptr) {
+    dlclose(handle);
+    return InvalidArgumentError("plugin '" + path +
+                                "' exports no goofi_plugin_abi");
+  }
+  const char* abi = abi_fn();
+  if (abi == nullptr || std::strcmp(abi, kGoofiPluginAbi) != 0) {
+    dlclose(handle);
+    return FailedPreconditionError(
+        "plugin '" + path + "' has ABI '" +
+        (abi != nullptr ? abi : "(null)") + "', tool expects '" +
+        kGoofiPluginAbi + "'");
+  }
+  RegisterFn register_fn = nullptr;
+  void* register_sym = dlsym(handle, "goofi_register_targets");
+  std::memcpy(&register_fn, &register_sym, sizeof register_fn);
+  if (register_fn == nullptr) {
+    dlclose(handle);
+    return InvalidArgumentError("plugin '" + path +
+                                "' exports no goofi_register_targets");
+  }
+  register_fn(&registry);
+  // Deliberately keep the handle open: registered factories point into
+  // the plugin's code.
+  return Status::Ok();
+}
+
+}  // namespace goofi::core

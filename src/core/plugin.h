@@ -1,0 +1,30 @@
+// Dynamic loading of target-system plugins.
+//
+// The paper's tool is extended by compiling new TargetSystemInterface
+// classes into the (Java) application; a C++ reproduction can go one
+// step further and load them from shared libraries at run time. A
+// plugin exports:
+//
+//   extern "C" const char* goofi_plugin_abi();           // must return kGoofiPluginAbi
+//   extern "C" void goofi_register_targets(goofi::core::TargetRegistry*);
+//
+// The ABI-tag handshake catches mismatched builds before any C++ type
+// crosses the boundary (the awkwardness of manual dynamic loading the
+// reproduction notes call out — kept explicit rather than hidden).
+#pragma once
+
+#include <string>
+
+#include "core/registry.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+inline constexpr const char* kGoofiPluginAbi = "goofi-plugin-1";
+
+// dlopen the library, verify the ABI tag, and let it register its
+// targets. The handle is intentionally leaked (targets created from the
+// plugin may outlive any scope we could tie it to).
+Status LoadTargetPlugin(const std::string& path, TargetRegistry& registry);
+
+}  // namespace goofi::core

@@ -1,0 +1,117 @@
+#include "core/preinjection.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace goofi::core {
+
+bool LivenessIntervals::Contains(std::uint64_t time) const {
+  // Binary search over sorted disjoint spans.
+  std::size_t lo = 0;
+  std::size_t hi = spans.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (spans[mid].second < time) {
+      lo = mid + 1;
+    } else if (spans[mid].first > time) {
+      hi = mid;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t LivenessIntervals::TotalLiveTime() const {
+  std::uint64_t total = 0;
+  for (const auto& [first, last] : spans) total += last - first + 1;
+  return total;
+}
+
+LivenessIntervals BuildIntervals(
+    const std::vector<sim::AccessEvent>& events) {
+  LivenessIntervals intervals;
+  // Events arrive in program order (the CPU reports reads before writes
+  // within one instruction). An injection at time t propagates to a read
+  // at time r iff the last write before r happened at w < t <= r; i.e.
+  // every read at r with previous write at w contributes the span
+  // [w+1, r] ([0, r] when never written before).
+  std::uint64_t window_start = 0;  // first live time for the next read
+  for (const sim::AccessEvent& event : events) {
+    if (event.is_write) {
+      window_start = event.time + 1;
+      continue;
+    }
+    const std::uint64_t span_first = window_start;
+    const std::uint64_t span_last = event.time;
+    if (span_first > span_last) continue;  // written and re-read same slot
+    if (!intervals.spans.empty() &&
+        intervals.spans.back().second + 1 >= span_first) {
+      intervals.spans.back().second =
+          std::max(intervals.spans.back().second, span_last);
+    } else {
+      intervals.spans.emplace_back(span_first, span_last);
+    }
+  }
+  return intervals;
+}
+
+void PreInjectionAnalysis::Build(const sim::AccessRecorder& recorder,
+                                 std::uint64_t end_time) {
+  end_time_ = end_time;
+  for (unsigned reg = 0; reg < 16; ++reg) {
+    reg_intervals_[reg] = BuildIntervals(recorder.register_events(reg));
+  }
+  mem_intervals_.clear();
+  for (const auto& [address, events] : recorder.memory_events()) {
+    LivenessIntervals intervals = BuildIntervals(events);
+    if (!intervals.spans.empty()) {
+      mem_intervals_.emplace(address, std::move(intervals));
+    }
+  }
+}
+
+bool PreInjectionAnalysis::IsRegisterLive(unsigned reg,
+                                          std::uint64_t time) const {
+  if (reg == 0 || reg >= 16) return false;
+  return reg_intervals_[reg].Contains(time);
+}
+
+bool PreInjectionAnalysis::IsMemoryWordLive(std::uint32_t word_address,
+                                            std::uint64_t time) const {
+  const auto it = mem_intervals_.find(word_address & ~3u);
+  if (it == mem_intervals_.end()) return false;
+  return it->second.Contains(time);
+}
+
+bool PreInjectionAnalysis::IsLive(const target::FaultTarget& target,
+                                  std::uint64_t time) const {
+  if (StartsWith(target.location, "cpu.regs.r")) {
+    const auto reg = ParseUint64(target.location.substr(10));
+    if (!reg || *reg >= 16) return false;
+    return IsRegisterLive(static_cast<unsigned>(*reg), time);
+  }
+  if (StartsWith(target.location, "mem@")) {
+    const auto address = ParseUint64(target.location.substr(4));
+    if (!address) return false;
+    const std::uint32_t byte =
+        static_cast<std::uint32_t>(*address) + target.bit / 8;
+    return IsMemoryWordLive(byte & ~3u, time);
+  }
+  // Non-architectural state: no liveness model — treat as live so the
+  // filter never drops it.
+  return true;
+}
+
+double PreInjectionAnalysis::RegisterLiveFraction() const {
+  if (end_time_ == 0) return 0.0;
+  std::uint64_t live = 0;
+  for (unsigned reg = 1; reg < 16; ++reg) {
+    live += reg_intervals_[reg].TotalLiveTime();
+  }
+  return static_cast<double>(live) /
+         (15.0 * static_cast<double>(end_time_));
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,150 @@
+#include "core/propagation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace goofi::core {
+
+Result<PropagationReport> AnalyzeErrorPropagation(
+    const sim::ScanChain& chain,
+    const std::vector<std::pair<std::uint64_t, BitVector>>& reference_trace,
+    const std::vector<std::pair<std::uint64_t, BitVector>>& faulty_trace) {
+  if (reference_trace.empty() || faulty_trace.empty()) {
+    return InvalidArgumentError(
+        "error-propagation analysis needs detail-mode traces on both runs");
+  }
+  PropagationReport report;
+  report.compared_steps =
+      std::min(reference_trace.size(), faulty_trace.size());
+  report.lengths_differ =
+      reference_trace.size() != faulty_trace.size();
+
+  struct Tracking {
+    bool seen = false;
+    std::uint64_t first_time = 0;
+    std::size_t peak = 0;
+    std::size_t last = 0;
+  };
+  std::map<std::string, Tracking> tracking;
+
+  for (std::size_t step = 0; step < report.compared_steps; ++step) {
+    const auto& [ref_time, ref_image] = reference_trace[step];
+    const auto& [fault_time, fault_image] = faulty_trace[step];
+    if (ref_image.size() != chain.bit_length() ||
+        fault_image.size() != chain.bit_length()) {
+      return InvalidArgumentError(
+          "trace image width does not match the scan chain");
+    }
+    std::size_t total = 0;
+    for (const sim::ScanElement& element : chain.elements()) {
+      // Count differing bits inside this element's field.
+      std::size_t diff = 0;
+      std::size_t remaining = element.width;
+      std::size_t bit = element.position;
+      while (remaining > 0) {
+        const std::size_t chunk = std::min<std::size_t>(remaining, 64);
+        const std::uint64_t a = ref_image.GetField(bit, chunk);
+        const std::uint64_t b = fault_image.GetField(bit, chunk);
+        diff += static_cast<std::size_t>(__builtin_popcountll(a ^ b));
+        bit += chunk;
+        remaining -= chunk;
+      }
+      total += diff;
+      if (diff > 0) {
+        Tracking& t = tracking[element.name];
+        if (!t.seen) {
+          t.seen = true;
+          t.first_time = fault_time;
+          // Remember category via a parallel lookup at report time.
+        }
+        t.peak = std::max(t.peak, diff);
+        t.last = diff;
+      } else if (tracking.count(element.name)) {
+        tracking[element.name].last = 0;
+      }
+    }
+    report.timeline.emplace_back(fault_time, total);
+    if (total > 0 && !report.diverged) {
+      report.diverged = true;
+      report.first_divergence_time = fault_time;
+    }
+  }
+  // A control-flow change that shortens/lengthens the run is divergence
+  // even if the compared prefix matched.
+  if (!report.diverged && report.lengths_differ) {
+    report.diverged = true;
+    report.first_divergence_time =
+        reference_trace[report.compared_steps - 1].first;
+  }
+
+  for (const sim::ScanElement& element : chain.elements()) {
+    const auto it = tracking.find(element.name);
+    if (it == tracking.end() || !it->second.seen) continue;
+    ElementDivergence divergence;
+    divergence.name = element.name;
+    divergence.category = element.category;
+    divergence.first_time = it->second.first_time;
+    divergence.peak_diff_bits = it->second.peak;
+    divergence.still_corrupted_at_end = it->second.last > 0;
+    report.elements.push_back(std::move(divergence));
+  }
+  std::stable_sort(report.elements.begin(), report.elements.end(),
+                   [](const ElementDivergence& a,
+                      const ElementDivergence& b) {
+                     return a.first_time < b.first_time;
+                   });
+  return report;
+}
+
+Result<PropagationReport> AnalyzeErrorPropagation(
+    const sim::ScanChain& chain, const target::Observation& reference,
+    const target::Observation& faulty) {
+  return AnalyzeErrorPropagation(chain, reference.detail_trace,
+                                 faulty.detail_trace);
+}
+
+std::string PropagationReport::Format(std::size_t max_elements) const {
+  std::string out;
+  if (!diverged) {
+    return "no divergence: the fault never propagated into observed "
+           "state\n";
+  }
+  out += StrFormat("first divergence at instruction %llu\n",
+                   static_cast<unsigned long long>(first_divergence_time));
+  if (lengths_differ) {
+    out += "control flow diverged (trace lengths differ)\n";
+  }
+  out += StrFormat("corruption reached %zu state elements:\n",
+                   elements.size());
+  for (std::size_t i = 0; i < elements.size() && i < max_elements; ++i) {
+    const ElementDivergence& element = elements[i];
+    out += StrFormat("  t=%-8llu %-24s peak %zu bit(s)%s\n",
+                     static_cast<unsigned long long>(element.first_time),
+                     element.name.c_str(), element.peak_diff_bits,
+                     element.still_corrupted_at_end ? "  [still corrupt]"
+                                                    : "");
+  }
+  if (elements.size() > max_elements) {
+    out += StrFormat("  ... and %zu more\n",
+                     elements.size() - max_elements);
+  }
+  std::size_t peak = 0;
+  std::uint64_t peak_time = 0;
+  for (const auto& [time, bits] : timeline) {
+    if (bits > peak) {
+      peak = bits;
+      peak_time = time;
+    }
+  }
+  out += StrFormat("peak corruption: %zu bits at instruction %llu\n", peak,
+                   static_cast<unsigned long long>(peak_time));
+  if (!timeline.empty()) {
+    out += StrFormat("corrupted bits at end of compared window: %zu\n",
+                     timeline.back().second);
+  }
+  return out;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,61 @@
+// Error-propagation analysis over detail-mode traces.
+//
+// Paper §3.3: "The detail mode operation is used to produce an execution
+// trace, allowing the error propagation to be analysed in detail."
+//
+// Given the per-instruction internal-chain images of a fault-free detail
+// run and a fault-injected detail run, this module reports, per scan
+// element, when the corruption first reached it and how the total number
+// of corrupted bits evolved over time — the classic error-propagation
+// curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scan_chain.h"
+#include "target/target_types.h"
+#include "util/status.h"
+
+namespace goofi::core {
+
+struct ElementDivergence {
+  std::string name;               // scan element
+  std::string category;
+  std::uint64_t first_time = 0;   // trace time of the first difference
+  std::size_t peak_diff_bits = 0;
+  bool still_corrupted_at_end = false;
+};
+
+struct PropagationReport {
+  bool diverged = false;
+  std::uint64_t first_divergence_time = 0;
+  // Elements the corruption reached, ordered by first_time.
+  std::vector<ElementDivergence> elements;
+  // (time, total corrupted bits) — one point per traced instruction.
+  std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
+  // Length of the compared prefix (traces may differ in length when the
+  // fault changed control flow; the tail beyond the shorter one is not
+  // compared bit-by-bit).
+  std::size_t compared_steps = 0;
+  bool lengths_differ = false;
+
+  // Human-readable summary (first N propagation events + curve extremes).
+  std::string Format(std::size_t max_elements = 20) const;
+};
+
+// `chain` describes the element layout of the traced images (the
+// target's internal chain). Both traces must be detail-mode traces of
+// the same workload: same time base, images of `chain`'s bit length.
+Result<PropagationReport> AnalyzeErrorPropagation(
+    const sim::ScanChain& chain,
+    const std::vector<std::pair<std::uint64_t, BitVector>>& reference_trace,
+    const std::vector<std::pair<std::uint64_t, BitVector>>& faulty_trace);
+
+// Convenience overload on observations (uses their detail_trace).
+Result<PropagationReport> AnalyzeErrorPropagation(
+    const sim::ScanChain& chain, const target::Observation& reference,
+    const target::Observation& faulty);
+
+}  // namespace goofi::core

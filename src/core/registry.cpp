@@ -1,0 +1,61 @@
+#include "core/registry.h"
+
+#include "target/thor_rd_target.h"
+
+namespace goofi::core {
+
+TargetRegistry& TargetRegistry::Instance() {
+  static TargetRegistry* registry = new TargetRegistry();
+  return *registry;
+}
+
+Status TargetRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) return InvalidArgumentError("target name must not be empty");
+  if (!factory) return InvalidArgumentError("null target factory");
+  for (const auto& [existing, unused] : factories_) {
+    if (existing == name) {
+      return AlreadyExistsError("target '" + name + "' already registered");
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return Status::Ok();
+}
+
+bool TargetRegistry::Has(const std::string& name) const {
+  for (const auto& [existing, unused] : factories_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<target::TargetSystemInterface>> TargetRegistry::Create(
+    const std::string& name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  return NotFoundError("no registered target '" + name + "'");
+}
+
+std::vector<std::string> TargetRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  return names;
+}
+
+void RegisterBuiltinTargets(TargetRegistry& registry) {
+  if (!registry.Has("thor_rd")) {
+    (void)registry.Register("thor_rd", []() {
+      return std::make_unique<target::ThorRdTarget>();
+    });
+  }
+  if (!registry.Has("thor")) {
+    // The predecessor board of [10]: no cache parity checkers.
+    (void)registry.Register("thor", []() {
+      return std::unique_ptr<target::TargetSystemInterface>(
+          target::MakeThorTarget());
+    });
+  }
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,342 @@
+#include "core/runner.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/experiment_codec.h"
+#include "core/goofi_schema.h"
+#include "sim/access_recorder.h"
+#include "target/workloads.h"
+#include "util/strings.h"
+
+namespace goofi::core {
+
+using db::Row;
+using db::Value;
+using LocationInfo = target::TargetSystemInterface::LocationInfo;
+
+CampaignRunner::CampaignRunner(db::Database* database,
+                               target::TargetSystemInterface* target)
+    : database_(database), target_(target) {}
+
+Status CampaignRunner::ConfigureWorkload(const CampaignConfig& config) {
+  if (config.target != target_->target_name()) {
+    return FailedPreconditionError(
+        "campaign '" + config.name + "' is for target '" + config.target +
+        "' but the runner holds '" + target_->target_name() + "'");
+  }
+  ASSIGN_OR_RETURN(target::WorkloadSpec workload,
+                   target::GetBuiltinWorkload(config.workload));
+  return target_->SetWorkload(std::move(workload));
+}
+
+Status CampaignRunner::LogObservation(
+    const std::string& experiment_name, const std::string& parent,
+    const std::string& campaign_name, const target::ExperimentSpec* spec,
+    const target::Observation& observation) {
+  Row row;
+  row.push_back(Value::Text_(experiment_name));
+  row.push_back(parent.empty() ? Value::Null() : Value::Text_(parent));
+  row.push_back(Value::Text_(campaign_name));
+  row.push_back(Value::Text_(
+      spec != nullptr ? SerializeExperimentSpec(*spec) : "reference"));
+  row.push_back(Value::Text_(observation.Serialize()));
+  return database_->Insert(kLoggedSystemStateTable, std::move(row));
+}
+
+Status CampaignRunner::UpdateCampaignStatus(const std::string& campaign_name,
+                                            const std::string& status,
+                                            std::size_t experiments_done) {
+  const auto result = database_->Update(
+      kCampaignDataTable,
+      [&](const Row& row) { return row[0].AsText() == campaign_name; },
+      {{19, Value::Text_(status)},
+       {20, Value::Integer(static_cast<std::int64_t>(experiments_done))}});
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
+    const CampaignConfig& config, const LocationSpace& space,
+    std::uint64_t window_lo, std::uint64_t window_hi, Rng& rng,
+    std::size_t index, const PreInjectionAnalysis* preinjection,
+    std::uint64_t* resamples) {
+  // Code/data ranges for address-based trigger kinds.
+  target::ExperimentSpec spec;
+  spec.name = StrFormat("%s/exp%05zu", config.name.c_str(), index);
+  spec.technique = config.technique;
+  spec.model = config.model;
+  spec.termination = config.termination;
+
+  constexpr int kMaxResamples = 20000;
+  for (int attempt = 0; attempt < kMaxResamples; ++attempt) {
+    spec.targets.clear();
+    for (std::uint32_t m = 0; m < config.multiplicity; ++m) {
+      spec.targets.push_back(space.SampleBit(rng));
+    }
+    const std::uint64_t time =
+        static_cast<std::uint64_t>(rng.NextInRange(
+            static_cast<std::int64_t>(window_lo),
+            static_cast<std::int64_t>(window_hi)));
+
+    // Trigger construction per the campaign's trigger kind.
+    sim::Breakpoint trigger;
+    trigger.one_shot = true;
+    if (config.trigger_kind == "instret") {
+      trigger.kind = sim::Breakpoint::Kind::kInstretReached;
+      trigger.count = time;
+    } else if (config.trigger_kind == "rtc") {
+      trigger.kind = sim::Breakpoint::Kind::kRtcMicros;
+      trigger.micros = std::max<std::uint64_t>(1, time / 25);
+    } else if (config.trigger_kind == "branch") {
+      trigger.kind = sim::Breakpoint::Kind::kBranchTaken;
+      trigger.count = 1 + rng.NextBelow(std::max<std::uint64_t>(
+                              1, std::min<std::uint64_t>(window_hi / 4, 256)));
+    } else if (config.trigger_kind == "call") {
+      trigger.kind = sim::Breakpoint::Kind::kCall;
+      trigger.count = 1 + rng.NextBelow(16);
+    } else if (config.trigger_kind == "pc" ||
+               config.trigger_kind == "data_read" ||
+               config.trigger_kind == "data_write") {
+      // Sample an address from the loaded image footprint.
+      std::vector<const LocationInfo*> ranges;
+      static thread_local std::vector<LocationInfo> all_locations;
+      all_locations = target_->ListLocations();
+      const bool want_code = config.trigger_kind == "pc";
+      for (const LocationInfo& info : all_locations) {
+        if (info.kind != LocationInfo::Kind::kMemoryRange) continue;
+        const bool is_code = info.category == "memory_code";
+        if (is_code == want_code) ranges.push_back(&info);
+      }
+      if (ranges.empty()) {
+        return FailedPreconditionError("no address ranges for trigger kind '" +
+                                       config.trigger_kind + "'");
+      }
+      const LocationInfo* range =
+          ranges[rng.NextBelow(ranges.size())];
+      trigger.address =
+          range->base +
+          static_cast<std::uint32_t>(
+              rng.NextBelow(std::max<std::uint32_t>(1, range->size / 4)) * 4);
+      trigger.kind = config.trigger_kind == "pc"
+                         ? sim::Breakpoint::Kind::kPcEquals
+                         : (config.trigger_kind == "data_read"
+                                ? sim::Breakpoint::Kind::kDataRead
+                                : sim::Breakpoint::Kind::kDataWrite);
+      trigger.count = 1;
+    } else {
+      return InvalidArgumentError("unknown trigger kind '" +
+                                  config.trigger_kind + "'");
+    }
+    spec.trigger = trigger;
+
+    if (preinjection == nullptr) return spec;
+    bool all_live = true;
+    for (const target::FaultTarget& fault_target : spec.targets) {
+      if (!preinjection->IsLive(fault_target, time)) {
+        all_live = false;
+        break;
+      }
+    }
+    if (all_live) return spec;
+    ++*resamples;
+  }
+  return FailedPreconditionError(
+      "pre-injection analysis found no live (location, time) point in the "
+      "configured window; widen the filters or the time window");
+}
+
+Result<CampaignSummary> CampaignRunner::Run(
+    const std::string& campaign_name) {
+  return RunInternal(campaign_name, /*resume=*/false);
+}
+
+Result<CampaignSummary> CampaignRunner::Resume(
+    const std::string& campaign_name) {
+  return RunInternal(campaign_name, /*resume=*/true);
+}
+
+Result<CampaignSummary> CampaignRunner::RunInternal(
+    const std::string& campaign_name, bool resume) {
+  RETURN_IF_ERROR(CreateGoofiSchema(*database_));
+  ASSIGN_OR_RETURN(CampaignConfig config,
+                   LoadCampaign(*database_, campaign_name));
+  RETURN_IF_ERROR(ConfigureWorkload(config));
+  RETURN_IF_ERROR(UpdateCampaignStatus(campaign_name, "running", 0));
+
+  CampaignSummary summary;
+  summary.campaign_name = campaign_name;
+
+  // ---- makeReferenceRun() ---------------------------------------------
+  target::ExperimentSpec reference_spec;
+  reference_spec.name = campaign_name + "/reference";
+  reference_spec.technique = config.technique;
+  reference_spec.termination = config.termination;
+  target_->set_experiment(reference_spec);
+  target_->set_logging_mode(config.logging_mode);
+
+  sim::AccessRecorder recorder;
+  if (config.use_preinjection_analysis) {
+    target_->set_external_tracer(&recorder);
+  }
+  RETURN_IF_ERROR(target_->MakeReferenceRun());
+  target_->set_external_tracer(nullptr);
+  summary.reference = target_->TakeObservation();
+  summary.reference_experiment = reference_spec.name;
+  const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
+  const bool reference_logged =
+      logged->FindByUnique(0, db::Value::Text_(reference_spec.name))
+          .has_value();
+  if (reference_logged && !resume) {
+    return AlreadyExistsError("campaign '" + campaign_name +
+                              "' has already been run (use Resume)");
+  }
+  if (!reference_logged) {
+    RETURN_IF_ERROR(LogObservation(reference_spec.name, "", campaign_name,
+                                   nullptr, summary.reference));
+  }
+
+  PreInjectionAnalysis preinjection;
+  if (config.use_preinjection_analysis) {
+    preinjection.Build(recorder, summary.reference.instructions);
+    summary.register_live_fraction = preinjection.RegisterLiveFraction();
+  }
+
+  // ---- location space and time window ----------------------------------
+  ASSIGN_OR_RETURN(LocationSpace space,
+                   LocationSpace::Build(target_->ListLocations(),
+                                        config.technique,
+                                        config.location_filters));
+  const std::uint64_t duration = summary.reference.instructions;
+  if (duration < 3) {
+    return FailedPreconditionError("reference run too short to inject into");
+  }
+  const std::uint64_t window_lo =
+      config.time_window_lo != 0 ? config.time_window_lo : 1;
+  const std::uint64_t window_hi =
+      config.time_window_hi != 0
+          ? std::min(config.time_window_hi, duration - 1)
+          : duration - 1;
+  if (window_lo > window_hi) {
+    return InvalidArgumentError("empty injection time window");
+  }
+
+  // ---- the experiment loop ---------------------------------------------
+  Rng rng(config.seed);
+  ProgressInfo progress;
+  progress.experiments_total = config.num_experiments;
+  std::size_t skipped_existing = 0;
+  for (std::size_t i = 0; i < config.num_experiments; ++i) {
+    // Fig. 7 controls: pause blocks between experiments; stop ends the
+    // campaign but keeps everything logged so far.
+    while (controller_ != nullptr && controller_->paused() &&
+           !controller_->stopped()) {
+      if (progress_) progress_(progress);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (controller_ != nullptr && controller_->stopped()) {
+      summary.experiments_stopped_early = config.num_experiments - i;
+      break;
+    }
+
+    ASSIGN_OR_RETURN(
+        target::ExperimentSpec spec,
+        SampleExperiment(config, space, window_lo, window_hi, rng, i,
+                         config.use_preinjection_analysis ? &preinjection
+                                                          : nullptr,
+                         &summary.preinjection_resamples));
+    if (resume &&
+        logged->FindByUnique(0, db::Value::Text_(spec.name)).has_value()) {
+      // Already ran before the campaign was stopped; the RNG draws above
+      // keep the remaining plan identical to an uninterrupted run.
+      ++skipped_existing;
+      ++progress.experiments_done;
+      continue;
+    }
+    target_->set_experiment(spec);
+    target_->set_logging_mode(config.logging_mode);
+    RETURN_IF_ERROR(target_->RunExperiment());
+    const target::Observation observation = target_->TakeObservation();
+    RETURN_IF_ERROR(LogObservation(spec.name, "", campaign_name, &spec,
+                                   observation));
+    ++summary.experiments_run;
+    progress.experiments_done = skipped_existing + summary.experiments_run;
+    if (observation.fault_was_injected) ++progress.faults_injected;
+    progress.current_experiment = spec.name;
+    if (progress_) progress_(progress);
+    if (checkpoint_every_ != 0 &&
+        summary.experiments_run % checkpoint_every_ == 0) {
+      RETURN_IF_ERROR(database_->SaveToDirectory(checkpoint_directory_));
+    }
+  }
+
+  RETURN_IF_ERROR(UpdateCampaignStatus(
+      campaign_name,
+      summary.experiments_stopped_early > 0 ? "stopped" : "completed",
+      skipped_existing + summary.experiments_run));
+  return summary;
+}
+
+Result<CampaignSummary> CampaignRunner::FaultInjectorSCIFI(
+    const std::string& campaign) {
+  ASSIGN_OR_RETURN(CampaignConfig config, LoadCampaign(*database_, campaign));
+  if (config.technique != target::Technique::kScifi) {
+    return FailedPreconditionError("campaign '" + campaign +
+                                   "' is not a SCIFI campaign");
+  }
+  return Run(campaign);
+}
+
+Result<CampaignSummary> CampaignRunner::FaultInjectorSWIFI(
+    const std::string& campaign) {
+  ASSIGN_OR_RETURN(CampaignConfig config, LoadCampaign(*database_, campaign));
+  if (config.technique == target::Technique::kScifi) {
+    return FailedPreconditionError("campaign '" + campaign +
+                                   "' is not a SWIFI campaign");
+  }
+  return Run(campaign);
+}
+
+Result<std::string> CampaignRunner::ReRunInDetailMode(
+    const std::string& experiment_name) {
+  const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
+  if (logged == nullptr) return NotFoundError("no LoggedSystemState table");
+  const auto index =
+      logged->FindByUnique(0, Value::Text_(experiment_name));
+  if (!index) {
+    return NotFoundError("no logged experiment '" + experiment_name + "'");
+  }
+  const Row& row = logged->row(*index);
+  const std::string campaign_name = row[2].AsText();
+  const std::string experiment_data = row[3].AsText();
+  if (experiment_data == "reference") {
+    return InvalidArgumentError("cannot re-run the reference run");
+  }
+  ASSIGN_OR_RETURN(target::ExperimentSpec spec,
+                   ParseExperimentSpec(experiment_data));
+  ASSIGN_OR_RETURN(CampaignConfig config,
+                   LoadCampaign(*database_, campaign_name));
+  RETURN_IF_ERROR(ConfigureWorkload(config));
+
+  // Unique child name: count existing children of this experiment.
+  std::size_t child_count = 0;
+  for (const Row& existing : logged->rows()) {
+    if (!existing[1].is_null() &&
+        existing[1].AsText() == experiment_name) {
+      ++child_count;
+    }
+  }
+  const std::string child_name =
+      StrFormat("%s/detail%zu", experiment_name.c_str(), child_count);
+  spec.name = child_name;
+
+  target_->set_experiment(spec);
+  target_->set_logging_mode(target::LoggingMode::kDetail);
+  RETURN_IF_ERROR(target_->RunExperiment());
+  target_->set_logging_mode(target::LoggingMode::kNormal);
+  const target::Observation observation = target_->TakeObservation();
+  RETURN_IF_ERROR(LogObservation(child_name, experiment_name, campaign_name,
+                                 &spec, observation));
+  return child_name;
+}
+
+}  // namespace goofi::core

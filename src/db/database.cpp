@@ -1,0 +1,431 @@
+#include "db/database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace goofi::db {
+
+namespace fs = std::filesystem;
+
+Status Database::CreateTable(TableSchema schema) {
+  if (schema.table_name().empty()) {
+    return InvalidArgumentError("table name must not be empty");
+  }
+  if (tables_.count(schema.table_name()) != 0) {
+    return AlreadyExistsError("table '" + schema.table_name() +
+                              "' already exists");
+  }
+  if (schema.column_count() == 0) {
+    return InvalidArgumentError("table '" + schema.table_name() +
+                                "' has no columns");
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    // Self-references (LoggedSystemState.parentExperiment) are allowed.
+    const bool self = fk.ref_table == schema.table_name();
+    const TableSchema* parent_schema = nullptr;
+    if (self) {
+      parent_schema = &schema;
+    } else {
+      const Table* parent = FindTable(fk.ref_table);
+      if (parent == nullptr) {
+        return InvalidArgumentError("foreign key on '" + fk.column +
+                                    "' references missing table '" +
+                                    fk.ref_table + "'");
+      }
+      parent_schema = &parent->schema();
+    }
+    const auto ref_index = parent_schema->FindColumn(fk.ref_column);
+    if (!ref_index) {
+      return InvalidArgumentError("foreign key references missing column '" +
+                                  fk.ref_table + "." + fk.ref_column + "'");
+    }
+    if (!parent_schema->columns()[*ref_index].unique) {
+      return InvalidArgumentError(
+          "foreign key must reference a PRIMARY KEY or UNIQUE column, but '" +
+          fk.ref_table + "." + fk.ref_column + "' is neither");
+    }
+  }
+  const std::string name = schema.table_name();
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return Status::Ok();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.count(name) == 0) {
+    return NotFoundError("no table '" + name + "'");
+  }
+  for (const auto& [other_name, other] : tables_) {
+    if (other_name == name) continue;
+    for (const ForeignKey& fk : other->schema().foreign_keys()) {
+      if (fk.ref_table == name) {
+        return ConstraintViolationError("cannot drop '" + name +
+                                        "': referenced by '" + other_name +
+                                        "." + fk.column + "'");
+      }
+    }
+  }
+  tables_.erase(name);
+  return Status::Ok();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) != 0;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::CheckForeignKeysForRow(const Table& table,
+                                        const Row& row) const {
+  for (const ForeignKey& fk : table.schema().foreign_keys()) {
+    const auto col = table.schema().FindColumn(fk.column);
+    const Value& value = row[*col];
+    if (value.is_null()) continue;  // NULL FK = no parent required
+    const Table* parent = FindTable(fk.ref_table);
+    const auto ref_col = parent->schema().FindColumn(fk.ref_column);
+    if (fk.ref_table == table.schema().table_name() &&
+        row[*ref_col] == value) {
+      continue;  // self-referencing row is its own parent
+    }
+    if (!parent->ContainsValue(*ref_col, value)) {
+      return ConstraintViolationError(
+          "foreign key violated: " + table.schema().table_name() + "." +
+          fk.column + " = " + value.ToDisplayString() +
+          " has no parent in " + fk.ref_table + "." + fk.ref_column);
+    }
+  }
+  return Status::Ok();
+}
+
+bool Database::HasReferencingChild(const std::string& parent_table,
+                                   const std::string& parent_column,
+                                   const Value& key) const {
+  if (key.is_null()) return false;
+  for (const auto& [name, table] : tables_) {
+    for (const ForeignKey& fk : table->schema().foreign_keys()) {
+      if (fk.ref_table != parent_table || fk.ref_column != parent_column) {
+        continue;
+      }
+      const auto col = table->schema().FindColumn(fk.column);
+      for (const Row& row : table->rows()) {
+        if (row[*col] == key) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status Database::Insert(const std::string& table_name, Row row) {
+  Table* table = FindTable(table_name);
+  if (table == nullptr) return NotFoundError("no table '" + table_name + "'");
+  if (row.size() != table->schema().column_count()) {
+    return InvalidArgumentError(
+        StrFormat("row arity %zu does not match table '%s' with %zu columns",
+                  row.size(), table_name.c_str(),
+                  table->schema().column_count()));
+  }
+  RETURN_IF_ERROR(CheckForeignKeysForRow(*table, row));
+  return table->Insert(std::move(row));
+}
+
+Result<std::size_t> Database::Update(
+    const std::string& table_name,
+    const std::function<bool(const Row&)>& predicate,
+    const std::vector<ColumnUpdate>& updates) {
+  Table* table = FindTable(table_name);
+  if (table == nullptr) return NotFoundError("no table '" + table_name + "'");
+  const TableSchema& schema = table->schema();
+
+  // RESTRICT on parent-key changes: if an updated column is referenced by
+  // some child FK and a matched row actually holds a referenced key, the
+  // update is refused (changing it would orphan children).
+  for (const ColumnUpdate& update : updates) {
+    if (update.column >= schema.column_count()) {
+      return InvalidArgumentError("column index out of range in UPDATE");
+    }
+    const std::string& column_name = schema.columns()[update.column].name;
+    for (const std::size_t i : table->FindRows(predicate)) {
+      const Value& old_value = table->row(i)[update.column];
+      if (old_value == update.value) continue;
+      if (HasReferencingChild(table_name, column_name, old_value)) {
+        return ConstraintViolationError(
+            "cannot update '" + table_name + "." + column_name + "' = " +
+            old_value.ToDisplayString() + ": referenced by child rows");
+      }
+    }
+  }
+  // Child-side FK check: new FK values must have parents.
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    const auto col = schema.FindColumn(fk.column);
+    for (const ColumnUpdate& update : updates) {
+      if (update.column != *col || update.value.is_null()) continue;
+      const Table* parent = FindTable(fk.ref_table);
+      const auto ref_col = parent->schema().FindColumn(fk.ref_column);
+      if (!parent->ContainsValue(*ref_col, update.value)) {
+        return ConstraintViolationError(
+            "foreign key violated by UPDATE: " + table_name + "." +
+            fk.column + " = " + update.value.ToDisplayString() +
+            " has no parent in " + fk.ref_table);
+      }
+    }
+  }
+  return table->Update(predicate, updates);
+}
+
+Result<std::size_t> Database::Delete(
+    const std::string& table_name,
+    const std::function<bool(const Row&)>& predicate) {
+  Table* table = FindTable(table_name);
+  if (table == nullptr) return NotFoundError("no table '" + table_name + "'");
+  const TableSchema& schema = table->schema();
+
+  // RESTRICT: refuse if any to-be-deleted row is referenced by a child
+  // row that itself survives the delete (self-referencing tables may
+  // delete whole subtrees in one call).
+  const std::vector<std::size_t> doomed = table->FindRows(predicate);
+  if (doomed.empty()) return std::size_t{0};
+  for (const auto& [child_name, child] : tables_) {
+    for (const ForeignKey& fk : child->schema().foreign_keys()) {
+      if (fk.ref_table != schema.table_name()) continue;
+      const auto ref_col = schema.FindColumn(fk.ref_column);
+      const auto child_col = child->schema().FindColumn(fk.column);
+      for (std::size_t ci = 0; ci < child->row_count(); ++ci) {
+        const Row& child_row = child->row(ci);
+        const Value& fk_value = child_row[*child_col];
+        if (fk_value.is_null()) continue;
+        // Does the child row itself die in this delete?
+        if (child_name == schema.table_name() && predicate(child_row)) {
+          continue;
+        }
+        for (const std::size_t di : doomed) {
+          if (table->row(di)[*ref_col] == fk_value) {
+            return ConstraintViolationError(
+                "cannot delete from '" + schema.table_name() +
+                "': row with " + fk.ref_column + " = " +
+                fk_value.ToDisplayString() + " is referenced by '" +
+                child_name + "." + fk.column + "'");
+          }
+        }
+      }
+    }
+  }
+  return table->Delete(predicate);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+std::string SerializeSchema(const TableSchema& schema) {
+  std::string out = "table " + EscapeTsvField(schema.table_name()) + "\n";
+  for (const Column& column : schema.columns()) {
+    out += "column\t" + EscapeTsvField(column.name) + "\t" +
+           ColumnTypeName(column.type) + "\t" +
+           (column.primary_key ? "pk" : (column.unique ? "unique" : "-")) +
+           "\t" + (column.not_null ? "notnull" : "-") + "\n";
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    out += "fk\t" + EscapeTsvField(fk.column) + "\t" +
+           EscapeTsvField(fk.ref_table) + "\t" +
+           EscapeTsvField(fk.ref_column) + "\n";
+  }
+  return out;
+}
+
+Result<TableSchema> ParseSchemaText(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  TableSchema schema;
+  bool have_name = false;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (StartsWith(line, "table ")) {
+      const auto name = UnescapeTsvField(line.substr(6));
+      if (!name) return ParseError("bad table name line");
+      schema = TableSchema(*name);
+      have_name = true;
+      continue;
+    }
+    const std::vector<std::string> fields = SplitString(line, '\t');
+    if (!have_name) return ParseError("schema file must start with 'table'");
+    if (fields[0] == "column") {
+      if (fields.size() != 5) return ParseError("bad column line: " + line);
+      const auto name = UnescapeTsvField(fields[1]);
+      const auto type = ColumnTypeFromName(fields[2]);
+      if (!name || !type) return ParseError("bad column line: " + line);
+      Column column;
+      column.name = *name;
+      column.type = *type;
+      column.primary_key = fields[3] == "pk";
+      column.unique = column.primary_key || fields[3] == "unique";
+      column.not_null = column.primary_key || fields[4] == "notnull";
+      RETURN_IF_ERROR(schema.AddColumn(std::move(column)));
+    } else if (fields[0] == "fk") {
+      if (fields.size() != 4) return ParseError("bad fk line: " + line);
+      const auto col = UnescapeTsvField(fields[1]);
+      const auto ref_table = UnescapeTsvField(fields[2]);
+      const auto ref_col = UnescapeTsvField(fields[3]);
+      if (!col || !ref_table || !ref_col) {
+        return ParseError("bad fk line: " + line);
+      }
+      RETURN_IF_ERROR(schema.AddForeignKey({*col, *ref_table, *ref_col}));
+    } else {
+      return ParseError("unknown schema line: " + line);
+    }
+  }
+  if (!have_name) return ParseError("empty schema file");
+  return schema;
+}
+
+Status Database::SaveToDirectory(const std::string& path) const {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return IoError("cannot create directory '" + path + "'");
+  // Manifest lists tables in creation-compatible (FK-respecting) order.
+  // std::map iteration is alphabetical, which may put children before
+  // parents, so order by dependency here.
+  std::vector<std::string> ordered;
+  std::vector<std::string> remaining = TableNames();
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      const Table* table = FindTable(*it);
+      bool deps_met = true;
+      for (const ForeignKey& fk : table->schema().foreign_keys()) {
+        if (fk.ref_table == *it) continue;  // self
+        if (std::find(ordered.begin(), ordered.end(), fk.ref_table) ==
+            ordered.end()) {
+          deps_met = false;
+          break;
+        }
+      }
+      if (deps_met) {
+        ordered.push_back(*it);
+        it = remaining.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {
+      return InternalError("foreign key cycle between tables");
+    }
+  }
+
+  std::ofstream manifest(fs::path(path) / "manifest.txt",
+                         std::ios::trunc);
+  if (!manifest) return IoError("cannot write manifest");
+  for (const std::string& name : ordered) manifest << name << "\n";
+  manifest.close();
+
+  for (const std::string& name : ordered) {
+    const Table* table = FindTable(name);
+    std::ofstream schema_file(fs::path(path) / (name + ".schema"),
+                              std::ios::trunc);
+    if (!schema_file) return IoError("cannot write schema for '" + name + "'");
+    schema_file << SerializeSchema(table->schema());
+    schema_file.close();
+
+    std::ofstream data_file(fs::path(path) / (name + ".rows"),
+                            std::ios::trunc);
+    if (!data_file) return IoError("cannot write rows for '" + name + "'");
+    for (const Row& row : table->rows()) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i != 0) data_file << '\t';
+        data_file << EscapeTsvField(row[i].Encode());
+      }
+      data_file << '\n';
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Database> Database::LoadFromDirectory(const std::string& path) {
+  std::ifstream manifest(fs::path(path) / "manifest.txt");
+  if (!manifest) return IoError("cannot open manifest in '" + path + "'");
+  Database database;
+  std::string name;
+  std::vector<std::string> names;
+  while (std::getline(manifest, name)) {
+    if (!name.empty()) names.push_back(name);
+  }
+  for (const std::string& table_name : names) {
+    std::ifstream schema_file(fs::path(path) / (table_name + ".schema"));
+    if (!schema_file) {
+      return IoError("missing schema file for '" + table_name + "'");
+    }
+    std::ostringstream schema_text;
+    schema_text << schema_file.rdbuf();
+    ASSIGN_OR_RETURN(TableSchema schema, ParseSchemaText(schema_text.str()));
+    RETURN_IF_ERROR(database.CreateTable(std::move(schema)));
+
+    std::ifstream data_file(fs::path(path) / (table_name + ".rows"));
+    if (!data_file) {
+      return IoError("missing rows file for '" + table_name + "'");
+    }
+    std::string line;
+    std::size_t line_number = 0;
+    // Self-referencing tables may list a child before its parent; defer
+    // FK-failing rows and retry until a fixed point.
+    std::vector<Row> deferred;
+    while (std::getline(data_file, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      Row row;
+      for (const std::string& field : SplitString(line, '\t')) {
+        const auto raw = UnescapeTsvField(field);
+        if (!raw) {
+          return ParseError(StrFormat("%s.rows line %zu: bad escape",
+                                      table_name.c_str(), line_number));
+        }
+        ASSIGN_OR_RETURN(Value value, Value::Decode(*raw));
+        row.push_back(std::move(value));
+      }
+      Status st = database.Insert(table_name, row);
+      if (!st.ok() && st.code() == ErrorCode::kConstraintViolation) {
+        deferred.push_back(std::move(row));
+      } else if (!st.ok()) {
+        return st;
+      }
+    }
+    while (!deferred.empty()) {
+      bool progressed = false;
+      std::vector<Row> still_deferred;
+      for (Row& row : deferred) {
+        Status st = database.Insert(table_name, row);
+        if (st.ok()) {
+          progressed = true;
+        } else if (st.code() == ErrorCode::kConstraintViolation) {
+          still_deferred.push_back(std::move(row));
+        } else {
+          return st;
+        }
+      }
+      if (!progressed) {
+        return DataLossError("unresolvable foreign keys while loading '" +
+                             table_name + "'");
+      }
+      deferred = std::move(still_deferred);
+    }
+  }
+  return database;
+}
+
+}  // namespace goofi::db

@@ -1,0 +1,72 @@
+// The database: a set of tables plus cross-table referential integrity.
+//
+// Foreign keys are enforced RESTRICT-style, matching the paper's use of
+// them to "prevent inconsistencies in the database": a child row cannot
+// be inserted without its parent, and a parent row cannot be deleted,
+// re-keyed, or its table dropped while children reference it.
+//
+// Persistence is a directory of portable text files (one schema file +
+// one TSV data file per table), so a campaign database moves between
+// hosts the way the paper's SQL database does.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/status.h"
+
+namespace goofi::db {
+
+class Database {
+ public:
+  Database() = default;
+  // Tables hold interior pointers into the map; keep databases pinned.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Create a table. Validates that every foreign key references an
+  // existing table and a PRIMARY KEY / UNIQUE column of compatible type.
+  Status CreateTable(TableSchema schema);
+
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // FK-checked mutations (the only mutation doors callers should use).
+  Status Insert(const std::string& table, Row row);
+  Result<std::size_t> Update(const std::string& table,
+                             const std::function<bool(const Row&)>& predicate,
+                             const std::vector<ColumnUpdate>& updates);
+  Result<std::size_t> Delete(
+      const std::string& table,
+      const std::function<bool(const Row&)>& predicate);
+
+  // Persistence. SaveToDirectory creates the directory if needed and
+  // replaces its contents; LoadFromDirectory returns a fresh database.
+  Status SaveToDirectory(const std::string& path) const;
+  static Result<Database> LoadFromDirectory(const std::string& path);
+
+ private:
+  Status CheckForeignKeysForRow(const Table& table, const Row& row) const;
+  // Is `key` in `parent_table.parent_column` referenced by any child row?
+  bool HasReferencingChild(const std::string& parent_table,
+                           const std::string& parent_column,
+                           const Value& key) const;
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+// Serialize one schema to the text form used by persistence (also handy
+// for debugging and golden tests).
+std::string SerializeSchema(const TableSchema& schema);
+Result<TableSchema> ParseSchemaText(const std::string& text);
+
+}  // namespace goofi::db

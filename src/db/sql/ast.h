@@ -1,0 +1,115 @@
+// AST for the SQL subset GOOFI++ supports (DESIGN.md §2, "db"):
+//
+//   CREATE TABLE t (col TYPE [PRIMARY KEY|UNIQUE] [NOT NULL], ...,
+//                   FOREIGN KEY (col) REFERENCES t2(col2), ...)
+//   DROP TABLE t
+//   INSERT INTO t [(cols)] VALUES (v, ...) [, (v, ...)]*
+//   SELECT */cols/aggregates FROM t [WHERE expr] [GROUP BY col]
+//        [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   UPDATE t SET col = v, ... [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//
+// WHERE supports full boolean expressions with SQL's three-valued
+// logic:
+//   expr := term (OR term)*          term := factor (AND factor)*
+//   factor := NOT factor | '(' expr ')' | predicate
+//   predicate := col cmp literal | col IS [NOT] NULL
+//              | col [NOT] LIKE 'pattern'
+//              | col [NOT] IN (literal, ...)
+//              | col [NOT] BETWEEN literal AND literal
+// — the query shapes the paper's analysis phase needs ("tailor made
+// scripts or programs that query the database").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace goofi::db::sql {
+
+enum class CompareOp {
+  kEq, kNe, kLt, kLe, kGt, kGe, kLike, kIsNull, kIsNotNull, kIn, kBetween,
+};
+
+// A boolean expression tree. kCompare nodes are leaves; kAnd/kOr hold
+// two-or-more children, kNot exactly one. (std::vector of the enclosing
+// type keeps the tree value-semantic.)
+struct Condition {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+
+  // kCompare fields:
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value rhs;               // comparison / LIKE / BETWEEN lower bound
+  Value rhs2;              // BETWEEN upper bound
+  std::vector<Value> set;  // IN list
+  bool negated = false;    // NOT LIKE / NOT IN / NOT BETWEEN
+
+  // kAnd / kOr / kNot:
+  std::vector<Condition> children;
+};
+
+// Empty root = match everything.
+struct WhereClause {
+  std::optional<Condition> root;
+};
+
+enum class Aggregate { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+struct SelectItem {
+  bool star = false;            // SELECT *
+  Aggregate aggregate = Aggregate::kNone;
+  bool count_star = false;      // COUNT(*)
+  std::string column;           // plain column, or aggregate argument
+  std::string OutputName() const;
+};
+
+struct OrderBy {
+  std::string column;  // resolved against output columns, then the table
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  WhereClause where;
+  std::optional<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<std::size_t> limit;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<std::vector<Value>> rows;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  WhereClause where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  WhereClause where;
+};
+
+struct CreateTableStatement {
+  TableSchema schema;
+};
+
+struct DropTableStatement {
+  std::string table;
+};
+
+using Statement = std::variant<SelectStatement, InsertStatement,
+                               UpdateStatement, DeleteStatement,
+                               CreateTableStatement, DropTableStatement>;
+
+}  // namespace goofi::db::sql

@@ -1,0 +1,572 @@
+#include "db/sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "db/sql/parser.h"
+#include "util/strings.h"
+
+namespace goofi::db::sql {
+
+namespace {
+
+// SQL three-valued logic: TRUE / FALSE / UNKNOWN (nullopt). A row
+// matches the WHERE clause iff its value is TRUE.
+using Truth = std::optional<bool>;
+
+// Leaf predicate against the row's cell value.
+Truth EvaluatePredicate(const Condition& condition, const Value& lhs) {
+  Truth verdict;
+  switch (condition.op) {
+    case CompareOp::kIsNull:
+      return lhs.is_null();
+    case CompareOp::kIsNotNull:
+      return !lhs.is_null();
+    case CompareOp::kLike:
+      if (lhs.is_null()) {
+        verdict = std::nullopt;
+      } else if (lhs.type() != ValueType::kText) {
+        verdict = false;
+      } else {
+        verdict = LikeMatch(condition.rhs.AsText(), lhs.AsText());
+      }
+      break;
+    case CompareOp::kIn: {
+      if (lhs.is_null()) {
+        verdict = std::nullopt;
+        break;
+      }
+      bool found = false;
+      bool saw_null = false;
+      for (const Value& candidate : condition.set) {
+        if (candidate.is_null()) {
+          saw_null = true;
+        } else if (lhs == candidate) {
+          found = true;
+          break;
+        }
+      }
+      // SQL: x IN (..., NULL) is UNKNOWN when no non-null element
+      // matches.
+      if (found) {
+        verdict = true;
+      } else if (saw_null) {
+        verdict = std::nullopt;
+      } else {
+        verdict = false;
+      }
+      break;
+    }
+    case CompareOp::kBetween:
+      if (lhs.is_null() || condition.rhs.is_null() ||
+          condition.rhs2.is_null()) {
+        verdict = std::nullopt;
+      } else {
+        verdict = lhs.Compare(condition.rhs) >= 0 &&
+                  lhs.Compare(condition.rhs2) <= 0;
+      }
+      break;
+    default: {
+      if (lhs.is_null() || condition.rhs.is_null()) {
+        verdict = std::nullopt;
+        break;
+      }
+      const int c = lhs.Compare(condition.rhs);
+      switch (condition.op) {
+        case CompareOp::kEq: verdict = c == 0; break;
+        case CompareOp::kNe: verdict = c != 0; break;
+        case CompareOp::kLt: verdict = c < 0; break;
+        case CompareOp::kLe: verdict = c <= 0; break;
+        case CompareOp::kGt: verdict = c > 0; break;
+        case CompareOp::kGe: verdict = c >= 0; break;
+        default: verdict = false; break;
+      }
+      break;
+    }
+  }
+  if (condition.negated && verdict.has_value()) verdict = !*verdict;
+  return verdict;
+}
+
+// Bound expression tree (column names resolved to indices).
+struct BoundCondition {
+  const Condition* node = nullptr;
+  std::size_t column = 0;  // leaves only
+  std::vector<BoundCondition> children;
+};
+
+Result<BoundCondition> BindCondition(const TableSchema& schema,
+                                     const Condition& condition) {
+  BoundCondition bound;
+  bound.node = &condition;
+  if (condition.kind == Condition::Kind::kCompare) {
+    const auto index = schema.FindColumn(condition.column);
+    if (!index) {
+      return InvalidArgumentError("no column '" + condition.column +
+                                  "' in table '" + schema.table_name() +
+                                  "'");
+    }
+    bound.column = *index;
+    return bound;
+  }
+  for (const Condition& child : condition.children) {
+    ASSIGN_OR_RETURN(BoundCondition bound_child,
+                     BindCondition(schema, child));
+    bound.children.push_back(std::move(bound_child));
+  }
+  return bound;
+}
+
+Truth EvaluateTree(const BoundCondition& bound, const Row& row) {
+  const Condition& node = *bound.node;
+  switch (node.kind) {
+    case Condition::Kind::kCompare:
+      return EvaluatePredicate(node, row[bound.column]);
+    case Condition::Kind::kNot: {
+      const Truth inner = EvaluateTree(bound.children[0], row);
+      if (!inner.has_value()) return std::nullopt;  // NOT UNKNOWN
+      return !*inner;
+    }
+    case Condition::Kind::kAnd: {
+      // Kleene AND: FALSE dominates, else UNKNOWN taints.
+      bool unknown = false;
+      for (const BoundCondition& child : bound.children) {
+        const Truth value = EvaluateTree(child, row);
+        if (value.has_value() && !*value) return false;
+        if (!value.has_value()) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case Condition::Kind::kOr: {
+      // Kleene OR: TRUE dominates, else UNKNOWN taints.
+      bool unknown = false;
+      for (const BoundCondition& child : bound.children) {
+        const Truth value = EvaluateTree(child, row);
+        if (value.has_value() && *value) return true;
+        if (!value.has_value()) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+  }
+  return false;
+}
+
+// Bind WHERE columns to indices and build a row predicate.
+Result<std::function<bool(const Row&)>> BindWhere(const TableSchema& schema,
+                                                  const WhereClause& where) {
+  if (!where.root) {
+    return std::function<bool(const Row&)>([](const Row&) { return true; });
+  }
+  // The bound tree points into the statement's Condition nodes; copy the
+  // root into a shared owner so the predicate is self-contained.
+  auto owner = std::make_shared<Condition>(*where.root);
+  ASSIGN_OR_RETURN(BoundCondition bound, BindCondition(schema, *owner));
+  return std::function<bool(const Row&)>(
+      [owner, bound = std::move(bound)](const Row& row) {
+        const Truth verdict = EvaluateTree(bound, row);
+        return verdict.has_value() && *verdict;
+      });
+}
+
+struct AggregateState {
+  std::size_t count = 0;        // non-null inputs (or all rows for COUNT(*))
+  double sum = 0.0;
+  bool sum_is_integral = true;
+  std::int64_t isum = 0;
+  Value min, max;
+  bool has_minmax = false;
+
+  void Accumulate(const Value& v, bool star) {
+    if (star) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    if (v.type() == ValueType::kInteger) {
+      isum += v.AsInteger();
+      sum += static_cast<double>(v.AsInteger());
+    } else if (v.type() == ValueType::kReal) {
+      sum_is_integral = false;
+      sum += v.AsReal();
+    } else {
+      sum_is_integral = false;  // SUM over text is meaningless; AVG too
+    }
+    if (!has_minmax) {
+      min = v;
+      max = v;
+      has_minmax = true;
+    } else {
+      if (v.Compare(min) < 0) min = v;
+      if (v.Compare(max) > 0) max = v;
+    }
+  }
+
+  Value Finish(Aggregate aggregate) const {
+    switch (aggregate) {
+      case Aggregate::kCount:
+        return Value::Integer(static_cast<std::int64_t>(count));
+      case Aggregate::kSum:
+        if (count == 0) return Value::Null();
+        return sum_is_integral ? Value::Integer(isum) : Value::Real(sum);
+      case Aggregate::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Real(sum / static_cast<double>(count));
+      case Aggregate::kMin:
+        return has_minmax ? min : Value::Null();
+      case Aggregate::kMax:
+        return has_minmax ? max : Value::Null();
+      case Aggregate::kNone:
+        break;
+    }
+    return Value::Null();
+  }
+};
+
+Result<QueryResult> ExecuteSelect(Database& database,
+                                  const SelectStatement& select) {
+  const Table* table = database.FindTable(select.table);
+  if (table == nullptr) {
+    return NotFoundError("no table '" + select.table + "'");
+  }
+  const TableSchema& schema = table->schema();
+  ASSIGN_OR_RETURN(auto predicate, BindWhere(schema, select.where));
+
+  const bool has_aggregate =
+      std::any_of(select.items.begin(), select.items.end(),
+                  [](const SelectItem& item) {
+                    return item.aggregate != Aggregate::kNone;
+                  });
+
+  QueryResult result;
+
+  if (!has_aggregate && !select.group_by) {
+    // Plain projection.
+    std::vector<std::size_t> projection;  // npos = expand '*'
+    for (const SelectItem& item : select.items) {
+      if (item.star) {
+        for (const Column& column : schema.columns()) {
+          result.columns.push_back(column.name);
+        }
+        for (std::size_t i = 0; i < schema.column_count(); ++i) {
+          projection.push_back(i);
+        }
+      } else {
+        const auto index = schema.FindColumn(item.column);
+        if (!index) {
+          return InvalidArgumentError("no column '" + item.column +
+                                      "' in table '" + select.table + "'");
+        }
+        result.columns.push_back(item.column);
+        projection.push_back(*index);
+      }
+    }
+    for (const Row& row : table->rows()) {
+      if (!predicate(row)) continue;
+      Row out;
+      out.reserve(projection.size());
+      for (const std::size_t index : projection) out.push_back(row[index]);
+      result.rows.push_back(std::move(out));
+    }
+    // ORDER BY an output column first, falling back to any table column
+    // (carried alongside during the sort via index pairing).
+    if (select.order_by) {
+      const std::string& by = select.order_by->column;
+      const auto out_pos =
+          std::find(result.columns.begin(), result.columns.end(), by);
+      if (out_pos != result.columns.end()) {
+        const std::size_t key =
+            static_cast<std::size_t>(out_pos - result.columns.begin());
+        std::stable_sort(result.rows.begin(), result.rows.end(),
+                         [&](const Row& a, const Row& b) {
+                           const int c = a[key].Compare(b[key]);
+                           return select.order_by->descending ? c > 0 : c < 0;
+                         });
+      } else {
+        const auto table_col = schema.FindColumn(by);
+        if (!table_col) {
+          return InvalidArgumentError("ORDER BY references unknown column '" +
+                                      by + "'");
+        }
+        // Re-run the selection carrying the key column.
+        std::vector<std::pair<Value, Row>> keyed;
+        std::size_t out_index = 0;
+        for (const Row& row : table->rows()) {
+          if (!predicate(row)) continue;
+          keyed.emplace_back(row[*table_col],
+                             std::move(result.rows[out_index++]));
+        }
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [&](const auto& a, const auto& b) {
+                           const int c = a.first.Compare(b.first);
+                           return select.order_by->descending ? c > 0 : c < 0;
+                         });
+        result.rows.clear();
+        for (auto& [key, row] : keyed) result.rows.push_back(std::move(row));
+      }
+    }
+    if (select.limit && result.rows.size() > *select.limit) {
+      result.rows.resize(*select.limit);
+    }
+    return result;
+  }
+
+  // Aggregate path (with optional GROUP BY on one column).
+  std::optional<std::size_t> group_col;
+  if (select.group_by) {
+    group_col = schema.FindColumn(*select.group_by);
+    if (!group_col) {
+      return InvalidArgumentError("GROUP BY references unknown column '" +
+                                  *select.group_by + "'");
+    }
+  }
+  // Validate items: non-aggregate items must be the grouped column.
+  struct BoundItem {
+    SelectItem item;
+    std::size_t column = 0;  // for aggregates over a column / plain item
+  };
+  std::vector<BoundItem> bound_items;
+  for (const SelectItem& item : select.items) {
+    if (item.star) {
+      return InvalidArgumentError("SELECT * cannot be mixed with aggregates");
+    }
+    BoundItem bi;
+    bi.item = item;
+    if (item.aggregate == Aggregate::kNone) {
+      if (!group_col || item.column != *select.group_by) {
+        return InvalidArgumentError(
+            "non-aggregate column '" + item.column +
+            "' must appear in GROUP BY");
+      }
+      bi.column = *group_col;
+    } else if (!item.count_star) {
+      const auto index = schema.FindColumn(item.column);
+      if (!index) {
+        return InvalidArgumentError("no column '" + item.column +
+                                    "' in table '" + select.table + "'");
+      }
+      bi.column = *index;
+    }
+    bound_items.push_back(std::move(bi));
+    result.columns.push_back(item.OutputName());
+  }
+
+  // Group rows. Without GROUP BY everything lands in one group (and the
+  // group exists even when no rows match, per SQL aggregate semantics).
+  std::map<std::string, std::pair<Value, std::vector<AggregateState>>> groups;
+  auto make_states = [&]() {
+    return std::vector<AggregateState>(bound_items.size());
+  };
+  if (!group_col) {
+    groups.emplace("", std::make_pair(Value::Null(), make_states()));
+  }
+  for (const Row& row : table->rows()) {
+    if (!predicate(row)) continue;
+    const std::string key = group_col ? row[*group_col].Encode() : "";
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups
+               .emplace(key, std::make_pair(
+                                 group_col ? row[*group_col] : Value::Null(),
+                                 make_states()))
+               .first;
+    }
+    for (std::size_t i = 0; i < bound_items.size(); ++i) {
+      const BoundItem& bi = bound_items[i];
+      if (bi.item.aggregate == Aggregate::kNone) continue;
+      it->second.second[i].Accumulate(
+          bi.item.count_star ? Value::Null() : row[bi.column],
+          bi.item.count_star);
+    }
+  }
+  for (const auto& [key, group] : groups) {
+    Row out;
+    out.reserve(bound_items.size());
+    for (std::size_t i = 0; i < bound_items.size(); ++i) {
+      const BoundItem& bi = bound_items[i];
+      if (bi.item.aggregate == Aggregate::kNone) {
+        out.push_back(group.first);
+      } else {
+        out.push_back(group.second[i].Finish(bi.item.aggregate));
+      }
+    }
+    result.rows.push_back(std::move(out));
+  }
+  if (select.order_by) {
+    const auto out_pos = std::find(result.columns.begin(),
+                                   result.columns.end(),
+                                   select.order_by->column);
+    if (out_pos == result.columns.end()) {
+      return InvalidArgumentError(
+          "ORDER BY in an aggregate query must name an output column");
+    }
+    const std::size_t key =
+        static_cast<std::size_t>(out_pos - result.columns.begin());
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       const int c = a[key].Compare(b[key]);
+                       return select.order_by->descending ? c > 0 : c < 0;
+                     });
+  }
+  if (select.limit && result.rows.size() > *select.limit) {
+    result.rows.resize(*select.limit);
+  }
+  return result;
+}
+
+Result<QueryResult> ExecuteInsert(Database& database,
+                                  const InsertStatement& insert) {
+  const Table* table = database.FindTable(insert.table);
+  if (table == nullptr) {
+    return NotFoundError("no table '" + insert.table + "'");
+  }
+  const TableSchema& schema = table->schema();
+  std::vector<std::size_t> mapping;  // position in VALUES -> column index
+  if (insert.columns.empty()) {
+    for (std::size_t i = 0; i < schema.column_count(); ++i) {
+      mapping.push_back(i);
+    }
+  } else {
+    for (const std::string& name : insert.columns) {
+      const auto index = schema.FindColumn(name);
+      if (!index) {
+        return InvalidArgumentError("no column '" + name + "' in table '" +
+                                    insert.table + "'");
+      }
+      mapping.push_back(*index);
+    }
+  }
+  QueryResult result;
+  for (const std::vector<Value>& values : insert.rows) {
+    if (values.size() != mapping.size()) {
+      return InvalidArgumentError(StrFormat(
+          "INSERT has %zu values for %zu columns", values.size(),
+          mapping.size()));
+    }
+    Row row(schema.column_count(), Value::Null());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      row[mapping[i]] = values[i];
+    }
+    RETURN_IF_ERROR(database.Insert(insert.table, std::move(row)));
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<QueryResult> ExecuteUpdate(Database& database,
+                                  const UpdateStatement& update) {
+  const Table* table = database.FindTable(update.table);
+  if (table == nullptr) {
+    return NotFoundError("no table '" + update.table + "'");
+  }
+  const TableSchema& schema = table->schema();
+  ASSIGN_OR_RETURN(auto predicate, BindWhere(schema, update.where));
+  std::vector<ColumnUpdate> updates;
+  for (const auto& [name, value] : update.assignments) {
+    const auto index = schema.FindColumn(name);
+    if (!index) {
+      return InvalidArgumentError("no column '" + name + "' in table '" +
+                                  update.table + "'");
+    }
+    updates.push_back({*index, value});
+  }
+  ASSIGN_OR_RETURN(std::size_t affected,
+                   database.Update(update.table, predicate, updates));
+  QueryResult result;
+  result.affected_rows = affected;
+  return result;
+}
+
+Result<QueryResult> ExecuteDelete(Database& database,
+                                  const DeleteStatement& del) {
+  const Table* table = database.FindTable(del.table);
+  if (table == nullptr) {
+    return NotFoundError("no table '" + del.table + "'");
+  }
+  ASSIGN_OR_RETURN(auto predicate, BindWhere(table->schema(), del.where));
+  ASSIGN_OR_RETURN(std::size_t affected,
+                   database.Delete(del.table, predicate));
+  QueryResult result;
+  result.affected_rows = affected;
+  return result;
+}
+
+}  // namespace
+
+std::string QueryResult::ToAsciiTable() const {
+  std::vector<std::size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> rendered;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    widths[i] = columns[i].size();
+  }
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i].ToDisplayString();
+      if (i < widths.size()) widths[i] = std::max(widths[i], cell.size());
+      cells.push_back(std::move(cell));
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out += cells[i];
+      if (i < widths.size()) {
+        out.append(widths[i] - std::min(widths[i], cells[i].size()) + 2, ' ');
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(columns);
+  std::vector<std::string> rule;
+  for (const std::size_t w : widths) rule.push_back(std::string(w, '-'));
+  emit_row(rule);
+  for (const auto& cells : rendered) emit_row(cells);
+  return out;
+}
+
+Result<QueryResult> ExecuteStatement(Database& database,
+                                     const Statement& statement) {
+  return std::visit(
+      [&](const auto& stmt) -> Result<QueryResult> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStatement>) {
+          return ExecuteSelect(database, stmt);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return ExecuteInsert(database, stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStatement>) {
+          return ExecuteUpdate(database, stmt);
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
+          return ExecuteDelete(database, stmt);
+        } else if constexpr (std::is_same_v<T, CreateTableStatement>) {
+          RETURN_IF_ERROR(database.CreateTable(stmt.schema));
+          return QueryResult{};
+        } else {
+          static_assert(std::is_same_v<T, DropTableStatement>);
+          RETURN_IF_ERROR(database.DropTable(stmt.table));
+          return QueryResult{};
+        }
+      },
+      statement);
+}
+
+Result<QueryResult> ExecuteSql(Database& database, const std::string& sql) {
+  ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
+  return ExecuteStatement(database, statement);
+}
+
+Result<QueryResult> ExecuteScript(Database& database, const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseScript(sql));
+  QueryResult last;
+  for (const Statement& statement : statements) {
+    ASSIGN_OR_RETURN(last, ExecuteStatement(database, statement));
+  }
+  return last;
+}
+
+}  // namespace goofi::db::sql

@@ -1,0 +1,33 @@
+// Statement execution against a Database.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/sql/ast.h"
+#include "util/status.h"
+
+namespace goofi::db::sql {
+
+struct QueryResult {
+  std::vector<std::string> columns;  // output column names (SELECT only)
+  std::vector<Row> rows;             // result rows (SELECT only)
+  std::size_t affected_rows = 0;     // INSERT/UPDATE/DELETE row count
+
+  // Render as an aligned ASCII table (used by the analysis CLI and
+  // examples; the paper's analysis phase is "scripts that query the
+  // database").
+  std::string ToAsciiTable() const;
+};
+
+Result<QueryResult> ExecuteStatement(Database& database,
+                                     const Statement& statement);
+
+// Parse + execute one statement.
+Result<QueryResult> ExecuteSql(Database& database, const std::string& sql);
+
+// Parse + execute a script; returns the last statement's result.
+Result<QueryResult> ExecuteScript(Database& database, const std::string& sql);
+
+}  // namespace goofi::db::sql

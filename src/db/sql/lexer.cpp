@@ -1,0 +1,164 @@
+#include "db/sql/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace goofi::db::sql {
+
+bool Token::IsKeyword(const char* keyword) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? input[i + ahead] : '\0';
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    // Blob literal x'68656a'
+    if ((c == 'x' || c == 'X') && peek(1) == '\'') {
+      i += 2;
+      std::string hex;
+      while (i < n && input[i] != '\'') hex.push_back(input[i++]);
+      if (i == n) return ParseError("unterminated blob literal");
+      ++i;  // closing quote
+      const auto bytes = HexDecode(hex);
+      if (!bytes) return ParseError("bad hex in blob literal: '" + hex + "'");
+      token.type = TokenType::kBlob;
+      token.text = *bytes;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // String literal with '' escape
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (peek(1) == '\'') {
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        body.push_back(input[i++]);
+      }
+      if (i == n) return ParseError("unterminated string literal");
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.text = std::move(body);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Numbers (optionally negative handled by parser via unary minus
+    // symbol; here we lex digits, '.', exponent, and 0x hex).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t start = i;
+      bool is_real = false;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+        if (i < n && input[i] == '.') {
+          is_real = true;
+          ++i;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+        if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+          is_real = true;
+          ++i;
+          if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      const std::string spelled = input.substr(start, i - start);
+      if (is_real) {
+        const auto value = ParseDouble(spelled);
+        if (!value) return ParseError("bad numeric literal '" + spelled + "'");
+        token.type = TokenType::kReal;
+        token.real = *value;
+      } else {
+        const auto value = ParseInt64(spelled);
+        if (!value) return ParseError("bad integer literal '" + spelled + "'");
+        token.type = TokenType::kInteger;
+        token.integer = *value;
+      }
+      token.text = spelled;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Identifiers / keywords
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto symbol2 = [&](const char* s) {
+      if (peek(0) == s[0] && peek(1) == s[1]) {
+        token.type = TokenType::kSymbol;
+        token.text = s;
+        i += 2;
+        tokens.push_back(token);
+        return true;
+      }
+      return false;
+    };
+    if (symbol2("!=") || symbol2("<>") || symbol2("<=") || symbol2(">=")) {
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '*': case '=': case '<':
+      case '>': case ';': case '-': case '.':
+        token.type = TokenType::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      default:
+        return ParseError(StrFormat("unexpected character '%c' at offset %zu",
+                                    c, i));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace goofi::db::sql

@@ -1,0 +1,38 @@
+// SQL tokenizer. Keywords are case-insensitive; identifiers keep case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/status.h"
+
+namespace goofi::db::sql {
+
+enum class TokenType {
+  kIdentifier,  // bare word (possibly a keyword; parser decides)
+  kInteger,
+  kReal,
+  kString,      // 'text' with '' escape
+  kBlob,        // x'hex'
+  kSymbol,      // ( ) , * = != <> < <= > >= ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // identifier/symbol spelling, or literal body
+  std::int64_t integer = 0;
+  double real = 0.0;
+  std::size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsSymbol(const char* symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+  // Case-insensitive keyword check on an identifier token.
+  bool IsKeyword(const char* keyword) const;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace goofi::db::sql

@@ -1,0 +1,467 @@
+#include "db/sql/parser.h"
+
+#include "db/sql/lexer.h"
+#include "util/strings.h"
+
+namespace goofi::db::sql {
+
+std::string SelectItem::OutputName() const {
+  if (star) return "*";
+  switch (aggregate) {
+    case Aggregate::kNone: return column;
+    case Aggregate::kCount:
+      return count_star ? "COUNT(*)" : "COUNT(" + column + ")";
+    case Aggregate::kSum: return "SUM(" + column + ")";
+    case Aggregate::kMin: return "MIN(" + column + ")";
+    case Aggregate::kMax: return "MAX(" + column + ")";
+    case Aggregate::kAvg: return "AVG(" + column + ")";
+  }
+  return column;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOne() {
+    ASSIGN_OR_RETURN(Statement statement, ParseStatementInner());
+    ConsumeSymbol(";");
+    if (!At(TokenType::kEnd)) {
+      return ParseError("trailing input after statement near '" +
+                        Current().text + "'");
+    }
+    return statement;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> statements;
+    while (!At(TokenType::kEnd)) {
+      ASSIGN_OR_RETURN(Statement statement, ParseStatementInner());
+      statements.push_back(std::move(statement));
+      if (!ConsumeSymbol(";") && !At(TokenType::kEnd)) {
+        return ParseError("expected ';' between statements near '" +
+                          Current().text + "'");
+      }
+      while (ConsumeSymbol(";")) {
+      }
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[position_]; }
+  bool At(TokenType type) const { return Current().type == type; }
+  void Advance() {
+    if (position_ + 1 < tokens_.size()) ++position_;
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Current().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(const char* symbol) {
+    if (Current().IsSymbol(symbol)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return ParseError(StrFormat("expected %s near '%s'", keyword,
+                                  Current().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return ParseError(StrFormat("expected '%s' near '%s'", symbol,
+                                  Current().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!At(TokenType::kIdentifier)) {
+      return ParseError(StrFormat("expected %s near '%s'", what,
+                                  Current().text.c_str()));
+    }
+    std::string name = Current().text;
+    Advance();
+    return name;
+  }
+
+  Result<Value> ExpectLiteral() {
+    const Token& token = Current();
+    switch (token.type) {
+      case TokenType::kInteger: {
+        Value v = Value::Integer(token.integer);
+        Advance();
+        return v;
+      }
+      case TokenType::kReal: {
+        Value v = Value::Real(token.real);
+        Advance();
+        return v;
+      }
+      case TokenType::kString: {
+        Value v = Value::Text_(token.text);
+        Advance();
+        return v;
+      }
+      case TokenType::kBlob: {
+        Value v = Value::Blob(token.text);
+        Advance();
+        return v;
+      }
+      case TokenType::kSymbol:
+        if (token.text == "-") {
+          Advance();
+          if (At(TokenType::kInteger)) {
+            Value v = Value::Integer(-Current().integer);
+            Advance();
+            return v;
+          }
+          if (At(TokenType::kReal)) {
+            Value v = Value::Real(-Current().real);
+            Advance();
+            return v;
+          }
+          return ParseError("expected number after unary '-'");
+        }
+        break;
+      case TokenType::kIdentifier:
+        if (ConsumeKeyword("NULL")) return Value::Null();
+        break;
+      default:
+        break;
+    }
+    return ParseError("expected literal near '" + token.text + "'");
+  }
+
+  Result<Statement> ParseStatementInner() {
+    if (ConsumeKeyword("SELECT")) return ParseSelect();
+    if (ConsumeKeyword("INSERT")) return ParseInsert();
+    if (ConsumeKeyword("UPDATE")) return ParseUpdate();
+    if (ConsumeKeyword("DELETE")) return ParseDelete();
+    if (ConsumeKeyword("CREATE")) return ParseCreate();
+    if (ConsumeKeyword("DROP")) return ParseDrop();
+    return ParseError("expected a statement near '" + Current().text + "'");
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStatement select;
+    while (true) {
+      SelectItem item;
+      if (ConsumeSymbol("*")) {
+        item.star = true;
+      } else if (At(TokenType::kIdentifier)) {
+        const std::string word = Current().text;
+        Aggregate aggregate = Aggregate::kNone;
+        if (EqualsIgnoreCase(word, "COUNT")) aggregate = Aggregate::kCount;
+        else if (EqualsIgnoreCase(word, "SUM")) aggregate = Aggregate::kSum;
+        else if (EqualsIgnoreCase(word, "MIN")) aggregate = Aggregate::kMin;
+        else if (EqualsIgnoreCase(word, "MAX")) aggregate = Aggregate::kMax;
+        else if (EqualsIgnoreCase(word, "AVG")) aggregate = Aggregate::kAvg;
+        if (aggregate != Aggregate::kNone &&
+            tokens_[position_ + 1].IsSymbol("(")) {
+          Advance();  // function name
+          Advance();  // '('
+          item.aggregate = aggregate;
+          if (aggregate == Aggregate::kCount && ConsumeSymbol("*")) {
+            item.count_star = true;
+          } else {
+            ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column name"));
+          }
+          RETURN_IF_ERROR(ExpectSymbol(")"));
+        } else {
+          ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column name"));
+        }
+      } else {
+        return ParseError("expected select item near '" + Current().text +
+                          "'");
+      }
+      select.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ASSIGN_OR_RETURN(select.table, ExpectIdentifier("table name"));
+    ASSIGN_OR_RETURN(select.where, ParseOptionalWhere());
+    if (ConsumeKeyword("GROUP")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      ASSIGN_OR_RETURN(std::string group_col,
+                       ExpectIdentifier("GROUP BY column"));
+      select.group_by = std::move(group_col);
+    }
+    if (ConsumeKeyword("ORDER")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy order;
+      ASSIGN_OR_RETURN(order.column, ExpectIdentifier("ORDER BY column"));
+      if (ConsumeKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+      select.order_by = std::move(order);
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (!At(TokenType::kInteger) || Current().integer < 0) {
+        return ParseError("expected non-negative integer after LIMIT");
+      }
+      select.limit = static_cast<std::size_t>(Current().integer);
+      Advance();
+    }
+    return Statement(std::move(select));
+  }
+
+  Result<Statement> ParseInsert() {
+    RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement insert;
+    ASSIGN_OR_RETURN(insert.table, ExpectIdentifier("table name"));
+    if (ConsumeSymbol("(")) {
+      while (true) {
+        ASSIGN_OR_RETURN(std::string column,
+                         ExpectIdentifier("column name"));
+        insert.columns.push_back(std::move(column));
+        if (!ConsumeSymbol(",")) break;
+      }
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        ASSIGN_OR_RETURN(Value value, ExpectLiteral());
+        row.push_back(std::move(value));
+        if (!ConsumeSymbol(",")) break;
+      }
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      insert.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Statement(std::move(insert));
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStatement update;
+    ASSIGN_OR_RETURN(update.table, ExpectIdentifier("table name"));
+    RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      ASSIGN_OR_RETURN(std::string column, ExpectIdentifier("column name"));
+      RETURN_IF_ERROR(ExpectSymbol("="));
+      ASSIGN_OR_RETURN(Value value, ExpectLiteral());
+      update.assignments.emplace_back(std::move(column), std::move(value));
+      if (!ConsumeSymbol(",")) break;
+    }
+    ASSIGN_OR_RETURN(update.where, ParseOptionalWhere());
+    return Statement(std::move(update));
+  }
+
+  Result<Statement> ParseDelete() {
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement del;
+    ASSIGN_OR_RETURN(del.table, ExpectIdentifier("table name"));
+    ASSIGN_OR_RETURN(del.where, ParseOptionalWhere());
+    return Statement(std::move(del));
+  }
+
+  Result<Statement> ParseCreate() {
+    RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+    TableSchema schema(name);
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      if (Current().IsKeyword("FOREIGN")) {
+        Advance();
+        RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        RETURN_IF_ERROR(ExpectSymbol("("));
+        ASSIGN_OR_RETURN(std::string fk_column,
+                         ExpectIdentifier("column name"));
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+        ASSIGN_OR_RETURN(std::string ref_table,
+                         ExpectIdentifier("table name"));
+        RETURN_IF_ERROR(ExpectSymbol("("));
+        ASSIGN_OR_RETURN(std::string ref_column,
+                         ExpectIdentifier("column name"));
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        RETURN_IF_ERROR(schema.AddForeignKey(
+            {std::move(fk_column), std::move(ref_table),
+             std::move(ref_column)}));
+      } else {
+        Column column;
+        ASSIGN_OR_RETURN(column.name, ExpectIdentifier("column name"));
+        ASSIGN_OR_RETURN(std::string type_name,
+                         ExpectIdentifier("column type"));
+        const auto type = ColumnTypeFromName(type_name);
+        if (!type) return ParseError("unknown column type '" + type_name + "'");
+        column.type = *type;
+        while (true) {
+          if (ConsumeKeyword("PRIMARY")) {
+            RETURN_IF_ERROR(ExpectKeyword("KEY"));
+            column.primary_key = true;
+          } else if (ConsumeKeyword("UNIQUE")) {
+            column.unique = true;
+          } else if (ConsumeKeyword("NOT")) {
+            RETURN_IF_ERROR(ExpectKeyword("NULL"));
+            column.not_null = true;
+          } else {
+            break;
+          }
+        }
+        RETURN_IF_ERROR(schema.AddColumn(std::move(column)));
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    CreateTableStatement create;
+    create.schema = std::move(schema);
+    return Statement(std::move(create));
+  }
+
+  Result<Statement> ParseDrop() {
+    RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DropTableStatement drop;
+    ASSIGN_OR_RETURN(drop.table, ExpectIdentifier("table name"));
+    return Statement(std::move(drop));
+  }
+
+  Result<WhereClause> ParseOptionalWhere() {
+    WhereClause where;
+    if (!ConsumeKeyword("WHERE")) return where;
+    ASSIGN_OR_RETURN(Condition root, ParseOrExpression());
+    where.root = std::move(root);
+    return where;
+  }
+
+  // expr := term (OR term)*
+  Result<Condition> ParseOrExpression() {
+    ASSIGN_OR_RETURN(Condition first, ParseAndExpression());
+    if (!Current().IsKeyword("OR")) return first;
+    Condition node;
+    node.kind = Condition::Kind::kOr;
+    node.children.push_back(std::move(first));
+    while (ConsumeKeyword("OR")) {
+      ASSIGN_OR_RETURN(Condition next, ParseAndExpression());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  // term := factor (AND factor)*
+  Result<Condition> ParseAndExpression() {
+    ASSIGN_OR_RETURN(Condition first, ParseFactor());
+    if (!Current().IsKeyword("AND")) return first;
+    Condition node;
+    node.kind = Condition::Kind::kAnd;
+    node.children.push_back(std::move(first));
+    while (ConsumeKeyword("AND")) {
+      ASSIGN_OR_RETURN(Condition next, ParseFactor());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  // factor := NOT factor | '(' expr ')' | predicate
+  Result<Condition> ParseFactor() {
+    if (ConsumeKeyword("NOT")) {
+      ASSIGN_OR_RETURN(Condition inner, ParseFactor());
+      Condition node;
+      node.kind = Condition::Kind::kNot;
+      node.children.push_back(std::move(inner));
+      return node;
+    }
+    if (ConsumeSymbol("(")) {
+      ASSIGN_OR_RETURN(Condition inner, ParseOrExpression());
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<Condition> ParsePredicate() {
+    Condition condition;
+    ASSIGN_OR_RETURN(condition.column, ExpectIdentifier("column name"));
+    if (ConsumeKeyword("IS")) {
+      if (ConsumeKeyword("NOT")) {
+        RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        condition.op = CompareOp::kIsNotNull;
+      } else {
+        RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        condition.op = CompareOp::kIsNull;
+      }
+      return condition;
+    }
+    condition.negated = ConsumeKeyword("NOT");
+    if (ConsumeKeyword("LIKE")) {
+      condition.op = CompareOp::kLike;
+      ASSIGN_OR_RETURN(condition.rhs, ExpectLiteral());
+      if (condition.rhs.type() != ValueType::kText) {
+        return ParseError("LIKE pattern must be a string");
+      }
+      return condition;
+    }
+    if (ConsumeKeyword("IN")) {
+      condition.op = CompareOp::kIn;
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        ASSIGN_OR_RETURN(Value value, ExpectLiteral());
+        condition.set.push_back(std::move(value));
+        if (!ConsumeSymbol(",")) break;
+      }
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return condition;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      condition.op = CompareOp::kBetween;
+      ASSIGN_OR_RETURN(condition.rhs, ExpectLiteral());
+      RETURN_IF_ERROR(ExpectKeyword("AND"));
+      ASSIGN_OR_RETURN(condition.rhs2, ExpectLiteral());
+      return condition;
+    }
+    if (condition.negated) {
+      return ParseError("expected LIKE, IN or BETWEEN after NOT");
+    }
+    if (ConsumeSymbol("=")) condition.op = CompareOp::kEq;
+    else if (ConsumeSymbol("!=") || ConsumeSymbol("<>"))
+      condition.op = CompareOp::kNe;
+    else if (ConsumeSymbol("<=")) condition.op = CompareOp::kLe;
+    else if (ConsumeSymbol(">=")) condition.op = CompareOp::kGe;
+    else if (ConsumeSymbol("<")) condition.op = CompareOp::kLt;
+    else if (ConsumeSymbol(">")) condition.op = CompareOp::kGt;
+    else {
+      return ParseError("expected comparison operator near '" +
+                        Current().text + "'");
+    }
+    ASSIGN_OR_RETURN(condition.rhs, ExpectLiteral());
+    return condition;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+}  // namespace goofi::db::sql

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+#pragma once
+
+#include <string>
+
+#include "db/sql/ast.h"
+#include "util/status.h"
+
+namespace goofi::db::sql {
+
+// Parse a single statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+// Parse a ';'-separated script into statements.
+Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace goofi::db::sql

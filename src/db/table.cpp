@@ -1,0 +1,155 @@
+#include "db/table.h"
+
+#include <cassert>
+
+namespace goofi::db {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  for (std::size_t i = 0; i < schema_.columns().size(); ++i) {
+    if (schema_.columns()[i].unique) unique_columns_.push_back(i);
+  }
+  indexes_.resize(unique_columns_.size());
+}
+
+Status Table::Insert(Row row) {
+  RETURN_IF_ERROR(schema_.CheckRow(row));
+  // UNIQUE checks before any mutation.
+  for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
+    const Value& v = row[unique_columns_[u]];
+    if (v.is_null()) continue;  // SQL: NULLs don't collide
+    if (indexes_[u].count(v.Encode()) != 0) {
+      return ConstraintViolationError(
+          "UNIQUE violated for '" + schema_.table_name() + "." +
+          schema_.columns()[unique_columns_[u]].name +
+          "' value " + v.ToDisplayString());
+    }
+  }
+  const std::size_t index = rows_.size();
+  for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
+    const Value& v = row[unique_columns_[u]];
+    if (!v.is_null()) indexes_[u].emplace(v.Encode(), index);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+std::optional<std::size_t> Table::FindByUnique(std::size_t column,
+                                               const Value& key) const {
+  if (key.is_null()) return std::nullopt;
+  for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
+    if (unique_columns_[u] == column) {
+      const auto it = indexes_[u].find(key.Encode());
+      if (it == indexes_[u].end()) return std::nullopt;
+      return it->second;
+    }
+  }
+  assert(false && "FindByUnique on a non-unique column");
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Table::FindRows(
+    const std::function<bool(const Row&)>& predicate) const {
+  std::vector<std::size_t> matched;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (predicate(rows_[i])) matched.push_back(i);
+  }
+  return matched;
+}
+
+bool Table::ContainsValue(std::size_t column, const Value& key) const {
+  if (key.is_null()) return false;
+  for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
+    if (unique_columns_[u] == column) {
+      return indexes_[u].count(key.Encode()) != 0;
+    }
+  }
+  for (const Row& row : rows_) {
+    if (row[column] == key) return true;
+  }
+  return false;
+}
+
+Result<std::size_t> Table::Update(
+    const std::function<bool(const Row&)>& predicate,
+    const std::vector<ColumnUpdate>& updates) {
+  const std::vector<std::size_t> matched = FindRows(predicate);
+  if (matched.empty()) return std::size_t{0};
+
+  // Phase 1: build the updated rows and validate them (types, NOT NULL,
+  // UNIQUE among survivors + updated rows) without mutating anything.
+  std::vector<Row> updated;
+  updated.reserve(matched.size());
+  for (const std::size_t i : matched) {
+    Row candidate = rows_[i];
+    for (const ColumnUpdate& update : updates) {
+      assert(update.column < candidate.size());
+      candidate[update.column] = update.value;
+      RETURN_IF_ERROR(schema_.CheckValue(update.column,
+                                         candidate[update.column]));
+    }
+    updated.push_back(std::move(candidate));
+  }
+  for (const std::size_t unique_col : unique_columns_) {
+    std::unordered_map<std::string, int> seen;
+    // Untouched rows keep their keys.
+    std::size_t next_match = 0;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const bool is_matched =
+          next_match < matched.size() && matched[next_match] == i;
+      const Row& effective =
+          is_matched ? updated[next_match] : rows_[i];
+      if (is_matched) ++next_match;
+      const Value& v = effective[unique_col];
+      if (v.is_null()) continue;
+      if (++seen[v.Encode()] > 1) {
+        return ConstraintViolationError(
+            "UNIQUE violated for '" + schema_.table_name() + "." +
+            schema_.columns()[unique_col].name + "' value " +
+            v.ToDisplayString() + " during UPDATE");
+      }
+    }
+  }
+
+  // Phase 2: commit.
+  for (std::size_t m = 0; m < matched.size(); ++m) {
+    rows_[matched[m]] = std::move(updated[m]);
+  }
+  RebuildIndexes();
+  return matched.size();
+}
+
+std::size_t Table::Delete(
+    const std::function<bool(const Row&)>& predicate) {
+  std::size_t removed = 0;
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  for (Row& row : rows_) {
+    if (predicate(row)) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  // Unconditionally adopt `kept`: the loop moved every surviving row out
+  // of rows_, including when nothing matched.
+  rows_ = std::move(kept);
+  if (removed != 0) RebuildIndexes();
+  return removed;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  RebuildIndexes();
+}
+
+void Table::RebuildIndexes() {
+  for (auto& index : indexes_) index.clear();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
+      const Value& v = rows_[i][unique_columns_[u]];
+      if (!v.is_null()) indexes_[u][v.Encode()] = i;
+    }
+  }
+}
+
+}  // namespace goofi::db

@@ -1,0 +1,71 @@
+// A single table: rows plus hash indexes over PRIMARY KEY / UNIQUE
+// columns. Referential integrity across tables lives in Database.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.h"
+#include "util/status.h"
+
+namespace goofi::db {
+
+using Row = std::vector<Value>;
+
+// One assignment of a SET clause / C++ update: column index -> new value.
+struct ColumnUpdate {
+  std::size_t column;
+  Value value;
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  std::size_t row_count() const { return rows_.size(); }
+  const Row& row(std::size_t index) const { return rows_[index]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Insert after schema + UNIQUE checks. FK checks are the Database's
+  // job (it sees the other tables).
+  Status Insert(Row row);
+
+  // Index lookup on a UNIQUE / PRIMARY KEY column. NULL never matches.
+  std::optional<std::size_t> FindByUnique(std::size_t column,
+                                          const Value& key) const;
+
+  // Linear scan returning indices of rows satisfying `predicate`.
+  std::vector<std::size_t> FindRows(
+      const std::function<bool(const Row&)>& predicate) const;
+
+  // True iff some row has `key` in `column` (uses the index when one
+  // exists). NULL never matches.
+  bool ContainsValue(std::size_t column, const Value& key) const;
+
+  // Apply `updates` to every row matching `predicate`. All-or-nothing:
+  // on any constraint violation no row is changed. Returns the number
+  // of rows updated.
+  Result<std::size_t> Update(const std::function<bool(const Row&)>& predicate,
+                             const std::vector<ColumnUpdate>& updates);
+
+  // Delete every row matching `predicate`; returns the number deleted.
+  std::size_t Delete(const std::function<bool(const Row&)>& predicate);
+
+  // Remove all rows.
+  void Clear();
+
+ private:
+  void RebuildIndexes();
+  // Indexed (unique) column positions in schema order.
+  std::vector<std::size_t> unique_columns_;
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  // Per unique column: encoded value -> row index.
+  std::vector<std::unordered_map<std::string, std::size_t>> indexes_;
+};
+
+}  // namespace goofi::db

@@ -1,0 +1,182 @@
+#include "db/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace goofi::db {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInteger: return "INTEGER";
+    case ValueType::kReal: return "REAL";
+    case ValueType::kText: return "TEXT";
+    case ValueType::kBlob: return "BLOB";
+  }
+  return "?";
+}
+
+Value Value::Blob(std::string bytes) {
+  Value v;
+  v.data_ = BlobBytes{std::move(bytes)};
+  return v;
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInteger;
+    case 2: return ValueType::kReal;
+    case 3: return ValueType::kText;
+    case 4: return ValueType::kBlob;
+  }
+  return ValueType::kNull;
+}
+
+std::int64_t Value::AsInteger() const {
+  assert(type() == ValueType::kInteger);
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::AsReal() const {
+  if (type() == ValueType::kInteger) {
+    return static_cast<double>(std::get<std::int64_t>(data_));
+  }
+  assert(type() == ValueType::kReal);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsText() const {
+  assert(type() == ValueType::kText);
+  return std::get<Text>(data_).data;
+}
+
+const std::string& Value::AsBlob() const {
+  assert(type() == ValueType::kBlob);
+  return std::get<BlobBytes>(data_).data;
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kInteger: return AsInteger() != 0;
+    case ValueType::kReal: return AsReal() != 0.0;
+    default: return false;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInteger:
+      case ValueType::kReal: return 1;
+      case ValueType::kText: return 2;
+      case ValueType::kBlob: return 3;
+    }
+    return 4;
+  };
+  const int my_rank = rank(type());
+  const int other_rank = rank(other.type());
+  if (my_rank != other_rank) return my_rank < other_rank ? -1 : 1;
+  switch (my_rank) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      // Compare INTEGER/REAL numerically. Pure-integer compares avoid the
+      // double round trip so 64-bit keys stay exact.
+      if (type() == ValueType::kInteger &&
+          other.type() == ValueType::kInteger) {
+        const std::int64_t a = AsInteger();
+        const std::int64_t b = other.AsInteger();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = AsReal();
+      const double b = other.AsReal();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    case 2: {
+      const int c = AsText().compare(other.AsText());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      const int c = AsBlob().compare(other.AsBlob());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInteger: return std::to_string(AsInteger());
+    case ValueType::kReal: {
+      std::string s = StrFormat("%.17g", AsReal());
+      return s;
+    }
+    case ValueType::kText: {
+      std::string out = "'";
+      for (char c : AsText()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kBlob: return "x'" + HexEncode(AsBlob()) + "'";
+  }
+  return "?";
+}
+
+std::string Value::Encode() const {
+  switch (type()) {
+    case ValueType::kNull: return "n";
+    case ValueType::kInteger: return "i" + std::to_string(AsInteger());
+    case ValueType::kReal: {
+      // Bit-exact round trip via the IEEE-754 image.
+      std::uint64_t bits;
+      const double d = AsReal();
+      std::memcpy(&bits, &d, sizeof bits);
+      return "r" + StrFormat("%016llx", static_cast<unsigned long long>(bits));
+    }
+    case ValueType::kText: return "t" + AsText();
+    case ValueType::kBlob: return "b" + AsBlob();
+  }
+  return "n";
+}
+
+Result<Value> Value::Decode(const std::string& encoded) {
+  if (encoded.empty()) return ParseError("empty encoded value");
+  const std::string body = encoded.substr(1);
+  switch (encoded[0]) {
+    case 'n':
+      return Value::Null();
+    case 'i': {
+      const auto parsed = ParseInt64(body);
+      if (!parsed) return ParseError("bad integer value '" + body + "'");
+      return Value::Integer(*parsed);
+    }
+    case 'r': {
+      const auto bits = ParseUint64("0x" + body);
+      if (!bits || body.size() != 16) {
+        return ParseError("bad real value '" + body + "'");
+      }
+      double d;
+      const std::uint64_t b = *bits;
+      std::memcpy(&d, &b, sizeof d);
+      return Value::Real(d);
+    }
+    case 't':
+      return Value::Text_(body);
+    case 'b':
+      return Value::Blob(body);
+    default:
+      return ParseError("unknown value tag '" + encoded.substr(0, 1) + "'");
+  }
+}
+
+}  // namespace goofi::db

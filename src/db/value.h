@@ -1,0 +1,71 @@
+// Typed cell values for the embedded relational engine (DESIGN.md §2).
+//
+// GOOFI stores target descriptions, campaign definitions and logged
+// system states in a relational database; this Value type is the cell
+// currency of that engine. Supported storage classes mirror the small
+// set the tool needs: NULL, INTEGER (64-bit signed), REAL, TEXT, BLOB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace goofi::db {
+
+enum class ValueType { kNull, kInteger, kReal, kText, kBlob };
+
+const char* ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // NULL
+  Value(std::int64_t v) : data_(v) {}   // NOLINT: implicit by design
+  Value(double v) : data_(v) {}         // NOLINT
+  Value(std::string v) : data_(Text{std::move(v)}) {}  // NOLINT
+  Value(const char* v) : data_(Text{v}) {}             // NOLINT
+
+  static Value Null() { return Value(); }
+  static Value Integer(std::int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Text_(std::string v) { return Value(std::move(v)); }
+  static Value Blob(std::string bytes);
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Typed accessors; assert on type mismatch.
+  std::int64_t AsInteger() const;
+  double AsReal() const;  // also accepts INTEGER (widening)
+  const std::string& AsText() const;
+  const std::string& AsBlob() const;
+
+  // Numeric truth: INTEGER/REAL != 0; everything else false.
+  bool Truthy() const;
+
+  // SQL-style three-valued comparison is handled by the caller; these
+  // give a total order used by indexes and ORDER BY:
+  //   NULL < numeric (INTEGER and REAL compared numerically) < TEXT < BLOB
+  // Returns -1 / 0 / +1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Human-readable form (NULL, 42, 3.5, 'text', x'ab01').
+  std::string ToDisplayString() const;
+
+  // Lossless serialization for persistence files and index keys:
+  //   "n" | "i<dec>" | "r<hex-bits>" | "t<raw>" | "b<raw>"
+  std::string Encode() const;
+  static Result<Value> Decode(const std::string& encoded);
+
+ private:
+  struct Text { std::string data; };
+  struct BlobBytes { std::string data; };
+  std::variant<std::monostate, std::int64_t, double, Text, BlobBytes> data_;
+};
+
+}  // namespace goofi::db

@@ -1,0 +1,42 @@
+#include "sim/access_recorder.h"
+
+namespace goofi::sim {
+
+void AccessRecorder::OnRegisterRead(unsigned reg, std::uint64_t time) {
+  if (reg == 0 || reg >= 16) return;  // r0 is never live
+  reg_events_[reg].push_back({time, /*is_write=*/false});
+}
+
+void AccessRecorder::OnRegisterWrite(unsigned reg, std::uint32_t old_value,
+                                     std::uint32_t new_value,
+                                     std::uint64_t time) {
+  (void)old_value;
+  (void)new_value;
+  if (reg == 0 || reg >= 16) return;
+  reg_events_[reg].push_back({time, /*is_write=*/true});
+}
+
+void AccessRecorder::OnMemoryRead(std::uint32_t address, unsigned bytes,
+                                  std::uint64_t time) {
+  (void)bytes;
+  mem_events_[address & ~3u].push_back({time, /*is_write=*/false});
+}
+
+void AccessRecorder::OnMemoryWrite(std::uint32_t address, unsigned bytes,
+                                   std::uint32_t value, std::uint64_t time) {
+  (void)value;
+  // A byte store only overwrites part of the word: treat it as a read-
+  // modify-write so liveness stays conservative (the untouched bytes'
+  // bits remain live).
+  if (bytes < 4) {
+    mem_events_[address & ~3u].push_back({time, /*is_write=*/false});
+  }
+  mem_events_[address & ~3u].push_back({time, /*is_write=*/true});
+}
+
+void AccessRecorder::Clear() {
+  for (auto& events : reg_events_) events.clear();
+  mem_events_.clear();
+}
+
+}  // namespace goofi::sim

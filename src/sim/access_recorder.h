@@ -1,0 +1,51 @@
+// Records every register and memory-word access with its time.
+//
+// This is the data source for the paper's pre-injection analysis
+// extension: "to determine when registers and other fault injection
+// locations hold live data. Injecting a fault into a location that does
+// not hold live data serves no purpose, since the fault will be
+// overwritten." core/preinjection.* turns these event streams into
+// liveness intervals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/tracer.h"
+
+namespace goofi::sim {
+
+struct AccessEvent {
+  std::uint64_t time = 0;  // instret of the accessing instruction
+  bool is_write = false;
+};
+
+class AccessRecorder : public Tracer {
+ public:
+  void OnRegisterRead(unsigned reg, std::uint64_t time) override;
+  void OnRegisterWrite(unsigned reg, std::uint32_t old_value,
+                       std::uint32_t new_value, std::uint64_t time) override;
+  void OnMemoryRead(std::uint32_t address, unsigned bytes,
+                    std::uint64_t time) override;
+  void OnMemoryWrite(std::uint32_t address, unsigned bytes,
+                     std::uint32_t value, std::uint64_t time) override;
+
+  // Events in program order, one stream per register (1..15).
+  const std::vector<AccessEvent>& register_events(unsigned reg) const {
+    return reg_events_[reg];
+  }
+  // Per word-aligned memory address.
+  const std::map<std::uint32_t, std::vector<AccessEvent>>& memory_events()
+      const {
+    return mem_events_;
+  }
+
+  void Clear();
+
+ private:
+  std::vector<AccessEvent> reg_events_[16];
+  std::map<std::uint32_t, std::vector<AccessEvent>> mem_events_;
+};
+
+}  // namespace goofi::sim

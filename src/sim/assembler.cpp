@@ -1,0 +1,519 @@
+#include "sim/assembler.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "sim/isa.h"
+#include "util/strings.h"
+
+namespace goofi::sim {
+
+std::size_t AssembledProgram::ByteSize() const {
+  std::size_t total = 0;
+  for (const auto& [address, bytes] : chunks) total += bytes.size();
+  return total;
+}
+
+Status AssembledProgram::LoadInto(Memory& memory) const {
+  for (const auto& [address, bytes] : chunks) {
+    RETURN_IF_ERROR(memory.LoadImage(address, bytes));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+struct SourceLine {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string mnemonic;                // lower-cased; empty for label-only
+  std::vector<std::string> operands;   // comma-split, trimmed
+};
+
+Status LineError(const SourceLine& line, const std::string& message) {
+  return ParseError(StrFormat("line %d: %s", line.number, message.c_str()));
+}
+
+// Strip comments and split a raw line into labels/mnemonic/operands.
+Result<std::vector<SourceLine>> Scan(const std::string& source) {
+  std::vector<SourceLine> lines;
+  std::istringstream stream(source);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    const std::size_t comment = raw.find_first_of(";#");
+    if (comment != std::string::npos) raw.resize(comment);
+    std::string_view text = StripAsciiWhitespace(raw);
+    SourceLine line;
+    line.number = number;
+    // Leading labels: IDENT ':'
+    while (true) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view candidate =
+          StripAsciiWhitespace(text.substr(0, colon));
+      bool is_ident = !candidate.empty() &&
+                      (std::isalpha(static_cast<unsigned char>(candidate[0])) ||
+                       candidate[0] == '_' || candidate[0] == '.');
+      for (char c : candidate) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.') {
+          is_ident = false;
+        }
+      }
+      if (!is_ident) break;
+      line.labels.emplace_back(candidate);
+      text = StripAsciiWhitespace(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      // Mnemonic = first whitespace-delimited word; rest = operands.
+      std::size_t space = 0;
+      while (space < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[space]))) {
+        ++space;
+      }
+      line.mnemonic = AsciiToLower(text.substr(0, space));
+      const std::string_view rest = StripAsciiWhitespace(text.substr(space));
+      if (!rest.empty()) {
+        for (const std::string& piece : SplitString(std::string(rest), ',')) {
+          line.operands.emplace_back(StripAsciiWhitespace(piece));
+        }
+      }
+    }
+    if (!line.labels.empty() || !line.mnemonic.empty()) {
+      lines.push_back(std::move(line));
+    }
+  }
+  return lines;
+}
+
+Result<unsigned> ParseRegister(const SourceLine& line,
+                               const std::string& name) {
+  const std::string lower = AsciiToLower(name);
+  if (lower == "zero") return 0u;
+  if (lower == "sp") return 14u;
+  if (lower == "lr") return 15u;
+  if (lower.size() >= 2 && lower[0] == 'r') {
+    const auto index = ParseUint64(lower.substr(1));
+    if (index && *index < 16) return static_cast<unsigned>(*index);
+  }
+  return Status(ErrorCode::kParseError,
+                StrFormat("line %d: bad register '%s'", line.number,
+                          name.c_str()));
+}
+
+class Assembler {
+ public:
+  Result<AssembledProgram> Run(const std::string& source) {
+    ASSIGN_OR_RETURN(lines_, Scan(source));
+    RETURN_IF_ERROR(Pass(/*emit=*/false));  // sizes + symbol table
+    RETURN_IF_ERROR(Pass(/*emit=*/true));
+    if (!entry_label_.empty()) {
+      const auto it = program_.symbols.find(entry_label_);
+      if (it == program_.symbols.end()) {
+        return ParseError("undefined .entry label '" + entry_label_ + "'");
+      }
+      program_.entry = it->second;
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // Resolve "123", "0x1f", "-4", "label", "label+8", "label-8".
+  Result<std::int64_t> Eval(const SourceLine& line, const std::string& text,
+                            bool require_symbols) {
+    const std::string_view view = StripAsciiWhitespace(text);
+    if (view.empty()) return LineError(line, "empty operand");
+    // Pure number?
+    if (const auto number = ParseInt64(view)) return *number;
+    // label [+|- offset]
+    std::size_t split = view.npos;
+    for (std::size_t i = 1; i < view.size(); ++i) {
+      if (view[i] == '+' || view[i] == '-') {
+        split = i;
+        break;
+      }
+    }
+    const std::string symbol(
+        StripAsciiWhitespace(view.substr(0, split)));
+    std::int64_t offset = 0;
+    if (split != view.npos) {
+      const auto parsed = ParseInt64(view.substr(split));
+      if (!parsed) {
+        return LineError(line, "bad offset in '" + std::string(view) + "'");
+      }
+      offset = *parsed;
+    }
+    const auto it = program_.symbols.find(symbol);
+    if (it == program_.symbols.end()) {
+      if (require_symbols) {
+        return LineError(line, "undefined symbol '" + symbol + "'");
+      }
+      return std::int64_t{0};  // pass 1 placeholder
+    }
+    return static_cast<std::int64_t>(it->second) + offset;
+  }
+
+  void EmitWord(std::uint32_t word) {
+    if (emit_) {
+      auto& chunk = program_.chunks[chunk_base_];
+      chunk.push_back(static_cast<std::uint8_t>(word & 0xff));
+      chunk.push_back(static_cast<std::uint8_t>((word >> 8) & 0xff));
+      chunk.push_back(static_cast<std::uint8_t>((word >> 16) & 0xff));
+      chunk.push_back(static_cast<std::uint8_t>((word >> 24) & 0xff));
+    }
+    cursor_ += 4;
+  }
+
+  void EmitByte(std::uint8_t byte) {
+    if (emit_) program_.chunks[chunk_base_].push_back(byte);
+    ++cursor_;
+  }
+
+  void EmitInstruction(Opcode opcode, unsigned ra = 0, unsigned rb = 0,
+                       unsigned rc = 0, std::int32_t imm = 0) {
+    Instruction insn;
+    insn.opcode = opcode;
+    insn.ra = static_cast<std::uint8_t>(ra);
+    insn.rb = static_cast<std::uint8_t>(rb);
+    insn.rc = static_cast<std::uint8_t>(rc);
+    insn.imm = imm;
+    EmitWord(Encode(insn));
+  }
+
+  Status CheckSigned16(const SourceLine& line, std::int64_t value,
+                       const char* what) {
+    if (value < -32768 || value > 32767) {
+      return LineError(line, StrFormat("%s %lld does not fit in 16 bits",
+                                       what, static_cast<long long>(value)));
+    }
+    return Status::Ok();
+  }
+
+  // Branch displacement in words from pc+4 to target.
+  Result<std::int32_t> BranchOffset(const SourceLine& line,
+                                    const std::string& operand) {
+    ASSIGN_OR_RETURN(std::int64_t target, Eval(line, operand, emit_));
+    if (!emit_) return std::int32_t{0};
+    const std::int64_t delta =
+        target - (static_cast<std::int64_t>(cursor_) + 4);
+    if (delta % 4 != 0) {
+      return LineError(line, "branch target not word aligned");
+    }
+    const std::int64_t words = delta / 4;
+    RETURN_IF_ERROR(CheckSigned16(line, words, "branch offset"));
+    return static_cast<std::int32_t>(words);
+  }
+
+  // "[rb+imm]" / "[rb-imm]" / "[rb]" memory operand.
+  Status ParseMemOperand(const SourceLine& line, const std::string& text,
+                         unsigned* rb, std::int32_t* imm) {
+    const std::string_view view = StripAsciiWhitespace(text);
+    if (view.size() < 3 || view.front() != '[' || view.back() != ']') {
+      return LineError(line, "expected memory operand '[reg+imm]', got '" +
+                                 std::string(view) + "'");
+    }
+    const std::string inner(
+        StripAsciiWhitespace(view.substr(1, view.size() - 2)));
+    std::size_t split = inner.npos;
+    for (std::size_t i = 1; i < inner.size(); ++i) {
+      if (inner[i] == '+' || inner[i] == '-') {
+        split = i;
+        break;
+      }
+    }
+    const std::string reg_text(
+        StripAsciiWhitespace(inner.substr(0, split)));
+    ASSIGN_OR_RETURN(*rb, ParseRegister(line, reg_text));
+    *imm = 0;
+    if (split != inner.npos) {
+      ASSIGN_OR_RETURN(std::int64_t value,
+                       Eval(line, inner.substr(split), emit_));
+      RETURN_IF_ERROR(CheckSigned16(line, value, "memory offset"));
+      *imm = static_cast<std::int32_t>(value);
+    }
+    return Status::Ok();
+  }
+
+  Status Expect(const SourceLine& line, std::size_t count) {
+    if (line.operands.size() != count) {
+      return LineError(line, StrFormat("'%s' expects %zu operands, got %zu",
+                                       line.mnemonic.c_str(), count,
+                                       line.operands.size()));
+    }
+    return Status::Ok();
+  }
+
+  Status HandleStatement(const SourceLine& line) {
+    const std::string& m = line.mnemonic;
+    // Directives ---------------------------------------------------------
+    if (m == ".org") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(std::int64_t address,
+                       Eval(line, line.operands[0], emit_));
+      cursor_ = static_cast<std::uint32_t>(address);
+      chunk_base_ = cursor_;
+      return Status::Ok();
+    }
+    if (m == ".entry") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      entry_label_ = line.operands[0];
+      return Status::Ok();
+    }
+    if (m == ".word") {
+      if (line.operands.empty()) {
+        return LineError(line, ".word needs at least one value");
+      }
+      for (const std::string& operand : line.operands) {
+        ASSIGN_OR_RETURN(std::int64_t value, Eval(line, operand, emit_));
+        EmitWord(static_cast<std::uint32_t>(value));
+      }
+      return Status::Ok();
+    }
+    if (m == ".space") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(std::int64_t count,
+                       Eval(line, line.operands[0], emit_));
+      for (std::int64_t i = 0; i < count; ++i) EmitByte(0);
+      return Status::Ok();
+    }
+    if (m == ".align") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(std::int64_t boundary,
+                       Eval(line, line.operands[0], emit_));
+      if (boundary <= 0) return LineError(line, ".align needs a positive N");
+      while (cursor_ % static_cast<std::uint32_t>(boundary) != 0) EmitByte(0);
+      return Status::Ok();
+    }
+    if (!m.empty() && m[0] == '.') {
+      return LineError(line, "unknown directive '" + m + "'");
+    }
+
+    // Pseudo-instructions --------------------------------------------------
+    if (m == "li") {
+      RETURN_IF_ERROR(Expect(line, 2));
+      ASSIGN_OR_RETURN(unsigned rd, ParseRegister(line, line.operands[0]));
+      // li's size must not depend on pass-2-only symbol values, so only
+      // literal numbers are allowed (use 'la' for addresses).
+      const auto literal = ParseInt64(line.operands[1]);
+      if (!literal) {
+        return LineError(line, "li needs a numeric literal; use la for labels");
+      }
+      const std::int64_t value = *literal;
+      if (value >= -32768 && value <= 32767) {
+        EmitInstruction(Opcode::kAddi, rd, 0, 0,
+                        static_cast<std::int32_t>(value));
+      } else {
+        const std::uint32_t bits = static_cast<std::uint32_t>(value);
+        EmitInstruction(Opcode::kLui, rd, 0, 0,
+                        static_cast<std::int32_t>(bits >> 16));
+        EmitInstruction(Opcode::kOri, rd, rd, 0,
+                        static_cast<std::int32_t>(bits & 0xffff));
+      }
+      return Status::Ok();
+    }
+    if (m == "la") {
+      RETURN_IF_ERROR(Expect(line, 2));
+      ASSIGN_OR_RETURN(unsigned rd, ParseRegister(line, line.operands[0]));
+      ASSIGN_OR_RETURN(std::int64_t value,
+                       Eval(line, line.operands[1], emit_));
+      const std::uint32_t bits = static_cast<std::uint32_t>(value);
+      EmitInstruction(Opcode::kLui, rd, 0, 0,
+                      static_cast<std::int32_t>(bits >> 16));
+      EmitInstruction(Opcode::kOri, rd, rd, 0,
+                      static_cast<std::int32_t>(bits & 0xffff));
+      return Status::Ok();
+    }
+    if (m == "mov") {
+      RETURN_IF_ERROR(Expect(line, 2));
+      ASSIGN_OR_RETURN(unsigned rd, ParseRegister(line, line.operands[0]));
+      ASSIGN_OR_RETURN(unsigned rs, ParseRegister(line, line.operands[1]));
+      EmitInstruction(Opcode::kAdd, rd, rs, 0);
+      return Status::Ok();
+    }
+    if (m == "b") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(std::int32_t offset,
+                       BranchOffset(line, line.operands[0]));
+      EmitInstruction(Opcode::kBeq, 0, 0, 0, offset);
+      return Status::Ok();
+    }
+    if (m == "call") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(std::int32_t offset,
+                       BranchOffset(line, line.operands[0]));
+      EmitInstruction(Opcode::kJal, 15, 0, 0, offset);
+      return Status::Ok();
+    }
+    if (m == "ret") {
+      RETURN_IF_ERROR(Expect(line, 0));
+      EmitInstruction(Opcode::kJalr, 0, 15, 0, 0);
+      return Status::Ok();
+    }
+    if (m == "push") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(unsigned rs, ParseRegister(line, line.operands[0]));
+      EmitInstruction(Opcode::kAddi, 14, 14, 0, -4);
+      EmitInstruction(Opcode::kSt, rs, 14, 0, 0);
+      return Status::Ok();
+    }
+    if (m == "pop") {
+      RETURN_IF_ERROR(Expect(line, 1));
+      ASSIGN_OR_RETURN(unsigned rd, ParseRegister(line, line.operands[0]));
+      EmitInstruction(Opcode::kLd, rd, 14, 0, 0);
+      EmitInstruction(Opcode::kAddi, 14, 14, 0, 4);
+      return Status::Ok();
+    }
+
+    // Real instructions -----------------------------------------------------
+    Opcode opcode;
+    if (!LookupMnemonic(m, &opcode)) {
+      return LineError(line, "unknown mnemonic '" + m + "'");
+    }
+    switch (opcode) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        RETURN_IF_ERROR(Expect(line, 0));
+        EmitInstruction(opcode);
+        return Status::Ok();
+      case Opcode::kSys: {
+        RETURN_IF_ERROR(Expect(line, 1));
+        ASSIGN_OR_RETURN(std::int64_t code,
+                         Eval(line, line.operands[0], emit_));
+        if (code < 0 || code > 0xffff) {
+          return LineError(line, "sys code out of range");
+        }
+        EmitInstruction(opcode, 0, 0, 0, static_cast<std::int32_t>(code));
+        return Status::Ok();
+      }
+      case Opcode::kLui: {
+        RETURN_IF_ERROR(Expect(line, 2));
+        ASSIGN_OR_RETURN(unsigned rd, ParseRegister(line, line.operands[0]));
+        ASSIGN_OR_RETURN(std::int64_t imm,
+                         Eval(line, line.operands[1], emit_));
+        if (imm < 0 || imm > 0xffff) {
+          return LineError(line, "lui immediate out of range");
+        }
+        EmitInstruction(opcode, rd, 0, 0, static_cast<std::int32_t>(imm));
+        return Status::Ok();
+      }
+      case Opcode::kLd: case Opcode::kLdb:
+      case Opcode::kSt: case Opcode::kStb: {
+        RETURN_IF_ERROR(Expect(line, 2));
+        ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+        unsigned rb = 0;
+        std::int32_t imm = 0;
+        RETURN_IF_ERROR(ParseMemOperand(line, line.operands[1], &rb, &imm));
+        EmitInstruction(opcode, ra, rb, 0, imm);
+        return Status::Ok();
+      }
+      case Opcode::kJal: {
+        RETURN_IF_ERROR(Expect(line, 2));
+        ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+        ASSIGN_OR_RETURN(std::int32_t offset,
+                         BranchOffset(line, line.operands[1]));
+        EmitInstruction(opcode, ra, 0, 0, offset);
+        return Status::Ok();
+      }
+      case Opcode::kJalr: {
+        // jalr rd, rs [, imm]
+        if (line.operands.size() != 2 && line.operands.size() != 3) {
+          return LineError(line, "jalr expects 2 or 3 operands");
+        }
+        ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+        ASSIGN_OR_RETURN(unsigned rb, ParseRegister(line, line.operands[1]));
+        std::int32_t imm = 0;
+        if (line.operands.size() == 3) {
+          ASSIGN_OR_RETURN(std::int64_t value,
+                           Eval(line, line.operands[2], emit_));
+          RETURN_IF_ERROR(CheckSigned16(line, value, "jalr offset"));
+          imm = static_cast<std::int32_t>(value);
+        }
+        EmitInstruction(opcode, ra, rb, 0, imm);
+        return Status::Ok();
+      }
+      default:
+        break;
+    }
+    if (IsRType(opcode)) {
+      RETURN_IF_ERROR(Expect(line, 3));
+      ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+      ASSIGN_OR_RETURN(unsigned rb, ParseRegister(line, line.operands[1]));
+      ASSIGN_OR_RETURN(unsigned rc, ParseRegister(line, line.operands[2]));
+      EmitInstruction(opcode, ra, rb, rc);
+      return Status::Ok();
+    }
+    if (IsBranch(opcode)) {
+      RETURN_IF_ERROR(Expect(line, 3));
+      ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+      ASSIGN_OR_RETURN(unsigned rb, ParseRegister(line, line.operands[1]));
+      ASSIGN_OR_RETURN(std::int32_t offset,
+                       BranchOffset(line, line.operands[2]));
+      EmitInstruction(opcode, ra, rb, 0, offset);
+      return Status::Ok();
+    }
+    // Remaining I-type ALU: op rd, rs, imm
+    RETURN_IF_ERROR(Expect(line, 3));
+    ASSIGN_OR_RETURN(unsigned ra, ParseRegister(line, line.operands[0]));
+    ASSIGN_OR_RETURN(unsigned rb, ParseRegister(line, line.operands[1]));
+    ASSIGN_OR_RETURN(std::int64_t value, Eval(line, line.operands[2], emit_));
+    if (UsesLogicalImmediate(opcode)) {
+      if (value < 0 || value > 0xffff) {
+        return LineError(line, "logical immediate out of range [0, 0xffff]");
+      }
+    } else {
+      RETURN_IF_ERROR(CheckSigned16(line, value, "immediate"));
+    }
+    EmitInstruction(opcode, ra, rb, 0, static_cast<std::int32_t>(value));
+    return Status::Ok();
+  }
+
+  static bool LookupMnemonic(const std::string& name, Opcode* opcode) {
+    for (int op = 0; op < 0x48; ++op) {
+      if (!IsValidOpcode(static_cast<std::uint8_t>(op))) continue;
+      if (name == OpcodeMnemonic(static_cast<Opcode>(op))) {
+        *opcode = static_cast<Opcode>(op);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status Pass(bool emit) {
+    emit_ = emit;
+    cursor_ = 0;
+    chunk_base_ = 0;
+    if (emit_) program_.chunks.clear();
+    for (const SourceLine& line : lines_) {
+      for (const std::string& label : line.labels) {
+        if (!emit_) {
+          if (program_.symbols.count(label) != 0) {
+            return LineError(line, "duplicate label '" + label + "'");
+          }
+          program_.symbols[label] = cursor_;
+        }
+      }
+      if (!line.mnemonic.empty()) {
+        RETURN_IF_ERROR(HandleStatement(line));
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::vector<SourceLine> lines_;
+  AssembledProgram program_;
+  bool emit_ = false;
+  std::uint32_t cursor_ = 0;
+  std::uint32_t chunk_base_ = 0;
+  std::string entry_label_;
+};
+
+}  // namespace
+
+Result<AssembledProgram> Assemble(const std::string& source) {
+  Assembler assembler;
+  return assembler.Run(source);
+}
+
+}  // namespace goofi::sim

@@ -1,0 +1,58 @@
+// Two-pass assembler for GOOFI-32 workload programs.
+//
+// The paper's campaigns download a workload image to the target and run
+// it ("the workload and initial input data is downloaded to the
+// system"); this assembler produces those images from readable sources
+// in workloads/ and from strings embedded in examples and tests.
+//
+// Syntax:
+//   ; or # comments, one statement per line
+//   label:                       (may share a line with a statement)
+//   .org ADDRESS                 set the location counter
+//   .entry LABEL                 program entry point (default 0)
+//   .word V [, V ...]            emit 32-bit words (labels allowed)
+//   .space N                     emit N zero bytes
+//   .align N                     pad to an N-byte boundary
+//
+//   Registers: r0..r15, plus aliases zero (r0), sp (r14), lr (r15).
+//   Instructions use the mnemonics of isa.h:
+//     add r1, r2, r3        addi r1, r2, -5       lui r1, 0x1234
+//     ld r1, [r2+8]         st r1, [r2]           beq r1, r2, label
+//     jal lr, label         jalr r0, lr           sys 1
+//   Pseudo-instructions:
+//     li  rd, imm32         (addi, or lui+ori when it doesn't fit)
+//     la  rd, label         (lui+ori, always 2 words)
+//     mov rd, rs            (add rd, rs, r0)
+//     b   label             (beq r0, r0, label)
+//     call label            (jal lr, label)
+//     ret                   (jalr r0, lr)
+//     push rs               (addi sp, sp, -4 ; st rs, [sp])
+//     pop  rd               (ld rd, [sp] ; addi sp, sp, 4)
+//   Immediates: decimal, 0x hex, 'label', or 'label+N' / 'label-N'.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/memory.h"
+#include "util/status.h"
+
+namespace goofi::sim {
+
+struct AssembledProgram {
+  // Contiguous byte chunks keyed by start address (gaps from .org).
+  std::map<std::uint32_t, std::vector<std::uint8_t>> chunks;
+  std::uint32_t entry = 0;
+  std::map<std::string, std::uint32_t> symbols;
+
+  // Total bytes across chunks.
+  std::size_t ByteSize() const;
+  // Copy every chunk into target memory (unchecked pokes).
+  Status LoadInto(Memory& memory) const;
+};
+
+Result<AssembledProgram> Assemble(const std::string& source);
+
+}  // namespace goofi::sim

@@ -1,0 +1,107 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace goofi::sim {
+
+Cache::Cache(CacheGeometry geometry) : geometry_(geometry) {
+  assert(std::has_single_bit(geometry_.lines));
+  assert(std::has_single_bit(geometry_.words_per_line));
+  lines_.resize(geometry_.lines);
+  for (CacheLine& line : lines_) {
+    line.words.assign(geometry_.words_per_line, 0);
+    line.parity.assign(geometry_.words_per_line, false);
+  }
+}
+
+bool Cache::ComputeParity(std::uint32_t word) {
+  return (std::popcount(word) & 1) != 0;
+}
+
+std::uint32_t Cache::WordIndex(std::uint32_t address) const {
+  return (address >> 2) & (geometry_.words_per_line - 1);
+}
+
+std::uint32_t Cache::LineIndex(std::uint32_t address) const {
+  const unsigned word_shift =
+      2 + static_cast<unsigned>(std::countr_zero(geometry_.words_per_line));
+  return (address >> word_shift) & (geometry_.lines - 1);
+}
+
+std::uint32_t Cache::Tag(std::uint32_t address) const {
+  const unsigned shift =
+      2 + static_cast<unsigned>(std::countr_zero(geometry_.words_per_line)) +
+      static_cast<unsigned>(std::countr_zero(geometry_.lines));
+  const std::uint32_t tag_mask =
+      geometry_.tag_bits >= 32 ? ~0u : ((1u << geometry_.tag_bits) - 1);
+  return (address >> shift) & tag_mask;
+}
+
+MemFault Cache::ReadWord(Memory& memory, std::uint32_t address,
+                         std::uint32_t* value, AccessKind kind,
+                         bool* parity_error) {
+  *parity_error = false;
+  if (address % 4 != 0) return MemFault::kMisaligned;
+  CacheLine& line = lines_[LineIndex(address)];
+  const std::uint32_t word = WordIndex(address);
+  if (line.valid && line.tag == Tag(address)) {
+    // Hit: the protection check still consults memory's segment map so a
+    // cached-but-now-forbidden access kind cannot slip through.
+    const Segment* segment = memory.FindSegment(address);
+    if (segment == nullptr) return MemFault::kUnmapped;
+    if ((kind == AccessKind::kExecute && !segment->executable) ||
+        (kind == AccessKind::kRead && !segment->readable)) {
+      return MemFault::kProtection;
+    }
+    ++stats_.hits;
+    if (ComputeParity(line.words[word]) != line.parity[word]) {
+      ++stats_.parity_errors;
+      *parity_error = true;
+    }
+    *value = line.words[word];
+    return MemFault::kNone;
+  }
+  // Miss: fill the whole line from memory.
+  ++stats_.misses;
+  const std::uint32_t line_base =
+      address & ~(geometry_.words_per_line * 4 - 1);
+  std::vector<std::uint32_t> filled(geometry_.words_per_line);
+  for (std::uint32_t w = 0; w < geometry_.words_per_line; ++w) {
+    const MemFault fault =
+        memory.ReadWord(line_base + w * 4, &filled[w], kind);
+    if (fault != MemFault::kNone) return fault;
+  }
+  line.valid = true;
+  line.tag = Tag(address);
+  for (std::uint32_t w = 0; w < geometry_.words_per_line; ++w) {
+    line.words[w] = filled[w];
+    line.parity[w] = ComputeParity(filled[w]);
+  }
+  *value = line.words[word];
+  return MemFault::kNone;
+}
+
+MemFault Cache::WriteWord(Memory& memory, std::uint32_t address,
+                          std::uint32_t value) {
+  const MemFault fault = memory.WriteWord(address, value);
+  if (fault != MemFault::kNone) return fault;
+  CacheLine& line = lines_[LineIndex(address)];
+  if (line.valid && line.tag == Tag(address)) {
+    const std::uint32_t word = WordIndex(address);
+    line.words[word] = value;
+    line.parity[word] = ComputeParity(value);
+  }
+  return MemFault::kNone;
+}
+
+void Cache::Invalidate() {
+  for (CacheLine& line : lines_) {
+    line.valid = false;
+    line.tag = 0;
+    std::fill(line.words.begin(), line.words.end(), 0);
+    std::fill(line.parity.begin(), line.parity.end(), false);
+  }
+}
+
+}  // namespace goofi::sim

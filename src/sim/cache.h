@@ -1,0 +1,85 @@
+// Direct-mapped, write-through caches with per-word parity bits.
+//
+// The Thor RD "features parity protected instruction and data caches";
+// that parity logic is the hardware EDM that catches most faults injected
+// into cache arrays via the scan chains. The model keeps every array bit
+// (valid, tag, data words, parity bits) as addressable state so the scan
+// chain can expose them as fault-injection locations:
+//
+//  - flipping a DATA bit leaves the stored parity stale -> the next read
+//    hit raises a parity error (detected),
+//  - flipping the PARITY bit itself also raises one (false alarm,
+//    faithful to real parity checkers),
+//  - flipping a TAG bit usually turns the next access into a miss and the
+//    fault is refetched over (overwritten / non-effective),
+//  - flipping VALID 1->0 silently invalidates the line (overwritten).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory.h"
+
+namespace goofi::sim {
+
+struct CacheGeometry {
+  std::uint32_t lines = 16;           // power of two
+  std::uint32_t words_per_line = 4;   // power of two
+  std::uint32_t tag_bits = 24;
+};
+
+struct CacheLine {
+  bool valid = false;
+  std::uint32_t tag = 0;
+  std::vector<std::uint32_t> words;
+  std::vector<bool> parity;  // stored parity bit per word
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t parity_errors = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheGeometry geometry = {});
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Read through the cache. On a hit the stored parity is checked;
+  // *parity_error reports a mismatch (the CPU raises the corresponding
+  // EDM). On a miss the line is filled from memory. Returns the memory
+  // fault (if any) of the fill/access path.
+  MemFault ReadWord(Memory& memory, std::uint32_t address,
+                    std::uint32_t* value, AccessKind kind,
+                    bool* parity_error);
+
+  // Write-through with write-update (no allocate on miss): memory is
+  // written, and if the line is resident the cached word + parity are
+  // refreshed.
+  MemFault WriteWord(Memory& memory, std::uint32_t address,
+                     std::uint32_t value);
+
+  void Invalidate();
+
+  // Raw array access for the scan chain.
+  std::size_t line_count() const { return lines_.size(); }
+  CacheLine& line(std::size_t index) { return lines_[index]; }
+  const CacheLine& line(std::size_t index) const { return lines_[index]; }
+
+  // Address decomposition (public for tests and the scan-chain map).
+  std::uint32_t LineIndex(std::uint32_t address) const;
+  std::uint32_t WordIndex(std::uint32_t address) const;
+  std::uint32_t Tag(std::uint32_t address) const;
+
+  static bool ComputeParity(std::uint32_t word);  // even parity over 32 bits
+
+ private:
+  CacheGeometry geometry_;
+  std::vector<CacheLine> lines_;
+  CacheStats stats_;
+};
+
+}  // namespace goofi::sim

@@ -1,0 +1,100 @@
+// Debug-event unit: breakpoints and the run loop.
+//
+// In the paper, "the SCIFI fault injection algorithm requires breakpoints
+// to be set according to the points in time when the fault should be
+// injected ... The breakpoint is ... set via the scan-chains. When a
+// break-point condition has been fulfilled, execution of the workload
+// stops". The condition kinds below also cover the paper's future-
+// extension trigger list: "access of certain data values, execution of
+// branch instructions or subprogram calls ... or at specific times
+// determined by a real-time clock".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/cpu.h"
+
+namespace goofi::sim {
+
+struct Breakpoint {
+  enum class Kind {
+    kPcEquals,        // before executing the instruction at `address`
+    kInstretReached,  // before executing instruction number `count`
+    kDataRead,        // after a load touching `address`
+    kDataWrite,       // after a store touching `address`
+    kBranchTaken,     // after the n-th taken branch
+    kCall,            // after the n-th JAL/JALR
+    kRtcMicros,       // real-time clock: instret >= micros * ipus
+  };
+  Kind kind = Kind::kInstretReached;
+  std::uint32_t address = 0;  // kPcEquals / kDataRead / kDataWrite
+  std::uint64_t count = 0;    // occurrence number (1 = first) or instret
+  std::uint64_t micros = 0;   // kRtcMicros
+  bool one_shot = true;       // disarm after the first hit
+};
+
+enum class StopReason {
+  kHalted,          // HALT retired — workload finished by itself
+  kEdm,             // an EDM fired (CPU halted; error detected)
+  kBreakpoint,      // a debug event matched
+  kIterationLimit,  // max control-loop iterations reached
+  kBudgetExhausted, // instruction budget spent (tool-level timeout)
+};
+
+const char* StopReasonName(StopReason reason);
+
+struct RunResult {
+  StopReason reason = StopReason::kBudgetExhausted;
+  std::uint64_t instructions_executed = 0;
+  std::optional<EdmEvent> edm;
+  std::optional<int> breakpoint_id;
+};
+
+class DebugUnit {
+ public:
+  // Simulated RTC rate for kRtcMicros, in instructions per microsecond.
+  explicit DebugUnit(std::uint64_t instructions_per_micro = 25)
+      : instructions_per_micro_(instructions_per_micro) {}
+
+  int AddBreakpoint(Breakpoint breakpoint);
+  void RemoveBreakpoint(int id);
+  void Clear();
+  std::size_t breakpoint_count() const { return breakpoints_.size(); }
+
+  // Check conditions that fire *before* executing the instruction at the
+  // current pc/instret. Returns the breakpoint id, disarming one-shots.
+  std::optional<int> CheckBefore(const Cpu& cpu);
+  // Check conditions that depend on the side effects of the step that
+  // just retired (data access / branch / call occurrence counts).
+  std::optional<int> CheckAfter(const Cpu& cpu, const StepEffects& effects);
+
+ private:
+  struct Armed {
+    int id;
+    Breakpoint breakpoint;
+    std::uint64_t occurrences = 0;  // for occurrence-counted kinds
+  };
+  std::optional<int> Fire(std::size_t index);
+
+  std::vector<Armed> breakpoints_;
+  int next_id_ = 1;
+  std::uint64_t instructions_per_micro_;
+};
+
+// Run the CPU until a stop condition:
+//  - a debug event (breakpoint),
+//  - HALT or an EDM trap,
+//  - `max_iterations` SYS-kIterEnd boundaries (0 = unlimited); the
+//    `on_iteration` callback (may be null) runs the environment exchange
+//    at each boundary and may veto continuation by returning false,
+//  - `max_instructions` executed in this call (the tool-level time-out).
+RunResult Run(Cpu& cpu, DebugUnit* debug_unit,
+              std::uint64_t max_instructions,
+              std::uint64_t max_iterations = 0,
+              const std::function<bool(Cpu&)>& on_iteration = nullptr);
+
+}  // namespace goofi::sim

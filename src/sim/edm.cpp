@@ -1,0 +1,31 @@
+#include "sim/edm.h"
+
+#include "util/strings.h"
+
+namespace goofi::sim {
+
+const char* EdmTypeName(EdmType type) {
+  switch (type) {
+    case EdmType::kIllegalOpcode: return "illegal_opcode";
+    case EdmType::kMemProtection: return "mem_protection";
+    case EdmType::kMisalignedAccess: return "misaligned_access";
+    case EdmType::kPcOutOfRange: return "pc_out_of_range";
+    case EdmType::kDivByZero: return "div_by_zero";
+    case EdmType::kArithOverflow: return "arith_overflow";
+    case EdmType::kIcacheParity: return "icache_parity";
+    case EdmType::kDcacheParity: return "dcache_parity";
+    case EdmType::kWatchdog: return "watchdog";
+    case EdmType::kAssertion: return "assertion";
+  }
+  return "?";
+}
+
+std::optional<EdmType> EdmTypeFromName(const std::string& name) {
+  for (int i = 0; i < kEdmTypeCount; ++i) {
+    const EdmType type = static_cast<EdmType>(i);
+    if (EqualsIgnoreCase(name, EdmTypeName(type))) return type;
+  }
+  return std::nullopt;
+}
+
+}  // namespace goofi::sim

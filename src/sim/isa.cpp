@@ -1,0 +1,186 @@
+#include "sim/isa.h"
+
+#include "util/strings.h"
+
+namespace goofi::sim {
+
+bool IsValidOpcode(std::uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kNop: case Opcode::kHalt: case Opcode::kSys:
+    case Opcode::kLui:
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl:
+    case Opcode::kSra: case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+    case Opcode::kSrai: case Opcode::kSlti:
+    case Opcode::kLd: case Opcode::kSt: case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+    case Opcode::kJal: case Opcode::kJalr:
+      return true;
+  }
+  return false;
+}
+
+bool UsesSignedImmediate(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAddi: case Opcode::kSlti:
+    case Opcode::kLd: case Opcode::kSt: case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+    case Opcode::kJal: case Opcode::kJalr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesLogicalImmediate(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+    case Opcode::kLui: case Opcode::kSys:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRType(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl:
+    case Opcode::kSra: case Opcode::kSlt: case Opcode::kSltu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBranch(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCall(Opcode opcode) {
+  return opcode == Opcode::kJal || opcode == Opcode::kJalr;
+}
+
+std::uint32_t Encode(const Instruction& instruction) {
+  std::uint32_t word =
+      static_cast<std::uint32_t>(instruction.opcode) << 24 |
+      (static_cast<std::uint32_t>(instruction.ra) & 0xf) << 20 |
+      (static_cast<std::uint32_t>(instruction.rb) & 0xf) << 16;
+  if (IsRType(instruction.opcode)) {
+    word |= (static_cast<std::uint32_t>(instruction.rc) & 0xf) << 12;
+  } else {
+    word |= static_cast<std::uint32_t>(instruction.imm) & 0xffff;
+  }
+  return word;
+}
+
+Result<Instruction> Decode(std::uint32_t word) {
+  const std::uint8_t opcode_bits = static_cast<std::uint8_t>(word >> 24);
+  if (!IsValidOpcode(opcode_bits)) {
+    return InvalidArgumentError(
+        StrFormat("illegal opcode 0x%02x in word 0x%08x", opcode_bits, word));
+  }
+  Instruction instruction;
+  instruction.opcode = static_cast<Opcode>(opcode_bits);
+  instruction.ra = static_cast<std::uint8_t>((word >> 20) & 0xf);
+  instruction.rb = static_cast<std::uint8_t>((word >> 16) & 0xf);
+  instruction.rc = static_cast<std::uint8_t>((word >> 12) & 0xf);
+  instruction.raw = word;
+  const std::uint16_t imm16 = static_cast<std::uint16_t>(word & 0xffff);
+  if (UsesSignedImmediate(instruction.opcode)) {
+    instruction.imm = static_cast<std::int16_t>(imm16);
+  } else {
+    instruction.imm = imm16;  // zero-extended (logical / LUI / SYS)
+  }
+  return instruction;
+}
+
+const char* OpcodeMnemonic(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kSys: return "sys";
+    case Opcode::kLui: return "lui";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kLdb: return "ldb";
+    case Opcode::kStb: return "stb";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJalr: return "jalr";
+  }
+  return "?";
+}
+
+std::string Disassemble(const Instruction& i) {
+  const char* m = OpcodeMnemonic(i.opcode);
+  switch (i.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return m;
+    case Opcode::kSys:
+      return StrFormat("%s %d", m, i.imm);
+    case Opcode::kLui:
+      return StrFormat("%s r%u, 0x%x", m, i.ra, i.imm);
+    case Opcode::kLd:
+    case Opcode::kLdb:
+      return StrFormat("%s r%u, [r%u%+d]", m, i.ra, i.rb, i.imm);
+    case Opcode::kSt:
+    case Opcode::kStb:
+      return StrFormat("%s r%u, [r%u%+d]", m, i.ra, i.rb, i.imm);
+    case Opcode::kJal:
+      return StrFormat("%s r%u, %+d", m, i.ra, i.imm);
+    case Opcode::kJalr:
+      return StrFormat("%s r%u, r%u%+d", m, i.ra, i.rb, i.imm);
+    default:
+      if (IsRType(i.opcode)) {
+        return StrFormat("%s r%u, r%u, r%u", m, i.ra, i.rb, i.rc);
+      }
+      if (IsBranch(i.opcode)) {
+        return StrFormat("%s r%u, r%u, %+d", m, i.ra, i.rb, i.imm);
+      }
+      return StrFormat("%s r%u, r%u, %d", m, i.ra, i.rb, i.imm);
+  }
+}
+
+}  // namespace goofi::sim

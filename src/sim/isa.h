@@ -1,0 +1,116 @@
+// GOOFI-32: the instruction set of the simulated Thor-RD-like target CPU.
+//
+// The paper's target is the Thor RD, a rad-hard processor for space
+// applications with parity-protected caches and IEEE 1149.1 scan logic.
+// The tool never depends on Thor's ISA — only on its state elements and
+// error-detection mechanisms — so we define a compact 32-bit RISC ISA
+// that is easy to assemble workloads for (DESIGN.md, substitutions).
+//
+// Encoding (32 bits):
+//   [31:24] opcode   [23:20] ra   [19:16] rb   [15:12] rc   [15:0] imm16
+// R-type uses ra,rb,rc ([11:0] zero); I-type uses ra,rb,imm16.
+//
+// Registers: r0 reads as zero (writes ignored), r1..r13 general,
+// r14 = sp (stack pointer), r15 = lr (link register) by convention.
+//
+// Immediates: arithmetic immediates (ADDI, SLTI, loads/stores, branches,
+// JAL) are sign-extended; logical immediates (ANDI, ORI, XORI) are
+// zero-extended. Branch/JAL offsets count words relative to pc+4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace goofi::sim {
+
+enum class Opcode : std::uint8_t {
+  kNop  = 0x00,
+  kHalt = 0x01,
+  // SYS imm16 — software signal to the harness; see SysCode.
+  kSys  = 0x02,
+  // ra = imm16 << 16
+  kLui  = 0x08,
+
+  // R-type: ra = rb OP rc
+  kAdd  = 0x10,
+  kSub  = 0x11,
+  kMul  = 0x12,
+  kDiv  = 0x13,  // signed; divide-by-zero raises an EDM event
+  kAnd  = 0x14,
+  kOr   = 0x15,
+  kXor  = 0x16,
+  kSll  = 0x17,  // shift amount = rc & 31
+  kSrl  = 0x18,
+  kSra  = 0x19,
+  kSlt  = 0x1a,  // ra = (signed) rb < rc
+  kSltu = 0x1b,
+
+  // I-type: ra = rb OP imm
+  kAddi = 0x20,
+  kAndi = 0x21,
+  kOri  = 0x22,
+  kXori = 0x23,
+  kSlli = 0x24,
+  kSrli = 0x25,
+  kSrai = 0x26,
+  kSlti = 0x27,
+
+  // Memory: address = rb + imm (sign-extended)
+  kLd   = 0x30,  // ra = mem32[rb+imm]
+  kSt   = 0x31,  // mem32[rb+imm] = ra
+  kLdb  = 0x32,  // ra = zero-extended mem8[rb+imm]
+  kStb  = 0x33,  // mem8[rb+imm] = ra & 0xff
+
+  // Branches: compare ra, rb; target = pc + 4 + imm*4
+  kBeq  = 0x40,
+  kBne  = 0x41,
+  kBlt  = 0x42,  // signed
+  kBge  = 0x43,  // signed
+  kBltu = 0x44,
+  kBgeu = 0x45,
+
+  // Jumps
+  kJal  = 0x46,  // ra = pc + 4; pc = pc + 4 + imm*4
+  kJalr = 0x47,  // ra = pc + 4; pc = (rb + imm) & ~3
+};
+
+// SYS immediate codes understood by the simulator/harness.
+enum class SysCode : std::uint16_t {
+  kIterEnd = 1,     // end of a control-loop iteration (environment exchange)
+  kAssertFail = 2,  // executable assertion fired (application-level EDM)
+  kWdtKick = 3,     // reset the watchdog timer
+  kEmit = 4,        // append r1 to the workload output stream
+  kRecovery = 5,    // best-effort recovery marker (companion paper [12])
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t rc = 0;
+  std::int32_t imm = 0;       // sign- or zero-extended per the opcode
+  std::uint32_t raw = 0;      // original encoding
+};
+
+// Is `opcode` a defined GOOFI-32 opcode?
+bool IsValidOpcode(std::uint8_t opcode);
+
+// Immediate handling class of an opcode.
+bool UsesSignedImmediate(Opcode opcode);  // ADDI/SLTI/mem/branch/JAL
+bool UsesLogicalImmediate(Opcode opcode); // ANDI/ORI/XORI (zero-extended)
+bool IsRType(Opcode opcode);
+bool IsBranch(Opcode opcode);
+bool IsCall(Opcode opcode);  // JAL/JALR (trigger class "subprogram call")
+
+std::uint32_t Encode(const Instruction& instruction);
+// Decode; an undefined opcode yields an error (the CPU raises the
+// illegal-opcode EDM from it).
+Result<Instruction> Decode(std::uint32_t word);
+
+const char* OpcodeMnemonic(Opcode opcode);
+std::string Disassemble(const Instruction& instruction);
+
+}  // namespace goofi::sim

@@ -1,0 +1,261 @@
+#include "sim/scan_chain.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace goofi::sim {
+
+void ScanChain::AddElement(ScanElement element) {
+  assert(element.width >= 1 && element.width <= 64);
+  assert(element.get);
+  assert((element.access == ScanAccess::kReadOnly) == !element.set);
+  element.position = bit_length_;
+  bit_length_ += element.width;
+  elements_.push_back(std::move(element));
+}
+
+const ScanElement* ScanChain::FindElement(const std::string& name) const {
+  for (const ScanElement& element : elements_) {
+    if (element.name == name) return &element;
+  }
+  return nullptr;
+}
+
+BitVector ScanChain::Capture(const Cpu& cpu) const {
+  BitVector image(bit_length_);
+  for (const ScanElement& element : elements_) {
+    image.SetField(element.position, element.width, element.get(cpu));
+  }
+  return image;
+}
+
+void ScanChain::Apply(Cpu& cpu, const BitVector& image) const {
+  assert(image.size() == bit_length_);
+  for (const ScanElement& element : elements_) {
+    if (element.access == ScanAccess::kReadOnly) continue;
+    element.set(cpu, image.GetField(element.position, element.width));
+  }
+}
+
+const ScanChain* ScanChainSet::FindChain(const std::string& name) const {
+  for (const ScanChain& chain : chains) {
+    if (chain.name() == name) return &chain;
+  }
+  return nullptr;
+}
+
+std::optional<std::pair<const ScanChain*, const ScanElement*>>
+ScanChainSet::FindElement(const std::string& name) const {
+  for (const ScanChain& chain : chains) {
+    if (const ScanElement* element = chain.FindElement(name)) {
+      return std::make_pair(&chain, element);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t ScanChainSet::TotalBits() const {
+  std::size_t total = 0;
+  for (const ScanChain& chain : chains) total += chain.bit_length();
+  return total;
+}
+
+namespace {
+
+// Pack the cache arrays of one cache into chain elements.
+void AddCacheElements(ScanChain& chain, const std::string& prefix,
+                      const std::string& category,
+                      const CacheGeometry& geometry,
+                      Cache& (Cpu::*cache_of)()) {
+  auto cache_ref = [cache_of](const Cpu& cpu) -> const Cache& {
+    return (const_cast<Cpu&>(cpu).*cache_of)();
+  };
+  for (std::uint32_t l = 0; l < geometry.lines; ++l) {
+    {
+      ScanElement element;
+      element.name = StrFormat("%s.line%u.valid", prefix.c_str(), l);
+      element.width = 1;
+      element.category = category;
+      element.get = [cache_ref, l](const Cpu& cpu) -> std::uint64_t {
+        return cache_ref(cpu).line(l).valid ? 1 : 0;
+      };
+      element.set = [cache_of, l](Cpu& cpu, std::uint64_t v) {
+        (cpu.*cache_of)().line(l).valid = (v & 1) != 0;
+      };
+      chain.AddElement(std::move(element));
+    }
+    {
+      ScanElement element;
+      element.name = StrFormat("%s.line%u.tag", prefix.c_str(), l);
+      element.width = geometry.tag_bits;
+      element.category = category;
+      element.get = [cache_ref, l](const Cpu& cpu) -> std::uint64_t {
+        return cache_ref(cpu).line(l).tag;
+      };
+      element.set = [cache_of, l, geometry](Cpu& cpu, std::uint64_t v) {
+        const std::uint32_t mask =
+            geometry.tag_bits >= 32 ? ~0u : ((1u << geometry.tag_bits) - 1);
+        (cpu.*cache_of)().line(l).tag = static_cast<std::uint32_t>(v) & mask;
+      };
+      chain.AddElement(std::move(element));
+    }
+    for (std::uint32_t w = 0; w < geometry.words_per_line; ++w) {
+      {
+        ScanElement element;
+        element.name = StrFormat("%s.line%u.data%u", prefix.c_str(), l, w);
+        element.width = 32;
+        element.category = category;
+        element.get = [cache_ref, l, w](const Cpu& cpu) -> std::uint64_t {
+          return cache_ref(cpu).line(l).words[w];
+        };
+        element.set = [cache_of, l, w](Cpu& cpu, std::uint64_t v) {
+          (cpu.*cache_of)().line(l).words[w] = static_cast<std::uint32_t>(v);
+        };
+        chain.AddElement(std::move(element));
+      }
+      {
+        ScanElement element;
+        element.name = StrFormat("%s.line%u.parity%u", prefix.c_str(), l, w);
+        element.width = 1;
+        element.category = category;
+        element.get = [cache_ref, l, w](const Cpu& cpu) -> std::uint64_t {
+          return cache_ref(cpu).line(l).parity[w] ? 1 : 0;
+        };
+        element.set = [cache_of, l, w](Cpu& cpu, std::uint64_t v) {
+          (cpu.*cache_of)().line(l).parity[w] = (v & 1) != 0;
+        };
+        chain.AddElement(std::move(element));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ScanChainSet BuildThorRdScanChains(const Cpu& cpu) {
+  ScanChainSet set;
+
+  // ------------------------------------------------------------------
+  // Internal chain: register file, control state, cache arrays.
+  // ------------------------------------------------------------------
+  ScanChain internal("internal");
+  // r0 is hardwired to zero — it has no latch, so it is not in the chain.
+  for (unsigned r = 1; r < 16; ++r) {
+    ScanElement element;
+    element.name = StrFormat("cpu.regs.r%u", r);
+    element.width = 32;
+    element.category = "reg";
+    element.get = [r](const Cpu& c) -> std::uint64_t { return c.reg(r); };
+    element.set = [r](Cpu& c, std::uint64_t v) {
+      c.set_reg(r, static_cast<std::uint32_t>(v));
+    };
+    internal.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "cpu.pc";
+    element.width = 32;
+    element.category = "control";
+    element.get = [](const Cpu& c) -> std::uint64_t { return c.pc(); };
+    element.set = [](Cpu& c, std::uint64_t v) {
+      c.set_pc(static_cast<std::uint32_t>(v));
+    };
+    internal.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "cpu.ir";
+    element.width = 32;
+    element.category = "control";
+    element.get = [](const Cpu& c) -> std::uint64_t { return c.ir(); };
+    element.set = [](Cpu& c, std::uint64_t v) {
+      c.set_ir(static_cast<std::uint32_t>(v));
+    };
+    internal.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "cpu.wdt";
+    element.width = 32;
+    element.category = "control";
+    element.get = [](const Cpu& c) -> std::uint64_t { return c.watchdog(); };
+    element.set = [](Cpu& c, std::uint64_t v) {
+      c.set_watchdog(static_cast<std::uint32_t>(v));
+    };
+    internal.AddElement(std::move(element));
+  }
+  {
+    // EDM status register: sticky bitmask of mechanisms that have fired.
+    // Observe-only, like the paper's read-only chain locations.
+    ScanElement element;
+    element.name = "cpu.edm_status";
+    element.width = kEdmTypeCount;
+    element.category = "status";
+    element.access = ScanAccess::kReadOnly;
+    element.get = [](const Cpu& c) -> std::uint64_t {
+      std::uint64_t mask = 0;
+      for (const EdmEvent& event : c.edm_events()) {
+        mask |= std::uint64_t{1} << static_cast<int>(event.type);
+      }
+      return mask;
+    };
+    internal.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "cpu.chip_id";
+    element.width = 32;
+    element.category = "status";
+    element.access = ScanAccess::kReadOnly;
+    element.get = [](const Cpu&) -> std::uint64_t { return 0x7408D001u; };
+    internal.AddElement(std::move(element));
+  }
+  AddCacheElements(internal, "icache", "icache",
+                   cpu.config().icache_geometry, &Cpu::icache);
+  AddCacheElements(internal, "dcache", "dcache",
+                   cpu.config().dcache_geometry, &Cpu::dcache);
+  set.chains.push_back(std::move(internal));
+
+  // ------------------------------------------------------------------
+  // Boundary chain: bus latches and pins (IEEE 1149.1 boundary cells).
+  // ------------------------------------------------------------------
+  ScanChain boundary("boundary");
+  {
+    ScanElement element;
+    element.name = "pins.addr_bus";
+    element.width = 32;
+    element.category = "pin";
+    element.get = [](const Cpu& c) -> std::uint64_t { return c.mar(); };
+    element.set = [](Cpu& c, std::uint64_t v) {
+      c.set_mar(static_cast<std::uint32_t>(v));
+    };
+    boundary.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "pins.data_bus";
+    element.width = 32;
+    element.category = "pin";
+    element.get = [](const Cpu& c) -> std::uint64_t { return c.mdr(); };
+    element.set = [](Cpu& c, std::uint64_t v) {
+      c.set_mdr(static_cast<std::uint32_t>(v));
+    };
+    boundary.AddElement(std::move(element));
+  }
+  {
+    ScanElement element;
+    element.name = "pins.halted";
+    element.width = 1;
+    element.category = "pin";
+    element.access = ScanAccess::kReadOnly;
+    element.get = [](const Cpu& c) -> std::uint64_t {
+      return c.halted() ? 1 : 0;
+    };
+    boundary.AddElement(std::move(element));
+  }
+  set.chains.push_back(std::move(boundary));
+  return set;
+}
+
+}  // namespace goofi::sim

@@ -1,0 +1,83 @@
+// Scan chains: the bit-serial access path to the CPU's state elements.
+//
+// "The Thor RD features advanced scan-chain logic ... it allows access to
+// almost all of the state elements of Thor RD. ... Some locations in the
+// scan-chain are read-only and can therefore only be used to observe the
+// state of the microprocessor."
+//
+// A ScanChain is an ordered list of named state elements, each with a bit
+// position, a width, and an access class. Capture() snapshots the CPU
+// into a BitVector image (what shifts out of the chain); Apply() writes a
+// possibly-modified image back (what shifts in), skipping read-only
+// elements — flipping a bit of the image between the two is exactly the
+// paper's SCIFI injection step ("reading the contents of the scan-chains,
+// inverting the bits ... and writing back the fault injected
+// scan-chains").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "util/bitvector.h"
+
+namespace goofi::sim {
+
+enum class ScanAccess { kReadWrite, kReadOnly };
+
+struct ScanElement {
+  std::string name;        // hierarchical, e.g. "cpu.regs.r3"
+  std::size_t width = 1;   // bits
+  std::size_t position = 0;  // bit offset within the chain (assigned)
+  ScanAccess access = ScanAccess::kReadWrite;
+  std::string category;    // "reg" | "control" | "icache" | "dcache" |
+                           // "pin" | "status"
+  std::function<std::uint64_t(const Cpu&)> get;
+  std::function<void(Cpu&, std::uint64_t)> set;  // empty for read-only
+};
+
+class ScanChain {
+ public:
+  explicit ScanChain(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t bit_length() const { return bit_length_; }
+  const std::vector<ScanElement>& elements() const { return elements_; }
+
+  void AddElement(ScanElement element);
+  const ScanElement* FindElement(const std::string& name) const;
+
+  // Snapshot CPU state into a chain image.
+  BitVector Capture(const Cpu& cpu) const;
+  // Write an image back into the CPU; read-only elements are skipped
+  // (their image bits are ignored), as on the real chain.
+  void Apply(Cpu& cpu, const BitVector& image) const;
+
+ private:
+  std::string name_;
+  std::vector<ScanElement> elements_;
+  std::size_t bit_length_ = 0;
+};
+
+// The chain set of the simulated Thor RD: one internal chain (registers,
+// pc, ir, watchdog, latches, EDM status, cache arrays) and one boundary
+// chain (address/data bus latches and control pins).
+struct ScanChainSet {
+  std::vector<ScanChain> chains;
+
+  const ScanChain* FindChain(const std::string& name) const;
+  // Locate an element across chains; returns {chain, element} or nullopt.
+  std::optional<std::pair<const ScanChain*, const ScanElement*>> FindElement(
+      const std::string& name) const;
+  std::size_t TotalBits() const;
+};
+
+// Build the chain set matching `cpu`'s geometry. The chain layout is a
+// pure function of the CPU configuration, so the same description can be
+// stored in TargetSystemData and rebuilt on load.
+ScanChainSet BuildThorRdScanChains(const Cpu& cpu);
+
+}  // namespace goofi::sim

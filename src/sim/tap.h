@@ -1,0 +1,87 @@
+// IEEE 1149.1 (JTAG) TAP controller for the simulated Thor RD.
+//
+// The paper's SCIFI technique "injects faults via the built-in
+// test-logic, i.e. boundary scan-chains and internal scan-chains ...
+// conforming to the IEEE standard for boundary scan". We model the
+// full 16-state TAP FSM: the test card reaches the chains only by
+// clocking TMS/TDI sequences through this controller, so scan access
+// costs shift-cycles proportional to chain length — the quantity
+// bench_scan_chain measures.
+//
+// Supported TAP instructions (4-bit IR):
+//   IDCODE        0x1  -> 32-bit device identification register
+//   SCAN_INTERNAL 0x2  -> the internal chain of BuildThorRdScanChains
+//   SCAN_BOUNDARY 0x3  -> the boundary chain
+//   BYPASS        0xF  -> 1-bit bypass register (also the reset value)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/scan_chain.h"
+#include "util/bitvector.h"
+
+namespace goofi::sim {
+
+enum class TapState : std::uint8_t {
+  kTestLogicReset, kRunTestIdle,
+  kSelectDrScan, kCaptureDr, kShiftDr, kExit1Dr, kPauseDr, kExit2Dr,
+  kUpdateDr,
+  kSelectIrScan, kCaptureIr, kShiftIr, kExit1Ir, kPauseIr, kExit2Ir,
+  kUpdateIr,
+};
+
+const char* TapStateName(TapState state);
+
+enum class TapInstruction : std::uint8_t {
+  kIdcode = 0x1,
+  kScanInternal = 0x2,
+  kScanBoundary = 0x3,
+  kBypass = 0xf,
+};
+
+class TapController {
+ public:
+  // `chains` and `cpu` must outlive the controller.
+  TapController(const ScanChainSet* chains, Cpu* cpu);
+
+  TapState state() const { return state_; }
+  TapInstruction instruction() const { return instruction_; }
+  std::uint64_t tck_cycles() const { return tck_cycles_; }
+
+  // Clock one TCK edge with the given TMS/TDI levels; returns TDO.
+  bool Clock(bool tms, bool tdi);
+
+  // Synchronous reset (5 TMS=1 clocks reach Test-Logic-Reset from any
+  // state; this helper just does it).
+  void Reset();
+
+  // --- test-card conveniences built on Clock() ------------------------
+  // Load a TAP instruction through Shift-IR.
+  void LoadInstruction(TapInstruction instruction);
+  // Capture + shift out the selected data register. The returned image
+  // has bit 0 = first bit shifted out. Shifting in `write_back` (or the
+  // captured bits when nullptr) and passing Update-DR applies the image.
+  BitVector ReadDataRegister();
+  // Full SCIFI access: capture, shift out/in, update. Returns what was
+  // shifted out; `image` is what gets written (must match the register
+  // length).
+  BitVector ExchangeDataRegister(const BitVector& image);
+
+ private:
+  TapState NextState(bool tms) const;
+  std::size_t SelectedRegisterLength() const;
+  void CaptureSelected();
+  void UpdateSelected();
+
+  const ScanChainSet* chains_;
+  Cpu* cpu_;
+  TapState state_ = TapState::kTestLogicReset;
+  TapInstruction instruction_ = TapInstruction::kBypass;
+  std::uint8_t ir_shift_ = 0;
+  BitVector dr_shift_;
+  std::size_t dr_length_ = 1;
+  std::uint64_t tck_cycles_ = 0;
+};
+
+}  // namespace goofi::sim

@@ -1,0 +1,47 @@
+// Execution-observation interface.
+//
+// Two GOOFI features hang off this: detail-mode logging ("the system
+// state is logged as frequently as the target system allows, typically
+// after the execution of each machine instruction") and the pre-injection
+// liveness analysis extension (which needs every register/memory
+// read/write with its time).
+#pragma once
+
+#include <cstdint>
+
+namespace goofi::sim {
+
+class Cpu;
+struct Instruction;
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  // After an instruction retires. `time` is the executed-instruction
+  // count *before* this instruction (i.e. its position in the run),
+  // `pc` its address.
+  virtual void OnInstructionRetired(const Cpu& cpu,
+                                    const Instruction& instruction,
+                                    std::uint64_t time, std::uint32_t pc) {
+    (void)cpu; (void)instruction; (void)time; (void)pc;
+  }
+
+  virtual void OnRegisterRead(unsigned reg, std::uint64_t time) {
+    (void)reg; (void)time;
+  }
+  virtual void OnRegisterWrite(unsigned reg, std::uint32_t old_value,
+                               std::uint32_t new_value, std::uint64_t time) {
+    (void)reg; (void)old_value; (void)new_value; (void)time;
+  }
+  virtual void OnMemoryRead(std::uint32_t address, unsigned bytes,
+                            std::uint64_t time) {
+    (void)address; (void)bytes; (void)time;
+  }
+  virtual void OnMemoryWrite(std::uint32_t address, unsigned bytes,
+                             std::uint32_t value, std::uint64_t time) {
+    (void)address; (void)bytes; (void)value; (void)time;
+  }
+};
+
+}  // namespace goofi::sim

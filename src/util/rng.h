@@ -1,0 +1,44 @@
+// Deterministic random number generation for fault-injection campaigns.
+//
+// Every campaign records its seed in CampaignData; re-running the campaign
+// with the same seed reproduces the exact fault list (location, bit, time)
+// — the paper's `parentExperiment` detail-mode re-run depends on this.
+//
+// SplitMix64 seeds Xoshiro256**, both public-domain algorithms with
+// well-studied statistical behaviour. We avoid <random> engines because
+// their streams are not guaranteed identical across standard libraries,
+// and campaign reproducibility is a portability requirement (the paper's
+// tool runs on both Windows and Solaris hosts).
+#pragma once
+
+#include <cstdint>
+
+namespace goofi {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed);
+
+  // Uniform bits.
+  std::uint64_t NextU64();
+
+  // Uniform integer in [0, bound) using Lemire's debiased multiply.
+  // bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial.
+  bool NextBool(double p_true = 0.5);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace goofi

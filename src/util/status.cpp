@@ -1,0 +1,71 @@
+#include "util/status.h"
+
+namespace goofi {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kConstraintViolation: return "CONSTRAINT_VIOLATION";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kTargetFault: return "TARGET_FAULT";
+    case ErrorCode::kIo: return "IO";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(ErrorCode::kDataLoss, std::move(message));
+}
+Status ConstraintViolationError(std::string message) {
+  return Status(ErrorCode::kConstraintViolation, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(ErrorCode::kParseError, std::move(message));
+}
+Status TargetFaultError(std::string message) {
+  return Status(ErrorCode::kTargetFault, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(ErrorCode::kIo, std::move(message));
+}
+
+}  // namespace goofi

@@ -1,0 +1,135 @@
+// Lightweight Status / Result<T> error handling for GOOFI++.
+//
+// Recoverable failures (bad config, malformed SQL, target refuses a
+// command) are reported as values; exceptions are reserved for programming
+// errors. See DESIGN.md section 4.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace goofi {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+  kConstraintViolation,  // database integrity (PK/FK/UNIQUE/NOT NULL)
+  kParseError,           // SQL / assembler / config syntax errors
+  kTargetFault,          // target system refused or failed an operation
+  kIo,                   // filesystem / transport failures
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Convenience constructors mirroring the ErrorCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+Status ConstraintViolationError(std::string message);
+Status ParseError(std::string message);
+Status TargetFaultError(std::string message);
+Status IoError(std::string message);
+
+// A value or an error. `value()` asserts on the error path; call `ok()`
+// (or use RETURN_IF_ERROR/ASSIGN_OR_RETURN) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "cannot build Result<T> from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace goofi
+
+// Early-return plumbing for Status/Result call chains.
+#define GOOFI_CONCAT_INNER(a, b) a##b
+#define GOOFI_CONCAT(a, b) GOOFI_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::goofi::Status goofi_status__ = (expr);        \
+    if (!goofi_status__.ok()) return goofi_status__; \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto GOOFI_CONCAT(goofi_result__, __LINE__) = (expr);        \
+  if (!GOOFI_CONCAT(goofi_result__, __LINE__).ok())            \
+    return GOOFI_CONCAT(goofi_result__, __LINE__).status();    \
+  lhs = std::move(GOOFI_CONCAT(goofi_result__, __LINE__)).value()

@@ -1,0 +1,235 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace goofi::core {
+namespace {
+
+target::Observation Golden() {
+  target::Observation reference;
+  reference.stop_reason = sim::StopReason::kHalted;
+  reference.instructions = 1000;
+  reference.chain_images["internal"] = BitVector::FromBitString("00110011");
+  reference.output_region = {1, 2, 3, 4};
+  reference.emitted = {42};
+  reference.env_outputs = {10, 20, 30};
+  return reference;
+}
+
+TEST(ClassifyTest, DetectedByMechanism) {
+  target::Observation experiment = Golden();
+  experiment.stop_reason = sim::StopReason::kEdm;
+  sim::EdmEvent edm;
+  edm.type = sim::EdmType::kIcacheParity;
+  experiment.edm = edm;
+  experiment.fault_was_injected = true;
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kDetected);
+  EXPECT_EQ(result.detected_by, sim::EdmType::kIcacheParity);
+}
+
+TEST(ClassifyTest, TimelinessViolation) {
+  target::Observation experiment = Golden();
+  experiment.stop_reason = sim::StopReason::kBudgetExhausted;
+  experiment.fault_was_injected = true;
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kEscaped);
+  EXPECT_EQ(result.escape_kind, EscapeKind::kTimelinessViolation);
+}
+
+TEST(ClassifyTest, WrongOutputEscapes) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = true;
+  experiment.output_region = {1, 2, 3, 99};
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kEscaped);
+  EXPECT_EQ(result.escape_kind, EscapeKind::kWrongOutput);
+}
+
+TEST(ClassifyTest, WrongEmitStreamEscapes) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = true;
+  experiment.emitted = {43};
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kEscaped);
+  EXPECT_EQ(result.escape_kind, EscapeKind::kWrongOutput);
+}
+
+TEST(ClassifyTest, ActuatorDivergenceIsFailSilenceViolation) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = true;
+  experiment.env_outputs = {10, 21, 30};
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kEscaped);
+  EXPECT_EQ(result.escape_kind, EscapeKind::kFailSilenceViolation);
+}
+
+TEST(ClassifyTest, LatentWhenStateDiffersButOutputsMatch) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = true;
+  experiment.chain_images["internal"] =
+      BitVector::FromBitString("00110111");  // one flipped bit remains
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kLatent);
+  EXPECT_EQ(result.state_diff_bits, 1u);
+}
+
+TEST(ClassifyTest, OverwrittenWhenNothingDiffers) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = true;
+  const Classification result = Classify(Golden(), experiment);
+  EXPECT_EQ(result.outcome, OutcomeClass::kOverwritten);
+  EXPECT_EQ(result.state_diff_bits, 0u);
+}
+
+TEST(ClassifyTest, NotInjectedSeparatedFromOverwritten) {
+  target::Observation experiment = Golden();
+  experiment.fault_was_injected = false;
+  EXPECT_EQ(Classify(Golden(), experiment).outcome,
+            OutcomeClass::kNotInjected);
+}
+
+TEST(ClassifyTest, DetectionWinsOverStateDiff) {
+  target::Observation experiment = Golden();
+  experiment.stop_reason = sim::StopReason::kEdm;
+  sim::EdmEvent edm;
+  edm.type = sim::EdmType::kWatchdog;
+  experiment.edm = edm;
+  experiment.output_region = {9, 9, 9, 9};
+  EXPECT_EQ(Classify(Golden(), experiment).outcome,
+            OutcomeClass::kDetected);
+}
+
+TEST(WilsonIntervalTest, KnownValues) {
+  const ConfidenceInterval all = WilsonInterval95(10, 10);
+  EXPECT_DOUBLE_EQ(all.estimate, 1.0);
+  EXPECT_GT(all.low, 0.69);   // Wilson lower bound for 10/10 ~ 0.722
+  EXPECT_LT(all.low, 0.73);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+
+  const ConfidenceInterval half = WilsonInterval95(50, 100);
+  EXPECT_DOUBLE_EQ(half.estimate, 0.5);
+  EXPECT_NEAR(half.low, 0.404, 0.01);
+  EXPECT_NEAR(half.high, 0.596, 0.01);
+
+  const ConfidenceInterval none = WilsonInterval95(0, 0);
+  EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(none.high, 0.0);
+}
+
+TEST(WilsonIntervalTest, IntervalShrinksWithSampleSize) {
+  const ConfidenceInterval small = WilsonInterval95(5, 10);
+  const ConfidenceInterval large = WilsonInterval95(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(LocationCategoryTest, Categorization) {
+  EXPECT_EQ(LocationCategory("cpu.regs.r3"), "reg");
+  EXPECT_EQ(LocationCategory("cpu.pc"), "control");
+  EXPECT_EQ(LocationCategory("cpu.ir"), "control");
+  EXPECT_EQ(LocationCategory("icache.line2.tag"), "icache");
+  EXPECT_EQ(LocationCategory("dcache.line0.parity1"), "dcache");
+  EXPECT_EQ(LocationCategory("pins.data_bus"), "pin");
+  EXPECT_EQ(LocationCategory("mem@0x00010004"), "memory");
+  EXPECT_EQ(LocationCategory("weird"), "?");
+}
+
+TEST(FormatCsvTest, OneRowPerExperimentWithHeader) {
+  CampaignAnalysis analysis;
+  ExperimentResult detected;
+  detected.name = "c/exp00000";
+  detected.location = "dcache.line3.data1";
+  detected.category = "dcache";
+  detected.injection_time = 1234;
+  detected.classification.outcome = OutcomeClass::kDetected;
+  detected.classification.detected_by = sim::EdmType::kDcacheParity;
+  analysis.experiments.push_back(detected);
+  ExperimentResult escaped;
+  escaped.name = "c/exp00001";
+  escaped.location = "cpu.regs.r3";
+  escaped.category = "reg";
+  escaped.classification.outcome = OutcomeClass::kEscaped;
+  escaped.classification.escape_kind = EscapeKind::kWrongOutput;
+  escaped.classification.state_diff_bits = 7;
+  analysis.experiments.push_back(escaped);
+
+  const std::string csv = FormatAnalysisCsv(analysis);
+  const auto lines = goofi::SplitString(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "experiment,location,category,injection_time,outcome,"
+            "detected_by,escape_kind,state_diff_bits");
+  EXPECT_EQ(lines[1],
+            "c/exp00000,dcache.line3.data1,dcache,1234,detected,"
+            "dcache_parity,,0");
+  EXPECT_EQ(lines[2],
+            "c/exp00001,cpu.regs.r3,reg,0,escaped,,wrong_output,7");
+}
+
+TEST(TimeHistogramTest, BucketsOutcomesByInjectionTime) {
+  CampaignAnalysis analysis;
+  auto add = [&](std::uint64_t time, OutcomeClass outcome) {
+    ExperimentResult experiment;
+    experiment.injection_time = time;
+    experiment.classification.outcome = outcome;
+    analysis.experiments.push_back(std::move(experiment));
+  };
+  add(10, OutcomeClass::kDetected);
+  add(20, OutcomeClass::kOverwritten);
+  add(55, OutcomeClass::kEscaped);
+  add(99, OutcomeClass::kLatent);
+  add(100, OutcomeClass::kDetected);
+  add(0, OutcomeClass::kDetected);  // unknown time: excluded
+
+  const TimeHistogram histogram = BuildTimeHistogram(analysis, 2);
+  ASSERT_EQ(histogram.buckets.size(), 2u);
+  EXPECT_EQ(histogram.covered_experiments, 5u);
+  // width = (100 + 2) / 2 = 51 -> [0,50], [51,101].
+  EXPECT_EQ(histogram.buckets[0].detected, 1u);
+  EXPECT_EQ(histogram.buckets[0].non_effective, 1u);
+  EXPECT_EQ(histogram.buckets[0].escaped, 0u);
+  EXPECT_EQ(histogram.buckets[1].escaped, 1u);
+  EXPECT_EQ(histogram.buckets[1].latent, 1u);
+  EXPECT_EQ(histogram.buckets[1].detected, 1u);
+
+  const std::string text = FormatTimeHistogram(histogram);
+  EXPECT_NE(text.find("5 experiments"), std::string::npos);
+  EXPECT_NE(text.find("detect"), std::string::npos);
+}
+
+TEST(TimeHistogramTest, EmptyAndDegenerateInputs) {
+  CampaignAnalysis analysis;
+  EXPECT_TRUE(BuildTimeHistogram(analysis, 4).buckets.empty());
+  EXPECT_TRUE(BuildTimeHistogram(analysis, 0).buckets.empty());
+  ExperimentResult experiment;
+  experiment.injection_time = 0;
+  analysis.experiments.push_back(experiment);
+  EXPECT_TRUE(BuildTimeHistogram(analysis, 4).buckets.empty());
+}
+
+TEST(FormatReportTest, ContainsTaxonomySections) {
+  CampaignAnalysis analysis;
+  analysis.campaign = "demo";
+  analysis.total = 10;
+  analysis.detected = 4;
+  analysis.escaped = 1;
+  analysis.latent = 2;
+  analysis.overwritten = 3;
+  analysis.detected_by_mechanism["dcache_parity"] = 4;
+  analysis.fail_silence = 1;
+  analysis.detection_coverage = WilsonInterval95(4, 5);
+  analysis.effectiveness = WilsonInterval95(5, 10);
+  const std::string report = FormatAnalysisReport(analysis);
+  EXPECT_NE(report.find("Effective errors"), std::string::npos);
+  EXPECT_NE(report.find("Detected errors:     4"), std::string::npos);
+  EXPECT_NE(report.find("dcache_parity"), std::string::npos);
+  EXPECT_NE(report.find("Escaped errors:      1"), std::string::npos);
+  EXPECT_NE(report.find("Latent errors:       2"), std::string::npos);
+  EXPECT_NE(report.find("Overwritten errors:  3"), std::string::npos);
+  EXPECT_NE(report.find("Detection coverage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,240 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "core/goofi_schema.h"
+#include "core/location.h"
+#include "db/sql/executor.h"
+#include "target/thor_rd_target.h"
+
+namespace goofi::core {
+namespace {
+
+constexpr const char* kConfigText = R"(
+[campaign]
+name = regs_scifi
+target = thor_rd
+technique = scifi
+workload = isort
+experiments = 250
+seed = 77
+fault_model = transient
+multiplicity = 2
+location[] = cpu.regs.*
+location[] = cpu.pc
+time_window_lo = 10
+time_window_hi = 900
+trigger = instret
+max_instructions = 50000
+logging = detail
+preinjection = yes
+)";
+
+TEST(CampaignConfigTest, ParsesEveryField) {
+  auto config = Config::Parse(kConfigText);
+  ASSERT_TRUE(config.ok());
+  auto campaign = ParseCampaignConfig(*config->FindSection("campaign"));
+  ASSERT_TRUE(campaign.ok()) << campaign.status().ToString();
+  EXPECT_EQ(campaign->name, "regs_scifi");
+  EXPECT_EQ(campaign->target, "thor_rd");
+  EXPECT_EQ(campaign->technique, target::Technique::kScifi);
+  EXPECT_EQ(campaign->workload, "isort");
+  EXPECT_EQ(campaign->num_experiments, 250u);
+  EXPECT_EQ(campaign->seed, 77u);
+  EXPECT_EQ(campaign->model.kind,
+            target::FaultModel::Kind::kTransientBitFlip);
+  EXPECT_EQ(campaign->multiplicity, 2u);
+  EXPECT_EQ(campaign->location_filters,
+            (std::vector<std::string>{"cpu.regs.*", "cpu.pc"}));
+  EXPECT_EQ(campaign->time_window_lo, 10u);
+  EXPECT_EQ(campaign->time_window_hi, 900u);
+  EXPECT_EQ(campaign->termination.max_instructions, 50000u);
+  EXPECT_EQ(campaign->logging_mode, target::LoggingMode::kDetail);
+  EXPECT_TRUE(campaign->use_preinjection_analysis);
+}
+
+TEST(CampaignConfigTest, DefaultsApply) {
+  auto config = Config::Parse("[campaign]\nname = x\nworkload = fib\n");
+  ASSERT_TRUE(config.ok());
+  auto campaign = ParseCampaignConfig(*config->FindSection("campaign"));
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign->technique, target::Technique::kScifi);
+  EXPECT_EQ(campaign->num_experiments, 100u);
+  EXPECT_EQ(campaign->multiplicity, 1u);
+  EXPECT_TRUE(campaign->location_filters.empty());
+  EXPECT_EQ(campaign->logging_mode, target::LoggingMode::kNormal);
+  EXPECT_FALSE(campaign->use_preinjection_analysis);
+}
+
+TEST(CampaignConfigTest, ValidationErrors) {
+  auto no_name = Config::Parse("[campaign]\nworkload = fib\n");
+  EXPECT_FALSE(
+      ParseCampaignConfig(*no_name->FindSection("campaign")).ok());
+  auto no_workload = Config::Parse("[campaign]\nname = x\n");
+  EXPECT_FALSE(
+      ParseCampaignConfig(*no_workload->FindSection("campaign")).ok());
+  auto bad_technique =
+      Config::Parse("[campaign]\nname=x\nworkload=fib\ntechnique=laser\n");
+  EXPECT_FALSE(
+      ParseCampaignConfig(*bad_technique->FindSection("campaign")).ok());
+  auto bad_multiplicity =
+      Config::Parse("[campaign]\nname=x\nworkload=fib\nmultiplicity=0\n");
+  EXPECT_FALSE(
+      ParseCampaignConfig(*bad_multiplicity->FindSection("campaign")).ok());
+  auto bad_logging =
+      Config::Parse("[campaign]\nname=x\nworkload=fib\nlogging=verbose\n");
+  EXPECT_FALSE(
+      ParseCampaignConfig(*bad_logging->FindSection("campaign")).ok());
+}
+
+class CampaignDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateGoofiSchema(database_).ok());
+    auto workload = target::GetBuiltinWorkload("fib");
+    ASSERT_TRUE(workload.ok());
+    ASSERT_TRUE(target_.SetWorkload(*workload).ok());
+    ASSERT_TRUE(RegisterTargetSystem(database_, target_, "card0",
+                                     "test board").ok());
+  }
+
+  CampaignConfig MakeConfig(const std::string& name) {
+    CampaignConfig config;
+    config.name = name;
+    config.workload = "fib";
+    config.num_experiments = 25;
+    config.seed = 3;
+    config.location_filters = {"cpu.regs.*"};
+    return config;
+  }
+
+  db::Database database_;
+  target::ThorRdTarget target_;
+};
+
+TEST_F(CampaignDbTest, RegisterTargetStoresLocations) {
+  auto rows = db::sql::ExecuteSql(
+      database_,
+      "SELECT COUNT(*) FROM TargetLocation WHERE target_name = 'thor_rd'");
+  ASSERT_TRUE(rows.ok());
+  // 15 regs + pc + ir + wdt + edm_status + chip_id + 2*16 lines * 10
+  // cache elements + 3 pins = at least 300 rows.
+  EXPECT_GT(rows->rows[0][0].AsInteger(), 300);
+  // Registration is idempotent.
+  ASSERT_TRUE(RegisterTargetSystem(database_, target_, "card0", "").ok());
+  auto again = db::sql::ExecuteSql(
+      database_, "SELECT COUNT(*) FROM TargetSystemData");
+  EXPECT_EQ(again->rows[0][0].AsInteger(), 1);
+}
+
+TEST_F(CampaignDbTest, LoadTargetLocationsRoundTrips) {
+  auto loaded = LoadTargetLocations(database_, "thor_rd");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto live = target_.ListLocations();
+  ASSERT_EQ(loaded->size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].name, live[i].name);
+    EXPECT_EQ((*loaded)[i].kind, live[i].kind);
+    EXPECT_EQ((*loaded)[i].chain, live[i].chain);
+    EXPECT_EQ((*loaded)[i].width_bits, live[i].width_bits);
+    EXPECT_EQ((*loaded)[i].writable, live[i].writable);
+    EXPECT_EQ((*loaded)[i].category, live[i].category);
+  }
+  // A location space built from the stored rows samples identically to
+  // one built from the live target (the set-up phase is DB-driven).
+  auto from_db = LocationSpace::Build(*loaded, target::Technique::kScifi,
+                                      {"cpu.regs.*"});
+  auto from_live = LocationSpace::Build(live, target::Technique::kScifi,
+                                        {"cpu.regs.*"});
+  ASSERT_TRUE(from_db.ok());
+  ASSERT_TRUE(from_live.ok());
+  EXPECT_EQ(from_db->total_bits(), from_live->total_bits());
+  EXPECT_EQ(from_db->SampleIndex(100).location,
+            from_live->SampleIndex(100).location);
+  EXPECT_EQ(LoadTargetLocations(database_, "ghost").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CampaignDbTest, StoreAndLoadRoundTrip) {
+  CampaignConfig config = MakeConfig("c1");
+  config.technique = target::Technique::kSwifiRuntime;
+  config.model.kind = target::FaultModel::Kind::kIntermittentBitFlip;
+  config.model.period = 99;
+  config.model.occurrences = 3;
+  config.model.stuck_to_one = false;
+  config.multiplicity = 2;
+  config.time_window_lo = 5;
+  config.time_window_hi = 50;
+  config.trigger_kind = "branch";
+  config.termination.max_instructions = 7777;
+  config.termination.max_iterations = 11;
+  config.logging_mode = target::LoggingMode::kDetail;
+  config.use_preinjection_analysis = true;
+  ASSERT_TRUE(StoreCampaign(database_, config).ok());
+
+  auto loaded = LoadCampaign(database_, "c1");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->technique, config.technique);
+  EXPECT_EQ(loaded->model.kind, config.model.kind);
+  EXPECT_EQ(loaded->model.period, 99u);
+  EXPECT_EQ(loaded->model.occurrences, 3u);
+  EXPECT_FALSE(loaded->model.stuck_to_one);
+  EXPECT_EQ(loaded->multiplicity, 2u);
+  EXPECT_EQ(loaded->location_filters, config.location_filters);
+  EXPECT_EQ(loaded->time_window_lo, 5u);
+  EXPECT_EQ(loaded->time_window_hi, 50u);
+  EXPECT_EQ(loaded->trigger_kind, "branch");
+  EXPECT_EQ(loaded->termination.max_instructions, 7777u);
+  EXPECT_EQ(loaded->termination.max_iterations, 11u);
+  EXPECT_EQ(loaded->logging_mode, target::LoggingMode::kDetail);
+  EXPECT_TRUE(loaded->use_preinjection_analysis);
+}
+
+TEST_F(CampaignDbTest, DuplicateCampaignRejected) {
+  ASSERT_TRUE(StoreCampaign(database_, MakeConfig("dup")).ok());
+  EXPECT_EQ(StoreCampaign(database_, MakeConfig("dup")).code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST_F(CampaignDbTest, UnknownTargetRejected) {
+  CampaignConfig config = MakeConfig("orphan");
+  config.target = "nonexistent";
+  EXPECT_EQ(StoreCampaign(database_, config).code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST_F(CampaignDbTest, LoadMissingCampaign) {
+  EXPECT_EQ(LoadCampaign(database_, "ghost").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CampaignDbTest, MergeCampaignsUnionsSettings) {
+  CampaignConfig a = MakeConfig("a");
+  a.location_filters = {"cpu.regs.*"};
+  a.num_experiments = 100;
+  CampaignConfig b = MakeConfig("b");
+  b.location_filters = {"cpu.regs.*", "icache.*"};
+  b.num_experiments = 50;
+  ASSERT_TRUE(StoreCampaign(database_, a).ok());
+  ASSERT_TRUE(StoreCampaign(database_, b).ok());
+  auto merged = MergeCampaigns(database_, {"a", "b"}, "ab");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->num_experiments, 150u);
+  EXPECT_EQ(merged->location_filters,
+            (std::vector<std::string>{"cpu.regs.*", "icache.*"}));
+  // Stored in the database too.
+  EXPECT_TRUE(LoadCampaign(database_, "ab").ok());
+}
+
+TEST_F(CampaignDbTest, MergeRejectsMixedWorkloads) {
+  CampaignConfig a = MakeConfig("wa");
+  ASSERT_TRUE(StoreCampaign(database_, a).ok());
+  CampaignConfig b = MakeConfig("wb");
+  b.workload = "isort";
+  ASSERT_TRUE(StoreCampaign(database_, b).ok());
+  EXPECT_EQ(MergeCampaigns(database_, {"wa", "wb"}, "bad").status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,89 @@
+#include "core/experiment_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::core {
+namespace {
+
+target::ExperimentSpec MakeSpec() {
+  target::ExperimentSpec spec;
+  spec.name = "camp/exp00042";
+  spec.technique = target::Technique::kSwifiRuntime;
+  spec.trigger.kind = sim::Breakpoint::Kind::kDataWrite;
+  spec.trigger.address = 0x10020;
+  spec.trigger.count = 3;
+  spec.targets = {{"cpu.regs.r5", 17}, {"mem@0x00010004", 6}};
+  spec.model.kind = target::FaultModel::Kind::kIntermittentBitFlip;
+  spec.model.period = 256;
+  spec.model.occurrences = 7;
+  spec.model.stuck_to_one = false;
+  spec.termination.max_instructions = 123456;
+  spec.termination.max_iterations = 40;
+  return spec;
+}
+
+TEST(ExperimentCodecTest, SpecRoundTrip) {
+  const target::ExperimentSpec original = MakeSpec();
+  const auto restored = ParseExperimentSpec(SerializeExperimentSpec(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->name, original.name);
+  EXPECT_EQ(restored->technique, original.technique);
+  EXPECT_EQ(restored->trigger.kind, original.trigger.kind);
+  EXPECT_EQ(restored->trigger.address, original.trigger.address);
+  EXPECT_EQ(restored->trigger.count, original.trigger.count);
+  ASSERT_EQ(restored->targets.size(), 2u);
+  EXPECT_EQ(restored->targets[0].location, "cpu.regs.r5");
+  EXPECT_EQ(restored->targets[0].bit, 17u);
+  EXPECT_EQ(restored->targets[1].location, "mem@0x00010004");
+  EXPECT_EQ(restored->targets[1].bit, 6u);
+  EXPECT_EQ(restored->model.kind, original.model.kind);
+  EXPECT_EQ(restored->model.period, 256u);
+  EXPECT_EQ(restored->model.occurrences, 7u);
+  EXPECT_FALSE(restored->model.stuck_to_one);
+  EXPECT_EQ(restored->termination.max_instructions, 123456u);
+  EXPECT_EQ(restored->termination.max_iterations, 40u);
+}
+
+TEST(ExperimentCodecTest, TriggerRoundTripsAllKinds) {
+  for (const auto kind :
+       {sim::Breakpoint::Kind::kPcEquals,
+        sim::Breakpoint::Kind::kInstretReached,
+        sim::Breakpoint::Kind::kDataRead, sim::Breakpoint::Kind::kDataWrite,
+        sim::Breakpoint::Kind::kBranchTaken, sim::Breakpoint::Kind::kCall,
+        sim::Breakpoint::Kind::kRtcMicros}) {
+    sim::Breakpoint trigger;
+    trigger.kind = kind;
+    trigger.address = 0xABCD;
+    trigger.count = 42;
+    trigger.micros = 17;
+    const auto restored = ParseTrigger(SerializeTrigger(trigger));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->kind, kind);
+    EXPECT_EQ(restored->address, 0xABCDu);
+    EXPECT_EQ(restored->count, 42u);
+    EXPECT_EQ(restored->micros, 17u);
+  }
+}
+
+TEST(ExperimentCodecTest, EmptyTargetsAllowed) {
+  target::ExperimentSpec reference;
+  reference.name = "camp/reference";
+  const auto restored =
+      ParseExperimentSpec(SerializeExperimentSpec(reference));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->targets.empty());
+}
+
+TEST(ExperimentCodecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseExperimentSpec("nonsense").ok());
+  EXPECT_FALSE(ParseExperimentSpec("technique=laser").ok());
+  EXPECT_FALSE(ParseExperimentSpec("targets=no-bit-separator").ok());
+  EXPECT_FALSE(ParseExperimentSpec("model=vapor").ok());
+  EXPECT_FALSE(ParseExperimentSpec("unknown=1").ok());
+  EXPECT_FALSE(ParseTrigger("pc,zz,1,1").ok());
+  EXPECT_FALSE(ParseTrigger("pc,0x0,1").ok());
+  EXPECT_FALSE(ParseTrigger("teleport,0x0,1,1").ok());
+}
+
+}  // namespace
+}  // namespace goofi::core

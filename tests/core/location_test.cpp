@@ -1,0 +1,159 @@
+#include "core/location.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace goofi::core {
+namespace {
+
+using LocationInfo = target::TargetSystemInterface::LocationInfo;
+
+std::vector<LocationInfo> SampleLocations() {
+  std::vector<LocationInfo> locations;
+  auto element = [](const char* name, std::uint32_t width, bool writable,
+                    const char* category) {
+    LocationInfo info;
+    info.kind = LocationInfo::Kind::kScanElement;
+    info.name = name;
+    info.chain = "internal";
+    info.width_bits = width;
+    info.writable = writable;
+    info.category = category;
+    return info;
+  };
+  locations.push_back(element("cpu.regs.r1", 32, true, "reg"));
+  locations.push_back(element("cpu.regs.r2", 32, true, "reg"));
+  locations.push_back(element("cpu.pc", 32, true, "control"));
+  locations.push_back(element("cpu.chip_id", 32, false, "status"));
+  locations.push_back(element("icache.line0.data0", 32, true, "icache"));
+
+  LocationInfo code;
+  code.kind = LocationInfo::Kind::kMemoryRange;
+  code.name = "mem.0x00000000";
+  code.category = "memory_code";
+  code.base = 0;
+  code.size = 64;  // 512 bits
+  locations.push_back(code);
+  LocationInfo data;
+  data.kind = LocationInfo::Kind::kMemoryRange;
+  data.name = "mem.0x00010000";
+  data.category = "memory_data";
+  data.base = 0x10000;
+  data.size = 16;  // 128 bits
+  locations.push_back(data);
+  return locations;
+}
+
+TEST(LocationSpaceTest, TechniqueReach) {
+  const auto all = SampleLocations();
+  // SCIFI: writable scan elements only.
+  auto scifi = LocationSpace::Build(all, target::Technique::kScifi, {});
+  ASSERT_TRUE(scifi.ok());
+  EXPECT_EQ(scifi->entries().size(), 4u);  // chip_id (RO) and memory out
+  EXPECT_EQ(scifi->total_bits(), 4u * 32);
+
+  // Pre-runtime SWIFI: memory only.
+  auto pre = LocationSpace::Build(all, target::Technique::kSwifiPreRuntime,
+                                  {});
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->entries().size(), 2u);
+  EXPECT_EQ(pre->total_bits(), (64u + 16u) * 8);
+
+  // Runtime SWIFI: registers, pc, memory — no cache arrays.
+  auto runtime = LocationSpace::Build(all, target::Technique::kSwifiRuntime,
+                                      {});
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ(runtime->entries().size(), 5u);
+}
+
+TEST(LocationSpaceTest, FiltersAreGlobPatterns) {
+  const auto all = SampleLocations();
+  auto regs = LocationSpace::Build(all, target::Technique::kScifi,
+                                   {"cpu.regs.*"});
+  ASSERT_TRUE(regs.ok());
+  EXPECT_EQ(regs->entries().size(), 2u);
+
+  auto mixed = LocationSpace::Build(all, target::Technique::kScifi,
+                                    {"cpu.regs.r1", "icache.*"});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->entries().size(), 2u);
+}
+
+TEST(LocationSpaceTest, EmptySelectionIsAnError) {
+  const auto all = SampleLocations();
+  EXPECT_EQ(LocationSpace::Build(all, target::Technique::kScifi,
+                                 {"nothing.*"})
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  // Filters that only match unreachable locations also error.
+  EXPECT_FALSE(LocationSpace::Build(all, target::Technique::kScifi,
+                                    {"mem.*"})
+                   .ok());
+}
+
+TEST(LocationSpaceTest, SampleIndexMapsBitsExactly) {
+  const auto all = SampleLocations();
+  auto space = LocationSpace::Build(all, target::Technique::kScifi,
+                                    {"cpu.regs.*"});
+  ASSERT_TRUE(space.ok());
+  // Bits 0..31 belong to r1, 32..63 to r2.
+  EXPECT_EQ(space->SampleIndex(0).location, "cpu.regs.r1");
+  EXPECT_EQ(space->SampleIndex(0).bit, 0u);
+  EXPECT_EQ(space->SampleIndex(31).location, "cpu.regs.r1");
+  EXPECT_EQ(space->SampleIndex(31).bit, 31u);
+  EXPECT_EQ(space->SampleIndex(32).location, "cpu.regs.r2");
+  EXPECT_EQ(space->SampleIndex(32).bit, 0u);
+  EXPECT_EQ(space->SampleIndex(63).bit, 31u);
+}
+
+TEST(LocationSpaceTest, MemorySamplesNameByteAddresses) {
+  const auto all = SampleLocations();
+  auto space = LocationSpace::Build(all, target::Technique::kSwifiPreRuntime,
+                                    {"mem.0x00010000"});
+  ASSERT_TRUE(space.ok());
+  const target::FaultTarget first = space->SampleIndex(0);
+  EXPECT_EQ(first.location, "mem@0x00010000");
+  EXPECT_EQ(first.bit, 0u);
+  const target::FaultTarget mid = space->SampleIndex(8 * 5 + 3);
+  EXPECT_EQ(mid.location, "mem@0x00010005");
+  EXPECT_EQ(mid.bit, 3u);
+}
+
+TEST(LocationSpaceTest, SamplingIsRoughlyUniformOverBits) {
+  const auto all = SampleLocations();
+  auto space = LocationSpace::Build(all, target::Technique::kScifi, {});
+  ASSERT_TRUE(space.ok());
+  Rng rng(99);
+  std::map<std::string, int> histogram;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++histogram[space->SampleBit(rng).location];
+  }
+  // Four 32-bit locations: each should get ~25%.
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [name, count] : histogram) {
+    EXPECT_GT(count, trials / 4 - trials / 20) << name;
+    EXPECT_LT(count, trials / 4 + trials / 20) << name;
+  }
+}
+
+TEST(LocationSpaceTest, ZeroWidthLocationsAreSkipped) {
+  std::vector<LocationInfo> all = SampleLocations();
+  LocationInfo empty;
+  empty.kind = LocationInfo::Kind::kMemoryRange;
+  empty.name = "mem.empty";
+  empty.base = 0x90000;
+  empty.size = 0;
+  all.push_back(empty);
+  auto space =
+      LocationSpace::Build(all, target::Technique::kSwifiPreRuntime, {});
+  ASSERT_TRUE(space.ok());
+  for (const auto& entry : space->entries()) {
+    EXPECT_GT(entry.bit_count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,141 @@
+// A GOOFI++ target plugin: a second (toy) target system compiled as a
+// shared library and loaded at run time with core/plugin.h.
+//
+// The target is a 3-register accumulator machine whose "workload" sums
+// 1..50 into acc0 — just enough substance for the SCIFI algorithm to
+// produce meaningful detected/overwritten outcomes. Its single EDM is a
+// range check on the accumulator.
+#include "core/plugin.h"
+#include "target/framework_target.h"
+
+namespace {
+
+using goofi::BitVector;
+using goofi::Status;
+using goofi::target::ExperimentSpec;
+using goofi::target::FaultTarget;
+using goofi::target::FrameworkTarget;
+
+class ToyTarget : public FrameworkTarget {
+ public:
+  const std::string& target_name() const override {
+    static const std::string kName = "toy_accumulator";
+    return kName;
+  }
+
+  std::vector<LocationInfo> ListLocations() const override {
+    std::vector<LocationInfo> locations;
+    for (int i = 0; i < 3; ++i) {
+      LocationInfo info;
+      info.kind = LocationInfo::Kind::kScanElement;
+      info.name = "acc" + std::to_string(i);
+      info.chain = "internal";
+      info.width_bits = 32;
+      info.writable = true;
+      info.category = "reg";
+      locations.push_back(std::move(info));
+    }
+    return locations;
+  }
+
+  Status initTestCard() override {
+    for (auto& acc : acc_) acc = 0;
+    time_ = 0;
+    detected_ = false;
+    return Status::Ok();
+  }
+  Status loadWorkload() override { return Status::Ok(); }
+  Status writeMemory() override { return Status::Ok(); }
+  Status runWorkload() override { return Status::Ok(); }
+
+  Status waitForBreakpoint() override {
+    RunUntil(spec_.trigger.count);
+    observation_.stop_reason = time_ < kDuration
+                                   ? goofi::sim::StopReason::kBreakpoint
+                                   : goofi::sim::StopReason::kHalted;
+    return Status::Ok();
+  }
+
+  Status readScanChain() override {
+    BitVector image(3 * 32);
+    for (int i = 0; i < 3; ++i) image.SetField(i * 32u, 32, acc_[i]);
+    observation_.chain_images["internal"] = image;
+    snapshot_ = std::move(image);
+    return Status::Ok();
+  }
+
+  Status injectFault() override {
+    for (const FaultTarget& target : spec_.targets) {
+      if (target.location.size() != 4 ||
+          target.location.compare(0, 3, "acc") != 0) {
+        return goofi::NotFoundError("no location " + target.location);
+      }
+      const unsigned index =
+          static_cast<unsigned>(target.location[3] - '0');
+      if (index >= 3 || target.bit >= 32) {
+        return goofi::OutOfRangeError("bad toy location");
+      }
+      snapshot_.Flip(index * 32u + target.bit);
+    }
+    observation_.fault_was_injected = true;
+    return Status::Ok();
+  }
+
+  Status writeScanChain() override {
+    for (int i = 0; i < 3; ++i) {
+      acc_[i] = static_cast<std::uint32_t>(snapshot_.GetField(i * 32u, 32));
+    }
+    return Status::Ok();
+  }
+
+  Status waitForTermination() override {
+    RunUntil(kDuration);
+    observation_.stop_reason = detected_
+                                   ? goofi::sim::StopReason::kEdm
+                                   : goofi::sim::StopReason::kHalted;
+    if (detected_) {
+      goofi::sim::EdmEvent edm;
+      edm.type = goofi::sim::EdmType::kAssertion;
+      edm.time = time_;
+      observation_.edm = edm;
+    }
+    observation_.instructions = time_;
+    return Status::Ok();
+  }
+
+  Status readMemory() override {
+    observation_.emitted = {acc_[0]};
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::uint64_t kDuration = 50;
+  void RunUntil(std::uint64_t until) {
+    while (time_ < std::min(until, kDuration) && !detected_) {
+      ++time_;
+      acc_[0] += static_cast<std::uint32_t>(time_);
+      acc_[1] = acc_[0] >> 1;
+      // EDM: the accumulator can never legally exceed 1275 (= sum 1..50).
+      if (acc_[0] > 1275) detected_ = true;
+    }
+  }
+
+  std::uint32_t acc_[3] = {0, 0, 0};
+  std::uint64_t time_ = 0;
+  bool detected_ = false;
+  BitVector snapshot_;
+};
+
+}  // namespace
+
+extern "C" const char* goofi_plugin_abi() {
+  return goofi::core::kGoofiPluginAbi;
+}
+
+extern "C" void goofi_register_targets(
+    goofi::core::TargetRegistry* registry) {
+  (void)registry->Register("toy_accumulator", []() {
+    return std::unique_ptr<goofi::target::TargetSystemInterface>(
+        new ToyTarget());
+  });
+}

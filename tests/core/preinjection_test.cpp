@@ -1,0 +1,122 @@
+#include "core/preinjection.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::core {
+namespace {
+
+using sim::AccessEvent;
+
+TEST(LivenessIntervalsTest, BuildFromReadsAndWrites) {
+  // write@5, read@10, write@12, read@20  =>  live [6,10] and [13,20].
+  const std::vector<AccessEvent> events = {
+      {5, true}, {10, false}, {12, true}, {20, false}};
+  const LivenessIntervals intervals = BuildIntervals(events);
+  ASSERT_EQ(intervals.spans.size(), 2u);
+  const auto first = std::make_pair<std::uint64_t, std::uint64_t>(6, 10);
+  const auto second = std::make_pair<std::uint64_t, std::uint64_t>(13, 20);
+  EXPECT_EQ(intervals.spans[0], first);
+  EXPECT_EQ(intervals.spans[1], second);
+  EXPECT_FALSE(intervals.Contains(5));
+  EXPECT_TRUE(intervals.Contains(6));
+  EXPECT_TRUE(intervals.Contains(10));
+  EXPECT_FALSE(intervals.Contains(11));
+  EXPECT_FALSE(intervals.Contains(12));
+  EXPECT_TRUE(intervals.Contains(13));
+  EXPECT_TRUE(intervals.Contains(20));
+  EXPECT_FALSE(intervals.Contains(21));
+  EXPECT_EQ(intervals.TotalLiveTime(), 5u + 8u);
+}
+
+TEST(LivenessIntervalsTest, ReadBeforeAnyWriteIsLiveFromZero) {
+  const std::vector<AccessEvent> events = {{7, false}};
+  const LivenessIntervals intervals = BuildIntervals(events);
+  ASSERT_EQ(intervals.spans.size(), 1u);
+  EXPECT_TRUE(intervals.Contains(0));
+  EXPECT_TRUE(intervals.Contains(7));
+  EXPECT_FALSE(intervals.Contains(8));
+}
+
+TEST(LivenessIntervalsTest, WriteOnlyLocationIsNeverLive) {
+  const std::vector<AccessEvent> events = {{3, true}, {9, true}};
+  EXPECT_TRUE(BuildIntervals(events).spans.empty());
+}
+
+TEST(LivenessIntervalsTest, ReadAndWriteSameInstruction) {
+  // "add r1, r1, r2" at t=4: read r1 then write r1 (program order).
+  // Injection at t<=4 reaches the read; the write covers [5, 8] for the
+  // next read — adjacent spans, so they merge into one.
+  const std::vector<AccessEvent> events = {
+      {4, false}, {4, true}, {8, false}};
+  const LivenessIntervals intervals = BuildIntervals(events);
+  ASSERT_EQ(intervals.spans.size(), 1u);
+  EXPECT_TRUE(intervals.Contains(0));
+  EXPECT_TRUE(intervals.Contains(4));
+  EXPECT_TRUE(intervals.Contains(5));
+  EXPECT_TRUE(intervals.Contains(8));
+  EXPECT_FALSE(intervals.Contains(9));
+}
+
+TEST(LivenessIntervalsTest, AdjacentSpansMerge) {
+  // read@5, write@5, read@6: [0,5] and [6,6] merge into [0,6].
+  const std::vector<AccessEvent> events = {
+      {5, false}, {5, true}, {6, false}};
+  const LivenessIntervals intervals = BuildIntervals(events);
+  ASSERT_EQ(intervals.spans.size(), 1u);
+  EXPECT_EQ(intervals.spans[0].second, 6u);
+}
+
+TEST(PreInjectionAnalysisTest, BuildsFromRecorder) {
+  sim::AccessRecorder recorder;
+  recorder.OnRegisterWrite(3, 0, 1, 2);
+  recorder.OnRegisterRead(3, 9);
+  recorder.OnMemoryWrite(0x1000, 4, 5, 4);
+  recorder.OnMemoryRead(0x1000, 4, 11);
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, /*end_time=*/20);
+
+  EXPECT_TRUE(analysis.IsRegisterLive(3, 5));
+  EXPECT_FALSE(analysis.IsRegisterLive(3, 2));
+  EXPECT_FALSE(analysis.IsRegisterLive(3, 10));
+  EXPECT_FALSE(analysis.IsRegisterLive(4, 5));  // untouched register
+  EXPECT_FALSE(analysis.IsRegisterLive(0, 5));  // r0 never live
+
+  EXPECT_TRUE(analysis.IsMemoryWordLive(0x1000, 7));
+  EXPECT_TRUE(analysis.IsMemoryWordLive(0x1002, 7));  // same word
+  EXPECT_FALSE(analysis.IsMemoryWordLive(0x1000, 12));
+  EXPECT_FALSE(analysis.IsMemoryWordLive(0x2000, 7));
+}
+
+TEST(PreInjectionAnalysisTest, FaultTargetResolution) {
+  sim::AccessRecorder recorder;
+  recorder.OnRegisterWrite(5, 0, 1, 1);
+  recorder.OnRegisterRead(5, 6);
+  recorder.OnMemoryWrite(0x10020, 4, 5, 3);
+  recorder.OnMemoryRead(0x10020, 4, 9);
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, 20);
+
+  EXPECT_TRUE(analysis.IsLive({"cpu.regs.r5", 12}, 4));
+  EXPECT_FALSE(analysis.IsLive({"cpu.regs.r5", 12}, 8));
+  // Byte addressing within a word: bit 10 lives in byte +1, same word.
+  EXPECT_TRUE(analysis.IsLive({"mem@0x00010020", 10}, 5));
+  EXPECT_FALSE(analysis.IsLive({"mem@0x00010020", 10}, 15));
+  // Non-architectural locations are conservatively live.
+  EXPECT_TRUE(analysis.IsLive({"icache.line3.data2", 7}, 5));
+  EXPECT_TRUE(analysis.IsLive({"cpu.ir", 7}, 5));
+  // Nonsense registers are not.
+  EXPECT_FALSE(analysis.IsLive({"cpu.regs.r77", 0}, 5));
+}
+
+TEST(PreInjectionAnalysisTest, RegisterLiveFraction) {
+  sim::AccessRecorder recorder;
+  // r1 live for [0,9] out of end_time 100 => 10/100 of one register;
+  // over 15 registers: 10 / 1500.
+  recorder.OnRegisterRead(1, 9);
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, 100);
+  EXPECT_NEAR(analysis.RegisterLiveFraction(), 10.0 / 1500.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace goofi::core

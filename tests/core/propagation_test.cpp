@@ -1,0 +1,161 @@
+#include "core/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "target/thor_rd_target.h"
+
+namespace goofi::core {
+namespace {
+
+// A miniature chain over two fake "registers" for pure unit tests.
+class FakeChainTest : public ::testing::Test {
+ protected:
+  FakeChainTest() : chain_("internal") {
+    for (int i = 0; i < 2; ++i) {
+      sim::ScanElement element;
+      element.name = "reg" + std::to_string(i);
+      element.width = 8;
+      element.category = "reg";
+      element.get = [](const sim::Cpu&) -> std::uint64_t { return 0; };
+      element.set = [](sim::Cpu&, std::uint64_t) {};
+      chain_.AddElement(std::move(element));
+    }
+  }
+
+  static BitVector Image(std::uint8_t reg0, std::uint8_t reg1) {
+    BitVector image(16);
+    image.SetField(0, 8, reg0);
+    image.SetField(8, 8, reg1);
+    return image;
+  }
+
+  sim::ScanChain chain_;
+};
+
+TEST_F(FakeChainTest, NoDivergenceOnIdenticalTraces) {
+  std::vector<std::pair<std::uint64_t, BitVector>> trace = {
+      {0, Image(1, 2)}, {1, Image(3, 4)}};
+  auto report = AnalyzeErrorPropagation(chain_, trace, trace);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->diverged);
+  EXPECT_TRUE(report->elements.empty());
+  EXPECT_EQ(report->compared_steps, 2u);
+}
+
+TEST_F(FakeChainTest, TracksFirstDivergencePerElement) {
+  std::vector<std::pair<std::uint64_t, BitVector>> reference = {
+      {0, Image(1, 2)}, {1, Image(3, 4)}, {2, Image(5, 6)}};
+  std::vector<std::pair<std::uint64_t, BitVector>> faulty = {
+      {0, Image(1, 2)},
+      {1, Image(3 ^ 0x10, 4)},          // reg0 corrupted at t=1
+      {2, Image(5 ^ 0x30, 6 ^ 0x01)}};  // spreads to reg1 at t=2
+  auto report = AnalyzeErrorPropagation(chain_, reference, faulty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->diverged);
+  EXPECT_EQ(report->first_divergence_time, 1u);
+  ASSERT_EQ(report->elements.size(), 2u);
+  EXPECT_EQ(report->elements[0].name, "reg0");
+  EXPECT_EQ(report->elements[0].first_time, 1u);
+  EXPECT_EQ(report->elements[0].peak_diff_bits, 2u);
+  EXPECT_TRUE(report->elements[0].still_corrupted_at_end);
+  EXPECT_EQ(report->elements[1].name, "reg1");
+  EXPECT_EQ(report->elements[1].first_time, 2u);
+  // Timeline: 0, 1, 3 corrupted bits.
+  ASSERT_EQ(report->timeline.size(), 3u);
+  EXPECT_EQ(report->timeline[0].second, 0u);
+  EXPECT_EQ(report->timeline[1].second, 1u);
+  EXPECT_EQ(report->timeline[2].second, 3u);
+}
+
+TEST_F(FakeChainTest, CorruptionCanHeal) {
+  std::vector<std::pair<std::uint64_t, BitVector>> reference = {
+      {0, Image(1, 2)}, {1, Image(3, 4)}, {2, Image(5, 6)}};
+  std::vector<std::pair<std::uint64_t, BitVector>> faulty = {
+      {0, Image(1, 2)}, {1, Image(7, 4)}, {2, Image(5, 6)}};  // healed
+  auto report = AnalyzeErrorPropagation(chain_, reference, faulty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->diverged);
+  ASSERT_EQ(report->elements.size(), 1u);
+  EXPECT_FALSE(report->elements[0].still_corrupted_at_end);
+  EXPECT_EQ(report->timeline.back().second, 0u);
+}
+
+TEST_F(FakeChainTest, LengthDifferenceIsDivergence) {
+  std::vector<std::pair<std::uint64_t, BitVector>> reference = {
+      {0, Image(1, 2)}, {1, Image(3, 4)}};
+  std::vector<std::pair<std::uint64_t, BitVector>> faulty = {
+      {0, Image(1, 2)}};
+  auto report = AnalyzeErrorPropagation(chain_, reference, faulty);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->diverged);
+  EXPECT_TRUE(report->lengths_differ);
+  EXPECT_EQ(report->compared_steps, 1u);
+}
+
+TEST_F(FakeChainTest, RejectsEmptyOrMismatchedTraces) {
+  std::vector<std::pair<std::uint64_t, BitVector>> empty;
+  std::vector<std::pair<std::uint64_t, BitVector>> good = {{0, Image(0, 0)}};
+  EXPECT_FALSE(AnalyzeErrorPropagation(chain_, empty, good).ok());
+  EXPECT_FALSE(AnalyzeErrorPropagation(chain_, good, empty).ok());
+  std::vector<std::pair<std::uint64_t, BitVector>> narrow = {
+      {0, BitVector(8)}};
+  EXPECT_FALSE(AnalyzeErrorPropagation(chain_, good, narrow).ok());
+}
+
+TEST_F(FakeChainTest, FormatSummarizes) {
+  std::vector<std::pair<std::uint64_t, BitVector>> reference = {
+      {0, Image(1, 2)}, {1, Image(3, 4)}};
+  std::vector<std::pair<std::uint64_t, BitVector>> faulty = {
+      {0, Image(1, 2)}, {1, Image(0xFF, 4)}};
+  auto report = AnalyzeErrorPropagation(chain_, reference, faulty);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->Format();
+  EXPECT_NE(text.find("first divergence at instruction 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("reg0"), std::string::npos);
+  EXPECT_NE(text.find("peak corruption"), std::string::npos);
+}
+
+TEST(PropagationEndToEndTest, RealTargetDetailTraces) {
+  target::ThorRdTarget target;
+  auto workload = target::GetBuiltinWorkload("fib");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_TRUE(target.SetWorkload(*workload).ok());
+  target.set_logging_mode(target::LoggingMode::kDetail);
+
+  target::ExperimentSpec reference_spec;
+  reference_spec.name = "ref";
+  target.set_experiment(reference_spec);
+  ASSERT_TRUE(target.MakeReferenceRun().ok());
+  const target::Observation golden = target.TakeObservation();
+
+  target::ExperimentSpec spec;
+  spec.technique = target::Technique::kScifi;
+  spec.trigger.kind = sim::Breakpoint::Kind::kInstretReached;
+  spec.trigger.count = 10;
+  spec.targets = {{"cpu.regs.r2", 3}};  // corrupt the accumulator
+  target.set_experiment(spec);
+  ASSERT_TRUE(target.RunExperiment().ok());
+  const target::Observation faulty = target.TakeObservation();
+
+  const sim::ScanChain* internal =
+      target.test_card().chains().FindChain("internal");
+  auto report = core::AnalyzeErrorPropagation(*internal, golden, faulty);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->diverged);
+  EXPECT_EQ(report->first_divergence_time, 10u);
+  // The corruption starts in r2 and spreads into r1/r4 via the fib
+  // recurrence.
+  ASSERT_FALSE(report->elements.empty());
+  EXPECT_EQ(report->elements[0].name, "cpu.regs.r2");
+  bool reached_other_reg = false;
+  for (const auto& element : report->elements) {
+    if (element.name == "cpu.regs.r1" || element.name == "cpu.regs.r4") {
+      reached_other_reg = true;
+    }
+  }
+  EXPECT_TRUE(reached_other_reg);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,125 @@
+// Verifies the paper's Fig. 4 schema: the three tables, their foreign
+// keys, and the parentExperiment tracking workflow (experiment E2
+// re-running E1's campaign data).
+#include "core/goofi_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "db/sql/executor.h"
+
+namespace goofi::core {
+namespace {
+
+using db::Value;
+
+class GoofiSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateGoofiSchema(database_).ok());
+  }
+
+  Status Exec(const std::string& sql) {
+    return db::sql::ExecuteSql(database_, sql).status();
+  }
+
+  db::Database database_;
+};
+
+TEST_F(GoofiSchemaTest, CreatesAllTables) {
+  EXPECT_TRUE(database_.HasTable("TargetSystemData"));
+  EXPECT_TRUE(database_.HasTable("TargetLocation"));
+  EXPECT_TRUE(database_.HasTable("CampaignData"));
+  EXPECT_TRUE(database_.HasTable("LoggedSystemState"));
+}
+
+TEST_F(GoofiSchemaTest, IsIdempotent) {
+  EXPECT_TRUE(CreateGoofiSchema(database_).ok());
+}
+
+TEST_F(GoofiSchemaTest, CampaignNeedsTarget) {
+  // Fig. 4 arrow: CampaignData -> TargetSystemData.
+  const Status status = Exec(
+      "INSERT INTO CampaignData (campaign_name, target_name, technique, "
+      "workload, num_experiments, seed, fault_model, multiplicity, "
+      "logging_mode, preinjection, status, experiments_done) VALUES "
+      "('c1', 'ghost_target', 'scifi', 'isort', 10, 1, 'transient', 1, "
+      "'normal', 0, 'configured', 0)");
+  EXPECT_EQ(status.code(), ErrorCode::kConstraintViolation);
+}
+
+TEST_F(GoofiSchemaTest, LoggedStateNeedsCampaign) {
+  // Fig. 4 arrow: LoggedSystemState -> CampaignData.
+  const Status status = Exec(
+      "INSERT INTO LoggedSystemState (experiment_name, campaign_name) "
+      "VALUES ('e1', 'ghost_campaign')");
+  EXPECT_EQ(status.code(), ErrorCode::kConstraintViolation);
+}
+
+TEST_F(GoofiSchemaTest, ParentExperimentWorkflow) {
+  ASSERT_TRUE(Exec("INSERT INTO TargetSystemData VALUES "
+                   "('thor_rd', 'card0', 'test')").ok());
+  ASSERT_TRUE(Exec(
+      "INSERT INTO CampaignData (campaign_name, target_name, technique, "
+      "workload, num_experiments, seed, fault_model, multiplicity, "
+      "logging_mode, preinjection, status, experiments_done) VALUES "
+      "('c1', 'thor_rd', 'scifi', 'isort', 10, 1, 'transient', 1, "
+      "'normal', 0, 'configured', 0)").ok());
+  // E1: a fail-silence violation worth investigating.
+  ASSERT_TRUE(Exec(
+      "INSERT INTO LoggedSystemState (experiment_name, parent_experiment, "
+      "campaign_name, experiment_data, state_vector) VALUES "
+      "('E1', NULL, 'c1', 'targets=cpu.regs.r3:5', 'stop=halted')").ok());
+  // E2 re-runs E1 in detail mode; parentExperiment tracks the origin.
+  ASSERT_TRUE(Exec(
+      "INSERT INTO LoggedSystemState (experiment_name, parent_experiment, "
+      "campaign_name, experiment_data, state_vector) VALUES "
+      "('E2', 'E1', 'c1', 'targets=cpu.regs.r3:5', 'stop=halted')").ok());
+  // A dangling parent is rejected.
+  EXPECT_EQ(Exec("INSERT INTO LoggedSystemState (experiment_name, "
+                 "parent_experiment, campaign_name) VALUES "
+                 "('E3', 'nonexistent', 'c1')").code(),
+            ErrorCode::kConstraintViolation);
+  // The campaign data of E1 is reachable from E2 through the keys — the
+  // paper's traceability argument, as a SQL join-by-hand.
+  auto parent = db::sql::ExecuteSql(
+      database_,
+      "SELECT parent_experiment FROM LoggedSystemState WHERE "
+      "experiment_name = 'E2'");
+  ASSERT_TRUE(parent.ok());
+  ASSERT_EQ(parent->rows.size(), 1u);
+  const std::string e1 = parent->rows[0][0].AsText();
+  auto campaign = db::sql::ExecuteSql(
+      database_,
+      "SELECT campaign_name FROM LoggedSystemState WHERE experiment_name "
+      "= '" + e1 + "'");
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign->rows[0][0].AsText(), "c1");
+  // E1 cannot be deleted while E2 references it.
+  EXPECT_EQ(Exec("DELETE FROM LoggedSystemState WHERE experiment_name = "
+                 "'E1'").code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST_F(GoofiSchemaTest, TargetLocationNeedsTarget) {
+  const Status status = Exec(
+      "INSERT INTO TargetLocation VALUES (1, 'ghost', 'cpu.regs.r1', "
+      "'scan_element', 'internal', 32, 1, 'reg', 0, 0)");
+  EXPECT_EQ(status.code(), ErrorCode::kConstraintViolation);
+}
+
+TEST_F(GoofiSchemaTest, TargetDeletionRestrictedByCampaigns) {
+  ASSERT_TRUE(Exec("INSERT INTO TargetSystemData VALUES "
+                   "('thor_rd', 'card0', '')").ok());
+  ASSERT_TRUE(Exec(
+      "INSERT INTO CampaignData (campaign_name, target_name, technique, "
+      "workload, num_experiments, seed, fault_model, multiplicity, "
+      "logging_mode, preinjection, status, experiments_done) VALUES "
+      "('c1', 'thor_rd', 'scifi', 'isort', 10, 1, 'transient', 1, "
+      "'normal', 0, 'configured', 0)").ok());
+  EXPECT_EQ(Exec("DELETE FROM TargetSystemData WHERE target_name = "
+                 "'thor_rd'").code(),
+            ErrorCode::kConstraintViolation);
+}
+
+}  // namespace
+}  // namespace goofi::core

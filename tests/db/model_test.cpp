@@ -1,0 +1,179 @@
+// Model-based property test: random insert/update/delete sequences on a
+// Table are mirrored against a naive reference model with the same
+// constraint rules; the engine and the model must agree on every
+// operation's outcome and on the final contents.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace goofi::db {
+namespace {
+
+TableSchema ModelSchema() {
+  TableSchema schema("m");
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnType::kInteger, false, false,
+                                true}).ok());  // PRIMARY KEY
+  EXPECT_TRUE(schema.AddColumn({"tag", ColumnType::kText, false, true,
+                                false}).ok());  // UNIQUE, nullable
+  EXPECT_TRUE(schema.AddColumn({"score", ColumnType::kInteger, true, false,
+                                false}).ok());  // NOT NULL
+  return schema;
+}
+
+// The reference model: rows in insertion order, constraints by scan.
+struct Model {
+  struct MRow {
+    std::int64_t id;
+    std::optional<std::string> tag;
+    std::int64_t score;
+  };
+  std::vector<MRow> rows;
+
+  bool Insert(std::int64_t id, std::optional<std::string> tag,
+              std::optional<std::int64_t> score) {
+    if (!score) return false;  // NOT NULL
+    for (const MRow& row : rows) {
+      if (row.id == id) return false;                 // PK
+      if (tag && row.tag && *row.tag == *tag) return false;  // UNIQUE
+    }
+    rows.push_back({id, std::move(tag), *score});
+    return true;
+  }
+
+  std::size_t Delete(std::int64_t score_below) {
+    const std::size_t before = rows.size();
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [&](const MRow& row) {
+                                return row.score < score_below;
+                              }),
+               rows.end());
+    return before - rows.size();
+  }
+
+  // Update score for id == key. Always constraint-safe.
+  std::size_t UpdateScore(std::int64_t key, std::int64_t new_score) {
+    std::size_t updated = 0;
+    for (MRow& row : rows) {
+      if (row.id == key) {
+        row.score = new_score;
+        ++updated;
+      }
+    }
+    return updated;
+  }
+
+  // Re-tag id == key; fails (atomically) if the tag is taken elsewhere.
+  // A key that matches nothing succeeds vacuously (0 rows updated).
+  bool UpdateTag(std::int64_t key, const std::string& tag) {
+    const bool key_exists =
+        std::any_of(rows.begin(), rows.end(),
+                    [&](const MRow& row) { return row.id == key; });
+    if (!key_exists) return true;
+    for (const MRow& row : rows) {
+      if (row.id != key && row.tag && *row.tag == tag) return false;
+    }
+    for (MRow& row : rows) {
+      if (row.id == key) row.tag = tag;
+    }
+    return true;
+  }
+};
+
+std::multiset<std::string> Snapshot(const Table& table) {
+  std::multiset<std::string> snapshot;
+  for (const Row& row : table.rows()) {
+    std::string entry;
+    for (const Value& value : row) entry += value.Encode() + "|";
+    snapshot.insert(entry);
+  }
+  return snapshot;
+}
+
+std::multiset<std::string> Snapshot(const Model& model) {
+  std::multiset<std::string> snapshot;
+  for (const Model::MRow& row : model.rows) {
+    std::string entry = Value::Integer(row.id).Encode() + "|";
+    entry += (row.tag ? Value::Text_(*row.tag) : Value::Null()).Encode();
+    entry += "|" + Value::Integer(row.score).Encode() + "|";
+    snapshot.insert(entry);
+  }
+  return snapshot;
+}
+
+class TableModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableModelTest, RandomOperationSequencesAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  Table table(ModelSchema());
+  Model model;
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t action = rng.NextBelow(10);
+    if (action < 5) {
+      // Insert with colliding ids/tags on purpose.
+      const std::int64_t id = static_cast<std::int64_t>(rng.NextBelow(60));
+      std::optional<std::string> tag;
+      if (rng.NextBool(0.7)) {
+        tag = "t" + std::to_string(rng.NextBelow(40));
+      }
+      std::optional<std::int64_t> score;
+      if (rng.NextBool(0.9)) {
+        score = static_cast<std::int64_t>(rng.NextBelow(100));
+      }
+      const bool model_ok = model.Insert(id, tag, score);
+      Row row;
+      row.push_back(Value::Integer(id));
+      row.push_back(tag ? Value::Text_(*tag) : Value::Null());
+      row.push_back(score ? Value::Integer(*score) : Value::Null());
+      const bool table_ok = table.Insert(std::move(row)).ok();
+      ASSERT_EQ(table_ok, model_ok) << "insert step " << step;
+    } else if (action < 7) {
+      const std::int64_t threshold =
+          static_cast<std::int64_t>(rng.NextBelow(100));
+      const std::size_t model_removed = model.Delete(threshold);
+      const std::size_t table_removed =
+          table.Delete([&](const Row& row) {
+            return row[2].AsInteger() < threshold;
+          });
+      ASSERT_EQ(table_removed, model_removed) << "delete step " << step;
+    } else if (action < 9) {
+      const std::int64_t key = static_cast<std::int64_t>(rng.NextBelow(60));
+      const std::int64_t new_score =
+          static_cast<std::int64_t>(rng.NextBelow(100));
+      const std::size_t model_updated = model.UpdateScore(key, new_score);
+      const auto table_updated = table.Update(
+          [&](const Row& row) { return row[0].AsInteger() == key; },
+          {{2, Value::Integer(new_score)}});
+      ASSERT_TRUE(table_updated.ok());
+      ASSERT_EQ(*table_updated, model_updated) << "update step " << step;
+    } else {
+      const std::int64_t key = static_cast<std::int64_t>(rng.NextBelow(60));
+      const std::string tag = "t" + std::to_string(rng.NextBelow(40));
+      const bool model_ok = model.UpdateTag(key, tag);
+      const auto table_updated = table.Update(
+          [&](const Row& row) { return row[0].AsInteger() == key; },
+          {{1, Value::Text_(tag)}});
+      // A no-match update succeeds with 0 rows in both worlds.
+      const bool table_ok = table_updated.ok();
+      ASSERT_EQ(table_ok, model_ok) << "retag step " << step;
+    }
+    ASSERT_EQ(Snapshot(table), Snapshot(model)) << "state after step "
+                                                << step;
+    // Index invariant: every row is findable through its PK index.
+    for (const Row& row : table.rows()) {
+      const auto found = table.FindByUnique(0, row[0]);
+      ASSERT_TRUE(found.has_value());
+      ASSERT_EQ(table.row(*found)[0], row[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableModelTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace goofi::db

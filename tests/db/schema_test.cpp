@@ -1,0 +1,122 @@
+#include "db/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::db {
+namespace {
+
+TableSchema MakeSchema() {
+  TableSchema schema("t");
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnType::kInteger, false, false,
+                                true}).ok());
+  EXPECT_TRUE(schema.AddColumn({"name", ColumnType::kText, true, false,
+                                false}).ok());
+  EXPECT_TRUE(schema.AddColumn({"score", ColumnType::kReal, false, false,
+                                false}).ok());
+  return schema;
+}
+
+TEST(SchemaTest, ColumnTypeNamesRoundTrip) {
+  for (const ColumnType type :
+       {ColumnType::kInteger, ColumnType::kReal, ColumnType::kText,
+        ColumnType::kBlob, ColumnType::kAny}) {
+    EXPECT_EQ(ColumnTypeFromName(ColumnTypeName(type)), type);
+  }
+  EXPECT_EQ(ColumnTypeFromName("VARCHAR"), ColumnType::kText);
+  EXPECT_EQ(ColumnTypeFromName("int"), ColumnType::kInteger);
+  EXPECT_FALSE(ColumnTypeFromName("DATETIME").has_value());
+}
+
+TEST(SchemaTest, PrimaryKeyImpliesUniqueNotNull) {
+  TableSchema schema = MakeSchema();
+  const Column& id = schema.columns()[0];
+  EXPECT_TRUE(id.primary_key);
+  EXPECT_TRUE(id.unique);
+  EXPECT_TRUE(id.not_null);
+  EXPECT_EQ(schema.primary_key_index(), 0u);
+}
+
+TEST(SchemaTest, RejectsSecondPrimaryKey) {
+  TableSchema schema = MakeSchema();
+  const Status status =
+      schema.AddColumn({"id2", ColumnType::kInteger, false, false, true});
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsDuplicateColumn) {
+  TableSchema schema = MakeSchema();
+  EXPECT_EQ(schema.AddColumn({"name", ColumnType::kText, false, false,
+                              false}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyColumnName) {
+  TableSchema schema("t");
+  EXPECT_EQ(schema.AddColumn({"", ColumnType::kText, false, false,
+                              false}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableSchema schema = MakeSchema();
+  EXPECT_EQ(schema.FindColumn("score"), 2u);
+  EXPECT_FALSE(schema.FindColumn("missing").has_value());
+}
+
+TEST(SchemaTest, ForeignKeyNeedsLocalColumn) {
+  TableSchema schema = MakeSchema();
+  EXPECT_TRUE(schema.AddForeignKey({"name", "other", "key"}).ok());
+  EXPECT_EQ(schema.AddForeignKey({"ghost", "other", "key"}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CheckRowValidatesArity) {
+  TableSchema schema = MakeSchema();
+  std::vector<Value> too_short = {Value::Integer(1)};
+  EXPECT_EQ(schema.CheckRow(too_short).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CheckRowEnforcesNotNull) {
+  TableSchema schema = MakeSchema();
+  std::vector<Value> row = {Value::Integer(1), Value::Null(),
+                            Value::Real(1.0)};
+  EXPECT_EQ(schema.CheckRow(row).code(), ErrorCode::kConstraintViolation);
+}
+
+TEST(SchemaTest, CheckRowEnforcesAffinity) {
+  TableSchema schema = MakeSchema();
+  std::vector<Value> bad_type = {Value::Text_("x"), Value::Text_("n"),
+                                 Value::Real(1.0)};
+  EXPECT_EQ(schema.CheckRow(bad_type).code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST(SchemaTest, CheckRowWidensIntegerToReal) {
+  TableSchema schema = MakeSchema();
+  std::vector<Value> row = {Value::Integer(1), Value::Text_("n"),
+                            Value::Integer(5)};
+  ASSERT_TRUE(schema.CheckRow(row).ok());
+  EXPECT_EQ(row[2].type(), ValueType::kReal);
+  EXPECT_DOUBLE_EQ(row[2].AsReal(), 5.0);
+}
+
+TEST(SchemaTest, NullAllowedWhereNotForbidden) {
+  TableSchema schema = MakeSchema();
+  std::vector<Value> row = {Value::Integer(1), Value::Text_("n"),
+                            Value::Null()};
+  EXPECT_TRUE(schema.CheckRow(row).ok());
+}
+
+TEST(SchemaTest, AnyColumnAcceptsEverything) {
+  TableSchema schema("t");
+  ASSERT_TRUE(schema.AddColumn({"x", ColumnType::kAny, false, false,
+                                false}).ok());
+  for (Value v : {Value::Null(), Value::Integer(1), Value::Real(1.5),
+                  Value::Text_("t"), Value::Blob("b")}) {
+    std::vector<Value> row = {v};
+    EXPECT_TRUE(schema.CheckRow(row).ok());
+  }
+}
+
+}  // namespace
+}  // namespace goofi::db

@@ -1,0 +1,374 @@
+#include "db/sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "db/sql/lexer.h"
+#include "db/sql/parser.h"
+
+namespace goofi::db::sql {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(SqlLexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a, 42 -1.5 'it''s' x'ab' <= != ;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE(t[2].IsSymbol(","));
+  EXPECT_EQ(t[3].integer, 42);
+  EXPECT_TRUE(t[4].IsSymbol("-"));
+  EXPECT_DOUBLE_EQ(t[5].real, 1.5);
+  EXPECT_EQ(t[6].type, TokenType::kString);
+  EXPECT_EQ(t[6].text, "it's");
+  EXPECT_EQ(t[7].type, TokenType::kBlob);
+  EXPECT_EQ(t[7].text, "\xab");
+  EXPECT_TRUE(t[8].IsSymbol("<="));
+  EXPECT_TRUE(t[9].IsSymbol("!="));
+  EXPECT_TRUE(t[10].IsSymbol(";"));
+  EXPECT_EQ(t[11].type, TokenType::kEnd);
+}
+
+TEST(SqlLexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- the whole row\n *");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("*"));
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("x'zz'").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(SqlLexerTest, HexIntegerLiteral) {
+  auto tokens = Tokenize("0x10");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].integer, 16);
+}
+
+// --------------------------------------------------------------- parser --
+
+TEST(SqlParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t extra").ok());
+}
+
+TEST(SqlParserTest, ParseErrors) {
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("SELEC * FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FORM t").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES (1,)").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t ()").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE a ? 3").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t LIMIT -2").ok());
+}
+
+TEST(SqlParserTest, ScriptSplitsStatements) {
+  auto script = ParseScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 2u);
+}
+
+// ------------------------------------------------------------- executor --
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE runs (id INTEGER PRIMARY KEY, wl TEXT NOT NULL, "
+         "outcome TEXT, score REAL)");
+    Exec("INSERT INTO runs VALUES (1, 'isort', 'detected', 0.5)");
+    Exec("INSERT INTO runs VALUES (2, 'isort', 'latent', 1.5)");
+    Exec("INSERT INTO runs (id, wl) VALUES (3, 'matmul')");
+    Exec("INSERT INTO runs VALUES (4, 'matmul', 'detected', 2.0), "
+         "(5, 'crc32', 'escaped', 4.5)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = ExecuteSql(database_, sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  Status ExecStatus(const std::string& sql) {
+    return ExecuteSql(database_, sql).status();
+  }
+
+  Database database_;
+};
+
+TEST_F(SqlExecTest, SelectStar) {
+  const QueryResult result = Exec("SELECT * FROM runs");
+  EXPECT_EQ(result.columns.size(), 4u);
+  EXPECT_EQ(result.rows.size(), 5u);
+}
+
+TEST_F(SqlExecTest, SelectProjection) {
+  const QueryResult result = Exec("SELECT wl, id FROM runs WHERE id = 3");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.columns, (std::vector<std::string>{"wl", "id"}));
+  EXPECT_EQ(result.rows[0][0].AsText(), "matmul");
+  EXPECT_EQ(result.rows[0][1].AsInteger(), 3);
+}
+
+TEST_F(SqlExecTest, WhereConjunction) {
+  const QueryResult result = Exec(
+      "SELECT id FROM runs WHERE wl = 'isort' AND outcome = 'latent'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInteger(), 2);
+}
+
+TEST_F(SqlExecTest, WhereComparisons) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE score > 1.0").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE score >= 1.5").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id != 1").rows.size(), 4u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id <> 1").rows.size(), 4u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE score < 0").rows.size(), 0u);
+}
+
+TEST_F(SqlExecTest, NullSemantics) {
+  // Comparisons with NULL cells never match; IS NULL does.
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome = 'detected'")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome IS NULL").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome IS NOT NULL")
+                .rows.size(),
+            4u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome != 'detected'")
+                .rows.size(),
+            2u);  // NULL row excluded
+}
+
+TEST_F(SqlExecTest, Like) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE wl LIKE 'i%'").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE wl LIKE '_sort'").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE wl LIKE 'sort'").rows.size(),
+            0u);
+}
+
+TEST_F(SqlExecTest, OrExpression) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE wl = 'crc32' OR wl = 'matmul'")
+                .rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id = 1 OR id = 2 OR id = 5")
+                .rows.size(),
+            3u);
+}
+
+TEST_F(SqlExecTest, AndBindsTighterThanOr) {
+  // a OR b AND c  ==  a OR (b AND c)
+  const QueryResult result = Exec(
+      "SELECT id FROM runs WHERE id = 5 OR wl = 'isort' AND outcome = "
+      "'latent'");
+  ASSERT_EQ(result.rows.size(), 2u);  // id 5 and id 2
+}
+
+TEST_F(SqlExecTest, ParenthesesOverridePrecedence) {
+  const QueryResult result = Exec(
+      "SELECT id FROM runs WHERE (id = 5 OR wl = 'isort') AND outcome = "
+      "'latent'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInteger(), 2);
+}
+
+TEST_F(SqlExecTest, NotExpression) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE NOT wl = 'isort'").rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE NOT (id = 1 OR id = 2)")
+                .rows.size(),
+            3u);
+  // NOT over an UNKNOWN comparison stays UNKNOWN: the NULL-outcome row
+  // (id 3) is excluded both ways.
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE NOT outcome = 'detected'")
+                .rows.size(),
+            2u);
+}
+
+TEST_F(SqlExecTest, InList) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id IN (1, 3, 5)").rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE wl IN ('crc32')").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id NOT IN (1, 2)").rows.size(),
+            3u);
+  // NULL cell: x IN (...) is UNKNOWN -> excluded, even under NOT IN.
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome IN ('detected', "
+                 "'latent')").rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome NOT IN ('detected', "
+                 "'latent')").rows.size(),
+            1u);  // only 'escaped'; the NULL row is UNKNOWN
+}
+
+TEST_F(SqlExecTest, InListWithNullElement) {
+  // 'escaped' NOT IN ('detected', NULL) is UNKNOWN per SQL.
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome NOT IN ('detected', "
+                 "NULL)").rows.size(),
+            0u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE outcome IN ('detected', NULL)")
+                .rows.size(),
+            2u);
+}
+
+TEST_F(SqlExecTest, Between) {
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE score BETWEEN 1.0 AND 2.0")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE id BETWEEN 2 AND 4")
+                .rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT id FROM runs WHERE score NOT BETWEEN 1.0 AND 2.0")
+                .rows.size(),
+            2u);  // 0.5 and 4.5; the NULL-score row is UNKNOWN
+}
+
+TEST_F(SqlExecTest, ComplexBooleanInUpdateAndDelete) {
+  QueryResult updated = Exec(
+      "UPDATE runs SET outcome = 'x' WHERE wl = 'isort' AND "
+      "(score BETWEEN 0 AND 1 OR id IN (2))");
+  EXPECT_EQ(updated.affected_rows, 2u);
+  QueryResult deleted =
+      Exec("DELETE FROM runs WHERE NOT outcome = 'x' AND outcome IS NOT "
+           "NULL");
+  EXPECT_EQ(deleted.affected_rows, 2u);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM runs").rows[0][0].AsInteger(), 3);
+}
+
+TEST_F(SqlExecTest, BooleanParseErrors) {
+  EXPECT_FALSE(ExecStatus("SELECT id FROM runs WHERE id NOT = 1").ok());
+  EXPECT_FALSE(ExecStatus("SELECT id FROM runs WHERE id IN ()").ok());
+  EXPECT_FALSE(ExecStatus("SELECT id FROM runs WHERE (id = 1").ok());
+  EXPECT_FALSE(
+      ExecStatus("SELECT id FROM runs WHERE id BETWEEN 1").ok());
+  EXPECT_FALSE(ExecStatus("SELECT id FROM runs WHERE OR id = 1").ok());
+}
+
+TEST_F(SqlExecTest, OrderByAndLimit) {
+  const QueryResult desc =
+      Exec("SELECT id FROM runs ORDER BY score DESC LIMIT 2");
+  ASSERT_EQ(desc.rows.size(), 2u);
+  EXPECT_EQ(desc.rows[0][0].AsInteger(), 5);
+  EXPECT_EQ(desc.rows[1][0].AsInteger(), 4);
+  // Order by a column that is not selected.
+  const QueryResult by_wl = Exec("SELECT id FROM runs ORDER BY wl");
+  EXPECT_EQ(by_wl.rows.front()[0].AsInteger(), 5);  // crc32 sorts first
+}
+
+TEST_F(SqlExecTest, Aggregates) {
+  const QueryResult counts = Exec("SELECT COUNT(*) FROM runs");
+  ASSERT_EQ(counts.rows.size(), 1u);
+  EXPECT_EQ(counts.rows[0][0].AsInteger(), 5);
+  // COUNT(col) skips NULLs.
+  EXPECT_EQ(Exec("SELECT COUNT(outcome) FROM runs").rows[0][0].AsInteger(),
+            4);
+  EXPECT_DOUBLE_EQ(Exec("SELECT SUM(score) FROM runs").rows[0][0].AsReal(),
+                   8.5);
+  EXPECT_DOUBLE_EQ(Exec("SELECT AVG(score) FROM runs").rows[0][0].AsReal(),
+                   8.5 / 4);
+  EXPECT_DOUBLE_EQ(Exec("SELECT MIN(score) FROM runs").rows[0][0].AsReal(),
+                   0.5);
+  EXPECT_DOUBLE_EQ(Exec("SELECT MAX(score) FROM runs").rows[0][0].AsReal(),
+                   4.5);
+}
+
+TEST_F(SqlExecTest, AggregateOverEmptySelection) {
+  const QueryResult result =
+      Exec("SELECT COUNT(*), SUM(score) FROM runs WHERE id > 100");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInteger(), 0);
+  EXPECT_TRUE(result.rows[0][1].is_null());
+}
+
+TEST_F(SqlExecTest, GroupBy) {
+  const QueryResult result = Exec(
+      "SELECT wl, COUNT(*), MAX(score) FROM runs GROUP BY wl "
+      "ORDER BY wl");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].AsText(), "crc32");
+  EXPECT_EQ(result.rows[0][1].AsInteger(), 1);
+  EXPECT_EQ(result.rows[1][0].AsText(), "isort");
+  EXPECT_EQ(result.rows[1][1].AsInteger(), 2);
+  EXPECT_DOUBLE_EQ(result.rows[1][2].AsReal(), 1.5);
+  EXPECT_EQ(result.rows[2][0].AsText(), "matmul");
+  EXPECT_EQ(result.rows[2][1].AsInteger(), 2);
+}
+
+TEST_F(SqlExecTest, GroupByRejectsUngroupedColumn) {
+  EXPECT_FALSE(
+      ExecStatus("SELECT outcome, COUNT(*) FROM runs GROUP BY wl").ok());
+  EXPECT_FALSE(ExecStatus("SELECT wl, score FROM runs GROUP BY wl").ok());
+}
+
+TEST_F(SqlExecTest, UpdateAndDelete) {
+  QueryResult updated =
+      Exec("UPDATE runs SET outcome = 'overwritten' WHERE outcome IS NULL");
+  EXPECT_EQ(updated.affected_rows, 1u);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM runs WHERE outcome = 'overwritten'")
+                .rows[0][0]
+                .AsInteger(),
+            1);
+  QueryResult deleted = Exec("DELETE FROM runs WHERE wl = 'isort'");
+  EXPECT_EQ(deleted.affected_rows, 2u);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM runs").rows[0][0].AsInteger(), 3);
+}
+
+TEST_F(SqlExecTest, InsertNegativeNumbers) {
+  Exec("INSERT INTO runs VALUES (6, 'neg', NULL, -2.5)");
+  EXPECT_DOUBLE_EQ(
+      Exec("SELECT score FROM runs WHERE id = 6").rows[0][0].AsReal(), -2.5);
+}
+
+TEST_F(SqlExecTest, ConstraintErrorsSurface) {
+  EXPECT_EQ(ExecStatus("INSERT INTO runs VALUES (1, 'dup', NULL, NULL)")
+                .code(),
+            ErrorCode::kConstraintViolation);
+  EXPECT_EQ(ExecStatus("INSERT INTO runs VALUES (9, NULL, NULL, NULL)")
+                .code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST_F(SqlExecTest, UnknownColumnsAndTables) {
+  EXPECT_EQ(ExecStatus("SELECT nope FROM runs").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ExecStatus("SELECT * FROM ghost").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(ExecStatus("SELECT * FROM runs WHERE ghost = 1").code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SqlExecTest, CreateWithForeignKeyAndDrop) {
+  EXPECT_TRUE(ExecStatus(
+      "CREATE TABLE notes (id INTEGER PRIMARY KEY, run_id INTEGER, "
+      "FOREIGN KEY (run_id) REFERENCES runs(id))").ok());
+  EXPECT_TRUE(ExecStatus("INSERT INTO notes VALUES (1, 2)").ok());
+  EXPECT_EQ(ExecStatus("INSERT INTO notes VALUES (2, 99)").code(),
+            ErrorCode::kConstraintViolation);
+  EXPECT_EQ(ExecStatus("DROP TABLE runs").code(),
+            ErrorCode::kConstraintViolation);
+  EXPECT_TRUE(ExecStatus("DROP TABLE notes").ok());
+  EXPECT_TRUE(ExecStatus("DROP TABLE runs").ok());
+}
+
+TEST_F(SqlExecTest, AsciiTableRendering) {
+  const QueryResult result =
+      Exec("SELECT id, wl FROM runs WHERE id = 1");
+  const std::string table = result.ToAsciiTable();
+  EXPECT_NE(table.find("id"), std::string::npos);
+  EXPECT_NE(table.find("'isort'"), std::string::npos);
+  EXPECT_NE(table.find("--"), std::string::npos);
+}
+
+TEST_F(SqlExecTest, ExecuteScriptReturnsLastResult) {
+  auto result = ExecuteScript(
+      database_,
+      "INSERT INTO runs VALUES (10, 'x', NULL, NULL);"
+      "SELECT COUNT(*) FROM runs;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInteger(), 6);
+}
+
+}  // namespace
+}  // namespace goofi::db::sql

@@ -1,0 +1,177 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::db {
+namespace {
+
+TableSchema PeopleSchema() {
+  TableSchema schema("people");
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnType::kInteger, false, false,
+                                true}).ok());
+  EXPECT_TRUE(schema.AddColumn({"name", ColumnType::kText, true, true,
+                                false}).ok());
+  EXPECT_TRUE(schema.AddColumn({"age", ColumnType::kInteger, false, false,
+                                false}).ok());
+  return schema;
+}
+
+Table MakePopulated() {
+  Table table(PeopleSchema());
+  EXPECT_TRUE(table.Insert({Value::Integer(1), Value::Text_("ada"),
+                            Value::Integer(36)}).ok());
+  EXPECT_TRUE(table.Insert({Value::Integer(2), Value::Text_("bob"),
+                            Value::Integer(25)}).ok());
+  EXPECT_TRUE(table.Insert({Value::Integer(3), Value::Text_("cid"),
+                            Value::Null()}).ok());
+  return table;
+}
+
+TEST(TableTest, InsertAndCount) {
+  Table table = MakePopulated();
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(TableTest, PrimaryKeyUnique) {
+  Table table = MakePopulated();
+  const Status dup = table.Insert(
+      {Value::Integer(1), Value::Text_("dup"), Value::Null()});
+  EXPECT_EQ(dup.code(), ErrorCode::kConstraintViolation);
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(TableTest, UniqueColumnEnforced) {
+  Table table = MakePopulated();
+  EXPECT_EQ(table.Insert({Value::Integer(9), Value::Text_("ada"),
+                          Value::Null()}).code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST(TableTest, NullsDoNotCollideOnUnique) {
+  TableSchema schema("t");
+  ASSERT_TRUE(schema.AddColumn({"u", ColumnType::kInteger, false, true,
+                                false}).ok());
+  Table table(schema);
+  EXPECT_TRUE(table.Insert({Value::Null()}).ok());
+  EXPECT_TRUE(table.Insert({Value::Null()}).ok());
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, FindByUnique) {
+  Table table = MakePopulated();
+  const auto found = table.FindByUnique(1, Value::Text_("bob"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(table.row(*found)[0].AsInteger(), 2);
+  EXPECT_FALSE(table.FindByUnique(1, Value::Text_("zed")).has_value());
+  EXPECT_FALSE(table.FindByUnique(1, Value::Null()).has_value());
+}
+
+TEST(TableTest, FindRowsPredicate) {
+  Table table = MakePopulated();
+  const auto young = table.FindRows([](const Row& row) {
+    return !row[2].is_null() && row[2].AsInteger() < 30;
+  });
+  ASSERT_EQ(young.size(), 1u);
+  EXPECT_EQ(table.row(young[0])[1].AsText(), "bob");
+}
+
+TEST(TableTest, ContainsValueIndexedAndScanned) {
+  Table table = MakePopulated();
+  EXPECT_TRUE(table.ContainsValue(0, Value::Integer(3)));   // indexed
+  EXPECT_FALSE(table.ContainsValue(0, Value::Integer(99)));
+  EXPECT_TRUE(table.ContainsValue(2, Value::Integer(25)));  // scan
+  EXPECT_FALSE(table.ContainsValue(2, Value::Null()));
+}
+
+TEST(TableTest, UpdateChangesMatchingRows) {
+  Table table = MakePopulated();
+  const auto updated = table.Update(
+      [](const Row& row) { return row[0].AsInteger() <= 2; },
+      {{2, Value::Integer(40)}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2u);
+  EXPECT_EQ(table.row(0)[2].AsInteger(), 40);
+  EXPECT_EQ(table.row(1)[2].AsInteger(), 40);
+}
+
+TEST(TableTest, UpdateIsAllOrNothingOnUniqueViolation) {
+  Table table = MakePopulated();
+  // Renaming everyone to the same unique name must fail and leave every
+  // row untouched.
+  const auto updated = table.Update(
+      [](const Row&) { return true; }, {{1, Value::Text_("same")}});
+  ASSERT_FALSE(updated.ok());
+  EXPECT_EQ(updated.status().code(), ErrorCode::kConstraintViolation);
+  EXPECT_EQ(table.row(0)[1].AsText(), "ada");
+  EXPECT_EQ(table.row(2)[1].AsText(), "cid");
+}
+
+TEST(TableTest, UpdateAllowsSwappingToFreedKey) {
+  Table table = MakePopulated();
+  // 'ada' -> 'dee' frees 'ada'; single-row update to a currently-used
+  // key still fails.
+  ASSERT_TRUE(table.Update([](const Row& row) {
+                             return row[1].AsText() == "ada";
+                           },
+                           {{1, Value::Text_("dee")}}).ok());
+  EXPECT_TRUE(table.FindByUnique(1, Value::Text_("dee")).has_value());
+  EXPECT_FALSE(table.FindByUnique(1, Value::Text_("ada")).has_value());
+  EXPECT_EQ(table.Update([](const Row& row) {
+                            return row[1].AsText() == "bob";
+                          },
+                          {{1, Value::Text_("dee")}})
+                .status()
+                .code(),
+            ErrorCode::kConstraintViolation);
+}
+
+TEST(TableTest, UpdateValidatesTypes) {
+  Table table = MakePopulated();
+  const auto bad = table.Update([](const Row&) { return true; },
+                                {{2, Value::Text_("old")}});
+  EXPECT_EQ(bad.status().code(), ErrorCode::kConstraintViolation);
+}
+
+TEST(TableTest, UpdateNoMatchesIsZero) {
+  Table table = MakePopulated();
+  const auto updated = table.Update(
+      [](const Row&) { return false; }, {{2, Value::Integer(1)}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 0u);
+}
+
+TEST(TableTest, DeleteRemovesAndReindexes) {
+  Table table = MakePopulated();
+  const std::size_t removed = table.Delete(
+      [](const Row& row) { return row[0].AsInteger() == 2; });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_FALSE(table.FindByUnique(0, Value::Integer(2)).has_value());
+  // Indexes still find the surviving rows after compaction.
+  const auto cid = table.FindByUnique(1, Value::Text_("cid"));
+  ASSERT_TRUE(cid.has_value());
+  EXPECT_EQ(table.row(*cid)[0].AsInteger(), 3);
+  // Reinserting the deleted key works.
+  EXPECT_TRUE(table.Insert({Value::Integer(2), Value::Text_("new-bob"),
+                            Value::Null()}).ok());
+}
+
+TEST(TableTest, ClearEmptiesTable) {
+  Table table = MakePopulated();
+  table.Clear();
+  EXPECT_EQ(table.row_count(), 0u);
+  EXPECT_TRUE(table.Insert({Value::Integer(1), Value::Text_("ada"),
+                            Value::Null()}).ok());
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table table(PeopleSchema());
+  EXPECT_EQ(table.Insert({Value::Integer(1)}).code(),
+            ErrorCode::kInvalidArgument);  // arity
+  EXPECT_EQ(table.Insert({Value::Integer(1), Value::Null(),
+                          Value::Null()}).code(),
+            ErrorCode::kConstraintViolation);  // NOT NULL name
+}
+
+}  // namespace
+}  // namespace goofi::db

@@ -1,0 +1,75 @@
+#include "sim/access_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+#include "sim/cpu.h"
+#include "sim/debug_unit.h"
+
+namespace goofi::sim {
+namespace {
+
+TEST(AccessRecorderTest, RecordsRegisterAndMemoryEvents) {
+  Cpu cpu;
+  ASSERT_TRUE(cpu.memory().AddSegment({"code", 0, 0x1000, true, false, true,
+                                       false}).ok());
+  ASSERT_TRUE(cpu.memory().AddSegment({"data", 0x10000, 0x1000, true, true,
+                                       false, false}).ok());
+  const auto program = Assemble(R"(
+  li r1, 5          ; write r1        (t=0)
+  la r2, 0x10020    ; writes r2       (t=1, t=2)
+  st r1, [r2]       ; reads r1,r2; mem write (t=3)
+  ld r3, [r2]       ; reads r2; mem read; writes r3 (t=4)
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(program->LoadInto(cpu.memory()).ok());
+  cpu.Reset(0);
+  AccessRecorder recorder;
+  cpu.set_tracer(&recorder);
+  goofi::sim::Run(cpu, nullptr, 1000);
+
+  const auto& r1 = recorder.register_events(1);
+  ASSERT_GE(r1.size(), 2u);
+  EXPECT_TRUE(r1[0].is_write);
+  EXPECT_EQ(r1[0].time, 0u);
+  EXPECT_FALSE(r1[1].is_write);  // read by the store
+  EXPECT_EQ(r1[1].time, 3u);
+
+  const auto& memory = recorder.memory_events();
+  ASSERT_TRUE(memory.count(0x10020));
+  const auto& word = memory.at(0x10020);
+  ASSERT_EQ(word.size(), 2u);
+  EXPECT_TRUE(word[0].is_write);
+  EXPECT_EQ(word[0].time, 3u);
+  EXPECT_FALSE(word[1].is_write);
+  EXPECT_EQ(word[1].time, 4u);
+}
+
+TEST(AccessRecorderTest, ByteStoreCountsAsReadModifyWrite) {
+  AccessRecorder recorder;
+  recorder.OnMemoryWrite(0x1001, 1, 0xAB, 9);
+  const auto& events = recorder.memory_events().at(0x1000);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].is_write);  // conservative read first
+  EXPECT_TRUE(events[1].is_write);
+}
+
+TEST(AccessRecorderTest, IgnoresR0) {
+  AccessRecorder recorder;
+  recorder.OnRegisterRead(0, 1);
+  recorder.OnRegisterWrite(0, 0, 5, 2);
+  EXPECT_TRUE(recorder.register_events(0).empty());
+}
+
+TEST(AccessRecorderTest, ClearResets) {
+  AccessRecorder recorder;
+  recorder.OnRegisterWrite(3, 0, 5, 2);
+  recorder.OnMemoryRead(0x100, 4, 3);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.register_events(3).empty());
+  EXPECT_TRUE(recorder.memory_events().empty());
+}
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,294 @@
+#include "sim/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/isa.h"
+#include "util/rng.h"
+
+namespace goofi::sim {
+namespace {
+
+std::uint32_t WordAt(const AssembledProgram& program, std::uint32_t address) {
+  for (const auto& [base, bytes] : program.chunks) {
+    if (address >= base && address + 4 <= base + bytes.size()) {
+      const std::size_t offset = address - base;
+      return static_cast<std::uint32_t>(bytes[offset]) |
+             static_cast<std::uint32_t>(bytes[offset + 1]) << 8 |
+             static_cast<std::uint32_t>(bytes[offset + 2]) << 16 |
+             static_cast<std::uint32_t>(bytes[offset + 3]) << 24;
+    }
+  }
+  ADD_FAILURE() << "no word at " << address;
+  return 0;
+}
+
+TEST(AssemblerTest, EmptySourceIsEmptyProgram) {
+  const auto program = Assemble("");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 0u);
+  EXPECT_EQ(program->entry, 0u);
+}
+
+TEST(AssemblerTest, BasicInstructions) {
+  const auto program = Assemble("nop\nadd r1, r2, r3\nhalt\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 12u);
+  const auto nop = Decode(WordAt(*program, 0));
+  EXPECT_EQ(nop->opcode, Opcode::kNop);
+  const auto add = Decode(WordAt(*program, 4));
+  EXPECT_EQ(add->opcode, Opcode::kAdd);
+  EXPECT_EQ(add->ra, 1);
+  EXPECT_EQ(add->rb, 2);
+  EXPECT_EQ(add->rc, 3);
+}
+
+TEST(AssemblerTest, RegisterAliases) {
+  const auto program = Assemble("mov sp, lr\nadd zero, r1, r2\n");
+  ASSERT_TRUE(program.ok());
+  const auto mov = Decode(WordAt(*program, 0));
+  EXPECT_EQ(mov->opcode, Opcode::kAdd);  // mov = add rd, rs, r0
+  EXPECT_EQ(mov->ra, 14);
+  EXPECT_EQ(mov->rb, 15);
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  const auto program =
+      Assemble("ld r1, [r2+8]\nst r3, [sp-4]\nldb r4, [r5]\n");
+  ASSERT_TRUE(program.ok());
+  const auto ld = Decode(WordAt(*program, 0));
+  EXPECT_EQ(ld->opcode, Opcode::kLd);
+  EXPECT_EQ(ld->imm, 8);
+  const auto st = Decode(WordAt(*program, 4));
+  EXPECT_EQ(st->rb, 14);
+  EXPECT_EQ(st->imm, -4);
+  const auto ldb = Decode(WordAt(*program, 8));
+  EXPECT_EQ(ldb->imm, 0);
+}
+
+TEST(AssemblerTest, BranchOffsetsResolveLabels) {
+  const auto program = Assemble(R"(
+start:
+  beq r1, r2, done
+  nop
+done:
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  const auto beq = Decode(WordAt(*program, 0));
+  // done is at 8; offset from pc+4=4 is 4 bytes = 1 word.
+  EXPECT_EQ(beq->imm, 1);
+}
+
+TEST(AssemblerTest, BackwardBranch) {
+  const auto program = Assemble(R"(
+loop:
+  nop
+  b loop
+)");
+  ASSERT_TRUE(program.ok());
+  const auto b = Decode(WordAt(*program, 4));
+  EXPECT_EQ(b->opcode, Opcode::kBeq);
+  EXPECT_EQ(b->imm, -2);  // from pc+4=8 back to 0
+}
+
+TEST(AssemblerTest, CallAndRet) {
+  const auto program = Assemble(R"(
+  call fn
+  halt
+fn:
+  ret
+)");
+  ASSERT_TRUE(program.ok());
+  const auto call = Decode(WordAt(*program, 0));
+  EXPECT_EQ(call->opcode, Opcode::kJal);
+  EXPECT_EQ(call->ra, 15);
+  EXPECT_EQ(call->imm, 1);
+  const auto ret = Decode(WordAt(*program, 8));
+  EXPECT_EQ(ret->opcode, Opcode::kJalr);
+  EXPECT_EQ(ret->ra, 0);
+  EXPECT_EQ(ret->rb, 15);
+}
+
+TEST(AssemblerTest, LiSmallIsOneInstruction) {
+  const auto program = Assemble("li r1, -5\nhalt\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 8u);
+  const auto addi = Decode(WordAt(*program, 0));
+  EXPECT_EQ(addi->opcode, Opcode::kAddi);
+  EXPECT_EQ(addi->imm, -5);
+}
+
+TEST(AssemblerTest, LiLargeExpandsToLuiOri) {
+  const auto program = Assemble("li r1, 0x12345678\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 8u);
+  const auto lui = Decode(WordAt(*program, 0));
+  EXPECT_EQ(lui->opcode, Opcode::kLui);
+  EXPECT_EQ(lui->imm, 0x1234);
+  const auto ori = Decode(WordAt(*program, 4));
+  EXPECT_EQ(ori->opcode, Opcode::kOri);
+  EXPECT_EQ(ori->imm, 0x5678);
+}
+
+TEST(AssemblerTest, LaAlwaysTwoWords) {
+  const auto program = Assemble(R"(
+  la r1, data
+  halt
+.org 0x10000
+data:
+  .word 99
+)");
+  ASSERT_TRUE(program.ok());
+  const auto lui = Decode(WordAt(*program, 0));
+  EXPECT_EQ(lui->imm, 0x0001);
+  const auto ori = Decode(WordAt(*program, 4));
+  EXPECT_EQ(ori->imm, 0x0000);
+  EXPECT_EQ(WordAt(*program, 0x10000), 99u);
+}
+
+TEST(AssemblerTest, PushPopExpand) {
+  const auto program = Assemble("push r3\npop r4\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 16u);
+  EXPECT_EQ(Decode(WordAt(*program, 0))->opcode, Opcode::kAddi);
+  EXPECT_EQ(Decode(WordAt(*program, 4))->opcode, Opcode::kSt);
+  EXPECT_EQ(Decode(WordAt(*program, 8))->opcode, Opcode::kLd);
+  EXPECT_EQ(Decode(WordAt(*program, 12))->opcode, Opcode::kAddi);
+}
+
+TEST(AssemblerTest, DirectivesAndSymbols) {
+  const auto program = Assemble(R"(
+.entry main
+.org 0x100
+main:
+  nop
+.align 16
+aligned:
+  .word 1, 2, aligned
+.space 8
+after:
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->entry, 0x100u);
+  EXPECT_EQ(program->symbols.at("main"), 0x100u);
+  EXPECT_EQ(program->symbols.at("aligned"), 0x110u);
+  EXPECT_EQ(WordAt(*program, 0x110), 1u);
+  EXPECT_EQ(WordAt(*program, 0x118), 0x110u);  // label value
+  EXPECT_EQ(program->symbols.at("after"), 0x110u + 12 + 8);
+}
+
+TEST(AssemblerTest, LabelPlusOffset) {
+  const auto program = Assemble(R"(
+  la r1, table+8
+table:
+  .word 0, 1, 2
+)");
+  ASSERT_TRUE(program.ok());
+  const auto ori = Decode(WordAt(*program, 4));
+  EXPECT_EQ(ori->imm, 8 + 8);  // table at 8, +8
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(Assemble("bogus r1, r2\n").ok());
+  EXPECT_FALSE(Assemble("add r1, r2\n").ok());         // arity
+  EXPECT_FALSE(Assemble("add r1, r2, r16\n").ok());    // bad register
+  EXPECT_FALSE(Assemble("b nowhere\n").ok());          // undefined label
+  EXPECT_FALSE(Assemble("x: nop\nx: nop\n").ok());     // duplicate label
+  EXPECT_FALSE(Assemble("addi r1, r0, 40000\n").ok()); // imm range
+  EXPECT_FALSE(Assemble("ori r1, r0, -1\n").ok());     // logical negative
+  EXPECT_FALSE(Assemble("ld r1, r2\n").ok());          // not a mem operand
+  EXPECT_FALSE(Assemble(".entry nowhere\nnop\n").ok());
+  EXPECT_FALSE(Assemble(".bogus 3\n").ok());
+  EXPECT_FALSE(Assemble("li r1, label\nlabel:\n").ok());  // li needs literal
+}
+
+TEST(AssemblerTest, ErrorsIncludeLineNumbers) {
+  const auto bad = Assemble("nop\nadd r1, r2\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(AssemblerTest, LoadIntoMemory) {
+  Memory memory;
+  ASSERT_TRUE(memory.AddSegment({"code", 0, 0x1000, true, true, true,
+                                 false}).ok());
+  const auto program = Assemble("li r1, 7\nhalt\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(program->LoadInto(memory).ok());
+  std::uint32_t word = 0;
+  ASSERT_TRUE(memory.PeekWord(0, &word));
+  EXPECT_EQ(Decode(word)->opcode, Opcode::kAddi);
+}
+
+// Fuzz sweep: the assembler must reject garbage with an error, never
+// crash or loop; near-miss mutations of valid programs likewise.
+class AssemblerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssemblerFuzz, GarbageNeverCrashes) {
+  goofi::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 123);
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 ,.+-:[]#;rxl\n\t";
+  for (int round = 0; round < 100; ++round) {
+    std::string source;
+    const std::size_t length = rng.NextBelow(300);
+    for (std::size_t i = 0; i < length; ++i) {
+      source.push_back(alphabet[rng.NextBelow(sizeof alphabet - 1)]);
+    }
+    const auto result = Assemble(source);  // must return, either way
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), goofi::ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST_P(AssemblerFuzz, MutatedValidProgramsNeverCrash) {
+  goofi::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 7);
+  const std::string valid = R"(
+.entry start
+start:
+  la sp, 0x24000
+  li r1, 10
+loop:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  st r1, [sp-4]
+  halt
+)";
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = valid;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[at] = static_cast<char>(' ' + rng.NextBelow(94));
+          break;
+        case 1:
+          mutated.erase(at, 1);
+          break;
+        default:
+          mutated.insert(at, 1,
+                         static_cast<char>(' ' + rng.NextBelow(94)));
+          break;
+      }
+    }
+    (void)Assemble(mutated);  // any Result is fine; crashing is not
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz, ::testing::Range(0, 5));
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  const auto program = Assemble(R"(
+; full line comment
+# hash comment
+  nop   ; trailing comment
+  halt  # another
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->ByteSize(), 8u);
+}
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,467 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+#include "sim/debug_unit.h"
+
+namespace goofi::sim {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  void Boot(const std::string& source, CpuConfig config = {}) {
+    cpu_ = std::make_unique<Cpu>(config);
+    ASSERT_TRUE(cpu_->memory().AddSegment({"code", 0x0000, 0x4000, true,
+                                           false, true, false}).ok());
+    ASSERT_TRUE(cpu_->memory().AddSegment({"data", 0x10000, 0x4000, true,
+                                           true, false, false}).ok());
+    ASSERT_TRUE(cpu_->memory().AddSegment({"io", 0xFFFF0000, 0x100, true,
+                                           true, false, true}).ok());
+    const auto program = Assemble(source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    ASSERT_TRUE(program->LoadInto(cpu_->memory()).ok());
+    cpu_->Reset(program->entry);
+  }
+
+  RunResult RunAll(std::uint64_t budget = 100000) {
+    return goofi::sim::Run(*cpu_, nullptr, budget);
+  }
+
+  std::unique_ptr<Cpu> cpu_;
+};
+
+TEST_F(CpuTest, ArithmeticBasics) {
+  Boot(R"(
+  li r1, 20
+  li r2, 22
+  add r3, r1, r2
+  sub r4, r1, r2
+  mul r5, r1, r2
+  div r6, r2, r1
+  halt
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(3), 42u);
+  EXPECT_EQ(cpu_->reg(4), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(cpu_->reg(5), 440u);
+  EXPECT_EQ(cpu_->reg(6), 1u);
+}
+
+TEST_F(CpuTest, LogicAndShifts) {
+  Boot(R"(
+  li r1, 0x00F0
+  li r2, 0x0F00
+  or r3, r1, r2
+  and r4, r1, r2
+  xor r5, r3, r1
+  li r6, 4
+  sll r7, r1, r6
+  srl r8, r1, r6
+  li r9, -16
+  srai r10, r9, 2
+  slt r11, r9, r1
+  sltu r12, r9, r1
+  halt
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->reg(3), 0x0FF0u);
+  EXPECT_EQ(cpu_->reg(4), 0u);
+  EXPECT_EQ(cpu_->reg(5), 0x0F00u);
+  EXPECT_EQ(cpu_->reg(7), 0x0F00u);
+  EXPECT_EQ(cpu_->reg(8), 0x000Fu);
+  EXPECT_EQ(cpu_->reg(10), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(cpu_->reg(11), 1u);  // signed: -16 < 240
+  EXPECT_EQ(cpu_->reg(12), 0u);  // unsigned: big
+}
+
+TEST_F(CpuTest, RegisterZeroIsHardwired) {
+  Boot(R"(
+  addi r0, r0, 99
+  add r1, r0, r0
+  halt
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->reg(0), 0u);
+  EXPECT_EQ(cpu_->reg(1), 0u);
+}
+
+TEST_F(CpuTest, LoadStoreWordAndByte) {
+  Boot(R"(
+  la r1, 0x10000
+  li r2, 0x1234
+  st r2, [r1]
+  ld r3, [r1]
+  li r4, 0xAB
+  stb r4, [r1+5]
+  ldb r5, [r1+5]
+  halt
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->reg(3), 0x1234u);
+  EXPECT_EQ(cpu_->reg(5), 0xABu);
+}
+
+TEST_F(CpuTest, BranchesAndLoop) {
+  Boot(R"(
+  li r1, 0     ; sum
+  li r2, 1     ; i
+  li r3, 11
+loop:
+  bge r2, r3, done
+  add r1, r1, r2
+  addi r2, r2, 1
+  b loop
+done:
+  halt
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->reg(1), 55u);
+}
+
+TEST_F(CpuTest, CallReturn) {
+  Boot(R"(
+  la sp, 0x14000
+  li r1, 5
+  call double_it
+  mov r3, r1
+  halt
+double_it:
+  add r1, r1, r1
+  ret
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->reg(3), 10u);
+}
+
+TEST_F(CpuTest, EmitStream) {
+  Boot(R"(
+  li r1, 111
+  sys 4
+  li r1, 222
+  sys 4
+  halt
+)");
+  RunAll();
+  EXPECT_EQ(cpu_->emitted(), (std::vector<std::uint32_t>{111, 222}));
+}
+
+TEST_F(CpuTest, IterationEndOutcome) {
+  Boot(R"(
+loop:
+  sys 1
+  b loop
+)");
+  std::uint64_t budget = 100;
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, budget, /*max_iterations=*/3);
+  EXPECT_EQ(result.reason, StopReason::kIterationLimit);
+  EXPECT_EQ(cpu_->iteration_count(), 3u);
+}
+
+TEST_F(CpuTest, RecoveryCounter) {
+  Boot("sys 5\nsys 5\nhalt\n");
+  RunAll();
+  EXPECT_EQ(cpu_->recovery_count(), 2u);
+}
+
+// ---- EDM behaviour -------------------------------------------------------
+
+TEST_F(CpuTest, IllegalOpcodeDetected) {
+  Boot(".word 0xFF000000\n");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  ASSERT_TRUE(result.edm.has_value());
+  EXPECT_EQ(result.edm->type, EdmType::kIllegalOpcode);
+  EXPECT_TRUE(cpu_->halted());
+}
+
+TEST_F(CpuTest, IllegalOpcodeAsNopWhenDisabled) {
+  CpuConfig config;
+  config.edm.SetEnabled(EdmType::kIllegalOpcode, false);
+  Boot(".word 0xFF000000\nli r1, 7\nhalt\n", config);
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(1), 7u);
+}
+
+TEST_F(CpuTest, UndefinedSysCodeIsIllegal) {
+  Boot("sys 999\n");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kIllegalOpcode);
+}
+
+TEST_F(CpuTest, DivByZeroDetected) {
+  Boot(R"(
+  li r1, 5
+  li r2, 0
+  div r3, r1, r2
+  halt
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kDivByZero);
+}
+
+TEST_F(CpuTest, DivByZeroYieldsZeroWhenDisabled) {
+  CpuConfig config;
+  config.edm.SetEnabled(EdmType::kDivByZero, false);
+  Boot(R"(
+  li r1, 5
+  li r2, 0
+  div r3, r1, r2
+  halt
+)", config);
+  EXPECT_EQ(RunAll().reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(3), 0u);
+}
+
+TEST_F(CpuTest, MemProtectionOnStoreToCode) {
+  Boot(R"(
+  li r1, 0x100
+  li r2, 1
+  st r2, [r1]
+  halt
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kMemProtection);
+}
+
+TEST_F(CpuTest, MemProtectionOnUnmappedLoad) {
+  Boot(R"(
+  lui r1, 0x00F0
+  ld r2, [r1]
+  halt
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kMemProtection);
+}
+
+TEST_F(CpuTest, DisabledProtectionReadsZeroDropsStores) {
+  CpuConfig config;
+  config.edm.SetEnabled(EdmType::kMemProtection, false);
+  Boot(R"(
+  lui r1, 0x00F0
+  li r2, 77
+  st r2, [r1]
+  ld r3, [r1]
+  halt
+)", config);
+  EXPECT_EQ(RunAll().reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(3), 0u);
+}
+
+TEST_F(CpuTest, MisalignedLoadDetected) {
+  Boot(R"(
+  la r1, 0x10002
+  ld r2, [r1]
+  halt
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kMisalignedAccess);
+}
+
+TEST_F(CpuTest, PcOutOfRangeOnRunawayJump) {
+  Boot(R"(
+  la r1, 0x10000      ; data segment: not executable
+  jalr r0, r1
+)");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kPcOutOfRange);
+}
+
+TEST_F(CpuTest, ArithOverflowOnlyWhenEnabled) {
+  const char* source = R"(
+  lui r1, 0x7FFF
+  ori r1, r1, 0xFFFF
+  addi r2, r1, 1
+  halt
+)";
+  Boot(source);
+  EXPECT_EQ(RunAll().reason, StopReason::kHalted);  // disabled by default
+
+  CpuConfig config;
+  config.edm.SetEnabled(EdmType::kArithOverflow, true);
+  Boot(source, config);
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kArithOverflow);
+}
+
+TEST_F(CpuTest, AssertionSysCode) {
+  Boot("sys 2\nhalt\n");
+  const RunResult result = RunAll();
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kAssertion);
+}
+
+TEST_F(CpuTest, WatchdogFiresWithoutKicks) {
+  CpuConfig config;
+  config.watchdog_period = 50;
+  Boot(R"(
+loop:
+  b loop
+)", config);
+  const RunResult result = RunAll(10000);
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_EQ(result.edm->type, EdmType::kWatchdog);
+  EXPECT_LE(result.instructions_executed, 52u);
+}
+
+TEST_F(CpuTest, WatchdogKickKeepsRunning) {
+  CpuConfig config;
+  config.watchdog_period = 50;
+  Boot(R"(
+  li r1, 200
+loop:
+  sys 3
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+)", config);
+  EXPECT_EQ(RunAll(10000).reason, StopReason::kHalted);
+}
+
+// ---- fault-injection-relevant microarchitecture -------------------------
+
+TEST_F(CpuTest, PrefetchMakesIrLive) {
+  Boot(R"(
+  li r1, 1
+  li r2, 2
+  halt
+)");
+  cpu_->Step();  // executes li r1, prefetches li r2
+  // Corrupt IR: change "li r2, 2" (addi r2,r0,2) into addi r2,r0,3.
+  cpu_->set_ir(cpu_->ir() ^ 0x1);
+  cpu_->Step();
+  EXPECT_EQ(cpu_->reg(2), 3u);  // the corrupted instruction executed
+}
+
+TEST_F(CpuTest, PcCorruptionCausesControlFlowError) {
+  Boot(R"(
+  li r1, 1
+  li r2, 2
+  halt
+)");
+  cpu_->Step();
+  cpu_->set_pc(0x10000);  // stale IR still executes, then fetch goes wild
+  cpu_->Step();
+  EXPECT_EQ(cpu_->reg(2), 2u);  // prefetched instruction was still good
+  EXPECT_TRUE(cpu_->halted());  // fetch from data segment -> PC EDM
+  EXPECT_EQ(cpu_->edm_events().back().type, EdmType::kPcOutOfRange);
+}
+
+TEST_F(CpuTest, PostStepHooksRunAndRemove) {
+  Boot(R"(
+  li r1, 1
+  li r2, 2
+  li r3, 3
+  halt
+)");
+  int calls = 0;
+  const int id = cpu_->AddPostStepHook([&calls](Cpu&) { ++calls; });
+  cpu_->Step();
+  cpu_->Step();
+  cpu_->RemovePostStepHook(id);
+  cpu_->Step();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(CpuTest, StuckAtHookForcesBit) {
+  Boot(R"(
+  li r1, 0
+  li r1, 0
+  li r1, 0
+  halt
+)");
+  cpu_->AddPostStepHook([](Cpu& cpu) {
+    cpu.set_reg(1, cpu.reg(1) | 0x10);  // stuck-at-1 on bit 4
+  });
+  RunAll();
+  EXPECT_EQ(cpu_->reg(1), 0x10u);
+}
+
+TEST_F(CpuTest, ResetClearsArchitecturalState) {
+  Boot(R"(
+  li r1, 99
+  sys 4
+  halt
+)");
+  RunAll();
+  EXPECT_TRUE(cpu_->halted());
+  cpu_->Reset(0);
+  EXPECT_FALSE(cpu_->halted());
+  EXPECT_EQ(cpu_->reg(1), 0u);
+  EXPECT_EQ(cpu_->instret(), 0u);
+  EXPECT_TRUE(cpu_->emitted().empty());
+  EXPECT_TRUE(cpu_->edm_events().empty());
+  // And it runs again identically.
+  RunAll();
+  EXPECT_EQ(cpu_->emitted(), (std::vector<std::uint32_t>{99}));
+}
+
+TEST_F(CpuTest, UncachedIoBypassesDataCache) {
+  Boot(R"(
+  lui r1, 0xFFFF
+  ld r2, [r1]       ; first read caches nothing (uncacheable)
+  ld r3, [r1]       ; must see the poked value
+  halt
+)");
+  // Poke happens between the two loads via a hook after the first load.
+  int steps = 0;
+  cpu_->AddPostStepHook([&steps](Cpu& cpu) {
+    if (++steps == 2) {  // after "ld r2"
+      cpu.memory().PokeWord(0xFFFF0000, 42);
+    }
+  });
+  RunAll();
+  EXPECT_EQ(cpu_->reg(2), 0u);
+  EXPECT_EQ(cpu_->reg(3), 42u);
+}
+
+TEST_F(CpuTest, TracerObservesAccesses) {
+  class CountingTracer : public Tracer {
+   public:
+    int instructions = 0;
+    int reg_writes = 0;
+    int mem_reads = 0;
+    int mem_writes = 0;
+    void OnInstructionRetired(const Cpu&, const Instruction&, std::uint64_t,
+                              std::uint32_t) override {
+      ++instructions;
+    }
+    void OnRegisterWrite(unsigned, std::uint32_t, std::uint32_t,
+                         std::uint64_t) override {
+      ++reg_writes;
+    }
+    void OnMemoryRead(std::uint32_t, unsigned, std::uint64_t) override {
+      ++mem_reads;
+    }
+    void OnMemoryWrite(std::uint32_t, unsigned, std::uint32_t,
+                       std::uint64_t) override {
+      ++mem_writes;
+    }
+  };
+  Boot(R"(
+  la r1, 0x10000
+  li r2, 5
+  st r2, [r1]
+  ld r3, [r1]
+  halt
+)");
+  CountingTracer tracer;
+  cpu_->set_tracer(&tracer);
+  RunAll();
+  EXPECT_EQ(tracer.instructions, 6);  // la = 2 instructions
+  EXPECT_EQ(tracer.mem_reads, 1);
+  EXPECT_EQ(tracer.mem_writes, 1);
+  EXPECT_GE(tracer.reg_writes, 4);
+}
+
+}  // namespace
+}  // namespace goofi::sim

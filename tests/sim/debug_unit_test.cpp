@@ -1,0 +1,181 @@
+#include "sim/debug_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+
+namespace goofi::sim {
+namespace {
+
+class DebugUnitTest : public ::testing::Test {
+ protected:
+  void Boot(const std::string& source) {
+    cpu_ = std::make_unique<Cpu>();
+    ASSERT_TRUE(cpu_->memory().AddSegment({"code", 0, 0x4000, true, false,
+                                           true, false}).ok());
+    ASSERT_TRUE(cpu_->memory().AddSegment({"data", 0x10000, 0x4000, true,
+                                           true, false, false}).ok());
+    const auto program = Assemble(source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    ASSERT_TRUE(program->LoadInto(cpu_->memory()).ok());
+    cpu_->Reset(program->entry);
+  }
+
+  std::unique_ptr<Cpu> cpu_;
+  DebugUnit debug_{/*instructions_per_micro=*/10};
+};
+
+constexpr const char* kCountLoop = R"(
+  li r1, 0
+  li r2, 100
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+)";
+
+TEST_F(DebugUnitTest, InstretBreakpoint) {
+  Boot(kCountLoop);
+  Breakpoint bp;
+  bp.kind = Breakpoint::Kind::kInstretReached;
+  bp.count = 50;
+  debug_.AddBreakpoint(bp);
+  const RunResult result = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(result.reason, StopReason::kBreakpoint);
+  EXPECT_EQ(cpu_->instret(), 50u);
+  // One-shot: resuming runs to completion.
+  const RunResult rest = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(rest.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(1), 100u);
+}
+
+TEST_F(DebugUnitTest, PcBreakpointWithOccurrenceCount) {
+  Boot(kCountLoop);
+  Breakpoint bp;
+  bp.kind = Breakpoint::Kind::kPcEquals;
+  bp.address = 8;  // "addi r1, r1, 1"
+  bp.count = 5;    // fifth time around
+  debug_.AddBreakpoint(bp);
+  const RunResult result = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(result.reason, StopReason::kBreakpoint);
+  EXPECT_EQ(cpu_->pc(), 8u);
+  EXPECT_EQ(cpu_->reg(1), 4u);  // about to execute the 5th increment
+}
+
+TEST_F(DebugUnitTest, RtcBreakpoint) {
+  Boot(kCountLoop);
+  Breakpoint bp;
+  bp.kind = Breakpoint::Kind::kRtcMicros;
+  bp.micros = 3;  // 3us x 10 instr/us = instret 30
+  debug_.AddBreakpoint(bp);
+  const RunResult result = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(result.reason, StopReason::kBreakpoint);
+  EXPECT_EQ(cpu_->instret(), 30u);
+}
+
+TEST_F(DebugUnitTest, DataReadAndWriteBreakpoints) {
+  Boot(R"(
+  la r1, 0x10010
+  li r2, 7
+  st r2, [r1]
+  ld r3, [r1]
+  ld r4, [r1]
+  halt
+)");
+  Breakpoint write_bp;
+  write_bp.kind = Breakpoint::Kind::kDataWrite;
+  write_bp.address = 0x10010;
+  debug_.AddBreakpoint(write_bp);
+  const RunResult at_write = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(at_write.reason, StopReason::kBreakpoint);
+
+  Breakpoint read_bp;
+  read_bp.kind = Breakpoint::Kind::kDataRead;
+  read_bp.address = 0x10010;
+  read_bp.count = 2;
+  debug_.AddBreakpoint(read_bp);
+  const RunResult at_read = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(at_read.reason, StopReason::kBreakpoint);
+  EXPECT_EQ(cpu_->reg(4), 7u);  // both loads retired
+}
+
+TEST_F(DebugUnitTest, BranchAndCallBreakpoints) {
+  Boot(R"(
+  la sp, 0x14000
+  li r1, 0
+  li r2, 3
+loop:
+  call fn
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+fn:
+  ret
+)");
+  Breakpoint call_bp;
+  call_bp.kind = Breakpoint::Kind::kCall;
+  call_bp.count = 2;  // calls are JAL and JALR; 2nd = the ret of call #1
+  debug_.AddBreakpoint(call_bp);
+  const RunResult result = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(result.reason, StopReason::kBreakpoint);
+
+  Breakpoint branch_bp;
+  branch_bp.kind = Breakpoint::Kind::kBranchTaken;
+  branch_bp.count = 1;
+  debug_.AddBreakpoint(branch_bp);
+  const RunResult at_branch = goofi::sim::Run(*cpu_, &debug_, 100000);
+  EXPECT_EQ(at_branch.reason, StopReason::kBreakpoint);
+}
+
+TEST_F(DebugUnitTest, RemoveAndClear) {
+  Boot(kCountLoop);
+  Breakpoint bp;
+  bp.kind = Breakpoint::Kind::kInstretReached;
+  bp.count = 10;
+  const int id = debug_.AddBreakpoint(bp);
+  debug_.RemoveBreakpoint(id);
+  EXPECT_EQ(goofi::sim::Run(*cpu_, &debug_, 100000).reason, StopReason::kHalted);
+
+  cpu_->Reset(0);
+  debug_.AddBreakpoint(bp);
+  debug_.AddBreakpoint(bp);
+  EXPECT_EQ(debug_.breakpoint_count(), 2u);
+  debug_.Clear();
+  EXPECT_EQ(debug_.breakpoint_count(), 0u);
+}
+
+TEST_F(DebugUnitTest, BudgetExhaustion) {
+  Boot(kCountLoop);
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 17);
+  EXPECT_EQ(result.reason, StopReason::kBudgetExhausted);
+  EXPECT_EQ(result.instructions_executed, 17u);
+  EXPECT_FALSE(cpu_->halted());
+}
+
+TEST_F(DebugUnitTest, IterationCallbackCanVeto) {
+  Boot(R"(
+loop:
+  sys 1
+  b loop
+)");
+  int exchanges = 0;
+  const RunResult result = goofi::sim::Run(
+      *cpu_, nullptr, 100000, /*max_iterations=*/0,
+      [&exchanges](Cpu&) { return ++exchanges < 4; });
+  EXPECT_EQ(result.reason, StopReason::kIterationLimit);
+  EXPECT_EQ(exchanges, 4);
+}
+
+TEST_F(DebugUnitTest, BreakpointIdReported) {
+  Boot(kCountLoop);
+  Breakpoint bp;
+  bp.kind = Breakpoint::Kind::kInstretReached;
+  bp.count = 5;
+  const int id = debug_.AddBreakpoint(bp);
+  const RunResult result = goofi::sim::Run(*cpu_, &debug_, 100000);
+  ASSERT_TRUE(result.breakpoint_id.has_value());
+  EXPECT_EQ(*result.breakpoint_id, id);
+}
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,142 @@
+#include "sim/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::sim {
+namespace {
+
+std::vector<Opcode> AllOpcodes() {
+  std::vector<Opcode> opcodes;
+  for (int op = 0; op <= 0xff; ++op) {
+    if (IsValidOpcode(static_cast<std::uint8_t>(op))) {
+      opcodes.push_back(static_cast<Opcode>(op));
+    }
+  }
+  return opcodes;
+}
+
+TEST(IsaTest, OpcodeCountMatchesIsaDefinition) {
+  EXPECT_EQ(AllOpcodes().size(), 36u);
+}
+
+TEST(IsaTest, DecodeRejectsIllegalOpcodes) {
+  EXPECT_FALSE(Decode(0xFF000000).ok());
+  EXPECT_FALSE(Decode(0x09000000).ok());
+  EXPECT_TRUE(Decode(0x00000000).ok());  // NOP
+}
+
+TEST(IsaTest, SignedImmediateSignExtends) {
+  Instruction insn;
+  insn.opcode = Opcode::kAddi;
+  insn.ra = 1;
+  insn.rb = 2;
+  insn.imm = -5;
+  const auto decoded = Decode(Encode(insn));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->imm, -5);
+}
+
+TEST(IsaTest, LogicalImmediateZeroExtends) {
+  Instruction insn;
+  insn.opcode = Opcode::kOri;
+  insn.ra = 1;
+  insn.rb = 1;
+  insn.imm = 0x8320;  // would be negative if sign-extended
+  const auto decoded = Decode(Encode(insn));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->imm, 0x8320);
+}
+
+TEST(IsaTest, RTypeFieldsRoundTrip) {
+  Instruction insn;
+  insn.opcode = Opcode::kXor;
+  insn.ra = 15;
+  insn.rb = 7;
+  insn.rc = 3;
+  const auto decoded = Decode(Encode(insn));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ra, 15);
+  EXPECT_EQ(decoded->rb, 7);
+  EXPECT_EQ(decoded->rc, 3);
+}
+
+TEST(IsaTest, ClassPredicatesAreConsistent) {
+  for (const Opcode op : AllOpcodes()) {
+    // An opcode is in at most one immediate class.
+    EXPECT_FALSE(UsesSignedImmediate(op) && UsesLogicalImmediate(op))
+        << OpcodeMnemonic(op);
+    // R-type opcodes use no immediate.
+    if (IsRType(op)) {
+      EXPECT_FALSE(UsesSignedImmediate(op)) << OpcodeMnemonic(op);
+      EXPECT_FALSE(UsesLogicalImmediate(op)) << OpcodeMnemonic(op);
+    }
+  }
+  EXPECT_TRUE(IsBranch(Opcode::kBgeu));
+  EXPECT_FALSE(IsBranch(Opcode::kJal));
+  EXPECT_TRUE(IsCall(Opcode::kJal));
+  EXPECT_TRUE(IsCall(Opcode::kJalr));
+  EXPECT_FALSE(IsCall(Opcode::kBeq));
+}
+
+TEST(IsaTest, DisassembleShapes) {
+  Instruction add;
+  add.opcode = Opcode::kAdd;
+  add.ra = 1;
+  add.rb = 2;
+  add.rc = 3;
+  EXPECT_EQ(Disassemble(add), "add r1, r2, r3");
+
+  Instruction ld;
+  ld.opcode = Opcode::kLd;
+  ld.ra = 4;
+  ld.rb = 14;
+  ld.imm = -8;
+  EXPECT_EQ(Disassemble(ld), "ld r4, [r14-8]");
+
+  Instruction beq;
+  beq.opcode = Opcode::kBeq;
+  beq.ra = 0;
+  beq.rb = 0;
+  beq.imm = 3;
+  EXPECT_EQ(Disassemble(beq), "beq r0, r0, +3");
+
+  Instruction halt;
+  halt.opcode = Opcode::kHalt;
+  EXPECT_EQ(Disassemble(halt), "halt");
+}
+
+// Property sweep: every opcode round-trips through Encode/Decode with
+// representative field values.
+class IsaRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaRoundTrip, EncodeDecodeRoundTrips) {
+  const std::vector<Opcode> opcodes = AllOpcodes();
+  const Opcode op = opcodes[static_cast<std::size_t>(GetParam())];
+  for (const int imm : {0, 1, -1, 32767, -32768, 0x1234}) {
+    Instruction insn;
+    insn.opcode = op;
+    insn.ra = 5;
+    insn.rb = 10;
+    insn.rc = 12;
+    if (UsesLogicalImmediate(op)) {
+      insn.imm = imm & 0xffff;  // logical immediates are unsigned
+    } else {
+      insn.imm = imm;
+    }
+    const auto decoded = Decode(Encode(insn));
+    ASSERT_TRUE(decoded.ok()) << OpcodeMnemonic(op);
+    EXPECT_EQ(decoded->opcode, op);
+    EXPECT_EQ(decoded->ra, insn.ra);
+    if (IsRType(op)) {
+      EXPECT_EQ(decoded->rb, insn.rb);
+      EXPECT_EQ(decoded->rc, insn.rc);
+    } else if (op != Opcode::kNop && op != Opcode::kHalt) {
+      EXPECT_EQ(decoded->imm, insn.imm) << OpcodeMnemonic(op);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaRoundTrip, ::testing::Range(0, 36));
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,142 @@
+#include "sim/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::sim {
+namespace {
+
+Memory MakeBoard() {
+  Memory memory;
+  EXPECT_TRUE(memory.AddSegment({"code", 0x0000, 0x1000, true, false, true,
+                                 false}).ok());
+  EXPECT_TRUE(memory.AddSegment({"data", 0x1000, 0x1000, true, true, false,
+                                 false}).ok());
+  EXPECT_TRUE(memory.AddSegment({"io", 0xFFFF0000, 0x100, true, true, false,
+                                 true}).ok());
+  return memory;
+}
+
+TEST(MemoryTest, SegmentLookup) {
+  Memory memory = MakeBoard();
+  ASSERT_NE(memory.FindSegment(0x800), nullptr);
+  EXPECT_EQ(memory.FindSegment(0x800)->name, "code");
+  EXPECT_EQ(memory.FindSegment(0x1FFF)->name, "data");
+  EXPECT_EQ(memory.FindSegment(0x2000), nullptr);
+  EXPECT_EQ(memory.FindSegmentByName("io")->base, 0xFFFF0000u);
+  EXPECT_EQ(memory.FindSegmentByName("ghost"), nullptr);
+}
+
+TEST(MemoryTest, OverlapRejected) {
+  Memory memory = MakeBoard();
+  EXPECT_EQ(memory.AddSegment({"clash", 0x0800, 0x1000, true, true, false,
+                               false}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(memory.AddSegment({"zero", 0x5000, 0, true, true, false,
+                               false}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(memory.AddSegment({"wrap", 0xFFFFFFF0, 0x100, true, true, false,
+                               false}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(MemoryTest, WordReadWriteLittleEndian) {
+  Memory memory = MakeBoard();
+  EXPECT_EQ(memory.WriteWord(0x1000, 0x11223344), MemFault::kNone);
+  std::uint8_t byte = 0;
+  EXPECT_EQ(memory.ReadByte(0x1000, &byte), MemFault::kNone);
+  EXPECT_EQ(byte, 0x44);
+  EXPECT_EQ(memory.ReadByte(0x1003, &byte), MemFault::kNone);
+  EXPECT_EQ(byte, 0x11);
+  std::uint32_t word = 0;
+  EXPECT_EQ(memory.ReadWord(0x1000, &word), MemFault::kNone);
+  EXPECT_EQ(word, 0x11223344u);
+}
+
+TEST(MemoryTest, ProtectionFaults) {
+  Memory memory = MakeBoard();
+  // Store to read/execute-only code.
+  EXPECT_EQ(memory.WriteWord(0x0010, 1), MemFault::kProtection);
+  EXPECT_EQ(memory.WriteByte(0x0010, 1), MemFault::kProtection);
+  // Execute from data.
+  std::uint32_t word = 0;
+  EXPECT_EQ(memory.ReadWord(0x1000, &word, AccessKind::kExecute),
+            MemFault::kProtection);
+  // Unmapped.
+  EXPECT_EQ(memory.ReadWord(0x9000, &word), MemFault::kUnmapped);
+  EXPECT_EQ(memory.WriteWord(0x9000, 1), MemFault::kUnmapped);
+}
+
+TEST(MemoryTest, MisalignedWordAccess) {
+  Memory memory = MakeBoard();
+  std::uint32_t word = 0;
+  EXPECT_EQ(memory.ReadWord(0x1002, &word), MemFault::kMisaligned);
+  EXPECT_EQ(memory.WriteWord(0x1001, 5), MemFault::kMisaligned);
+}
+
+TEST(MemoryTest, PokeBypassesProtection) {
+  Memory memory = MakeBoard();
+  EXPECT_TRUE(memory.Poke(0x0010, 0xAB));  // code is CPU-read-only
+  std::uint8_t byte = 0;
+  EXPECT_TRUE(memory.Peek(0x0010, &byte));
+  EXPECT_EQ(byte, 0xAB);
+  EXPECT_FALSE(memory.Poke(0x9000, 1));
+  EXPECT_FALSE(memory.Peek(0x9000, &byte));
+}
+
+TEST(MemoryTest, FlipBit) {
+  Memory memory = MakeBoard();
+  ASSERT_TRUE(memory.PokeWord(0x1004, 0));
+  EXPECT_TRUE(memory.FlipBit(0x1004, 3));
+  std::uint8_t byte = 0;
+  ASSERT_TRUE(memory.Peek(0x1004, &byte));
+  EXPECT_EQ(byte, 0x08);
+  EXPECT_TRUE(memory.FlipBit(0x1004, 3));
+  ASSERT_TRUE(memory.Peek(0x1004, &byte));
+  EXPECT_EQ(byte, 0x00);
+  EXPECT_FALSE(memory.FlipBit(0x1004, 8));  // bit out of range
+  EXPECT_FALSE(memory.FlipBit(0x9000, 0));
+}
+
+TEST(MemoryTest, LoadImageAndDumpRange) {
+  Memory memory = MakeBoard();
+  const std::vector<std::uint8_t> image = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(memory.LoadImage(0x1000, image).ok());
+  const auto dump = memory.DumpRange(0x1000, 5);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(*dump, image);
+  EXPECT_EQ(memory.LoadImage(0x0FFE, image).code(), ErrorCode::kOk);
+  // A range crossing into unmapped space fails.
+  EXPECT_FALSE(memory.DumpRange(0x1FFE, 8).ok());
+  EXPECT_EQ(memory.LoadImage(0x2000, image).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(MemoryTest, SegmentBoundarySpanningAccess) {
+  Memory memory = MakeBoard();
+  // code [0,0x1000) and data [0x1000,0x2000) are adjacent; LoadImage
+  // across the boundary lands in both.
+  ASSERT_TRUE(memory.LoadImage(0x0FFE, {0xAA, 0xBB, 0xCC, 0xDD}).ok());
+  std::uint8_t byte = 0;
+  ASSERT_TRUE(memory.Peek(0x0FFF, &byte));
+  EXPECT_EQ(byte, 0xBB);
+  ASSERT_TRUE(memory.Peek(0x1000, &byte));
+  EXPECT_EQ(byte, 0xCC);
+}
+
+TEST(MemoryTest, ClearContentsKeepsSegments) {
+  Memory memory = MakeBoard();
+  ASSERT_TRUE(memory.PokeWord(0x1000, 0xFFFFFFFF));
+  memory.ClearContents();
+  std::uint32_t word = 1;
+  ASSERT_TRUE(memory.PeekWord(0x1000, &word));
+  EXPECT_EQ(word, 0u);
+  EXPECT_EQ(memory.segments().size(), 3u);
+}
+
+TEST(MemoryTest, UncacheableFlagPreserved) {
+  Memory memory = MakeBoard();
+  EXPECT_TRUE(memory.FindSegmentByName("io")->uncacheable);
+  EXPECT_FALSE(memory.FindSegmentByName("data")->uncacheable);
+}
+
+}  // namespace
+}  // namespace goofi::sim

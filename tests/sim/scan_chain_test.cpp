@@ -1,0 +1,153 @@
+#include "sim/scan_chain.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::sim {
+namespace {
+
+class ScanChainTest : public ::testing::Test {
+ protected:
+  ScanChainTest() {
+    EXPECT_TRUE(cpu_.memory().AddSegment({"code", 0, 0x1000, true, false,
+                                          true, false}).ok());
+    chains_ = BuildThorRdScanChains(cpu_);
+  }
+
+  Cpu cpu_;
+  ScanChainSet chains_;
+};
+
+TEST_F(ScanChainTest, HasInternalAndBoundaryChains) {
+  ASSERT_NE(chains_.FindChain("internal"), nullptr);
+  ASSERT_NE(chains_.FindChain("boundary"), nullptr);
+  EXPECT_EQ(chains_.FindChain("bogus"), nullptr);
+  EXPECT_EQ(chains_.chains.size(), 2u);
+}
+
+TEST_F(ScanChainTest, ElementPositionsArePacked) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  std::size_t expected = 0;
+  for (const ScanElement& element : internal->elements()) {
+    EXPECT_EQ(element.position, expected) << element.name;
+    expected += element.width;
+  }
+  EXPECT_EQ(internal->bit_length(), expected);
+}
+
+TEST_F(ScanChainTest, ChainCoversDocumentedState) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  // r0 is hardwired: not in the chain.
+  EXPECT_EQ(internal->FindElement("cpu.regs.r0"), nullptr);
+  for (unsigned r = 1; r < 16; ++r) {
+    EXPECT_NE(internal->FindElement("cpu.regs.r" + std::to_string(r)),
+              nullptr);
+  }
+  EXPECT_NE(internal->FindElement("cpu.pc"), nullptr);
+  EXPECT_NE(internal->FindElement("cpu.ir"), nullptr);
+  EXPECT_NE(internal->FindElement("cpu.wdt"), nullptr);
+  EXPECT_NE(internal->FindElement("cpu.edm_status"), nullptr);
+  EXPECT_NE(internal->FindElement("icache.line0.valid"), nullptr);
+  EXPECT_NE(internal->FindElement("dcache.line0.parity0"), nullptr);
+  const ScanChain* boundary = chains_.FindChain("boundary");
+  EXPECT_NE(boundary->FindElement("pins.addr_bus"), nullptr);
+  EXPECT_NE(boundary->FindElement("pins.data_bus"), nullptr);
+}
+
+TEST_F(ScanChainTest, TotalBitsMatchesGeometry) {
+  // 15 regs + pc + ir + wdt (32 each) + edm status (10) + chip id (32)
+  // + 2 caches x 16 lines x (1 + 24 + 4*32 + 4) bits.
+  const std::size_t cache_bits = 2ull * 16 * (1 + 24 + 4 * 32 + 4);
+  const std::size_t expected_internal = 18 * 32 + 10 + 32 + cache_bits;
+  EXPECT_EQ(chains_.FindChain("internal")->bit_length(), expected_internal);
+  EXPECT_EQ(chains_.FindChain("boundary")->bit_length(), 32u + 32 + 1);
+  EXPECT_EQ(chains_.TotalBits(),
+            expected_internal + 65);
+}
+
+TEST_F(ScanChainTest, CaptureReflectsCpuState) {
+  cpu_.set_reg(3, 0xDEADBEEF);
+  cpu_.set_pc(0x1234);
+  const ScanChain* internal = chains_.FindChain("internal");
+  const BitVector image = internal->Capture(cpu_);
+  const ScanElement* r3 = internal->FindElement("cpu.regs.r3");
+  EXPECT_EQ(image.GetField(r3->position, r3->width), 0xDEADBEEFu);
+  const ScanElement* pc = internal->FindElement("cpu.pc");
+  EXPECT_EQ(image.GetField(pc->position, pc->width), 0x1234u);
+}
+
+TEST_F(ScanChainTest, ApplyWritesBack) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  BitVector image = internal->Capture(cpu_);
+  const ScanElement* r7 = internal->FindElement("cpu.regs.r7");
+  image.SetField(r7->position, r7->width, 0xCAFE);
+  internal->Apply(cpu_, image);
+  EXPECT_EQ(cpu_.reg(7), 0xCAFEu);
+}
+
+TEST_F(ScanChainTest, CaptureApplyRoundTripIsIdentity) {
+  cpu_.set_reg(1, 0x11111111);
+  cpu_.set_reg(15, 0xF555555F);
+  cpu_.icache().line(3).valid = true;
+  cpu_.icache().line(3).tag = 0x00ABCDEF & 0xFFFFFF;
+  cpu_.icache().line(3).words[2] = 0x12345678;
+  cpu_.icache().line(3).parity[2] = true;
+  for (const ScanChain& chain : chains_.chains) {
+    const BitVector before = chain.Capture(cpu_);
+    chain.Apply(cpu_, before);
+    const BitVector after = chain.Capture(cpu_);
+    EXPECT_TRUE(before == after) << chain.name();
+  }
+  EXPECT_EQ(cpu_.reg(1), 0x11111111u);
+  EXPECT_EQ(cpu_.icache().line(3).words[2], 0x12345678u);
+  EXPECT_TRUE(cpu_.icache().line(3).parity[2]);
+}
+
+TEST_F(ScanChainTest, ReadOnlyElementsIgnoreWrites) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  const ScanElement* chip_id = internal->FindElement("cpu.chip_id");
+  ASSERT_EQ(chip_id->access, ScanAccess::kReadOnly);
+  BitVector image = internal->Capture(cpu_);
+  EXPECT_EQ(image.GetField(chip_id->position, chip_id->width), 0x7408D001u);
+  image.SetField(chip_id->position, chip_id->width, 0);
+  internal->Apply(cpu_, image);
+  const BitVector again = internal->Capture(cpu_);
+  EXPECT_EQ(again.GetField(chip_id->position, chip_id->width), 0x7408D001u);
+}
+
+TEST_F(ScanChainTest, EdmStatusReflectsEvents) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  const ScanElement* status = internal->FindElement("cpu.edm_status");
+  EXPECT_EQ(internal->Capture(cpu_).GetField(status->position,
+                                             status->width),
+            0u);
+  // Run into an illegal instruction (memory is zero -> NOP... fetch from
+  // unmapped eventually). Simpler: poke an illegal opcode at 0.
+  cpu_.memory().PokeWord(0, 0xFF000000);
+  cpu_.Reset(0);
+  cpu_.Step();
+  const std::uint64_t mask = internal->Capture(cpu_).GetField(
+      status->position, status->width);
+  EXPECT_EQ(mask, std::uint64_t{1}
+                      << static_cast<int>(EdmType::kIllegalOpcode));
+}
+
+TEST_F(ScanChainTest, FindElementAcrossChains) {
+  const auto found = chains_.FindElement("pins.data_bus");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->first->name(), "boundary");
+  EXPECT_FALSE(chains_.FindElement("no.such.element").has_value());
+}
+
+TEST_F(ScanChainTest, CacheElementsAreLiveViews) {
+  const ScanChain* internal = chains_.FindChain("internal");
+  const ScanElement* data =
+      internal->FindElement("dcache.line5.data1");
+  ASSERT_NE(data, nullptr);
+  cpu_.dcache().line(5).words[1] = 0xA5A5A5A5;
+  EXPECT_EQ(data->get(cpu_), 0xA5A5A5A5u);
+  data->set(cpu_, 0x5A5A5A5A);
+  EXPECT_EQ(cpu_.dcache().line(5).words[1], 0x5A5A5A5Au);
+}
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,144 @@
+#include "sim/tap.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::sim {
+namespace {
+
+class TapTest : public ::testing::Test {
+ protected:
+  TapTest() {
+    EXPECT_TRUE(cpu_.memory().AddSegment({"code", 0, 0x1000, true, false,
+                                          true, false}).ok());
+    chains_ = BuildThorRdScanChains(cpu_);
+    tap_ = std::make_unique<TapController>(&chains_, &cpu_);
+  }
+
+  Cpu cpu_;
+  ScanChainSet chains_;
+  std::unique_ptr<TapController> tap_;
+};
+
+TEST_F(TapTest, ResetLandsInRunTestIdle) {
+  tap_->Reset();
+  EXPECT_EQ(tap_->state(), TapState::kRunTestIdle);
+  EXPECT_EQ(tap_->instruction(), TapInstruction::kBypass);
+}
+
+TEST_F(TapTest, FiveTmsOnesFromAnywhereResets) {
+  tap_->Reset();
+  // Wander into Shift-DR.
+  tap_->Clock(true, false);   // Select-DR
+  tap_->Clock(false, false);  // Capture-DR
+  tap_->Clock(false, false);  // Shift-DR
+  EXPECT_EQ(tap_->state(), TapState::kShiftDr);
+  for (int i = 0; i < 5; ++i) tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kTestLogicReset);
+}
+
+TEST_F(TapTest, StateWalkMatchesIeee1149) {
+  tap_->Reset();
+  EXPECT_EQ(tap_->state(), TapState::kRunTestIdle);
+  tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kSelectDrScan);
+  tap_->Clock(false, false);
+  EXPECT_EQ(tap_->state(), TapState::kCaptureDr);
+  tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kExit1Dr);
+  tap_->Clock(false, false);
+  EXPECT_EQ(tap_->state(), TapState::kPauseDr);
+  tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kExit2Dr);
+  tap_->Clock(false, false);
+  EXPECT_EQ(tap_->state(), TapState::kShiftDr);
+  tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kExit1Dr);
+  tap_->Clock(true, false);
+  EXPECT_EQ(tap_->state(), TapState::kUpdateDr);
+  tap_->Clock(false, false);
+  EXPECT_EQ(tap_->state(), TapState::kRunTestIdle);
+}
+
+TEST_F(TapTest, IdcodeReadsDeviceId) {
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kIdcode);
+  EXPECT_EQ(tap_->instruction(), TapInstruction::kIdcode);
+  const BitVector idcode = tap_->ReadDataRegister();
+  ASSERT_EQ(idcode.size(), 32u);
+  EXPECT_EQ(idcode.GetField(0, 32), 0x7408D001u);
+}
+
+TEST_F(TapTest, BypassIsOneBit) {
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kBypass);
+  const BitVector bypass = tap_->ReadDataRegister();
+  EXPECT_EQ(bypass.size(), 1u);
+}
+
+TEST_F(TapTest, InternalChainReadMatchesDirectCapture) {
+  cpu_.set_reg(5, 0x13572468);
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kScanInternal);
+  const BitVector via_tap = tap_->ReadDataRegister();
+  const BitVector direct = chains_.FindChain("internal")->Capture(cpu_);
+  EXPECT_TRUE(via_tap == direct);
+}
+
+TEST_F(TapTest, ReadDataRegisterDoesNotDisturbState) {
+  cpu_.set_reg(5, 0xABCD0123);
+  cpu_.set_pc(0x40);
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kScanInternal);
+  tap_->ReadDataRegister();
+  EXPECT_EQ(cpu_.reg(5), 0xABCD0123u);
+  EXPECT_EQ(cpu_.pc(), 0x40u);
+}
+
+TEST_F(TapTest, ExchangeAppliesShiftedInImage) {
+  // The SCIFI injection path: read, flip one bit, write back.
+  cpu_.set_reg(9, 0);
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kScanInternal);
+  BitVector image = tap_->ReadDataRegister();
+  const ScanChain* internal = chains_.FindChain("internal");
+  const ScanElement* r9 = internal->FindElement("cpu.regs.r9");
+  image.Flip(r9->position + 7);
+  const BitVector old = tap_->ExchangeDataRegister(image);
+  EXPECT_EQ(cpu_.reg(9), 0x80u);
+  // The exchange shifted out the pre-injection state.
+  EXPECT_EQ(old.GetField(r9->position, 32), 0u);
+}
+
+TEST_F(TapTest, BoundaryChainSelectable) {
+  cpu_.set_mar(0xFEEDF00D);
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kScanBoundary);
+  const BitVector image = tap_->ReadDataRegister();
+  ASSERT_EQ(image.size(), chains_.FindChain("boundary")->bit_length());
+  EXPECT_EQ(image.GetField(0, 32), 0xFEEDF00Du);  // addr_bus is first
+}
+
+TEST_F(TapTest, TckCyclesScaleWithChainLength) {
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kIdcode);
+  const std::uint64_t before_short = tap_->tck_cycles();
+  tap_->ReadDataRegister();
+  const std::uint64_t short_cost = tap_->tck_cycles() - before_short;
+
+  tap_->LoadInstruction(TapInstruction::kScanInternal);
+  const std::uint64_t before_long = tap_->tck_cycles();
+  tap_->ReadDataRegister();
+  const std::uint64_t long_cost = tap_->tck_cycles() - before_long;
+  // The internal chain is thousands of bits; IDCODE is 32.
+  EXPECT_GT(long_cost, 50 * short_cost);
+}
+
+TEST_F(TapTest, TestLogicResetRevertsToBypass) {
+  tap_->Reset();
+  tap_->LoadInstruction(TapInstruction::kScanInternal);
+  for (int i = 0; i < 5; ++i) tap_->Clock(true, false);
+  EXPECT_EQ(tap_->instruction(), TapInstruction::kBypass);
+}
+
+}  // namespace
+}  // namespace goofi::sim

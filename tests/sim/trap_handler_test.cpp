@@ -1,0 +1,150 @@
+// Trap-to-handler detection response (best-effort recovery substrate).
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+#include "sim/debug_unit.h"
+
+namespace goofi::sim {
+namespace {
+
+class TrapHandlerTest : public ::testing::Test {
+ protected:
+  void Boot(const std::string& source, CpuConfig config = {}) {
+    cpu_ = std::make_unique<Cpu>(config);
+    ASSERT_TRUE(cpu_->memory().AddSegment({"code", 0, 0x4000, true, false,
+                                           true, false}).ok());
+    ASSERT_TRUE(cpu_->memory().AddSegment({"data", 0x10000, 0x4000, true,
+                                           true, false, false}).ok());
+    program_ = std::make_unique<AssembledProgram>();
+    auto assembled = Assemble(source);
+    ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+    *program_ = std::move(*assembled);
+    ASSERT_TRUE(program_->LoadInto(cpu_->memory()).ok());
+    cpu_->Reset(program_->entry);
+  }
+
+  void ArmHandler(const std::string& label) {
+    cpu_->set_trap_handler(true, program_->symbols.at(label));
+  }
+
+  std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<AssembledProgram> program_;
+};
+
+constexpr const char* kFaultThenRecover = R"(
+.entry start
+start:
+  li r1, 5
+  li r2, 0
+  div r3, r1, r2       ; divide by zero -> EDM
+  li r4, 111           ; skipped under fail-stop
+  halt
+handler:
+  sys 5                ; recovery marker
+  li r4, 222
+  halt
+)";
+
+TEST_F(TrapHandlerTest, FailStopByDefault) {
+  Boot(kFaultThenRecover);
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 1000);
+  EXPECT_EQ(result.reason, StopReason::kEdm);
+  EXPECT_TRUE(cpu_->halted());
+  EXPECT_EQ(cpu_->reg(4), 0u);
+}
+
+TEST_F(TrapHandlerTest, TrapVectorsToHandler) {
+  Boot(kFaultThenRecover);
+  ArmHandler("handler");
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 1000);
+  EXPECT_EQ(result.reason, StopReason::kHalted);  // handler halted cleanly
+  EXPECT_EQ(cpu_->reg(4), 222u);
+  EXPECT_EQ(cpu_->recovery_count(), 1u);
+  // The event is still recorded (observable via the EDM status chain).
+  ASSERT_EQ(cpu_->edm_events().size(), 1u);
+  EXPECT_EQ(cpu_->edm_events()[0].type, EdmType::kDivByZero);
+}
+
+TEST_F(TrapHandlerTest, FaultingInstructionIsAborted) {
+  Boot(kFaultThenRecover);
+  ArmHandler("handler");
+  goofi::sim::Run(*cpu_, nullptr, 1000);
+  EXPECT_EQ(cpu_->reg(3), 0u);  // the div never wrote its result
+}
+
+TEST_F(TrapHandlerTest, AssertionTrapsToo) {
+  Boot(R"(
+.entry start
+start:
+  sys 2
+  halt
+handler:
+  li r5, 9
+  halt
+)");
+  ArmHandler("handler");
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 1000);
+  EXPECT_EQ(result.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(5), 9u);
+}
+
+TEST_F(TrapHandlerTest, WatchdogTrapRearmsTimer) {
+  CpuConfig config;
+  config.watchdog_period = 40;
+  Boot(R"(
+.entry start
+start:
+loop:
+  b loop               ; starve the watchdog
+handler:
+  sys 5
+  li r1, 1
+  halt
+)", config);
+  ArmHandler("handler");
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 10000);
+  EXPECT_EQ(result.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->recovery_count(), 1u);
+  EXPECT_EQ(cpu_->reg(1), 1u);
+}
+
+TEST_F(TrapHandlerTest, TrapStormIsBoundedByBudget) {
+  // A handler that itself faults: the run must still terminate via the
+  // tool-level instruction budget, not hang.
+  Boot(R"(
+.entry start
+start:
+  li r1, 1
+  li r2, 0
+  div r3, r1, r2
+  halt
+handler:
+  div r3, r1, r2       ; faults again, forever
+  halt
+)");
+  ArmHandler("handler");
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 500);
+  EXPECT_EQ(result.reason, StopReason::kBudgetExhausted);
+  EXPECT_GT(cpu_->edm_events().size(), 10u);
+}
+
+TEST_F(TrapHandlerTest, RunawayPcRecovered) {
+  Boot(R"(
+.entry start
+start:
+  la r1, 0x10000
+  jalr r0, r1          ; jump into the data segment
+  halt
+handler:
+  li r6, 77
+  halt
+)");
+  ArmHandler("handler");
+  const RunResult result = goofi::sim::Run(*cpu_, nullptr, 1000);
+  EXPECT_EQ(result.reason, StopReason::kHalted);
+  EXPECT_EQ(cpu_->reg(6), 77u);
+  EXPECT_EQ(cpu_->edm_events()[0].type, EdmType::kPcOutOfRange);
+}
+
+}  // namespace
+}  // namespace goofi::sim

@@ -1,0 +1,89 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("no such table");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such table");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: no such table");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("m").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("m").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("m").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("m").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(InternalError("m").code(), ErrorCode::kInternal);
+  EXPECT_EQ(DataLossError("m").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(ConstraintViolationError("m").code(),
+            ErrorCode::kConstraintViolation);
+  EXPECT_EQ(ParseError("m").code(), ErrorCode::kParseError);
+  EXPECT_EQ(TargetFaultError("m").code(), ErrorCode::kTargetFault);
+  EXPECT_EQ(IoError("m").code(), ErrorCode::kIo);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("gone");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  ASSIGN_OR_RETURN(int half, Half(x));
+  RETURN_IF_ERROR(Status::Ok());
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status status = UseMacros(9, &out);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(out, 4);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace goofi

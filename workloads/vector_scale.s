@@ -1,0 +1,44 @@
+; vector_scale: scale a 16-word vector by 4 with saturation at 100000,
+; write the scaled vector plus a checksum to the output region.
+;
+; A user-provided workload, assembled by the tool at campaign time (see
+; workloads/vector_scale.workload and examples/custom_workload.cpp).
+.entry start
+start:
+  la sp, 0x24000
+  la r1, vec_in
+  la r2, vec_out
+  li r3, 16             ; element count
+  li r4, 0              ; index
+  li r10, 0             ; checksum
+vs_loop:
+  bge r4, r3, vs_done
+  slli r5, r4, 2
+  add r6, r1, r5
+  ld r7, [r6]
+  slli r7, r7, 2        ; x4
+  li r8, 100000         ; saturation limit
+  blt r7, r8, vs_ok
+  mov r7, r8
+vs_ok:
+  add r9, r2, r5
+  st r7, [r9]
+  add r10, r10, r7
+  addi r4, r4, 1
+  b vs_loop
+vs_done:
+  la r5, vec_csum
+  st r10, [r5]
+  mov r1, r10
+  sys 4                 ; emit checksum
+  halt
+
+.org 0x10000
+vec_in:
+  .word 12, 99, 25000, 7, 31000, 450, 3, 88
+  .word 1500, 26001, 0, 64, 9999, 2, 777, 24999
+.org 0x10200
+vec_out:
+  .space 64
+vec_csum:
+  .space 4
