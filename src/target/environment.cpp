@@ -1,0 +1,68 @@
+#include "target/environment.h"
+
+#include <algorithm>
+
+#include "target/io_map.h"
+
+namespace goofi::target {
+namespace {
+
+constexpr std::int32_t kInitialSpeed = 300;
+constexpr std::int32_t kBaseLoad = 200;
+constexpr std::int32_t kLoadSwing = 150;  // square-wave disturbance
+constexpr std::int32_t kMaxSpeed = 4095;
+
+std::uint32_t PeekIoWord(sim::Memory& memory, std::uint32_t offset) {
+  std::uint32_t value = 0;
+  (void)memory.PeekWord(kIoBase + offset, &value);
+  return value;
+}
+
+}  // namespace
+
+const std::string& EngineEnvironment::name() const {
+  static const std::string kName = "engine";
+  return kName;
+}
+
+void EngineEnvironment::Reset(sim::Memory& memory) {
+  speed_ = kInitialSpeed;
+  step_ = 0;
+  outputs_.clear();
+  (void)memory.PokeWord(kIoBase + kIoInOffset,
+                        static_cast<std::uint32_t>(speed_));
+  (void)memory.PokeWord(kIoBase + kIoOutOffset, 0);
+  (void)memory.PokeWord(kIoBase + kIoIterOffset, 0);
+}
+
+bool EngineEnvironment::OnIterationEnd(sim::Memory& memory) {
+  const std::uint32_t actuator = PeekIoWord(memory, kIoOutOffset);
+  outputs_.push_back(actuator);
+  ++step_;
+
+  // Square-wave load: alternates every 8 iterations, so the controller
+  // keeps getting re-excited over the 40-iteration mission.
+  const std::int32_t load =
+      kBaseLoad + ((step_ / 8) % 2 == 0 ? 0 : kLoadSwing);
+  // First-order shaft dynamics, integer arithmetic for determinism.
+  const std::int32_t thrust =
+      static_cast<std::int32_t>(actuator & 0xffff) - load - speed_ / 8;
+  speed_ += thrust / 4;
+  speed_ = std::clamp(speed_, 0, kMaxSpeed);
+
+  (void)memory.PokeWord(kIoBase + kIoInOffset,
+                        static_cast<std::uint32_t>(speed_));
+  (void)memory.PokeWord(kIoBase + kIoIterOffset,
+                        static_cast<std::uint32_t>(step_));
+  return true;
+}
+
+Result<std::unique_ptr<Environment>> MakeEnvironment(
+    const std::string& name) {
+  if (name == "engine") {
+    return std::unique_ptr<Environment>(new EngineEnvironment());
+  }
+  return NotFoundError("no environment model named '" + name + "'");
+}
+
+}  // namespace goofi::target

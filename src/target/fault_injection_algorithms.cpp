@@ -1,0 +1,96 @@
+#include "target/fault_injection_algorithms.h"
+
+namespace goofi::target {
+
+Status TargetSystemInterface::SetWorkload(WorkloadSpec workload) {
+  workload_ = std::move(workload);
+  return Status::Ok();
+}
+
+Observation TargetSystemInterface::TakeObservation() {
+  Observation taken = std::move(observation_);
+  observation_ = Observation{};
+  return taken;
+}
+
+// ---------------------------------------------------------------------
+// Paper Fig. 2. Each algorithm is a fixed sequence over the abstract
+// operations; tests/target/algorithms_test.cpp asserts these sequences
+// literally against a recording mock, so any reordering is a breaking
+// change to the ported-target contract.
+// ---------------------------------------------------------------------
+
+Status TargetSystemInterface::MakeReferenceRun() {
+  // The fault-free run: Fig. 2 minus the trigger/injection phases.
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(runWorkload());
+  RETURN_IF_ERROR(waitForTermination());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
+  return Status::Ok();
+}
+
+Status TargetSystemInterface::RunExperiment() {
+  switch (spec_.technique) {
+    case Technique::kScifi:
+      return faultInjectorSCIFI();
+    case Technique::kSwifiPreRuntime:
+      return faultInjectorSWIFIPreRuntime();
+    case Technique::kSwifiRuntime:
+      return faultInjectorSWIFIRuntime();
+  }
+  return InvalidArgumentError("unknown fault-injection technique");
+}
+
+Status TargetSystemInterface::faultInjectorSCIFI() {
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(runWorkload());
+  RETURN_IF_ERROR(waitForBreakpoint());
+  RETURN_IF_ERROR(readScanChain());
+  RETURN_IF_ERROR(injectFault());
+  RETURN_IF_ERROR(writeScanChain());
+  RETURN_IF_ERROR(waitForTermination());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
+  return Status::Ok();
+}
+
+Status TargetSystemInterface::faultInjectorSWIFIPreRuntime() {
+  // Reduced sequence: the fault goes into the downloaded memory image
+  // before execution starts, so there is no trigger phase and no
+  // scan-chain write-back.
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(injectFault());
+  RETURN_IF_ERROR(runWorkload());
+  RETURN_IF_ERROR(waitForTermination());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
+  return Status::Ok();
+}
+
+Status TargetSystemInterface::faultInjectorSWIFIRuntime() {
+  // Runtime SWIFI reaches registers and memory through the debug port
+  // at the trigger, without the scan-chain read/write round trip.
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(runWorkload());
+  RETURN_IF_ERROR(waitForBreakpoint());
+  RETURN_IF_ERROR(injectFault());
+  RETURN_IF_ERROR(waitForTermination());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
+  return Status::Ok();
+}
+
+}  // namespace goofi::target

@@ -1,0 +1,116 @@
+// The abstract target-system interface and the three fault-injection
+// algorithms of paper Fig. 2.
+//
+// This is the paper's central design (§2.2): "The fault injection
+// algorithms are generic, i.e. they are written using the abstract
+// methods of the TargetSystemInterface class ... When support for a new
+// target system is added to GOOFI, only the abstract methods need to be
+// implemented." The algorithms are template methods: they fix the phase
+// ordering (set-up, download, run-to-trigger, inject, run-to-end,
+// read-back) and delegate every target-specific step to the abstract
+// operations, which keep the paper's camelCase names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/tracer.h"
+#include "target/target_types.h"
+#include "target/workloads.h"
+#include "util/status.h"
+
+namespace goofi::target {
+
+class TargetSystemInterface {
+ public:
+  // One injectable location of the target, as advertised to the
+  // campaign machinery (core/location.h builds the sampling space from
+  // these; core/campaign.h persists them as TargetLocation rows).
+  struct LocationInfo {
+    enum class Kind {
+      kScanElement,  // a named element of a scan chain
+      kMemoryRange,  // a byte range of target memory
+    };
+    Kind kind = Kind::kScanElement;
+    std::string name;
+    std::string chain;             // scan elements: owning chain
+    std::uint32_t width_bits = 0;  // scan elements: element width
+    bool writable = true;          // false for observe-only elements
+    std::string category;          // "reg", "control", "memory_code", ...
+    std::uint32_t base = 0;        // memory ranges: start address
+    std::uint32_t size = 0;        // memory ranges: length in bytes
+  };
+
+  virtual ~TargetSystemInterface() = default;
+
+  virtual const std::string& target_name() const = 0;
+  virtual std::vector<LocationInfo> ListLocations() const = 0;
+
+  // ------------------------------------------------------------------
+  // Driver API used by the campaign runner and the tool front ends.
+  // ------------------------------------------------------------------
+
+  // Install the workload for subsequent runs. The base implementation
+  // just stores it; targets may validate eagerly.
+  virtual Status SetWorkload(WorkloadSpec workload);
+
+  void set_experiment(const ExperimentSpec& spec) { spec_ = spec; }
+  const ExperimentSpec& experiment() const { return spec_; }
+
+  void set_logging_mode(LoggingMode mode) { logging_mode_ = mode; }
+  LoggingMode logging_mode() const { return logging_mode_; }
+
+  // Forward the simulator's per-instruction trace events to `tracer`
+  // during subsequent runs (the pre-injection analysis listens this
+  // way). nullptr disconnects. Targets without an instruction-level
+  // view may ignore it.
+  void set_external_tracer(sim::Tracer* tracer) {
+    external_tracer_ = tracer;
+  }
+  sim::Tracer* external_tracer() const { return external_tracer_; }
+
+  // Fault-free reference run: the Fig. 2 sequence without the trigger
+  // and injection phases. Produces the golden observation.
+  Status MakeReferenceRun();
+
+  // Run the experiment in spec_ with the technique it names.
+  Status RunExperiment();
+
+  // ------------------------------------------------------------------
+  // The Fig. 2 algorithms (template methods; public so tools can drive
+  // one technique directly, as goofi_tool's `exercise` mode does).
+  // ------------------------------------------------------------------
+  Status faultInjectorSCIFI();
+  Status faultInjectorSWIFIPreRuntime();
+  Status faultInjectorSWIFIRuntime();
+
+  // The observation of the last completed run. TakeObservation hands it
+  // over and resets the slate for the next run.
+  const Observation& observation() const { return observation_; }
+  Observation TakeObservation();
+
+ protected:
+  // ------------------------------------------------------------------
+  // The abstract operations of paper Fig. 3, in the paper's naming.
+  // The template methods above call them in the paper's order; concrete
+  // targets implement them and record results into observation_.
+  // ------------------------------------------------------------------
+  virtual Status initTestCard() = 0;        // reset card + target
+  virtual Status loadWorkload() = 0;        // prepare the workload image
+  virtual Status writeMemory() = 0;         // download image to target
+  virtual Status runWorkload() = 0;         // start execution
+  virtual Status waitForBreakpoint() = 0;   // run until spec_.trigger
+  virtual Status readScanChain() = 0;       // capture chain images
+  virtual Status injectFault() = 0;         // apply spec_.targets
+  virtual Status writeScanChain() = 0;      // write back modified images
+  virtual Status waitForTermination() = 0;  // run to completion
+  virtual Status readMemory() = 0;          // read back outputs
+
+  WorkloadSpec workload_;
+  ExperimentSpec spec_;
+  Observation observation_;
+  LoggingMode logging_mode_ = LoggingMode::kNormal;
+  sim::Tracer* external_tracer_ = nullptr;
+};
+
+}  // namespace goofi::target

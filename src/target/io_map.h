@@ -1,0 +1,34 @@
+// Thor RD board memory map (docs/ISA.md §"Board memory map").
+//
+// The test card installs these segments before downloading a workload.
+// Addresses are physical; there is no MMU on the board.
+#pragma once
+
+#include <cstdint>
+
+namespace goofi::target {
+
+// Code: read/execute. The test card's program download bypasses the
+// write protection (unchecked debug-port pokes), exactly like a real
+// flash programmer.
+inline constexpr std::uint32_t kCodeBase = 0x00000000;
+inline constexpr std::uint32_t kCodeSize = 64 * 1024;
+
+// Data: read/write, cacheable.
+inline constexpr std::uint32_t kDataBase = 0x00010000;
+inline constexpr std::uint32_t kDataSize = 64 * 1024;
+
+// Stack: read/write, cacheable. Workloads initialise sp = kStackTop.
+inline constexpr std::uint32_t kStackBase = 0x00020000;
+inline constexpr std::uint32_t kStackSize = 16 * 1024;
+inline constexpr std::uint32_t kStackTop = kStackBase + kStackSize;
+
+// Memory-mapped IO page: read/write, uncacheable. The environment model
+// (plant) exchanges words with the workload here.
+inline constexpr std::uint32_t kIoBase = 0xFFFF0000;
+inline constexpr std::uint32_t kIoSize = 256;
+inline constexpr std::uint32_t kIoInOffset = 0x00;   // sensor words
+inline constexpr std::uint32_t kIoOutOffset = 0x20;  // actuator words
+inline constexpr std::uint32_t kIoIterOffset = 0x40; // iteration counter
+
+}  // namespace goofi::target

@@ -1,0 +1,153 @@
+#include "target/test_card.h"
+
+#include "target/io_map.h"
+#include "util/strings.h"
+
+namespace goofi::target {
+
+TestCard::TestCard(TestCardOptions options)
+    : options_(options),
+      cpu_(options.cpu_config),
+      chains_(sim::BuildThorRdScanChains(cpu_)),
+      tap_(&chains_, &cpu_),
+      link_rng_(options.link_fault_seed) {}
+
+Status TestCard::Initialize() {
+  if (!initialized_) {
+    RETURN_IF_ERROR(cpu_.memory().AddSegment(
+        {"code", kCodeBase, kCodeSize, true, false, true, false}));
+    RETURN_IF_ERROR(cpu_.memory().AddSegment(
+        {"data", kDataBase, kDataSize, true, true, false, false}));
+    RETURN_IF_ERROR(cpu_.memory().AddSegment(
+        {"stack", kStackBase, kStackSize, true, true, false, false}));
+    RETURN_IF_ERROR(cpu_.memory().AddSegment(
+        {"io", kIoBase, kIoSize, true, true, false, true}));
+    initialized_ = true;
+  }
+  ResetTarget(0);
+  tap_.Reset();
+  return Status::Ok();
+}
+
+void TestCard::Transfer(std::size_t bytes) {
+  ++link_stats_.commands;
+  link_stats_.latency_micros += options_.link_latency_micros;
+  const std::size_t words = (bytes + 3) / 4;
+  std::size_t retried = 0;
+  if (options_.link_fault_probability > 0.0) {
+    for (std::size_t w = 0; w < words; ++w) {
+      // A corrupted word fails the link parity check and is resent; a
+      // handful of attempts always suffices in practice, and capping
+      // them keeps a probability-1.0 test configuration terminating.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        if (!link_rng_.NextBool(options_.link_fault_probability)) break;
+        ++retried;
+      }
+    }
+  }
+  link_stats_.words_retried += retried;
+  link_stats_.bytes_transferred += words * 4 + retried * 4;
+  link_stats_.latency_micros += retried * options_.link_latency_micros;
+}
+
+void TestCard::ResetTarget(std::uint32_t entry) {
+  Transfer(4);
+  cpu_.Reset(entry);
+  debug_unit_.Clear();
+}
+
+Status TestCard::LoadProgram(const sim::AssembledProgram& program) {
+  Transfer(program.ByteSize());
+  return program.LoadInto(cpu_.memory());
+}
+
+Status TestCard::WriteWord(std::uint32_t address, std::uint32_t value) {
+  Transfer(8);
+  const sim::MemFault fault = cpu_.memory().WriteWord(address, value);
+  if (fault != sim::MemFault::kNone) {
+    return TargetFaultError(
+        StrFormat("debug-port write fault at 0x%08x", address));
+  }
+  return Status::Ok();
+}
+
+Result<std::uint32_t> TestCard::ReadWord(std::uint32_t address) {
+  Transfer(8);
+  std::uint32_t value = 0;
+  const sim::MemFault fault =
+      cpu_.memory().ReadWord(address, &value, sim::AccessKind::kRead);
+  if (fault != sim::MemFault::kNone) {
+    return TargetFaultError(
+        StrFormat("debug-port read fault at 0x%08x", address));
+  }
+  return value;
+}
+
+Result<std::vector<std::uint8_t>> TestCard::DumpMemory(
+    std::uint32_t address, std::uint32_t length) {
+  Transfer(length);
+  return cpu_.memory().DumpRange(address, length);
+}
+
+Status TestCard::FlipMemoryBit(std::uint32_t address, std::uint32_t bit) {
+  Transfer(8);
+  if (bit > 7) {
+    return OutOfRangeError(StrFormat("bit %u of a byte", bit));
+  }
+  if (!cpu_.memory().FlipBit(address, static_cast<unsigned>(bit))) {
+    return NotFoundError(
+        StrFormat("no memory mapped at 0x%08x", address));
+  }
+  return Status::Ok();
+}
+
+int TestCard::SetBreakpoint(const sim::Breakpoint& breakpoint) {
+  Transfer(16);
+  return debug_unit_.AddBreakpoint(breakpoint);
+}
+
+void TestCard::ClearBreakpoints() {
+  Transfer(4);
+  debug_unit_.Clear();
+}
+
+sim::RunResult TestCard::Run(
+    std::uint64_t max_instructions, std::uint64_t max_iterations,
+    const std::function<bool(sim::Cpu&)>& on_iteration) {
+  Transfer(4);
+  return sim::Run(cpu_, &debug_unit_, max_instructions, max_iterations,
+                  on_iteration);
+}
+
+Result<sim::TapInstruction> TestCard::ChainInstruction(
+    const std::string& chain_name) const {
+  if (chain_name == "internal") return sim::TapInstruction::kScanInternal;
+  if (chain_name == "boundary") return sim::TapInstruction::kScanBoundary;
+  return NotFoundError("no scan chain named '" + chain_name + "'");
+}
+
+Result<BitVector> TestCard::ReadChain(const std::string& chain_name) {
+  ASSIGN_OR_RETURN(const sim::TapInstruction instruction,
+                   ChainInstruction(chain_name));
+  const sim::ScanChain* chain = chains_.FindChain(chain_name);
+  Transfer((chain->bit_length() + 7) / 8);
+  tap_.LoadInstruction(instruction);
+  return tap_.ReadDataRegister();
+}
+
+Result<BitVector> TestCard::ExchangeChain(const std::string& chain_name,
+                                          const BitVector& image) {
+  ASSIGN_OR_RETURN(const sim::TapInstruction instruction,
+                   ChainInstruction(chain_name));
+  const sim::ScanChain* chain = chains_.FindChain(chain_name);
+  if (image.size() != chain->bit_length()) {
+    return InvalidArgumentError(
+        StrFormat("image is %zu bits, chain '%s' is %zu", image.size(),
+                  chain_name.c_str(), chain->bit_length()));
+  }
+  Transfer(2 * ((chain->bit_length() + 7) / 8));
+  tap_.LoadInstruction(instruction);
+  return tap_.ExchangeDataRegister(image);
+}
+
+}  // namespace goofi::target

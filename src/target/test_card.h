@@ -1,0 +1,115 @@
+// The simulated fault-injection test card.
+//
+// In the paper, GOOFI talks to the Thor chip through a physical test
+// card ("GOOFI ... is connected to the target system via a test card")
+// that owns the JTAG TAP access, the debug port and the program
+// download path. This class is that card for the simulated board: every
+// host<->target byte goes through it, so it is the single place where
+// transport cost and transport faults live. The link is parity-checked
+// with retry — injectable link faults are detected and retried, never
+// silently corrupted — which is what lets the conformance suite show
+// the algorithms are independent of link quality.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/assembler.h"
+#include "sim/cpu.h"
+#include "sim/debug_unit.h"
+#include "sim/scan_chain.h"
+#include "sim/tap.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace goofi::target {
+
+struct LinkStats {
+  std::uint64_t commands = 0;           // host->card operations
+  std::uint64_t bytes_transferred = 0;  // payload bytes incl. retries
+  std::uint64_t words_retried = 0;      // link parity errors recovered
+  std::uint64_t latency_micros = 0;     // accumulated transport latency
+};
+
+struct TestCardOptions {
+  sim::CpuConfig cpu_config;
+  // Injectable link imperfections: each transferred word is corrupted
+  // with this probability (detected by link parity and retried), and
+  // each command costs this much extra latency.
+  double link_fault_probability = 0.0;
+  std::uint32_t link_latency_micros = 0;
+  std::uint64_t link_fault_seed = 0x90F1;
+};
+
+class TestCard {
+ public:
+  TestCard() : TestCard(TestCardOptions{}) {}
+  explicit TestCard(TestCardOptions options);
+
+  // Map the board memory (target/io_map.h) and wire up the TAP. Safe to
+  // call repeatedly; later calls just reset the target.
+  Status Initialize();
+  bool initialized() const { return initialized_; }
+
+  sim::Cpu& cpu() { return cpu_; }
+  const sim::Cpu& cpu() const { return cpu_; }
+  const sim::ScanChainSet& chains() const { return chains_; }
+  sim::TapController& tap() { return tap_; }
+  const TestCardOptions& options() const { return options_; }
+  const LinkStats& link_stats() const { return link_stats_; }
+  void ResetLinkStats() { link_stats_ = LinkStats{}; }
+
+  // ------------------------------------------------------------------
+  // Debug-port operations.
+  // ------------------------------------------------------------------
+
+  // Hard reset; execution will start from `entry`. Clears breakpoints.
+  void ResetTarget(std::uint32_t entry);
+
+  // Program download: unchecked pokes, bypassing write protection.
+  Status LoadProgram(const sim::AssembledProgram& program);
+
+  // Checked word access to target memory through the debug port.
+  Status WriteWord(std::uint32_t address, std::uint32_t value);
+  Result<std::uint32_t> ReadWord(std::uint32_t address);
+  Result<std::vector<std::uint8_t>> DumpMemory(std::uint32_t address,
+                                               std::uint32_t length);
+  // Unchecked single-bit flip (bit 0..7 of the addressed byte).
+  Status FlipMemoryBit(std::uint32_t address, std::uint32_t bit);
+
+  int SetBreakpoint(const sim::Breakpoint& breakpoint);
+  void ClearBreakpoints();
+
+  // Run the target until a stop condition (sim::Run semantics).
+  sim::RunResult Run(std::uint64_t max_instructions,
+                     std::uint64_t max_iterations = 0,
+                     const std::function<bool(sim::Cpu&)>& on_iteration =
+                         nullptr);
+
+  // ------------------------------------------------------------------
+  // Scan-chain access through the TAP controller.
+  // ------------------------------------------------------------------
+  Result<BitVector> ReadChain(const std::string& chain_name);
+  // Shift `image` in (applying it) and return what was shifted out.
+  Result<BitVector> ExchangeChain(const std::string& chain_name,
+                                  const BitVector& image);
+
+ private:
+  Result<sim::TapInstruction> ChainInstruction(
+      const std::string& chain_name) const;
+  // Account one host<->card transfer of `bytes` payload bytes.
+  void Transfer(std::size_t bytes);
+
+  TestCardOptions options_;
+  sim::Cpu cpu_;
+  sim::ScanChainSet chains_;
+  sim::TapController tap_;
+  sim::DebugUnit debug_unit_;
+  Rng link_rng_;
+  LinkStats link_stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace goofi::target

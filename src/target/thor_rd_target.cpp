@@ -1,0 +1,514 @@
+#include "target/thor_rd_target.h"
+
+#include "target/io_map.h"
+#include "util/strings.h"
+
+namespace goofi::target {
+namespace {
+
+// Global experiment budget when neither the spec nor the workload sets
+// one: well past any built-in workload, but bounded so a corrupted
+// target with every EDM disabled still terminates.
+constexpr std::uint64_t kDefaultInstructionBudget = 2'000'000;
+
+bool IsMemoryLocation(const std::string& location) {
+  return StartsWith(location, "mem@");
+}
+
+Result<std::uint32_t> ParseMemoryLocation(const std::string& location) {
+  const auto address = ParseUint64(location.substr(4));
+  if (!address || *address > 0xffffffffull) {
+    return InvalidArgumentError("bad memory location '" + location + "'");
+  }
+  return static_cast<std::uint32_t>(*address);
+}
+
+const char* SegmentCategory(bool executable, std::uint32_t base) {
+  if (executable) return "memory_code";
+  return base >= kStackBase && base < kStackBase + kStackSize
+             ? "memory_stack"
+             : "memory_data";
+}
+
+}  // namespace
+
+ThorRdTarget::ThorRdTarget(TestCardOptions options, std::string name)
+    : name_(std::move(name)), card_(options) {}
+
+// ---------------------------------------------------------------------
+// Location inventory.
+// ---------------------------------------------------------------------
+
+std::vector<TargetSystemInterface::LocationInfo>
+ThorRdTarget::ListLocations() const {
+  std::vector<LocationInfo> locations;
+  for (const sim::ScanChain& chain : card_.chains().chains) {
+    for (const sim::ScanElement& element : chain.elements()) {
+      LocationInfo info;
+      info.kind = LocationInfo::Kind::kScanElement;
+      info.name = element.name;
+      info.chain = chain.name();
+      info.width_bits = static_cast<std::uint32_t>(element.width);
+      info.writable = element.access == sim::ScanAccess::kReadWrite;
+      info.category = element.category;
+      locations.push_back(std::move(info));
+    }
+  }
+  auto add_range = [&locations](std::string name, std::uint32_t base,
+                                std::uint32_t size, const char* category) {
+    LocationInfo info;
+    info.kind = LocationInfo::Kind::kMemoryRange;
+    info.name = std::move(name);
+    info.writable = true;
+    info.category = category;
+    info.base = base;
+    info.size = size;
+    locations.push_back(std::move(info));
+  };
+  if (assembled_.has_value()) {
+    // With a workload installed, SWIFI's fault space is the downloaded
+    // image (the paper injects into "the memory image of the workload").
+    for (const auto& [base, bytes] : assembled_->chunks) {
+      const bool in_code = base < kCodeBase + kCodeSize;
+      const std::uint32_t size =
+          static_cast<std::uint32_t>((bytes.size() + 3) & ~std::size_t{3});
+      add_range(StrFormat("mem.%s@0x%08x",
+                          in_code ? "code" : "data", base),
+                base, size, SegmentCategory(in_code, base));
+    }
+  } else {
+    // No workload yet: advertise the board's full memory map.
+    add_range("mem.code", kCodeBase, kCodeSize, "memory_code");
+    add_range("mem.data", kDataBase, kDataSize, "memory_data");
+    add_range("mem.stack", kStackBase, kStackSize, "memory_stack");
+  }
+  return locations;
+}
+
+Status ThorRdTarget::SetWorkload(WorkloadSpec workload) {
+  ASSIGN_OR_RETURN(sim::AssembledProgram program,
+                   sim::Assemble(workload.assembly));
+  if (!workload.environment.empty()) {
+    ASSIGN_OR_RETURN(environment_, MakeEnvironment(workload.environment));
+  } else {
+    environment_.reset();
+  }
+  assembled_ = std::move(program);
+  workload_ = std::move(workload);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Run-phase plumbing.
+// ---------------------------------------------------------------------
+
+ThorRdTarget::EffectiveTermination ThorRdTarget::ResolveTermination()
+    const {
+  EffectiveTermination term;
+  term.max_instructions = spec_.termination.max_instructions != 0
+                              ? spec_.termination.max_instructions
+                              : workload_.termination.max_instructions;
+  if (term.max_instructions == 0) {
+    term.max_instructions = kDefaultInstructionBudget;
+  }
+  term.max_iterations = spec_.termination.max_iterations != 0
+                            ? spec_.termination.max_iterations
+                            : workload_.termination.max_iterations;
+  return term;
+}
+
+std::uint64_t ThorRdTarget::RemainingBudget(
+    const EffectiveTermination& term) const {
+  const std::uint64_t executed = card_.cpu().instret();
+  return executed >= term.max_instructions
+             ? 0
+             : term.max_instructions - executed;
+}
+
+std::function<bool(sim::Cpu&)> ThorRdTarget::IterationCallback() {
+  if (environment_ == nullptr) return nullptr;
+  Environment* environment = environment_.get();
+  return [environment](sim::Cpu& cpu) {
+    return environment->OnIterationEnd(cpu.memory());
+  };
+}
+
+void ThorRdTarget::FinishRun(const sim::RunResult& result) {
+  observation_.stop_reason = result.reason;
+  observation_.instructions = card_.cpu().instret();
+  observation_.iterations = card_.cpu().iteration_count();
+  observation_.recovery_count = card_.cpu().recovery_count();
+  if (result.reason == sim::StopReason::kEdm && result.edm.has_value()) {
+    observation_.edm = result.edm;
+  }
+  if (environment_ != nullptr) {
+    observation_.env_outputs = environment_->outputs();
+  }
+  run_finished_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Abstract operations (paper Fig. 3).
+// ---------------------------------------------------------------------
+
+Status ThorRdTarget::initTestCard() {
+  RETURN_IF_ERROR(card_.Initialize());
+  card_.cpu().ClearPostStepHooks();
+  scan_images_.clear();
+  breakpoint_hit_ = false;
+  run_finished_ = false;
+  return Status::Ok();
+}
+
+Status ThorRdTarget::loadWorkload() {
+  if (!assembled_.has_value()) {
+    return FailedPreconditionError("no workload installed; call "
+                                   "SetWorkload first");
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::writeMemory() {
+  // A fresh download: clear residue from the previous experiment first
+  // (the workloads sort and scribble in place).
+  card_.cpu().memory().ClearContents();
+  return card_.LoadProgram(*assembled_);
+}
+
+Status ThorRdTarget::runWorkload() {
+  card_.ResetTarget(assembled_->entry);
+  if (environment_ != nullptr) {
+    environment_->Reset(card_.cpu().memory());
+  }
+  // Workloads that define a trap_handler symbol run with EDM
+  // trap-to-handler (best-effort recovery) instead of fail-stop.
+  const auto handler = assembled_->symbols.find("trap_handler");
+  card_.cpu().set_trap_handler(handler != assembled_->symbols.end(),
+                               handler != assembled_->symbols.end()
+                                   ? handler->second
+                                   : 0);
+  const bool want_trace = external_tracer_ != nullptr ||
+                          logging_mode_ == LoggingMode::kDetail;
+  card_.cpu().set_tracer(want_trace ? &trace_mux_ : nullptr);
+  return Status::Ok();
+}
+
+Status ThorRdTarget::waitForBreakpoint() {
+  const EffectiveTermination term = ResolveTermination();
+  card_.SetBreakpoint(spec_.trigger);
+  const sim::RunResult result = card_.Run(
+      RemainingBudget(term), term.max_iterations, IterationCallback());
+  if (result.reason == sim::StopReason::kBreakpoint) {
+    breakpoint_hit_ = true;
+  } else {
+    // The workload ended before the trigger: record the outcome now;
+    // the injection phases become no-ops and the experiment is
+    // classified as "fault not injected".
+    FinishRun(result);
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::readScanChain() {
+  for (const sim::ScanChain& chain : card_.chains().chains) {
+    ASSIGN_OR_RETURN(BitVector image, card_.ReadChain(chain.name()));
+    scan_images_[chain.name()] = image;
+    observation_.chain_images[chain.name()] = std::move(image);
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::injectFault() {
+  const bool needs_trigger = spec_.technique != Technique::kSwifiPreRuntime;
+  if (needs_trigger && !breakpoint_hit_) return Status::Ok();
+  for (const FaultTarget& fault : spec_.targets) {
+    switch (spec_.technique) {
+      case Technique::kScifi:
+        if (IsMemoryLocation(fault.location)) {
+          return InvalidArgumentError(
+              "SCIFI reaches scan elements, not memory: " + fault.location);
+        }
+        RETURN_IF_ERROR(InjectIntoImage(fault));
+        break;
+      case Technique::kSwifiPreRuntime:
+        if (!IsMemoryLocation(fault.location)) {
+          return InvalidArgumentError(
+              "pre-runtime SWIFI reaches the memory image only: " +
+              fault.location);
+        }
+        RETURN_IF_ERROR(InjectIntoMemory(fault));
+        break;
+      case Technique::kSwifiRuntime:
+        if (IsMemoryLocation(fault.location)) {
+          RETURN_IF_ERROR(InjectIntoMemory(fault));
+        } else {
+          RETURN_IF_ERROR(InjectIntoCpu(fault));
+        }
+        break;
+    }
+  }
+  observation_.fault_was_injected = !spec_.targets.empty();
+  return Status::Ok();
+}
+
+Status ThorRdTarget::writeScanChain() {
+  if (!breakpoint_hit_) return Status::Ok();
+  for (const auto& [chain_name, image] : scan_images_) {
+    ASSIGN_OR_RETURN(const BitVector shifted_out,
+                     card_.ExchangeChain(chain_name, image));
+    (void)shifted_out;
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::waitForTermination() {
+  if (run_finished_) return Status::Ok();
+  const EffectiveTermination term = ResolveTermination();
+  const sim::RunResult result = card_.Run(
+      RemainingBudget(term), term.max_iterations, IterationCallback());
+  FinishRun(result);
+  return Status::Ok();
+}
+
+Status ThorRdTarget::readMemory() {
+  if (workload_.output_length != 0) {
+    ASSIGN_OR_RETURN(
+        observation_.output_region,
+        card_.DumpMemory(workload_.output_base, workload_.output_length));
+  }
+  observation_.emitted = card_.cpu().emitted();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Fault application.
+// ---------------------------------------------------------------------
+
+Status ThorRdTarget::InjectIntoImage(const FaultTarget& fault) {
+  const auto found = card_.chains().FindElement(fault.location);
+  if (!found.has_value()) {
+    return NotFoundError("no scan element named '" + fault.location + "'");
+  }
+  const auto [chain, element] = *found;
+  if (element->access == sim::ScanAccess::kReadOnly) {
+    return TargetFaultError("scan element '" + fault.location +
+                            "' is observe-only; the chain write-back "
+                            "would be ignored");
+  }
+  if (fault.bit >= element->width) {
+    return OutOfRangeError(StrFormat("bit %u of %zu-bit element %s",
+                                     fault.bit, element->width,
+                                     fault.location.c_str()));
+  }
+  auto image = scan_images_.find(chain->name());
+  if (image == scan_images_.end()) {
+    return FailedPreconditionError("injectFault before readScanChain");
+  }
+  const std::size_t position = element->position + fault.bit;
+  switch (spec_.model.kind) {
+    case FaultModel::Kind::kTransientBitFlip:
+      image->second.Flip(position);
+      break;
+    case FaultModel::Kind::kPermanentStuckAt:
+      image->second.Set(position, spec_.model.stuck_to_one);
+      InstallModelHook(element, fault.bit);
+      break;
+    case FaultModel::Kind::kIntermittentBitFlip:
+      image->second.Flip(position);
+      InstallModelHook(element, fault.bit);
+      break;
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::InjectIntoCpu(const FaultTarget& fault) {
+  const auto found = card_.chains().FindElement(fault.location);
+  if (!found.has_value()) {
+    return NotFoundError("no scan element named '" + fault.location + "'");
+  }
+  const sim::ScanElement* element = found->second;
+  if (element->access == sim::ScanAccess::kReadOnly) {
+    return TargetFaultError("scan element '" + fault.location +
+                            "' is observe-only");
+  }
+  if (fault.bit >= element->width) {
+    return OutOfRangeError(StrFormat("bit %u of %zu-bit element %s",
+                                     fault.bit, element->width,
+                                     fault.location.c_str()));
+  }
+  sim::Cpu& cpu = card_.cpu();
+  std::uint64_t value = element->get(cpu);
+  switch (spec_.model.kind) {
+    case FaultModel::Kind::kTransientBitFlip:
+      value ^= std::uint64_t{1} << fault.bit;
+      break;
+    case FaultModel::Kind::kPermanentStuckAt:
+      if (spec_.model.stuck_to_one) {
+        value |= std::uint64_t{1} << fault.bit;
+      } else {
+        value &= ~(std::uint64_t{1} << fault.bit);
+      }
+      InstallModelHook(element, fault.bit);
+      break;
+    case FaultModel::Kind::kIntermittentBitFlip:
+      value ^= std::uint64_t{1} << fault.bit;
+      InstallModelHook(element, fault.bit);
+      break;
+  }
+  element->set(cpu, value);
+  return Status::Ok();
+}
+
+Status ThorRdTarget::InjectIntoMemory(const FaultTarget& fault) {
+  ASSIGN_OR_RETURN(const std::uint32_t address,
+                   ParseMemoryLocation(fault.location));
+  if (fault.bit > 7) {
+    return OutOfRangeError(
+        StrFormat("bit %u of byte at 0x%08x", fault.bit, address));
+  }
+  sim::Memory& memory = card_.cpu().memory();
+  switch (spec_.model.kind) {
+    case FaultModel::Kind::kTransientBitFlip:
+      return card_.FlipMemoryBit(address, fault.bit);
+    case FaultModel::Kind::kPermanentStuckAt: {
+      std::uint8_t byte = 0;
+      if (!memory.Peek(address, &byte)) {
+        return NotFoundError(
+            StrFormat("no memory mapped at 0x%08x", address));
+      }
+      const std::uint8_t mask =
+          static_cast<std::uint8_t>(1u << fault.bit);
+      byte = spec_.model.stuck_to_one
+                 ? static_cast<std::uint8_t>(byte | mask)
+                 : static_cast<std::uint8_t>(byte & ~mask);
+      (void)memory.Poke(address, byte);
+      InstallMemoryModelHook(address, fault.bit);
+      return Status::Ok();
+    }
+    case FaultModel::Kind::kIntermittentBitFlip:
+      RETURN_IF_ERROR(card_.FlipMemoryBit(address, fault.bit));
+      InstallMemoryModelHook(address, fault.bit);
+      return Status::Ok();
+  }
+  return InvalidArgumentError("unknown fault model");
+}
+
+void ThorRdTarget::InstallModelHook(const sim::ScanElement* element,
+                                    std::uint32_t bit) {
+  const FaultModel model = spec_.model;
+  if (model.kind == FaultModel::Kind::kPermanentStuckAt) {
+    card_.cpu().AddPostStepHook([element, bit, model](sim::Cpu& cpu) {
+      std::uint64_t value = element->get(cpu);
+      if (model.stuck_to_one) {
+        value |= std::uint64_t{1} << bit;
+      } else {
+        value &= ~(std::uint64_t{1} << bit);
+      }
+      element->set(cpu, value);
+    });
+    return;
+  }
+  // Intermittent: re-flip every `period` instructions, `occurrences`
+  // times in total (the initial flip counts as the first occurrence).
+  const std::uint64_t period = model.period != 0 ? model.period : 1;
+  std::uint32_t remaining =
+      model.occurrences > 1 ? model.occurrences - 1 : 0;
+  std::uint64_t next = card_.cpu().instret() + period;
+  card_.cpu().AddPostStepHook(
+      [element, bit, remaining, next, period](sim::Cpu& cpu) mutable {
+        if (remaining == 0 || cpu.instret() < next) return;
+        element->set(cpu, element->get(cpu) ^ (std::uint64_t{1} << bit));
+        next += period;
+        --remaining;
+      });
+}
+
+void ThorRdTarget::InstallMemoryModelHook(std::uint32_t address,
+                                          std::uint32_t bit) {
+  const FaultModel model = spec_.model;
+  if (model.kind == FaultModel::Kind::kPermanentStuckAt) {
+    card_.cpu().AddPostStepHook([address, bit, model](sim::Cpu& cpu) {
+      std::uint8_t byte = 0;
+      if (!cpu.memory().Peek(address, &byte)) return;
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << bit);
+      byte = model.stuck_to_one ? static_cast<std::uint8_t>(byte | mask)
+                                : static_cast<std::uint8_t>(byte & ~mask);
+      (void)cpu.memory().Poke(address, byte);
+    });
+    return;
+  }
+  const std::uint64_t period = model.period != 0 ? model.period : 1;
+  std::uint32_t remaining =
+      model.occurrences > 1 ? model.occurrences - 1 : 0;
+  std::uint64_t next = card_.cpu().instret() + period;
+  const std::uint64_t step = period;
+  card_.cpu().AddPostStepHook(
+      [address, bit, remaining, next, step](sim::Cpu& cpu) mutable {
+        if (remaining == 0 || cpu.instret() < next) return;
+        (void)cpu.memory().FlipBit(address, static_cast<unsigned>(bit));
+        next += step;
+        --remaining;
+      });
+}
+
+// ---------------------------------------------------------------------
+// Trace fan-out.
+// ---------------------------------------------------------------------
+
+void ThorRdTarget::TraceMux::OnInstructionRetired(
+    const sim::Cpu& cpu, const sim::Instruction& instruction,
+    std::uint64_t time, std::uint32_t pc) {
+  if (target_->external_tracer_ != nullptr) {
+    target_->external_tracer_->OnInstructionRetired(cpu, instruction, time,
+                                                    pc);
+  }
+  if (target_->logging_mode_ == LoggingMode::kDetail) {
+    const sim::ScanChain* internal =
+        target_->card_.chains().FindChain("internal");
+    target_->observation_.detail_trace.emplace_back(
+        time, internal->Capture(cpu));
+  }
+}
+
+void ThorRdTarget::TraceMux::OnRegisterRead(unsigned reg,
+                                            std::uint64_t time) {
+  if (target_->external_tracer_ != nullptr) {
+    target_->external_tracer_->OnRegisterRead(reg, time);
+  }
+}
+
+void ThorRdTarget::TraceMux::OnRegisterWrite(unsigned reg,
+                                             std::uint32_t old_value,
+                                             std::uint32_t new_value,
+                                             std::uint64_t time) {
+  if (target_->external_tracer_ != nullptr) {
+    target_->external_tracer_->OnRegisterWrite(reg, old_value, new_value,
+                                               time);
+  }
+}
+
+void ThorRdTarget::TraceMux::OnMemoryRead(std::uint32_t address,
+                                          unsigned bytes,
+                                          std::uint64_t time) {
+  if (target_->external_tracer_ != nullptr) {
+    target_->external_tracer_->OnMemoryRead(address, bytes, time);
+  }
+}
+
+void ThorRdTarget::TraceMux::OnMemoryWrite(std::uint32_t address,
+                                           unsigned bytes,
+                                           std::uint32_t value,
+                                           std::uint64_t time) {
+  if (target_->external_tracer_ != nullptr) {
+    target_->external_tracer_->OnMemoryWrite(address, bytes, value, time);
+  }
+}
+
+std::unique_ptr<ThorRdTarget> MakeThorTarget() {
+  TestCardOptions options;
+  options.cpu_config.edm.SetEnabled(sim::EdmType::kIcacheParity, false);
+  options.cpu_config.edm.SetEnabled(sim::EdmType::kDcacheParity, false);
+  return std::make_unique<ThorRdTarget>(options, "thor");
+}
+
+}  // namespace goofi::target

@@ -1,0 +1,171 @@
+// Asserts the paper's Fig. 2 fault-injection algorithms literally: the
+// template methods must call the abstract operations in the published
+// order, for every technique, without knowing anything about a concrete
+// target. The RecordingTarget below is the only "target" here — this
+// file must never reference ThorRdTarget, FrameworkTarget or any other
+// concrete type.
+#include "target/fault_injection_algorithms.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace goofi::target {
+namespace {
+
+// Records every abstract-operation call; optionally fails one of them.
+class RecordingTarget : public TargetSystemInterface {
+ public:
+  const std::string& target_name() const override {
+    static const std::string kName = "recording";
+    return kName;
+  }
+  std::vector<LocationInfo> ListLocations() const override { return {}; }
+
+  std::vector<std::string> calls;
+  std::string fail_at;  // op name that should return an error
+
+ protected:
+  Status Record(const char* op) {
+    calls.push_back(op);
+    if (fail_at == op) return InternalError(std::string(op) + " failed");
+    return Status::Ok();
+  }
+  Status initTestCard() override { return Record("initTestCard"); }
+  Status loadWorkload() override { return Record("loadWorkload"); }
+  Status writeMemory() override { return Record("writeMemory"); }
+  Status runWorkload() override { return Record("runWorkload"); }
+  Status waitForBreakpoint() override {
+    return Record("waitForBreakpoint");
+  }
+  Status readScanChain() override {
+    observation_.chain_images["recorded"] = BitVector(8);
+    return Record("readScanChain");
+  }
+  Status injectFault() override {
+    observation_.fault_was_injected = true;
+    return Record("injectFault");
+  }
+  Status writeScanChain() override { return Record("writeScanChain"); }
+  Status waitForTermination() override {
+    return Record("waitForTermination");
+  }
+  Status readMemory() override { return Record("readMemory"); }
+};
+
+// The published sequences (paper Fig. 2). Any change here is a breaking
+// change to every ported target.
+const std::vector<std::string> kReferenceSequence = {
+    "initTestCard",       "loadWorkload", "writeMemory", "runWorkload",
+    "waitForTermination", "readMemory",   "readScanChain"};
+
+const std::vector<std::string> kScifiSequence = {
+    "initTestCard", "loadWorkload",      "writeMemory",
+    "runWorkload",  "waitForBreakpoint", "readScanChain",
+    "injectFault",  "writeScanChain",    "waitForTermination",
+    "readMemory",   "readScanChain"};
+
+const std::vector<std::string> kSwifiPreRuntimeSequence = {
+    "initTestCard", "loadWorkload",       "writeMemory", "injectFault",
+    "runWorkload",  "waitForTermination", "readMemory",  "readScanChain"};
+
+const std::vector<std::string> kSwifiRuntimeSequence = {
+    "initTestCard",       "loadWorkload",      "writeMemory",
+    "runWorkload",        "waitForBreakpoint", "injectFault",
+    "waitForTermination", "readMemory",        "readScanChain"};
+
+TEST(AlgorithmsTest, ReferenceRunFollowsFig2WithoutInjectionPhases) {
+  RecordingTarget target;
+  ASSERT_TRUE(target.MakeReferenceRun().ok());
+  EXPECT_EQ(target.calls, kReferenceSequence);
+}
+
+TEST(AlgorithmsTest, ScifiFollowsFig2) {
+  RecordingTarget target;
+  ASSERT_TRUE(target.faultInjectorSCIFI().ok());
+  EXPECT_EQ(target.calls, kScifiSequence);
+}
+
+TEST(AlgorithmsTest, SwifiPreRuntimeFollowsTheReducedSequence) {
+  // Pre-runtime SWIFI corrupts the downloaded image before execution:
+  // inject comes between writeMemory and runWorkload, and there is no
+  // trigger phase and no scan-chain write-back.
+  RecordingTarget target;
+  ASSERT_TRUE(target.faultInjectorSWIFIPreRuntime().ok());
+  EXPECT_EQ(target.calls, kSwifiPreRuntimeSequence);
+}
+
+TEST(AlgorithmsTest, SwifiRuntimeInjectsAtTheTriggerWithoutChainIo) {
+  RecordingTarget target;
+  ASSERT_TRUE(target.faultInjectorSWIFIRuntime().ok());
+  EXPECT_EQ(target.calls, kSwifiRuntimeSequence);
+}
+
+TEST(AlgorithmsTest, RunExperimentDispatchesOnTheTechnique) {
+  for (const auto& [technique, expected] :
+       std::vector<std::pair<Technique, std::vector<std::string>>>{
+           {Technique::kScifi, kScifiSequence},
+           {Technique::kSwifiPreRuntime, kSwifiPreRuntimeSequence},
+           {Technique::kSwifiRuntime, kSwifiRuntimeSequence}}) {
+    RecordingTarget target;
+    ExperimentSpec spec;
+    spec.technique = technique;
+    target.set_experiment(spec);
+    ASSERT_TRUE(target.RunExperiment().ok());
+    EXPECT_EQ(target.calls, expected)
+        << "technique " << TechniqueName(technique);
+  }
+}
+
+TEST(AlgorithmsTest, FailingOperationAbortsTheSequence) {
+  RecordingTarget target;
+  target.fail_at = "injectFault";
+  const Status status = target.faultInjectorSCIFI();
+  ASSERT_FALSE(status.ok());
+  // The failure propagates out and nothing after injectFault runs: a
+  // half-injected target must not be silently driven to completion.
+  const std::vector<std::string> expected(kScifiSequence.begin(),
+                                          kScifiSequence.begin() + 7);
+  EXPECT_EQ(target.calls, expected);
+}
+
+TEST(AlgorithmsTest, FailingSetupAbortsBeforeTheWorkloadRuns) {
+  RecordingTarget target;
+  target.fail_at = "writeMemory";
+  ASSERT_FALSE(target.faultInjectorSWIFIPreRuntime().ok());
+  const std::vector<std::string> expected = {
+      "initTestCard", "loadWorkload", "writeMemory"};
+  EXPECT_EQ(target.calls, expected);
+}
+
+TEST(AlgorithmsTest, EachRunStartsFromAFreshObservation) {
+  RecordingTarget target;
+  ASSERT_TRUE(target.faultInjectorSCIFI().ok());
+  EXPECT_TRUE(target.observation().fault_was_injected);
+  // The next run must not inherit the previous run's observation.
+  ASSERT_TRUE(target.MakeReferenceRun().ok());
+  EXPECT_FALSE(target.observation().fault_was_injected);
+}
+
+TEST(AlgorithmsTest, TakeObservationHandsOverAndResets) {
+  RecordingTarget target;
+  ASSERT_TRUE(target.faultInjectorSCIFI().ok());
+  const Observation taken = target.TakeObservation();
+  EXPECT_TRUE(taken.fault_was_injected);
+  EXPECT_EQ(taken.chain_images.count("recorded"), 1u);
+  EXPECT_FALSE(target.observation().fault_was_injected);
+  EXPECT_TRUE(target.observation().chain_images.empty());
+}
+
+TEST(AlgorithmsTest, SetWorkloadIsAcceptedWithoutEagerValidation) {
+  RecordingTarget target;
+  WorkloadSpec workload;
+  workload.name = "w";
+  workload.termination = {123, 4};
+  EXPECT_TRUE(target.SetWorkload(workload).ok());
+}
+
+}  // namespace
+}  // namespace goofi::target

@@ -1,0 +1,140 @@
+// The host-side plant models (paper: "the environment simulator runs on
+// the host computer and exchanges sensor/actuator values with the
+// workload at every iteration").
+#include "target/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "target/io_map.h"
+
+namespace goofi::target {
+namespace {
+
+sim::Memory MakeIoMemory() {
+  sim::Memory memory;
+  EXPECT_TRUE(
+      memory.AddSegment({"io", kIoBase, kIoSize, true, true, false, true})
+          .ok());
+  return memory;
+}
+
+std::uint32_t ReadIo(const sim::Memory& memory, std::uint32_t offset) {
+  std::uint32_t value = 0;
+  EXPECT_TRUE(memory.PeekWord(kIoBase + offset, &value));
+  return value;
+}
+
+TEST(EnvironmentTest, FactoryKnowsTheEngineAndNothingElse) {
+  auto engine = MakeEnvironment("engine");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->name(), "engine");
+  EXPECT_FALSE(MakeEnvironment("wind_tunnel").ok());
+  EXPECT_FALSE(MakeEnvironment("").ok());
+}
+
+TEST(EnvironmentTest, ResetPrimesTheSensorPage) {
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  EXPECT_GT(ReadIo(memory, kIoInOffset), 0u);  // initial shaft speed
+  EXPECT_EQ(ReadIo(memory, kIoOutOffset), 0u);
+  EXPECT_EQ(ReadIo(memory, kIoIterOffset), 0u);
+  EXPECT_TRUE(engine.outputs().empty());
+}
+
+TEST(EnvironmentTest, EveryIterationRecordsTheActuatorCommand) {
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(memory.PokeWord(kIoBase + kIoOutOffset, 400 + i));
+    ASSERT_TRUE(engine.OnIterationEnd(memory));
+    ASSERT_EQ(engine.outputs().size(), i);
+    EXPECT_EQ(engine.outputs().back(), 400 + i);
+    EXPECT_EQ(ReadIo(memory, kIoIterOffset), i);
+  }
+}
+
+TEST(EnvironmentTest, PlantRespondsToTheActuator) {
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  const std::int32_t initial = engine.speed();
+  // Full throttle spins the shaft up.
+  ASSERT_TRUE(memory.PokeWord(kIoBase + kIoOutOffset, 1000));
+  ASSERT_TRUE(engine.OnIterationEnd(memory));
+  EXPECT_GT(engine.speed(), initial);
+  // The new speed is on the sensor page for the next iteration.
+  EXPECT_EQ(ReadIo(memory, kIoInOffset),
+            static_cast<std::uint32_t>(engine.speed()));
+}
+
+TEST(EnvironmentTest, ZeroThrottleNeverDrivesSpeedNegative) {
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  ASSERT_TRUE(memory.PokeWord(kIoBase + kIoOutOffset, 0));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.OnIterationEnd(memory));
+    ASSERT_GE(engine.speed(), 0);
+  }
+  EXPECT_EQ(engine.speed(), 0);  // coasted to a stop
+}
+
+TEST(EnvironmentTest, LoadDisturbanceIsASquareWave) {
+  // With the actuator held constant, the speed trajectory must change
+  // when the load steps at iteration 8 — the disturbance is what keeps
+  // the controller exercised over the mission.
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  ASSERT_TRUE(memory.PokeWord(kIoBase + kIoOutOffset, 300));
+  std::vector<std::int32_t> speeds;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine.OnIterationEnd(memory));
+    speeds.push_back(engine.speed());
+  }
+  // speeds[7] is computed after the load has already stepped up, so
+  // sample a delta from well inside each phase: the light-load half
+  // spins the shaft up, the heavy-load half drags it back down.
+  const std::int32_t delta_before = speeds[5] - speeds[4];
+  const std::int32_t delta_after = speeds[10] - speeds[9];
+  EXPECT_GT(delta_before, 0);
+  EXPECT_LT(delta_after, 0);
+  EXPECT_NE(delta_before, delta_after);
+}
+
+TEST(EnvironmentTest, TwoInstancesEvolveIdentically) {
+  sim::Memory memory_a = MakeIoMemory();
+  sim::Memory memory_b = MakeIoMemory();
+  EngineEnvironment a, b;
+  a.Reset(memory_a);
+  b.Reset(memory_b);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(memory_a.PokeWord(kIoBase + kIoOutOffset, 350 + i));
+    ASSERT_TRUE(memory_b.PokeWord(kIoBase + kIoOutOffset, 350 + i));
+    ASSERT_TRUE(a.OnIterationEnd(memory_a));
+    ASSERT_TRUE(b.OnIterationEnd(memory_b));
+    ASSERT_EQ(a.speed(), b.speed());
+  }
+  EXPECT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(EnvironmentTest, ResetRestartsThePlantFromScratch) {
+  sim::Memory memory = MakeIoMemory();
+  EngineEnvironment engine;
+  engine.Reset(memory);
+  const std::int32_t initial = engine.speed();
+  ASSERT_TRUE(memory.PokeWord(kIoBase + kIoOutOffset, 900));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.OnIterationEnd(memory));
+  }
+  ASSERT_NE(engine.speed(), initial);
+  engine.Reset(memory);
+  EXPECT_EQ(engine.speed(), initial);
+  EXPECT_TRUE(engine.outputs().empty());
+  EXPECT_EQ(ReadIo(memory, kIoIterOffset), 0u);
+}
+
+}  // namespace
+}  // namespace goofi::target

@@ -1,0 +1,178 @@
+// The simulated host<->target test-card link: memory map, debug-port
+// accesses, TAP-mediated scan-chain IO and the injectable link faults
+// and latency (paper: the test card connects the host to the target's
+// TAP; a flaky cable is part of real campaigns).
+#include "target/test_card.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.h"
+#include "target/io_map.h"
+
+namespace goofi::target {
+namespace {
+
+TEST(TestCardTest, InitializeMapsTheBoardSegments) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  // The code segment is execute-only from the debug port's point of
+  // view: programs arrive through LoadProgram, stray pokes are faults.
+  EXPECT_FALSE(card.WriteWord(kCodeBase, 0x11111111).ok());
+  EXPECT_TRUE(card.WriteWord(kDataBase, 0x22222222).ok());
+  EXPECT_TRUE(card.WriteWord(kStackBase, 0x33333333).ok());
+  EXPECT_TRUE(card.WriteWord(kIoBase, 0x44444444).ok());
+  auto data = card.ReadWord(kDataBase);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), 0x22222222u);
+  // Off the map: the debug port reports a target fault.
+  EXPECT_FALSE(card.ReadWord(0x80000000).ok());
+  EXPECT_FALSE(card.WriteWord(0x80000000, 1).ok());
+}
+
+TEST(TestCardTest, InitializeIsIdempotent) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  ASSERT_TRUE(card.WriteWord(kDataBase, 77).ok());
+  // Re-initialize resets the target but must not fail on the already
+  // mapped segments.
+  ASSERT_TRUE(card.Initialize().ok());
+  EXPECT_EQ(card.cpu().instret(), 0u);
+}
+
+TEST(TestCardTest, LoadsAndRunsAProgram) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  auto program = sim::Assemble("li r1, 7\nsys 4\nhalt\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_TRUE(card.LoadProgram(program.value()).ok());
+  card.ResetTarget(program.value().entry);
+  const sim::RunResult result = card.Run(1000);
+  EXPECT_EQ(result.reason, sim::StopReason::kHalted);
+  ASSERT_EQ(card.cpu().emitted().size(), 1u);
+  EXPECT_EQ(card.cpu().emitted()[0], 7u);
+}
+
+TEST(TestCardTest, BreakpointsStopTheRun) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  auto program = sim::Assemble("li r1, 0\nloop:\naddi r1, r1, 1\nb loop\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(card.LoadProgram(program.value()).ok());
+  card.ResetTarget(program.value().entry);
+  sim::Breakpoint breakpoint;
+  breakpoint.kind = sim::Breakpoint::Kind::kInstretReached;
+  breakpoint.count = 5;
+  card.SetBreakpoint(breakpoint);
+  const sim::RunResult result = card.Run(1000);
+  EXPECT_EQ(result.reason, sim::StopReason::kBreakpoint);
+  EXPECT_EQ(card.cpu().instret(), 5u);
+}
+
+TEST(TestCardTest, ScanChainReadMatchesTheLiveCpu) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  card.cpu().set_reg(2, 0xCAFEF00D);
+  auto image = card.ReadChain("internal");
+  ASSERT_TRUE(image.ok());
+  const sim::ScanChain* chain = card.chains().FindChain("internal");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(image.value().size(), chain->bit_length());
+  const auto found = card.chains().FindElement("cpu.regs.r2");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(image.value().GetField(found->second->position, 32),
+            0xCAFEF00Du);
+}
+
+TEST(TestCardTest, ExchangeChainWritesTheImageBack) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  card.cpu().set_reg(3, 0x1111);
+  auto image = card.ReadChain("internal");
+  ASSERT_TRUE(image.ok());
+  const auto r3 = card.chains().FindElement("cpu.regs.r3");
+  ASSERT_TRUE(r3.has_value());
+  BitVector modified = image.value();
+  modified.SetField(r3->second->position, 32, 0x2222);
+  auto shifted_out = card.ExchangeChain("internal", modified);
+  ASSERT_TRUE(shifted_out.ok());
+  // The old image shifts out while the new one shifts in.
+  EXPECT_EQ(shifted_out.value().GetField(r3->second->position, 32),
+            0x1111u);
+  EXPECT_EQ(card.cpu().reg(3), 0x2222u);
+}
+
+TEST(TestCardTest, ExchangeRejectsWrongSizeAndUnknownChains) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  EXPECT_FALSE(card.ExchangeChain("internal", BitVector(5)).ok());
+  EXPECT_FALSE(card.ReadChain("nonexistent").ok());
+  EXPECT_FALSE(card.ExchangeChain("nonexistent", BitVector(5)).ok());
+}
+
+TEST(TestCardTest, FlipMemoryBitFlipsExactlyOneBit) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  ASSERT_TRUE(card.WriteWord(kDataBase, 0).ok());
+  ASSERT_TRUE(card.FlipMemoryBit(kDataBase, 5).ok());
+  auto value = card.ReadWord(kDataBase);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 1u << 5);
+  EXPECT_FALSE(card.FlipMemoryBit(kDataBase, 8).ok());    // bits are 0..7
+  EXPECT_FALSE(card.FlipMemoryBit(0x80000000, 0).ok());   // unmapped
+}
+
+TEST(TestCardTest, DumpMemoryReturnsTheRange) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  ASSERT_TRUE(card.WriteWord(kDataBase, 0x04030201).ok());
+  auto bytes = card.DumpMemory(kDataBase, 4);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(),
+            (std::vector<std::uint8_t>{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(TestCardTest, LinkStatsCountCommandsAndBytes) {
+  TestCard card;
+  ASSERT_TRUE(card.Initialize().ok());
+  card.ResetLinkStats();
+  ASSERT_TRUE(card.WriteWord(kDataBase, 1).ok());
+  (void)card.ReadWord(kDataBase);
+  const LinkStats& stats = card.link_stats();
+  EXPECT_EQ(stats.commands, 2u);
+  EXPECT_GT(stats.bytes_transferred, 0u);
+  EXPECT_EQ(stats.words_retried, 0u);  // clean link by default
+}
+
+TEST(TestCardTest, FaultyLinkRetriesWordsAndAddsLatency) {
+  TestCardOptions options;
+  options.link_fault_probability = 1.0;  // every word corrupts
+  options.link_latency_micros = 10;
+  TestCard card(options);
+  ASSERT_TRUE(card.Initialize().ok());
+  card.ResetLinkStats();
+  ASSERT_TRUE(card.WriteWord(kDataBase, 42).ok());  // still succeeds
+  const LinkStats& stats = card.link_stats();
+  EXPECT_GT(stats.words_retried, 0u);
+  // Latency: base per command plus per retried word.
+  EXPECT_GT(stats.latency_micros, options.link_latency_micros);
+  // The payload still arrives intact — retries are transparent.
+  auto value = card.ReadWord(kDataBase);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42u);
+}
+
+TEST(TestCardTest, CleanLinkAccumulatesOnlyBaseLatency) {
+  TestCardOptions options;
+  options.link_latency_micros = 7;
+  TestCard card(options);
+  ASSERT_TRUE(card.Initialize().ok());
+  card.ResetLinkStats();
+  ASSERT_TRUE(card.WriteWord(kDataBase, 1).ok());
+  EXPECT_EQ(card.link_stats().latency_micros, 7u);
+  card.ResetLinkStats();
+  EXPECT_EQ(card.link_stats().commands, 0u);
+  EXPECT_EQ(card.link_stats().latency_micros, 0u);
+}
+
+}  // namespace
+}  // namespace goofi::target
