@@ -1,0 +1,92 @@
+// goofi-lint: static checks for workloads and campaign definitions.
+//
+//   goofi_lint [--strict] FILE...
+//
+// FILE kinds are inferred from the extension:
+//   *.workload     .workload spec (checks the spec and its assembly)
+//   *.ini          campaign definition
+//   anything else  GOOFI-32 assembly source
+//
+// Diagnostics print as "file:line: severity: message [check]". Exit
+// status is 1 when any error was reported (with --strict, when anything
+// at all was reported) — wire it straight into CI.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/linter.h"
+#include "target/thor_rd_target.h"
+
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using goofi::analysis::LintDiagnostic;
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: goofi_lint [--strict] FILE...");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fputs("usage: goofi_lint [--strict] FILE...\n", stderr);
+    return 2;
+  }
+
+  // Campaign location filters are checked against the Thor RD board,
+  // the target every stored campaign in this repository runs on.
+  goofi::target::ThorRdTarget thor;
+  const auto locations = thor.ListLocations();
+
+  std::vector<LintDiagnostic> diagnostics;
+  for (const std::string& file : files) {
+    if (EndsWith(file, ".workload")) {
+      const auto found = goofi::analysis::LintWorkloadSpecFile(file);
+      diagnostics.insert(diagnostics.end(), found.begin(), found.end());
+      continue;
+    }
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      diagnostics.push_back({LintDiagnostic::Severity::kError, file, 0,
+                             "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<LintDiagnostic> found =
+        EndsWith(file, ".ini")
+            ? goofi::analysis::LintCampaignText(file, buffer.str(),
+                                                &locations)
+            : goofi::analysis::LintWorkloadSource(file, buffer.str());
+    diagnostics.insert(diagnostics.end(), found.begin(), found.end());
+  }
+
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    std::fprintf(stderr, "%s\n",
+                 goofi::analysis::FormatDiagnostic(diagnostic).c_str());
+  }
+  const bool failed =
+      goofi::analysis::HasErrors(diagnostics) ||
+      (strict && !diagnostics.empty());
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "goofi-lint: %zu diagnostic%s\n",
+                 diagnostics.size(), diagnostics.size() == 1 ? "" : "s");
+  }
+  return failed ? 1 : 0;
+}

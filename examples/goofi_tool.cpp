@@ -174,6 +174,12 @@ int CmdRun(const Arguments& arguments, bool resume) {
   std::printf("campaign %s: %zu experiments run (%zu skipped early)\n",
               campaign_name.c_str(), summary->experiments_run,
               summary->experiments_stopped_early);
+  if (summary->static_pruned_bits > 0) {
+    std::printf("static analysis pruned %llu location bits "
+                "(%.1f%% of the selected fault space)\n",
+                static_cast<unsigned long long>(summary->static_pruned_bits),
+                100.0 * summary->static_pruned_fraction);
+  }
 
   auto analysis = core::AnalyzeCampaign(database, campaign_name);
   if (!analysis.ok()) return Fail(analysis.status());

@@ -1,0 +1,277 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "util/strings.h"
+
+namespace goofi::analysis {
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+
+std::optional<std::uint32_t> FetchWord(const sim::AssembledProgram& program,
+                                       std::uint32_t address) {
+  auto it = program.chunks.upper_bound(address);
+  if (it == program.chunks.begin()) return std::nullopt;
+  --it;
+  const std::uint32_t base = it->first;
+  const std::vector<std::uint8_t>& bytes = it->second;
+  if (address < base || address - base + 4 > bytes.size()) {
+    return std::nullopt;
+  }
+  const std::size_t offset = address - base;
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         static_cast<std::uint32_t>(bytes[offset + 1]) << 8 |
+         static_cast<std::uint32_t>(bytes[offset + 2]) << 16 |
+         static_cast<std::uint32_t>(bytes[offset + 3]) << 24;
+}
+
+std::uint32_t BranchTarget(std::uint32_t pc, const Instruction& insn) {
+  return pc + 4 + static_cast<std::uint32_t>(insn.imm) * 4;
+}
+
+bool IsDirectJalr(const Instruction& insn) {
+  // jalr with rb = r0 computes imm & ~3 — a direct jump.
+  return insn.opcode == Opcode::kJalr && insn.rb == 0;
+}
+
+bool EndsBlock(const Instruction& insn) {
+  return insn.opcode == Opcode::kHalt || sim::IsBranch(insn.opcode) ||
+         sim::IsCall(insn.opcode);
+}
+
+// Conditional branches where both operands are the same register are
+// decided statically: beq/bge/bgeu always take, bne/blt/bltu never do.
+enum class BranchShape { kConditional, kAlwaysTaken, kNeverTaken };
+
+BranchShape ShapeOf(const Instruction& insn) {
+  if (insn.ra != insn.rb) return BranchShape::kConditional;
+  switch (insn.opcode) {
+    case Opcode::kBeq:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+      return BranchShape::kAlwaysTaken;
+    default:
+      return BranchShape::kNeverTaken;
+  }
+}
+
+// Instruction-level control successors, before return-edge modelling.
+// JAL includes its fall-through here so discovery covers every possible
+// return site; the block-level edges below re-decide that per model.
+std::vector<std::uint32_t> DiscoverySuccessors(std::uint32_t pc,
+                                               const Instruction& insn) {
+  switch (insn.opcode) {
+    case Opcode::kHalt:
+      return {};
+    case Opcode::kJal:
+      return {BranchTarget(pc, insn), pc + 4};
+    case Opcode::kJalr:
+      if (IsDirectJalr(insn)) {
+        return {static_cast<std::uint32_t>(insn.imm) & ~3u};
+      }
+      return {};
+    default:
+      if (sim::IsBranch(insn.opcode)) {
+        switch (ShapeOf(insn)) {
+          case BranchShape::kAlwaysTaken:
+            return {BranchTarget(pc, insn)};
+          case BranchShape::kNeverTaken:
+            return {pc + 4};
+          case BranchShape::kConditional:
+            return {BranchTarget(pc, insn), pc + 4};
+        }
+      }
+      return {pc + 4};
+  }
+}
+
+}  // namespace
+
+const sim::Instruction* Cfg::InstructionAt(std::uint32_t pc) const {
+  const auto it = instructions_.find(pc);
+  return it == instructions_.end() ? nullptr : &it->second;
+}
+
+const BasicBlock* Cfg::BlockContaining(std::uint32_t pc) const {
+  auto it = blocks_.upper_bound(pc);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  return pc < it->second.end ? &it->second : nullptr;
+}
+
+Result<Cfg> Cfg::Build(const sim::AssembledProgram& program) {
+  Cfg cfg;
+  cfg.entry_ = program.entry;
+
+  // ---- discovery --------------------------------------------------------
+  std::vector<std::uint32_t> worklist{program.entry};
+  const auto handler = program.symbols.find("trap_handler");
+  if (handler != program.symbols.end()) worklist.push_back(handler->second);
+  while (!worklist.empty()) {
+    const std::uint32_t pc = worklist.back();
+    worklist.pop_back();
+    if (cfg.instructions_.count(pc) != 0) continue;
+    const auto word = FetchWord(program, pc);
+    if (!word.has_value()) continue;  // off the image: widened later
+    const auto decoded = sim::Decode(*word);
+    if (!decoded.ok()) continue;  // data reached as code: widened later
+    cfg.instructions_.emplace(pc, *decoded);
+    for (const std::uint32_t successor : DiscoverySuccessors(pc, *decoded)) {
+      worklist.push_back(successor);
+    }
+  }
+  if (cfg.instructions_.count(program.entry) == 0) {
+    return InvalidArgumentError(StrFormat(
+        "entry point 0x%08x is not decodable code", program.entry));
+  }
+
+  // ---- leaders and return sites ----------------------------------------
+  std::vector<std::uint32_t> return_sites;
+  std::set<std::uint32_t> leaders{program.entry};
+  if (handler != program.symbols.end() &&
+      cfg.instructions_.count(handler->second) != 0) {
+    leaders.insert(handler->second);
+  }
+  for (const auto& [pc, insn] : cfg.instructions_) {
+    if (insn.opcode == Opcode::kJal &&
+        cfg.instructions_.count(pc + 4) != 0) {
+      return_sites.push_back(pc + 4);
+    }
+    if (EndsBlock(insn)) {
+      for (const std::uint32_t successor : DiscoverySuccessors(pc, insn)) {
+        if (cfg.instructions_.count(successor) != 0) {
+          leaders.insert(successor);
+        }
+      }
+      if (cfg.instructions_.count(pc + 4) != 0) leaders.insert(pc + 4);
+    } else if (cfg.instructions_.count(pc + 4) == 0) {
+      // The straight-line run ends here; anything after is a new block.
+    }
+  }
+  for (const std::uint32_t site : return_sites) leaders.insert(site);
+
+  // ---- block construction (two models) ---------------------------------
+  const auto build_blocks = [&](bool resolve_returns) {
+    cfg.blocks_.clear();
+    for (auto it = cfg.instructions_.begin();
+         it != cfg.instructions_.end();) {
+      BasicBlock block;
+      block.begin = it->first;
+      std::uint32_t last_pc = it->first;
+      const Instruction* last = &it->second;
+      ++it;
+      while (it != cfg.instructions_.end() && it->first == last_pc + 4 &&
+             leaders.count(it->first) == 0 && !EndsBlock(*last)) {
+        last_pc = it->first;
+        last = &it->second;
+        ++it;
+      }
+      block.end = last_pc + 4;
+
+      std::vector<std::uint32_t> raw;
+      if (last->opcode == Opcode::kJal) {
+        raw.push_back(BranchTarget(last_pc, *last));
+        // Without resolved returns the callee's exit is unmodelled, so
+        // keep the fall-through edge as the (fictional but conservative)
+        // return path; with return edges it is redundant and imprecise.
+        if (!resolve_returns) raw.push_back(last_pc + 4);
+      } else if (last->opcode == Opcode::kJalr) {
+        if (IsDirectJalr(*last)) {
+          raw.push_back(static_cast<std::uint32_t>(last->imm) & ~3u);
+        } else if (resolve_returns) {
+          raw = return_sites;
+        } else {
+          block.has_indirect_successor = true;
+        }
+      } else if (last->opcode != Opcode::kHalt) {
+        raw = DiscoverySuccessors(last_pc, *last);
+      }
+      for (const std::uint32_t successor : raw) {
+        if (cfg.instructions_.count(successor) != 0) {
+          block.successors.push_back(successor);
+        } else {
+          block.falls_off_image = true;
+        }
+      }
+      cfg.blocks_.emplace(block.begin, std::move(block));
+    }
+  };
+
+  // ---- link-register discipline ----------------------------------------
+  // Forward dataflow over the return-edge model: a register bit is set
+  // when the register definitely holds a JAL link value. Meet is AND.
+  const auto discipline_holds = [&]() {
+    std::map<std::uint32_t, std::uint16_t> in_state;
+    in_state[program.entry] = 0;
+    if (handler != program.symbols.end()) in_state[handler->second] = 0;
+    std::vector<std::uint32_t> work{program.entry};
+    if (handler != program.symbols.end()) {
+      work.push_back(handler->second);
+    }
+    const auto transfer = [&](const BasicBlock& block, std::uint16_t state,
+                              bool* ok) {
+      for (std::uint32_t pc = block.begin; pc < block.end; pc += 4) {
+        const Instruction& insn = cfg.instructions_.at(pc);
+        if (insn.opcode == Opcode::kJalr && !IsDirectJalr(insn) &&
+            (state & (1u << insn.rb)) == 0) {
+          *ok = false;
+        }
+        const sim::RegDefUse du = sim::InstructionDefUse(insn);
+        state &= static_cast<std::uint16_t>(~du.defs);
+        if (insn.opcode == Opcode::kJal) {
+          state |= static_cast<std::uint16_t>((1u << insn.ra) & 0xfffeu);
+        }
+      }
+      return state;
+    };
+    bool ok = true;
+    while (!work.empty() && ok) {
+      const std::uint32_t begin = work.back();
+      work.pop_back();
+      const BasicBlock& block = cfg.blocks_.at(begin);
+      const std::uint16_t out = transfer(block, in_state.at(begin), &ok);
+      for (const std::uint32_t successor : block.successors) {
+        const auto it = in_state.find(successor);
+        if (it == in_state.end()) {
+          in_state[successor] = out;
+          work.push_back(successor);
+        } else if ((it->second & out) != it->second) {
+          it->second &= out;
+          work.push_back(successor);
+        }
+      }
+    }
+    return ok;
+  };
+
+  build_blocks(/*resolve_returns=*/true);
+  if (discipline_holds()) {
+    cfg.returns_resolved_ = true;
+  } else {
+    // Some JALR may see a link value from outside a JAL (a stack spill,
+    // computed address, ...): fall back to the widened model everywhere.
+    build_blocks(/*resolve_returns=*/false);
+  }
+  return cfg;
+}
+
+std::vector<Cfg::DeadRange> Cfg::UnreachableCodeRanges(
+    const sim::AssembledProgram& program) const {
+  std::vector<DeadRange> ranges;
+  for (const auto& [address, line] : program.source_lines) {
+    (void)line;
+    if (IsReachable(address)) continue;
+    if (!ranges.empty() && ranges.back().end == address) {
+      ranges.back().end = address + 4;
+    } else {
+      ranges.push_back({address, address + 4});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace goofi::analysis

@@ -1,0 +1,92 @@
+// Control-flow graph over an assembled GOOFI-32 image.
+//
+// The static pre-run analysis (DESIGN.md; motivated by ZOFI's and
+// ProFIPy's up-front coverage passes) needs a conservative model of every
+// path the workload can execute. Code is discovered by a worklist walk
+// from the entry point (and from the `trap_handler` symbol when the
+// workload declares one); discovered instructions are partitioned into
+// basic blocks with successor edges:
+//
+//   - conditional branches get both the taken and the fall-through edge,
+//     except same-register forms (`beq r0, r0, x` — the assembler's `b`)
+//     which are resolved exactly;
+//   - JAL is a call edge to its target; return flow is modelled with
+//     edges from every `jalr` return to every possible return site
+//     (pc+4 of every JAL) — sound whenever the link-register discipline
+//     below holds;
+//   - JALR with rb = r0 is a direct jump to imm & ~3.
+//
+// Link-register discipline: a forward dataflow proves that the operand of
+// every JALR always holds a value written by some JAL's link write. Then
+// every indirect target is one of the known return sites and the return
+// edges above cover all real paths. If any JALR can see a value from
+// elsewhere (e.g. qsort's `push lr` / `pop lr` spill reloads it from the
+// stack), the proof fails for the whole image and every JALR block is
+// instead marked `has_indirect_successor`; the dataflow clients widen
+// there (all registers live), which keeps the analysis sound at the cost
+// of precision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/assembler.h"
+#include "sim/isa.h"
+#include "util/status.h"
+
+namespace goofi::analysis {
+
+struct BasicBlock {
+  std::uint32_t begin = 0;  // address of the first instruction
+  std::uint32_t end = 0;    // address past the last instruction
+  std::vector<std::uint32_t> successors;  // begin addresses of successors
+  // Ends in a JALR whose target could not be bounded (the link-register
+  // discipline proof failed): dataflow clients must widen here.
+  bool has_indirect_successor = false;
+  // Control can continue past the image (or into undecodable words):
+  // also a widening point, and a lintable defect.
+  bool falls_off_image = false;
+};
+
+class Cfg {
+ public:
+  // Discovers reachable code and builds blocks. Fails only when the
+  // entry point itself is not decodable code.
+  static Result<Cfg> Build(const sim::AssembledProgram& program);
+
+  std::uint32_t entry() const { return entry_; }
+  const std::map<std::uint32_t, BasicBlock>& blocks() const {
+    return blocks_;
+  }
+  // Reachable instructions keyed by address.
+  const std::map<std::uint32_t, sim::Instruction>& instructions() const {
+    return instructions_;
+  }
+  const sim::Instruction* InstructionAt(std::uint32_t pc) const;
+  const BasicBlock* BlockContaining(std::uint32_t pc) const;
+  bool IsReachable(std::uint32_t pc) const {
+    return instructions_.count(pc) != 0;
+  }
+  // True when the link-register discipline held and JALR returns are
+  // modelled with explicit return edges.
+  bool returns_resolved() const { return returns_resolved_; }
+
+  // Maximal runs of assembled instructions (per the program's
+  // source-line map) that the walk never reached: dead functions and
+  // orphaned code. `end` is past the last dead instruction.
+  struct DeadRange {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<DeadRange> UnreachableCodeRanges(
+      const sim::AssembledProgram& program) const;
+
+ private:
+  std::uint32_t entry_ = 0;
+  bool returns_resolved_ = false;
+  std::map<std::uint32_t, sim::Instruction> instructions_;
+  std::map<std::uint32_t, BasicBlock> blocks_;
+};
+
+}  // namespace goofi::analysis

@@ -1,0 +1,320 @@
+#include "analysis/dataflow.h"
+
+#include <array>
+#include <limits>
+
+namespace goofi::analysis {
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+
+constexpr std::uint16_t kAllButR0 = 0xfffe;
+
+std::map<std::uint32_t, std::vector<std::uint32_t>> Predecessors(
+    const Cfg& cfg) {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> preds;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    for (const std::uint32_t successor : block.successors) {
+      preds[successor].push_back(begin);
+    }
+  }
+  return preds;
+}
+
+// Forward-analysis entry blocks: the program entry plus every block no
+// edge reaches (the trap handler, and return sites the final edge model
+// dropped). Non-entry roots start from the widened "anything" state.
+std::vector<std::uint32_t> RootBlocks(
+    const Cfg& cfg,
+    const std::map<std::uint32_t, std::vector<std::uint32_t>>& preds) {
+  std::vector<std::uint32_t> roots{cfg.entry()};
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)block;
+    if (begin != cfg.entry() && preds.find(begin) == preds.end()) {
+      roots.push_back(begin);
+    }
+  }
+  return roots;
+}
+
+}  // namespace
+
+LivenessResult ComputeLiveness(const Cfg& cfg) {
+  const auto preds = Predecessors(cfg);
+  std::map<std::uint32_t, std::uint16_t> block_live_in;
+
+  const auto live_out = [&](const BasicBlock& block) {
+    if (block.has_indirect_successor || block.falls_off_image) {
+      return kAllButR0;
+    }
+    std::uint16_t out = 0;
+    for (const std::uint32_t successor : block.successors) {
+      const auto it = block_live_in.find(successor);
+      if (it != block_live_in.end()) out |= it->second;
+    }
+    return out;
+  };
+  const auto block_transfer = [&](const BasicBlock& block,
+                                  std::uint16_t state) {
+    for (std::uint32_t pc = block.end - 4;; pc -= 4) {
+      const sim::RegDefUse du =
+          sim::InstructionDefUse(*cfg.InstructionAt(pc));
+      state = static_cast<std::uint16_t>(
+          ((state & ~du.defs) | du.uses) & kAllButR0);
+      if (pc == block.begin) break;
+    }
+    return state;
+  };
+
+  std::vector<std::uint32_t> work;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)block;
+    work.push_back(begin);
+  }
+  while (!work.empty()) {
+    const std::uint32_t begin = work.back();
+    work.pop_back();
+    const BasicBlock& block = cfg.blocks().at(begin);
+    const std::uint16_t in = block_transfer(block, live_out(block));
+    auto& current = block_live_in[begin];
+    if (in == current) continue;
+    current = in;  // monotone: only grows
+    const auto it = preds.find(begin);
+    if (it != preds.end()) {
+      work.insert(work.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  LivenessResult result;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)begin;
+    std::uint16_t state = live_out(block);
+    for (std::uint32_t pc = block.end - 4;; pc -= 4) {
+      const sim::RegDefUse du =
+          sim::InstructionDefUse(*cfg.InstructionAt(pc));
+      state = static_cast<std::uint16_t>(
+          ((state & ~du.defs) | du.uses) & kAllButR0);
+      result.live_in[pc] = state;
+      result.ever_live |= state;
+      if (pc == block.begin) break;
+    }
+  }
+  return result;
+}
+
+std::vector<MaybeUninitRead> FindMaybeUninitReads(const Cfg& cfg) {
+  const auto preds = Predecessors(cfg);
+  // Bit set = definitely written on every path here. r0 always counts.
+  std::map<std::uint32_t, std::uint16_t> block_in;
+  std::vector<std::uint32_t> work;
+  for (const std::uint32_t root : RootBlocks(cfg, preds)) {
+    block_in[root] = root == cfg.entry() ? 0x0001 : 0xffff;
+    work.push_back(root);
+  }
+  const auto transfer = [&](const BasicBlock& block, std::uint16_t state,
+                            std::vector<MaybeUninitRead>* reads) {
+    for (std::uint32_t pc = block.begin; pc < block.end; pc += 4) {
+      const Instruction& insn = *cfg.InstructionAt(pc);
+      const sim::RegDefUse du = sim::InstructionDefUse(insn);
+      if (reads != nullptr) {
+        std::uint16_t unread = du.uses & static_cast<std::uint16_t>(~state);
+        for (std::uint8_t reg = 1; reg < 16; ++reg) {
+          if ((unread & (1u << reg)) != 0) reads->push_back({pc, reg});
+        }
+      }
+      state |= du.defs;
+      if (insn.opcode == Opcode::kJal && !cfg.returns_resolved()) {
+        state = 0xffff;  // fall-through edge stands in for the callee
+      }
+      state |= 0x0001;
+    }
+    return state;
+  };
+  while (!work.empty()) {
+    const std::uint32_t begin = work.back();
+    work.pop_back();
+    const BasicBlock& block = cfg.blocks().at(begin);
+    const std::uint16_t out = transfer(block, block_in.at(begin), nullptr);
+    for (const std::uint32_t successor : block.successors) {
+      const auto it = block_in.find(successor);
+      if (it == block_in.end()) {
+        block_in[successor] = out;
+        work.push_back(successor);
+      } else if ((it->second & out) != it->second) {
+        it->second &= out;
+        work.push_back(successor);
+      }
+    }
+  }
+  std::vector<MaybeUninitRead> reads;
+  for (const auto& [begin, state] : block_in) {
+    transfer(cfg.blocks().at(begin), state, &reads);
+  }
+  return reads;
+}
+
+namespace {
+
+// Constant-propagation state: one known value per register, r0 pinned
+// to zero. nullopt = not a compile-time constant on some path.
+using ConstState = std::array<std::optional<std::uint32_t>, 16>;
+
+ConstState UnknownState() {
+  ConstState state;
+  state[0] = 0;
+  return state;
+}
+
+// Meets `from` into `into`; true when `into` changed.
+bool MeetInto(ConstState& into, const ConstState& from) {
+  bool changed = false;
+  for (std::size_t reg = 1; reg < 16; ++reg) {
+    if (into[reg].has_value() &&
+        (!from[reg].has_value() || *from[reg] != *into[reg])) {
+      into[reg].reset();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::optional<std::uint32_t> EvalAlu(Opcode opcode, std::uint32_t b,
+                                     std::uint32_t c) {
+  switch (opcode) {
+    case Opcode::kAdd: case Opcode::kAddi: return b + c;
+    case Opcode::kSub: return b - c;
+    case Opcode::kMul: return b * c;
+    case Opcode::kDiv: {
+      const auto sb = static_cast<std::int32_t>(b);
+      const auto sc = static_cast<std::int32_t>(c);
+      if (sc == 0 ||
+          (sb == std::numeric_limits<std::int32_t>::min() && sc == -1)) {
+        return std::nullopt;  // EDM trap path; value never flows on
+      }
+      return static_cast<std::uint32_t>(sb / sc);
+    }
+    case Opcode::kAnd: case Opcode::kAndi: return b & c;
+    case Opcode::kOr: case Opcode::kOri: return b | c;
+    case Opcode::kXor: case Opcode::kXori: return b ^ c;
+    case Opcode::kSll: case Opcode::kSlli: return b << (c & 31);
+    case Opcode::kSrl: case Opcode::kSrli: return b >> (c & 31);
+    case Opcode::kSra: case Opcode::kSrai:
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(b) >>
+                                        (c & 31));
+    case Opcode::kSlt: case Opcode::kSlti:
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(b) <
+                                        static_cast<std::int32_t>(c));
+    case Opcode::kSltu:
+      return static_cast<std::uint32_t>(b < c);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+MemorySummary ComputeMemorySummary(const Cfg& cfg) {
+  const auto preds = Predecessors(cfg);
+  std::map<std::uint32_t, ConstState> block_in;
+  std::vector<std::uint32_t> work;
+  for (const std::uint32_t root : RootBlocks(cfg, preds)) {
+    ConstState seed = UnknownState();
+    if (root == cfg.entry()) {
+      // Registers reset to zero, but targets may preload state before
+      // releasing the CPU; only r0 is assumed. Workloads build their
+      // pointers from LUI/ADDI chains anyway.
+    }
+    block_in.emplace(root, seed);
+    work.push_back(root);
+  }
+
+  MemorySummary summary;
+  const auto transfer = [&](const BasicBlock& block, ConstState state,
+                            MemorySummary* out) {
+    for (std::uint32_t pc = block.begin; pc < block.end; pc += 4) {
+      const Instruction& insn = *cfg.InstructionAt(pc);
+      switch (insn.opcode) {
+        case Opcode::kLui:
+          state[insn.ra] = static_cast<std::uint32_t>(insn.imm) << 16;
+          break;
+        case Opcode::kLd: case Opcode::kLdb:
+        case Opcode::kSt: case Opcode::kStb: {
+          const bool is_store = insn.opcode == Opcode::kSt ||
+                                insn.opcode == Opcode::kStb;
+          const bool is_byte = insn.opcode == Opcode::kLdb ||
+                               insn.opcode == Opcode::kStb;
+          std::optional<std::uint32_t> address;
+          if (state[insn.rb].has_value()) {
+            address = *state[insn.rb] + static_cast<std::uint32_t>(insn.imm);
+          }
+          if (out != nullptr) {
+            out->accesses[pc] = MemoryAccess{pc, is_store, is_byte, address};
+            // STB reads the word it partially overwrites.
+            const bool reads = !is_store || insn.opcode == Opcode::kStb;
+            const bool writes = is_store;
+            if (address.has_value()) {
+              const std::uint32_t word = *address & ~3u;
+              if (reads) out->read_words.insert(word);
+              if (writes) out->written_words.insert(word);
+            } else {
+              if (reads) out->has_unknown_load = true;
+              if (writes) out->has_unknown_store = true;
+            }
+          }
+          if (!is_store) state[insn.ra].reset();
+          break;
+        }
+        case Opcode::kJal:
+          if (cfg.returns_resolved()) {
+            state[insn.ra] = pc + 4;
+          } else {
+            state = UnknownState();  // edge stands in for the callee
+          }
+          break;
+        case Opcode::kJalr:
+          state[insn.ra] = pc + 4;
+          break;
+        default:
+          if (sim::IsRType(insn.opcode) ||
+              (sim::InstructionDefUse(insn).defs != 0)) {
+            const auto& b = state[insn.rb];
+            const std::optional<std::uint32_t> c =
+                sim::IsRType(insn.opcode)
+                    ? state[insn.rc]
+                    : std::optional<std::uint32_t>(
+                          static_cast<std::uint32_t>(insn.imm));
+            state[insn.ra] =
+                b.has_value() && c.has_value()
+                    ? EvalAlu(insn.opcode, *b, *c)
+                    : std::nullopt;
+          }
+          break;
+      }
+      state[0] = 0;
+    }
+    return state;
+  };
+
+  while (!work.empty()) {
+    const std::uint32_t begin = work.back();
+    work.pop_back();
+    const BasicBlock& block = cfg.blocks().at(begin);
+    const ConstState out = transfer(block, block_in.at(begin), nullptr);
+    for (const std::uint32_t successor : block.successors) {
+      const auto it = block_in.find(successor);
+      if (it == block_in.end()) {
+        block_in.emplace(successor, out);
+        work.push_back(successor);
+      } else if (MeetInto(it->second, out)) {
+        work.push_back(successor);
+      }
+    }
+  }
+  for (const auto& [begin, state] : block_in) {
+    transfer(cfg.blocks().at(begin), state, &summary);
+  }
+  return summary;
+}
+
+}  // namespace goofi::analysis

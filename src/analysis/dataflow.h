@@ -1,0 +1,70 @@
+// Classic dataflow analyses over analysis::Cfg, feeding the static
+// pre-run fault-list pruning (StaticLiveness) and the workload linter.
+//
+// All three analyses widen at the Cfg's declared widening points
+// (has_indirect_successor, falls_off_image, and the trap handler's
+// entry, whose machine context is the interrupted program's): results
+// stay conservative — liveness over-approximates, definite assignment
+// and constant propagation under-approximate — so clients never prune
+// or diagnose based on an unsound fact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace goofi::analysis {
+
+// Backward register liveness. A register is live at pc when some path
+// from pc reads it before any write. Bit N = rN; bit 0 (r0) is never
+// set. This intentionally mirrors the *dynamic* notion used by
+// core::PreInjectionAnalysis — the value the program will still read —
+// and must over-approximate it on every fault-free run (the superset
+// invariant checked by core::CrossCheckWorkload).
+struct LivenessResult {
+  // live-in mask per reachable instruction address.
+  std::map<std::uint32_t, std::uint16_t> live_in;
+  // Union of all live-in masks: registers that are live anywhere.
+  std::uint16_t ever_live = 0;
+};
+LivenessResult ComputeLiveness(const Cfg& cfg);
+
+// Forward definitely-assigned analysis (reaching definitions collapsed
+// to "was there one on every path"). Reads of registers that some path
+// reaches without any prior write are reported. Registers reset to
+// zero, so these are lint warnings, not undefined behaviour.
+struct MaybeUninitRead {
+  std::uint32_t pc = 0;
+  std::uint8_t reg = 0;
+};
+std::vector<MaybeUninitRead> FindMaybeUninitReads(const Cfg& cfg);
+
+// Memory-word def/use summary for statically addressable loads and
+// stores, by intra-procedural constant propagation of register values
+// (LUI/ALU chains; calls widen unless returns are resolved). STB counts
+// as a read *and* a write of its word: the untouched bytes stay live.
+struct MemoryAccess {
+  std::uint32_t pc = 0;
+  bool is_store = false;
+  bool is_byte = false;
+  // Byte address when statically known on every path to `pc`.
+  std::optional<std::uint32_t> address;
+};
+struct MemorySummary {
+  // One entry per reachable load/store instruction, keyed by pc.
+  std::map<std::uint32_t, MemoryAccess> accesses;
+  // Word-aligned addresses of known-address reads/writes.
+  std::set<std::uint32_t> read_words;
+  std::set<std::uint32_t> written_words;
+  // Some load/store address could not be resolved: word-level clients
+  // must widen (any word may be read / written).
+  bool has_unknown_load = false;
+  bool has_unknown_store = false;
+};
+MemorySummary ComputeMemorySummary(const Cfg& cfg);
+
+}  // namespace goofi::analysis

@@ -1,0 +1,59 @@
+// goofi-lint: static checks for workload assembly, .workload specs and
+// campaign definition files, with file:line diagnostics suitable for CI
+// (examples/goofi_lint.cpp is the command-line front-end).
+//
+// The linter reuses the analysis subsystem's CFG/dataflow results for
+// the code-level checks and the target layer's reachability rules
+// (target::TechniqueCanReach) for the campaign-level ones, so a lint
+// clean bill of health means "the campaign machinery will accept this
+// and every reachable instruction is accounted for".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "target/fault_injection_algorithms.h"
+#include "util/status.h"
+
+namespace goofi::analysis {
+
+struct LintDiagnostic {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kError;
+  std::string file;
+  int line = 0;       // 1-based; 0 = whole-file diagnostic
+  std::string check;  // stable identifier, e.g. "unreachable-code"
+  std::string message;
+};
+
+// "file:line: error: message [check]" (line elided when 0).
+std::string FormatDiagnostic(const LintDiagnostic& diagnostic);
+bool HasErrors(const std::vector<LintDiagnostic>& diagnostics);
+
+// ---- GOOFI-32 assembly sources ----------------------------------------
+// Checks: assembly/label errors (the assembler's own diagnostics,
+// re-anchored to file:line), entry decodability, unreachable code,
+// control flow running off the image, writes to r0, reads of
+// never-written registers, and statically-resolvable memory accesses
+// against the board memory map (target/io_map.h).
+std::vector<LintDiagnostic> LintWorkloadSource(const std::string& file,
+                                               const std::string& source);
+
+// ---- .workload spec files ---------------------------------------------
+// Spec-level checks (missing keys, output region vs the memory map,
+// unknown environment model) plus LintWorkloadSource over the assembly
+// file it references. `file` must be a readable path.
+std::vector<LintDiagnostic> LintWorkloadSpecFile(const std::string& file);
+
+// ---- campaign definition files ----------------------------------------
+// Checks the [campaign] section: required keys, unknown
+// technique/fault-model/logging/trigger values, unknown workload names,
+// option combinations the machinery ignores or rejects, and — when
+// `locations` is non-null — location filters that select nothing the
+// technique can inject into.
+std::vector<LintDiagnostic> LintCampaignText(
+    const std::string& file, const std::string& text,
+    const std::vector<target::TargetSystemInterface::LocationInfo>*
+        locations);
+
+}  // namespace goofi::analysis

@@ -1,0 +1,62 @@
+#include "analysis/static_liveness.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace goofi::analysis {
+
+Result<StaticLiveness> StaticLiveness::Analyze(
+    const sim::AssembledProgram& program) {
+  StaticLiveness analysis;
+  ASSIGN_OR_RETURN(analysis.cfg_, Cfg::Build(program));
+  analysis.liveness_ = ComputeLiveness(analysis.cfg_);
+  analysis.memory_ = ComputeMemorySummary(analysis.cfg_);
+  return analysis;
+}
+
+Result<StaticLiveness> StaticLiveness::AnalyzeSource(
+    const std::string& source) {
+  ASSIGN_OR_RETURN(const sim::AssembledProgram program,
+                   sim::Assemble(source));
+  return Analyze(program);
+}
+
+bool StaticLiveness::MayBeLiveAtPc(std::uint8_t reg,
+                                   std::uint32_t pc) const {
+  if (reg == 0) return false;
+  if (reg > 15) return true;
+  const auto it = liveness_.live_in.find(pc);
+  if (it == liveness_.live_in.end()) return true;  // pc not modelled
+  return (it->second & (1u << reg)) != 0;
+}
+
+bool StaticLiveness::EverLive(std::uint8_t reg) const {
+  if (reg == 0) return false;
+  if (reg > 15) return true;
+  return (liveness_.ever_live & (1u << reg)) != 0;
+}
+
+bool StaticLiveness::MayWordHoldLiveData(std::uint32_t word_address) const {
+  if (memory_.has_unknown_load) return true;
+  return memory_.read_words.count(word_address & ~3u) != 0;
+}
+
+bool StaticLiveness::MayLocationHoldLiveData(
+    const std::string& location_name) const {
+  constexpr const char* kRegPrefix = "cpu.regs.r";
+  if (!StartsWith(location_name, kRegPrefix)) return true;
+  const std::string digits = location_name.substr(std::strlen(kRegPrefix));
+  if (digits.empty() || digits.size() > 2) return true;
+  unsigned reg = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return true;
+    reg = reg * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (reg > 15) return true;
+  // r0 is a real scan element, but the CPU reads it as zero: a fault
+  // parked there can never propagate.
+  return reg != 0 && EverLive(static_cast<std::uint8_t>(reg));
+}
+
+}  // namespace goofi::analysis

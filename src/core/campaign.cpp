@@ -68,6 +68,7 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
   }
   config.use_preinjection_analysis =
       section.GetBoolOr("preinjection", false);
+  config.use_static_analysis = section.GetBoolOr("static_analysis", false);
   return config;
 }
 
@@ -105,6 +106,7 @@ Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
       config.logging_mode == target::LoggingMode::kDetail ? "detail"
                                                           : "normal"));
   row.push_back(Value::Integer(config.use_preinjection_analysis ? 1 : 0));
+  row.push_back(Value::Integer(config.use_static_analysis ? 1 : 0));
   row.push_back(Value::Integer(static_cast<std::int64_t>(
       config.model.period)));
   row.push_back(Value::Integer(config.model.occurrences));
@@ -150,9 +152,11 @@ Result<CampaignConfig> LoadCampaign(db::Database& database,
                             ? target::LoggingMode::kDetail
                             : target::LoggingMode::kNormal;
   config.use_preinjection_analysis = row[15].AsInteger() != 0;
-  config.model.period = static_cast<std::uint64_t>(row[16].AsInteger());
-  config.model.occurrences = static_cast<std::uint32_t>(row[17].AsInteger());
-  config.model.stuck_to_one = row[18].AsInteger() != 0;
+  config.use_static_analysis =
+      !row[16].is_null() && row[16].AsInteger() != 0;
+  config.model.period = static_cast<std::uint64_t>(row[17].AsInteger());
+  config.model.occurrences = static_cast<std::uint32_t>(row[18].AsInteger());
+  config.model.stuck_to_one = row[19].AsInteger() != 0;
   return config;
 }
 

@@ -51,6 +51,12 @@ struct CampaignConfig {
   // Paper §4 extension: sample only (location, time) points that hold
   // live data, using the reference run's access trace.
   bool use_preinjection_analysis = false;
+
+  // Static counterpart (src/analysis): before any run, drop fault
+  // locations the workload provably never reads (registers that are
+  // dead on every static path). Strictly coarser than the dynamic
+  // analysis above — the two compose.
+  bool use_static_analysis = false;
 };
 
 // ---- config file <-> struct ------------------------------------------

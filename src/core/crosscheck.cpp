@@ -1,0 +1,103 @@
+#include "core/crosscheck.h"
+
+#include "analysis/static_liveness.h"
+#include "core/preinjection.h"
+#include "sim/access_recorder.h"
+#include "target/thor_rd_target.h"
+#include "target/workloads.h"
+#include "util/strings.h"
+
+namespace goofi::core {
+
+std::string CrossCheckViolation::ToString() const {
+  if (kind == "register") {
+    return StrFormat(
+        "%s: r%u dynamically live at t=%llu (pc=0x%08x) but statically dead",
+        workload.c_str(), subject,
+        static_cast<unsigned long long>(time), pc);
+  }
+  if (kind == "memory") {
+    return StrFormat(
+        "%s: word 0x%08x dynamically live but statically never read",
+        workload.c_str(), subject);
+  }
+  return StrFormat("%s: executed pc=0x%08x is statically unreachable",
+                   workload.c_str(), pc);
+}
+
+Result<std::vector<CrossCheckViolation>> CrossCheckWorkload(
+    const std::string& workload_name) {
+  ASSIGN_OR_RETURN(target::WorkloadSpec workload,
+                   target::GetBuiltinWorkload(workload_name));
+  ASSIGN_OR_RETURN(const analysis::StaticLiveness static_liveness,
+                   analysis::StaticLiveness::AnalyzeSource(workload.assembly));
+
+  target::ThorRdTarget target;
+  RETURN_IF_ERROR(target.SetWorkload(workload));
+  target::ExperimentSpec reference;
+  reference.name = workload_name + "/crosscheck";
+  target.set_experiment(reference);
+  sim::AccessRecorder recorder;
+  target.set_external_tracer(&recorder);
+  RETURN_IF_ERROR(target.MakeReferenceRun());
+  target.set_external_tracer(nullptr);
+  const target::Observation observation = target.TakeObservation();
+
+  PreInjectionAnalysis dynamic;
+  dynamic.Build(recorder, observation.instructions);
+  const std::vector<std::uint32_t>& pc_trace = recorder.pc_trace();
+
+  std::vector<CrossCheckViolation> violations;
+
+  // Every executed pc must be statically reachable.
+  std::uint32_t last_unreachable = 0xffffffffu;
+  for (std::uint64_t time = 0; time < pc_trace.size(); ++time) {
+    const std::uint32_t pc = pc_trace[time];
+    if (!static_liveness.cfg().IsReachable(pc) && pc != last_unreachable) {
+      violations.push_back(
+          {workload_name, "reachability", time, pc, 0});
+      last_unreachable = pc;
+    }
+  }
+
+  // Dynamic register liveness must imply static may-liveness at the pc
+  // of the instruction the injection would land in front of.
+  for (unsigned reg = 1; reg < 16; ++reg) {
+    for (const auto& [first, last] : dynamic.register_intervals(reg).spans) {
+      for (std::uint64_t time = first;
+           time <= last && time < pc_trace.size(); ++time) {
+        if (!static_liveness.MayBeLiveAtPc(static_cast<std::uint8_t>(reg),
+                                           pc_trace[time])) {
+          violations.push_back({workload_name, "register", time,
+                                pc_trace[time], reg});
+          break;  // one per (reg, span) keeps reports readable
+        }
+      }
+    }
+  }
+
+  // Dynamic memory liveness must imply the word can statically be read.
+  for (const auto& [word, intervals] : dynamic.memory_intervals()) {
+    if (intervals.spans.empty()) continue;
+    if (!static_liveness.MayWordHoldLiveData(word)) {
+      violations.push_back({workload_name, "memory", 0, 0, word});
+    }
+  }
+  return violations;
+}
+
+Status CrossCheckBuiltinWorkloads() {
+  std::vector<std::string> failures;
+  for (const std::string& name : target::BuiltinWorkloadNames()) {
+    ASSIGN_OR_RETURN(const std::vector<CrossCheckViolation> violations,
+                     CrossCheckWorkload(name));
+    for (const CrossCheckViolation& violation : violations) {
+      failures.push_back(violation.ToString());
+    }
+  }
+  if (failures.empty()) return Status::Ok();
+  return InternalError("static liveness is not a superset of dynamic: " +
+                       JoinStrings(failures, "; "));
+}
+
+}  // namespace goofi::core

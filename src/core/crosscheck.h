@@ -1,0 +1,47 @@
+// Static-vs-dynamic cross-check: the static analyzer's soundness gate.
+//
+// analysis::StaticLiveness prunes fault locations before any run; the
+// dynamic core::PreInjectionAnalysis filters (location, time) points
+// using the reference run's access trace. For the pruning to be sound
+// the static answer must be a SUPERSET of the dynamic one on every
+// fault-free run:
+//
+//   dynamic live(reg, t)   ==>  static MayBeLiveAtPc(reg, pc_at(t))
+//   dynamic live(word, t)  ==>  static MayWordHoldLiveData(word)
+//   and every executed pc  ==>  statically reachable.
+//
+// CrossCheckWorkload runs the workload's reference run on a Thor RD
+// target, builds both analyses and reports every violation;
+// tests/analysis/crosscheck_test.cpp fails if any built-in workload
+// produces one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace goofi::core {
+
+struct CrossCheckViolation {
+  std::string workload;
+  // "register", "memory" or "reachability".
+  std::string kind;
+  std::uint64_t time = 0;
+  std::uint32_t pc = 0;
+  // Register number or word address, per kind.
+  std::uint32_t subject = 0;
+
+  std::string ToString() const;
+};
+
+// Reference-runs the named built-in workload and compares the two
+// analyses. Ok with an empty vector = the superset invariant holds.
+Result<std::vector<CrossCheckViolation>> CrossCheckWorkload(
+    const std::string& workload_name);
+
+// All built-in workloads; error describes every violation found.
+Status CrossCheckBuiltinWorkloads();
+
+}  // namespace goofi::core

@@ -24,8 +24,11 @@
 // See examples/quickstart.cpp for the runnable version.
 #pragma once
 
+#include "analysis/linter.h"
+#include "analysis/static_liveness.h"
 #include "core/analysis.h"
 #include "core/campaign.h"
+#include "core/crosscheck.h"
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
 #include "core/location.h"

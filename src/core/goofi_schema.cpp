@@ -43,6 +43,7 @@ CREATE TABLE CampaignData (
   max_iterations           INTEGER,
   logging_mode             TEXT NOT NULL,
   preinjection             INTEGER NOT NULL,
+  static_analysis          INTEGER,
   intermittent_period      INTEGER,
   intermittent_occurrences INTEGER,
   stuck_to_one             INTEGER,

@@ -10,17 +10,7 @@ using LocationInfo = target::TargetSystemInterface::LocationInfo;
 
 bool LocationSpace::TechniqueCanReach(target::Technique technique,
                                       const LocationInfo& info) {
-  switch (technique) {
-    case target::Technique::kScifi:
-      return info.kind == LocationInfo::Kind::kScanElement && info.writable;
-    case target::Technique::kSwifiPreRuntime:
-      return info.kind == LocationInfo::Kind::kMemoryRange;
-    case target::Technique::kSwifiRuntime:
-      if (info.kind == LocationInfo::Kind::kMemoryRange) return true;
-      return info.writable && (StartsWith(info.name, "cpu.regs.r") ||
-                               info.name == "cpu.pc");
-  }
-  return false;
+  return target::TechniqueCanReach(technique, info);
 }
 
 Result<LocationSpace> LocationSpace::Build(
@@ -54,6 +44,19 @@ Result<LocationSpace> LocationSpace::Build(
         "location filters select nothing the technique can inject into");
   }
   return space;
+}
+
+LocationSpace LocationSpace::Restricted(
+    const std::function<bool(const LocationInfo&)>& keep) const {
+  LocationSpace reduced;
+  for (const Entry& entry : entries_) {
+    if (!keep(entry.info)) continue;
+    Entry kept = entry;
+    kept.cumulative_start = reduced.total_bits_;
+    reduced.total_bits_ += kept.bit_count;
+    reduced.entries_.push_back(std::move(kept));
+  }
+  return reduced;
 }
 
 target::FaultTarget LocationSpace::SampleIndex(

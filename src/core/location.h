@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,10 +25,9 @@ class LocationSpace {
     std::uint64_t cumulative_start = 0;  // first bit index in the space
   };
 
-  // Which locations a technique can inject into:
-  //  - SCIFI: writable scan-chain elements,
-  //  - pre-runtime SWIFI: memory ranges (program/data image),
-  //  - runtime SWIFI: registers, the PC, and memory ranges.
+  // Which locations a technique can inject into; delegates to
+  // target::TechniqueCanReach (the rule lives in the target layer so
+  // the analysis-layer linter can apply it too).
   static bool TechniqueCanReach(
       target::Technique technique,
       const target::TargetSystemInterface::LocationInfo& info);
@@ -39,6 +39,14 @@ class LocationSpace {
       const std::vector<target::TargetSystemInterface::LocationInfo>& all,
       target::Technique technique,
       const std::vector<std::string>& filters);
+
+  // A copy of this space reduced to the entries `keep` accepts (the
+  // static pre-run analysis drops provably-dead locations this way).
+  // May be empty (total_bits() == 0); callers decide how to react.
+  LocationSpace Restricted(
+      const std::function<
+          bool(const target::TargetSystemInterface::LocationInfo&)>& keep)
+      const;
 
   const std::vector<Entry>& entries() const { return entries_; }
   std::uint64_t total_bits() const { return total_bits_; }

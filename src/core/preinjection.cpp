@@ -75,11 +75,15 @@ void PreInjectionAnalysis::Build(const sim::AccessRecorder& recorder,
 bool PreInjectionAnalysis::IsRegisterLive(unsigned reg,
                                           std::uint64_t time) const {
   if (reg == 0 || reg >= 16) return false;
+  // Injection at or after the reference run's end never executes: the
+  // sampled trigger cannot fire once the workload has halted.
+  if (end_time_ != 0 && time >= end_time_) return false;
   return reg_intervals_[reg].Contains(time);
 }
 
 bool PreInjectionAnalysis::IsMemoryWordLive(std::uint32_t word_address,
                                             std::uint64_t time) const {
+  if (end_time_ != 0 && time >= end_time_) return false;
   const auto it = mem_intervals_.find(word_address & ~3u);
   if (it == mem_intervals_.end()) return false;
   return it->second.Contains(time);

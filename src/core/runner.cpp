@@ -1,8 +1,10 @@
 #include "core/runner.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
+#include "analysis/static_liveness.h"
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
 #include "sim/access_recorder.h"
@@ -19,7 +21,8 @@ CampaignRunner::CampaignRunner(db::Database* database,
                                target::TargetSystemInterface* target)
     : database_(database), target_(target) {}
 
-Status CampaignRunner::ConfigureWorkload(const CampaignConfig& config) {
+Result<target::WorkloadSpec> CampaignRunner::ConfigureWorkload(
+    const CampaignConfig& config) {
   if (config.target != target_->target_name()) {
     return FailedPreconditionError(
         "campaign '" + config.name + "' is for target '" + config.target +
@@ -27,7 +30,8 @@ Status CampaignRunner::ConfigureWorkload(const CampaignConfig& config) {
   }
   ASSIGN_OR_RETURN(target::WorkloadSpec workload,
                    target::GetBuiltinWorkload(config.workload));
-  return target_->SetWorkload(std::move(workload));
+  RETURN_IF_ERROR(target_->SetWorkload(workload));
+  return workload;
 }
 
 Status CampaignRunner::LogObservation(
@@ -50,8 +54,8 @@ Status CampaignRunner::UpdateCampaignStatus(const std::string& campaign_name,
   const auto result = database_->Update(
       kCampaignDataTable,
       [&](const Row& row) { return row[0].AsText() == campaign_name; },
-      {{19, Value::Text_(status)},
-       {20, Value::Integer(static_cast<std::int64_t>(experiments_done))}});
+      {{20, Value::Text_(status)},
+       {21, Value::Integer(static_cast<std::int64_t>(experiments_done))}});
   return result.ok() ? Status::Ok() : result.status();
 }
 
@@ -160,11 +164,21 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
   RETURN_IF_ERROR(CreateGoofiSchema(*database_));
   ASSIGN_OR_RETURN(CampaignConfig config,
                    LoadCampaign(*database_, campaign_name));
-  RETURN_IF_ERROR(ConfigureWorkload(config));
+  ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
+                   ConfigureWorkload(config));
   RETURN_IF_ERROR(UpdateCampaignStatus(campaign_name, "running", 0));
 
   CampaignSummary summary;
   summary.campaign_name = campaign_name;
+
+  // ---- static pre-run analysis (before any run) ------------------------
+  // Knows nothing the image doesn't say: registers no reachable
+  // instruction ever reads are dropped from the location space below.
+  std::optional<analysis::StaticLiveness> static_liveness;
+  if (config.use_static_analysis) {
+    ASSIGN_OR_RETURN(static_liveness, analysis::StaticLiveness::AnalyzeSource(
+                                          workload.assembly));
+  }
 
   // ---- makeReferenceRun() ---------------------------------------------
   target::ExperimentSpec reference_spec;
@@ -206,6 +220,22 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
                    LocationSpace::Build(target_->ListLocations(),
                                         config.technique,
                                         config.location_filters));
+  if (static_liveness.has_value()) {
+    const std::uint64_t unpruned_bits = space.total_bits();
+    LocationSpace pruned = space.Restricted([&](const LocationInfo& info) {
+      return static_liveness->MayLocationHoldLiveData(info.name);
+    });
+    if (pruned.total_bits() == 0) {
+      return FailedPreconditionError(
+          "static analysis proves every selected location dead for "
+          "workload '" + config.workload + "'; widen the location filters");
+    }
+    summary.static_pruned_bits = unpruned_bits - pruned.total_bits();
+    summary.static_pruned_fraction =
+        static_cast<double>(summary.static_pruned_bits) /
+        static_cast<double>(unpruned_bits);
+    space = std::move(pruned);
+  }
   const std::uint64_t duration = summary.reference.instructions;
   if (duration < 3) {
     return FailedPreconditionError("reference run too short to inject into");
@@ -315,7 +345,7 @@ Result<std::string> CampaignRunner::ReRunInDetailMode(
                    ParseExperimentSpec(experiment_data));
   ASSIGN_OR_RETURN(CampaignConfig config,
                    LoadCampaign(*database_, campaign_name));
-  RETURN_IF_ERROR(ConfigureWorkload(config));
+  RETURN_IF_ERROR(ConfigureWorkload(config).status());
 
   // Unique child name: count existing children of this experiment.
   std::size_t child_count = 0;

@@ -59,6 +59,12 @@ struct CampaignSummary {
   // Pre-injection statistics (when the campaign enables the analysis).
   double register_live_fraction = 0.0;
   std::uint64_t preinjection_resamples = 0;
+  // Static pre-run analysis statistics (campaign key `static_analysis`):
+  // bits removed from the fault-location space because the workload
+  // provably never reads them, and the removed fraction of the
+  // unpruned space.
+  std::uint64_t static_pruned_bits = 0;
+  double static_pruned_fraction = 0.0;
 };
 
 class CampaignRunner {
@@ -107,7 +113,9 @@ class CampaignRunner {
  private:
   Result<CampaignSummary> RunInternal(const std::string& campaign_name,
                                       bool resume);
-  Status ConfigureWorkload(const CampaignConfig& config);
+  // Resolves the campaign's workload, installs it on the target, and
+  // returns it (the static analysis re-reads its assembly).
+  Result<target::WorkloadSpec> ConfigureWorkload(const CampaignConfig& config);
   Result<target::ExperimentSpec> SampleExperiment(
       const CampaignConfig& config, const LocationSpace& space,
       std::uint64_t window_lo, std::uint64_t window_hi, Rng& rng,

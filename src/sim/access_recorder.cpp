@@ -2,6 +2,16 @@
 
 namespace goofi::sim {
 
+void AccessRecorder::OnInstructionRetired(const Cpu& cpu,
+                                          const Instruction& instruction,
+                                          std::uint64_t time,
+                                          std::uint32_t pc) {
+  (void)cpu;
+  (void)instruction;
+  if (pc_trace_.size() <= time) pc_trace_.resize(time + 1, 0);
+  pc_trace_[time] = pc;
+}
+
 void AccessRecorder::OnRegisterRead(unsigned reg, std::uint64_t time) {
   if (reg == 0 || reg >= 16) return;  // r0 is never live
   reg_events_[reg].push_back({time, /*is_write=*/false});
@@ -37,6 +47,7 @@ void AccessRecorder::OnMemoryWrite(std::uint32_t address, unsigned bytes,
 void AccessRecorder::Clear() {
   for (auto& events : reg_events_) events.clear();
   mem_events_.clear();
+  pc_trace_.clear();
 }
 
 }  // namespace goofi::sim

@@ -23,6 +23,8 @@ struct AccessEvent {
 
 class AccessRecorder : public Tracer {
  public:
+  void OnInstructionRetired(const Cpu& cpu, const Instruction& instruction,
+                            std::uint64_t time, std::uint32_t pc) override;
   void OnRegisterRead(unsigned reg, std::uint64_t time) override;
   void OnRegisterWrite(unsigned reg, std::uint32_t old_value,
                        std::uint32_t new_value, std::uint64_t time) override;
@@ -40,12 +42,17 @@ class AccessRecorder : public Tracer {
       const {
     return mem_events_;
   }
+  // pc_trace()[t] is the address of the instruction executed at time t.
+  // core/crosscheck.* uses it to map the dynamic liveness timeline onto
+  // the static analyzer's per-pc results.
+  const std::vector<std::uint32_t>& pc_trace() const { return pc_trace_; }
 
   void Clear();
 
  private:
   std::vector<AccessEvent> reg_events_[16];
   std::map<std::uint32_t, std::vector<AccessEvent>> mem_events_;
+  std::vector<std::uint32_t> pc_trace_;
 };
 
 }  // namespace goofi::sim

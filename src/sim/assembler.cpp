@@ -495,7 +495,16 @@ class Assembler {
         }
       }
       if (!line.mnemonic.empty()) {
+        const std::uint32_t start = cursor_;
         RETURN_IF_ERROR(HandleStatement(line));
+        // Non-directive statements only emit whole instruction words;
+        // map each of them (pseudo-ops expand to several) to this line.
+        if (emit_ && line.mnemonic[0] != '.') {
+          for (std::uint32_t address = start; address < cursor_;
+               address += 4) {
+            program_.source_lines[address] = line.number;
+          }
+        }
       }
     }
     return Status::Ok();

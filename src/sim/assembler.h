@@ -46,6 +46,11 @@ struct AssembledProgram {
   std::map<std::uint32_t, std::vector<std::uint8_t>> chunks;
   std::uint32_t entry = 0;
   std::map<std::string, std::uint32_t> symbols;
+  // Instruction address -> 1-based source line. Only instructions (and
+  // pseudo-instruction expansions) are mapped; data directives are not.
+  // This is what gives goofi-lint and the static analyzer their
+  // file:line diagnostics.
+  std::map<std::uint32_t, int> source_lines;
 
   // Total bytes across chunks.
   std::size_t ByteSize() const;

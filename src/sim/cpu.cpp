@@ -1,5 +1,6 @@
 #include "sim/cpu.h"
 
+#include <cassert>
 #include <limits>
 
 #include "util/strings.h"
@@ -153,11 +154,21 @@ StepOutcome Cpu::Step() {
   }
   const Instruction& insn = *decoded;
 
+#ifndef NDEBUG
+  std::uint16_t observed_uses = 0;
+  std::uint16_t observed_defs = 0;
+#endif
   auto read_reg = [&](unsigned reg) {
+#ifndef NDEBUG
+    observed_uses |= static_cast<std::uint16_t>(1u << reg);
+#endif
     if (tracer_ != nullptr) tracer_->OnRegisterRead(reg, time);
     return this->reg(reg);
   };
   auto write_reg = [&](unsigned reg, std::uint32_t value) {
+#ifndef NDEBUG
+    observed_defs |= static_cast<std::uint16_t>(1u << reg);
+#endif
     if (tracer_ != nullptr) {
       tracer_->OnRegisterWrite(reg, this->reg(reg), value, time);
     }
@@ -211,21 +222,31 @@ StepOutcome Cpu::Step() {
       write_reg(insn.ra, static_cast<std::uint32_t>(insn.imm) << 16);
       break;
 
-    // ----- R-type ALU ---------------------------------------------------
+    // ----- ALU ----------------------------------------------------------
+    // R-type and I-type share one evaluation path: the second operand is
+    // rc or the immediate per the isa.h operand class (the same split
+    // InstructionDefUse encodes).
     case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
     case Opcode::kDiv: case Opcode::kAnd: case Opcode::kOr:
     case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl:
-    case Opcode::kSra: case Opcode::kSlt: case Opcode::kSltu: {
+    case Opcode::kSra: case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+    case Opcode::kSrai: case Opcode::kSlti: {
       const std::uint32_t b = read_reg(insn.rb);
-      const std::uint32_t c = read_reg(insn.rc);
+      const std::uint32_t c = IsRType(insn.opcode)
+                                  ? read_reg(insn.rc)
+                                  : static_cast<std::uint32_t>(insn.imm);
       std::uint32_t result = 0;
       switch (insn.opcode) {
-        case Opcode::kAdd: {
+        case Opcode::kAdd:
+        case Opcode::kAddi: {
           result = b + c;
           const bool overflow =
               ((b ^ result) & (c ^ result) & 0x80000000u) != 0;
           if (overflow &&
-              RaiseEdm(EdmType::kArithOverflow, at_pc, "add overflow",
+              RaiseEdm(EdmType::kArithOverflow, at_pc,
+                       StrFormat("%s overflow", OpcodeMnemonic(insn.opcode)),
                        &outcome)) {
             return outcome;
           }
@@ -267,58 +288,20 @@ StepOutcome Cpu::Step() {
           }
           break;
         }
-        case Opcode::kAnd: result = b & c; break;
-        case Opcode::kOr: result = b | c; break;
-        case Opcode::kXor: result = b ^ c; break;
-        case Opcode::kSll: result = b << (c & 31); break;
-        case Opcode::kSrl: result = b >> (c & 31); break;
-        case Opcode::kSra:
+        case Opcode::kAnd: case Opcode::kAndi: result = b & c; break;
+        case Opcode::kOr: case Opcode::kOri: result = b | c; break;
+        case Opcode::kXor: case Opcode::kXori: result = b ^ c; break;
+        case Opcode::kSll: case Opcode::kSlli: result = b << (c & 31); break;
+        case Opcode::kSrl: case Opcode::kSrli: result = b >> (c & 31); break;
+        case Opcode::kSra: case Opcode::kSrai:
           result = static_cast<std::uint32_t>(
               static_cast<std::int32_t>(b) >> (c & 31));
           break;
-        case Opcode::kSlt:
+        case Opcode::kSlt: case Opcode::kSlti:
           result = static_cast<std::int32_t>(b) < static_cast<std::int32_t>(c);
           break;
         case Opcode::kSltu:
           result = b < c;
-          break;
-        default: break;
-      }
-      write_reg(insn.ra, result);
-      break;
-    }
-
-    // ----- I-type ALU ---------------------------------------------------
-    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
-    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
-    case Opcode::kSrai: case Opcode::kSlti: {
-      const std::uint32_t b = read_reg(insn.rb);
-      const std::uint32_t imm = static_cast<std::uint32_t>(insn.imm);
-      std::uint32_t result = 0;
-      switch (insn.opcode) {
-        case Opcode::kAddi: {
-          result = b + imm;
-          const bool overflow =
-              ((b ^ result) & (imm ^ result) & 0x80000000u) != 0;
-          if (overflow &&
-              RaiseEdm(EdmType::kArithOverflow, at_pc, "addi overflow",
-                       &outcome)) {
-            return outcome;
-          }
-          break;
-        }
-        case Opcode::kAndi: result = b & imm; break;
-        case Opcode::kOri: result = b | imm; break;
-        case Opcode::kXori: result = b ^ imm; break;
-        case Opcode::kSlli: result = b << (imm & 31); break;
-        case Opcode::kSrli: result = b >> (imm & 31); break;
-        case Opcode::kSrai:
-          result = static_cast<std::uint32_t>(
-              static_cast<std::int32_t>(b) >> (imm & 31));
-          break;
-        case Opcode::kSlti:
-          result = static_cast<std::int32_t>(b) <
-                   static_cast<std::int32_t>(imm);
           break;
         default: break;
       }
@@ -460,6 +443,18 @@ StepOutcome Cpu::Step() {
       break;
     }
   }
+
+#ifndef NDEBUG
+  {
+    // The accesses the instruction actually performed must be a subset of
+    // isa.h's per-opcode def/use metadata (a subset, not an exact match:
+    // EDM early-outs above skip trailing accesses, and kSys's kAssertFail
+    // diagnostic read is deliberately untraced).
+    const RegDefUse du = InstructionDefUse(insn);
+    assert((observed_uses & ~du.uses) == 0);
+    assert((observed_defs & ~du.defs) == 0);
+  }
+#endif
 
   ++instret_;
   if (tracer_ != nullptr) {

@@ -76,6 +76,65 @@ bool IsCall(Opcode opcode) {
   return opcode == Opcode::kJal || opcode == Opcode::kJalr;
 }
 
+RegDefUse InstructionDefUse(const Instruction& instruction) {
+  const auto bit = [](unsigned reg) {
+    return static_cast<std::uint16_t>(1u << (reg & 0xf));
+  };
+  RegDefUse du;
+  switch (instruction.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kSys:
+      // kEmit copies r1 into the output stream; the other codes touch no
+      // architectural register (kAssertFail only formats r1 into its
+      // diagnostic, which is not a dataflow use).
+      if (static_cast<SysCode>(static_cast<std::uint16_t>(instruction.imm)) ==
+          SysCode::kEmit) {
+        du.uses = bit(1);
+      }
+      break;
+    case Opcode::kLui:
+      du.defs = bit(instruction.ra);
+      break;
+    case Opcode::kLd:
+    case Opcode::kLdb:
+      du.uses = bit(instruction.rb);
+      du.defs = bit(instruction.ra);
+      du.reads_memory = true;
+      break;
+    case Opcode::kSt:
+      du.uses = bit(instruction.ra) | bit(instruction.rb);
+      du.writes_memory = true;
+      break;
+    case Opcode::kStb:
+      du.uses = bit(instruction.ra) | bit(instruction.rb);
+      du.reads_memory = true;  // read-modify-write of the containing word
+      du.writes_memory = true;
+      break;
+    case Opcode::kJal:
+      du.defs = bit(instruction.ra);
+      break;
+    case Opcode::kJalr:
+      du.uses = bit(instruction.rb);
+      du.defs = bit(instruction.ra);
+      break;
+    default:
+      if (IsRType(instruction.opcode)) {
+        du.uses = bit(instruction.rb) | bit(instruction.rc);
+        du.defs = bit(instruction.ra);
+      } else if (IsBranch(instruction.opcode)) {
+        du.uses = bit(instruction.ra) | bit(instruction.rb);
+      } else {
+        // I-type ALU (ADDI..SLTI): ra = rb OP imm.
+        du.uses = bit(instruction.rb);
+        du.defs = bit(instruction.ra);
+      }
+      break;
+  }
+  return du;
+}
+
 std::uint32_t Encode(const Instruction& instruction) {
   std::uint32_t word =
       static_cast<std::uint32_t>(instruction.opcode) << 24 |

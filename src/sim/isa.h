@@ -105,6 +105,21 @@ bool IsRType(Opcode opcode);
 bool IsBranch(Opcode opcode);
 bool IsCall(Opcode opcode);  // JAL/JALR (trigger class "subprogram call")
 
+// Syntactic register def/use sets of one decoded instruction — the
+// single source of truth shared by the CPU's trace hooks (asserted in
+// debug builds), the access recorder's event streams and the static
+// analyzer (src/analysis). Masks are bit-per-register (bit N = rN) and
+// include r0; consumers that reason about liveness mask r0 out
+// themselves (it reads as zero and ignores writes).
+struct RegDefUse {
+  std::uint16_t uses = 0;
+  std::uint16_t defs = 0;
+  bool reads_memory = false;   // LD/LDB, plus STB (partial-word write
+                               // leaves the rest of the word live)
+  bool writes_memory = false;  // ST/STB
+};
+RegDefUse InstructionDefUse(const Instruction& instruction);
+
 std::uint32_t Encode(const Instruction& instruction);
 // Decode; an undefined opcode yields an error (the CPU raises the
 // illegal-opcode EDM from it).

@@ -1,6 +1,24 @@
 #include "target/fault_injection_algorithms.h"
 
+#include "util/strings.h"
+
 namespace goofi::target {
+
+bool TechniqueCanReach(Technique technique,
+                       const TargetSystemInterface::LocationInfo& info) {
+  using LocationInfo = TargetSystemInterface::LocationInfo;
+  switch (technique) {
+    case Technique::kScifi:
+      return info.kind == LocationInfo::Kind::kScanElement && info.writable;
+    case Technique::kSwifiPreRuntime:
+      return info.kind == LocationInfo::Kind::kMemoryRange;
+    case Technique::kSwifiRuntime:
+      if (info.kind == LocationInfo::Kind::kMemoryRange) return true;
+      return info.writable && (StartsWith(info.name, "cpu.regs.r") ||
+                               info.name == "cpu.pc");
+  }
+  return false;
+}
 
 Status TargetSystemInterface::SetWorkload(WorkloadSpec workload) {
   workload_ = std::move(workload);

@@ -113,4 +113,13 @@ class TargetSystemInterface {
   sim::Tracer* external_tracer_ = nullptr;
 };
 
+// Which locations a technique can physically inject into:
+//  - SCIFI: writable scan-chain elements,
+//  - pre-runtime SWIFI: memory ranges (program/data image),
+//  - runtime SWIFI: registers, the PC, and memory ranges.
+// core::LocationSpace builds campaign sampling spaces from this; the
+// analysis-layer linter uses it to flag filters a technique cannot reach.
+bool TechniqueCanReach(Technique technique,
+                       const TargetSystemInterface::LocationInfo& info);
+
 }  // namespace goofi::target

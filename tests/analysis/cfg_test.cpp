@@ -1,0 +1,225 @@
+#include "analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/assembler.h"
+
+namespace goofi::analysis {
+namespace {
+
+using sim::Opcode;
+
+Cfg BuildCfg(const std::string& source) {
+  const auto program = sim::Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status().message();
+  const auto cfg = Cfg::Build(*program);
+  EXPECT_TRUE(cfg.ok()) << cfg.status().message();
+  return *cfg;
+}
+
+bool HasSuccessor(const BasicBlock& block, std::uint32_t target) {
+  return std::find(block.successors.begin(), block.successors.end(),
+                   target) != block.successors.end();
+}
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 5
+  add r2, r1, r1
+  halt
+)");
+  EXPECT_EQ(cfg.entry(), 0u);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  const BasicBlock& block = cfg.blocks().at(0);
+  EXPECT_EQ(block.begin, 0u);
+  EXPECT_EQ(block.end, 12u);
+  EXPECT_TRUE(block.successors.empty());
+  EXPECT_FALSE(block.falls_off_image);
+  EXPECT_FALSE(block.has_indirect_successor);
+  EXPECT_TRUE(cfg.IsReachable(0));
+  EXPECT_TRUE(cfg.IsReachable(8));
+  EXPECT_FALSE(cfg.IsReachable(12));
+  ASSERT_NE(cfg.InstructionAt(4), nullptr);
+  EXPECT_EQ(cfg.InstructionAt(4)->opcode, Opcode::kAdd);
+  ASSERT_NE(cfg.BlockContaining(8), nullptr);
+  EXPECT_EQ(cfg.BlockContaining(8)->begin, 0u);
+  EXPECT_EQ(cfg.BlockContaining(12), nullptr);
+  EXPECT_TRUE(cfg.returns_resolved());
+}
+
+TEST(CfgTest, ConditionalBranchHasTakenAndFallThroughEdges) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 1
+  beq r1, r2, done
+  addi r1, r1, 1
+done:
+  halt
+)");
+  // 0: addi, 4: beq -> 12, 8: addi, 12: halt.
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const BasicBlock& head = cfg.blocks().at(0);
+  EXPECT_EQ(head.end, 8u);
+  EXPECT_TRUE(HasSuccessor(head, 12));
+  EXPECT_TRUE(HasSuccessor(head, 8));
+  EXPECT_TRUE(HasSuccessor(cfg.blocks().at(8), 12));
+  EXPECT_TRUE(cfg.blocks().at(12).successors.empty());
+}
+
+TEST(CfgTest, AlwaysTakenBranchPrunesFallThrough) {
+  // The assembler's `b` is beq r0, r0: same-register, always taken.
+  const auto program = sim::Assemble(R"(
+.entry start
+start:
+  b done
+  li r9, 1
+done:
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  const auto cfg = Cfg::Build(*program);
+  ASSERT_TRUE(cfg.ok());
+  const BasicBlock& head = cfg->blocks().at(0);
+  ASSERT_EQ(head.successors.size(), 1u);
+  EXPECT_EQ(head.successors[0], 8u);
+  EXPECT_FALSE(cfg->IsReachable(4));
+
+  const auto dead = cfg->UnreachableCodeRanges(*program);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].begin, 4u);
+  EXPECT_EQ(dead[0].end, 8u);
+}
+
+TEST(CfgTest, NeverTakenSameRegisterBranchPrunesTarget) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  bne r3, r3, dead
+  halt
+dead:
+  li r1, 1
+  halt
+)");
+  const BasicBlock& head = cfg.blocks().at(0);
+  ASSERT_EQ(head.successors.size(), 1u);
+  EXPECT_EQ(head.successors[0], 4u);
+  EXPECT_FALSE(cfg.IsReachable(8));
+}
+
+TEST(CfgTest, DisciplinedReturnsLinkEveryReturnSite) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  call leaf
+  call leaf
+  halt
+leaf:
+  addi r1, r1, 1
+  ret
+)");
+  // 0: jal, 4: jal, 8: halt, 12: addi, 16: jalr lr.
+  EXPECT_TRUE(cfg.returns_resolved());
+  const BasicBlock* ret_block = cfg.BlockContaining(16);
+  ASSERT_NE(ret_block, nullptr);
+  EXPECT_FALSE(ret_block->has_indirect_successor);
+  EXPECT_TRUE(HasSuccessor(*ret_block, 4));
+  EXPECT_TRUE(HasSuccessor(*ret_block, 8));
+  // With resolved returns a call edge goes only to the callee; the
+  // return edge above carries control back.
+  const BasicBlock& first_call = cfg.blocks().at(0);
+  ASSERT_EQ(first_call.successors.size(), 1u);
+  EXPECT_EQ(first_call.successors[0], 12u);
+}
+
+TEST(CfgTest, LinkRegisterSpillFallsBackToWidenedModel) {
+  // `pop lr` reloads the link register from the stack: the discipline
+  // proof cannot bound that jalr, so the whole image widens.
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  la sp, 0x24000
+  call outer
+  halt
+outer:
+  push lr
+  call leaf
+  pop lr
+  ret
+leaf:
+  addi r1, r1, 1
+  ret
+)");
+  EXPECT_FALSE(cfg.returns_resolved());
+  bool saw_indirect = false;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)begin;
+    saw_indirect = saw_indirect || block.has_indirect_successor;
+  }
+  EXPECT_TRUE(saw_indirect);
+  // Widened calls keep the fall-through edge as the return path: the
+  // block ending in `call outer` (jal at 8) flows to halt at 12.
+  const BasicBlock* call_block = cfg.BlockContaining(8);
+  ASSERT_NE(call_block, nullptr);
+  EXPECT_TRUE(HasSuccessor(*call_block, 12));
+}
+
+TEST(CfgTest, MissingHaltFallsOffImage) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 1
+  add r2, r1, r1
+)");
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_TRUE(cfg.blocks().at(0).falls_off_image);
+}
+
+TEST(CfgTest, TrapHandlerIsDiscoveredAsRoot) {
+  const auto program = sim::Assemble(R"(
+.entry start
+start:
+  halt
+trap_handler:
+  li r1, 1
+  halt
+)");
+  ASSERT_TRUE(program.ok());
+  const auto cfg = Cfg::Build(*program);
+  ASSERT_TRUE(cfg.ok());
+  // No edge from the entry reaches it, but traps can.
+  EXPECT_TRUE(cfg->IsReachable(4));
+  EXPECT_TRUE(cfg->UnreachableCodeRanges(*program).empty());
+}
+
+TEST(CfgTest, UndecodableEntryFailsToBuild) {
+  const auto program = sim::Assemble(R"(
+.entry data
+.org 0x10000
+data:
+  .word 0xffffffff
+)");
+  ASSERT_TRUE(program.ok());
+  const auto cfg = Cfg::Build(*program);
+  EXPECT_FALSE(cfg.ok());
+}
+
+TEST(CfgTest, EntryPastImageFailsToBuild) {
+  const auto program = sim::Assemble(R"(
+.entry end
+start:
+  halt
+end:
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Cfg::Build(*program).ok());
+}
+
+}  // namespace
+}  // namespace goofi::analysis

@@ -1,0 +1,54 @@
+#include "core/crosscheck.h"
+
+#include <gtest/gtest.h>
+
+#include "target/workloads.h"
+
+namespace goofi::core {
+namespace {
+
+// The soundness gate of the static analyzer (ISSUE: static liveness
+// must be a SUPERSET of the dynamic pre-injection analysis on every
+// built-in workload). A violation here means StaticLiveness could
+// prune a location the reference run proves live — an unsound
+// campaign.
+TEST(CrossCheckTest, EveryBuiltinWorkloadSatisfiesTheSupersetInvariant) {
+  for (const std::string& name : target::BuiltinWorkloadNames()) {
+    const auto violations = CrossCheckWorkload(name);
+    ASSERT_TRUE(violations.ok())
+        << name << ": " << violations.status().message();
+    for (const CrossCheckViolation& violation : *violations) {
+      ADD_FAILURE() << violation.ToString();
+    }
+  }
+}
+
+TEST(CrossCheckTest, AggregateCheckerReportsOk) {
+  const Status status = CrossCheckBuiltinWorkloads();
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(CrossCheckTest, UnknownWorkloadIsAnError) {
+  EXPECT_FALSE(CrossCheckWorkload("no_such_workload").ok());
+}
+
+TEST(CrossCheckTest, ViolationFormatsPerKind) {
+  CrossCheckViolation violation;
+  violation.workload = "isort";
+  violation.kind = "register";
+  violation.time = 42;
+  violation.pc = 0x10;
+  violation.subject = 3;
+  EXPECT_NE(violation.ToString().find("isort: r3 dynamically live"),
+            std::string::npos);
+  violation.kind = "memory";
+  violation.subject = 0x10020;
+  EXPECT_NE(violation.ToString().find("word 0x00010020"),
+            std::string::npos);
+  violation.kind = "reachability";
+  EXPECT_NE(violation.ToString().find("statically unreachable"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,239 @@
+#include "analysis/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/cfg.h"
+#include "sim/assembler.h"
+
+namespace goofi::analysis {
+namespace {
+
+constexpr std::uint16_t Bit(unsigned reg) {
+  return static_cast<std::uint16_t>(1u << reg);
+}
+
+Cfg BuildCfg(const std::string& source) {
+  const auto program = sim::Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status().message();
+  const auto cfg = Cfg::Build(*program);
+  EXPECT_TRUE(cfg.ok()) << cfg.status().message();
+  return *cfg;
+}
+
+TEST(LivenessTest, StraightLineLiveInMasks) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 7
+  add r2, r1, r1
+  st r2, [r6]
+  halt
+)");
+  const LivenessResult liveness = ComputeLiveness(cfg);
+  // Backward from halt: st reads {r2, r6}; add kills r2, reads r1;
+  // li kills r1.
+  EXPECT_EQ(liveness.live_in.at(8), Bit(2) | Bit(6));
+  EXPECT_EQ(liveness.live_in.at(4), Bit(1) | Bit(6));
+  EXPECT_EQ(liveness.live_in.at(0), Bit(6));
+  EXPECT_EQ(liveness.ever_live, Bit(1) | Bit(2) | Bit(6));
+}
+
+TEST(LivenessTest, WrittenButNeverReadRegistersAreNeverLive) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r5, 9
+  li r1, 7
+  add r2, r1, r1
+  halt
+)");
+  // Only r1 is ever read; r5 and r2 are write-only, r0 never counts.
+  EXPECT_EQ(ComputeLiveness(cfg).ever_live, Bit(1));
+}
+
+TEST(LivenessTest, LoopKeepsInductionVariablesLive) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 0
+  li r2, 10
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+)");
+  const LivenessResult liveness = ComputeLiveness(cfg);
+  EXPECT_EQ(liveness.live_in.at(8), Bit(1) | Bit(2));
+  EXPECT_EQ(liveness.ever_live, Bit(1) | Bit(2));
+}
+
+TEST(LivenessTest, UnresolvedIndirectJumpWidensToAllRegisters) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  la sp, 0x24000
+  call outer
+  halt
+outer:
+  push lr
+  call leaf
+  pop lr
+  ret
+leaf:
+  addi r1, r1, 1
+  ret
+)");
+  ASSERT_FALSE(cfg.returns_resolved());
+  const LivenessResult liveness = ComputeLiveness(cfg);
+  // Some block ends in an unbounded jalr; everything but r0 is live
+  // somewhere, so nothing can be pruned.
+  EXPECT_EQ(liveness.ever_live, 0xfffe);
+}
+
+TEST(MaybeUninitTest, ReadBeforeAnyWriteIsReported) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  add r2, r1, r1
+  halt
+)");
+  const auto reads = FindMaybeUninitReads(cfg);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].pc, 0u);
+  EXPECT_EQ(reads[0].reg, 1);
+}
+
+TEST(MaybeUninitTest, WriteOnEveryPathSilencesTheRead) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 3
+  add r2, r1, r1
+  halt
+)");
+  EXPECT_TRUE(FindMaybeUninitReads(cfg).empty());
+}
+
+TEST(MaybeUninitTest, WriteOnOnlyOnePathStillReports) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r3, 1
+  li r4, 2
+  beq r3, r4, skip
+  li r1, 5
+skip:
+  add r2, r1, r1
+  halt
+)");
+  const auto reads = FindMaybeUninitReads(cfg);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].pc, 16u);  // the add at `skip`
+  EXPECT_EQ(reads[0].reg, 1);
+}
+
+TEST(MaybeUninitTest, R0ReadsAreNeverReported) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  add r2, r0, r0
+  halt
+)");
+  EXPECT_TRUE(FindMaybeUninitReads(cfg).empty());
+}
+
+TEST(MemorySummaryTest, ResolvesLuiOriAddressChains) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 3
+  la r6, 0x10000
+  st r1, [r6]
+  ld r2, [r6+4]
+  halt
+)");
+  const MemorySummary summary = ComputeMemorySummary(cfg);
+  EXPECT_FALSE(summary.has_unknown_load);
+  EXPECT_FALSE(summary.has_unknown_store);
+  EXPECT_EQ(summary.written_words.count(0x10000), 1u);
+  EXPECT_EQ(summary.read_words.count(0x10004), 1u);
+  // li(1) + la(2) instructions precede: st at 12, ld at 16.
+  ASSERT_EQ(summary.accesses.count(12), 1u);
+  EXPECT_TRUE(summary.accesses.at(12).is_store);
+  EXPECT_EQ(summary.accesses.at(12).address, 0x10000u);
+  ASSERT_EQ(summary.accesses.count(16), 1u);
+  EXPECT_FALSE(summary.accesses.at(16).is_store);
+  EXPECT_EQ(summary.accesses.at(16).address, 0x10004u);
+}
+
+TEST(MemorySummaryTest, ConstantsPropagateThroughArithmetic) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  la r6, 0x10000
+  addi r6, r6, 32
+  st r0, [r6]
+  halt
+)");
+  const MemorySummary summary = ComputeMemorySummary(cfg);
+  EXPECT_EQ(summary.written_words.count(0x10020), 1u);
+  EXPECT_FALSE(summary.has_unknown_store);
+}
+
+TEST(MemorySummaryTest, ByteStoreReadsAndWritesItsWord) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  la r6, 0x10010
+  stb r0, [r6+1]
+  halt
+)");
+  const MemorySummary summary = ComputeMemorySummary(cfg);
+  // STB is a read-modify-write at word granularity: the untouched
+  // bytes of 0x10010 survive into the stored word.
+  EXPECT_EQ(summary.written_words.count(0x10010), 1u);
+  EXPECT_EQ(summary.read_words.count(0x10010), 1u);
+  const MemoryAccess& access = summary.accesses.at(8);
+  EXPECT_TRUE(access.is_store);
+  EXPECT_TRUE(access.is_byte);
+  EXPECT_EQ(access.address, 0x10011u);
+}
+
+TEST(MemorySummaryTest, UnknownAddressWidens) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  ld r2, [r3]
+  halt
+)");
+  const MemorySummary summary = ComputeMemorySummary(cfg);
+  EXPECT_TRUE(summary.has_unknown_load);
+  EXPECT_FALSE(summary.accesses.at(0).address.has_value());
+  EXPECT_TRUE(summary.read_words.empty());
+}
+
+TEST(MemorySummaryTest, ConflictingPathConstantsMeetToUnknown) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r5, 1
+  beq r5, r6, other
+  la r1, 0x10000
+  b store
+other:
+  la r1, 0x10004
+store:
+  st r0, [r1]
+  halt
+)");
+  const MemorySummary summary = ComputeMemorySummary(cfg);
+  // r1 is 0x10000 on one path and 0x10004 on the other: no single
+  // static address, so the store must widen.
+  EXPECT_TRUE(summary.has_unknown_store);
+  EXPECT_TRUE(summary.written_words.empty());
+}
+
+}  // namespace
+}  // namespace goofi::analysis

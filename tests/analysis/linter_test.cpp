@@ -1,0 +1,443 @@
+#include "analysis/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "target/thor_rd_target.h"
+
+namespace goofi::analysis {
+namespace {
+
+using Severity = LintDiagnostic::Severity;
+
+const LintDiagnostic* Find(const std::vector<LintDiagnostic>& diagnostics,
+                           const std::string& check) {
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == check) return &diagnostic;
+  }
+  return nullptr;
+}
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(LintFormatTest, FormatsFileLineSeverityAndCheck) {
+  const LintDiagnostic with_line{Severity::kError, "w.s", 7, "asm-error",
+                                 "boom"};
+  EXPECT_EQ(FormatDiagnostic(with_line), "w.s:7: error: boom [asm-error]");
+  const LintDiagnostic whole_file{Severity::kWarning, "w.s", 0,
+                                  "unreachable-code", "dead"};
+  EXPECT_EQ(FormatDiagnostic(whole_file),
+            "w.s: warning: dead [unreachable-code]");
+}
+
+TEST(LintFormatTest, HasErrorsIgnoresWarnings) {
+  EXPECT_FALSE(HasErrors({}));
+  EXPECT_FALSE(
+      HasErrors({{Severity::kWarning, "f", 1, "unreachable-code", "m"}}));
+  EXPECT_TRUE(HasErrors({{Severity::kWarning, "f", 1, "c", "m"},
+                         {Severity::kError, "f", 2, "c", "m"}}));
+}
+
+// ---- assembly-source checks -------------------------------------------
+
+TEST(LintSourceTest, CleanProgramHasNoDiagnostics) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  li r1, 3
+  la r6, 0x10000
+  call double
+  st r1, [r6]
+  halt
+double:
+  add r1, r1, r1
+  ret
+)");
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintSourceTest, AsmErrorIsAnchoredToItsLine) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  frobnicate r1
+)");
+  const LintDiagnostic* found = Find(diagnostics, "asm-error");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 3);
+  EXPECT_NE(found->message.find("frobnicate"), std::string::npos);
+}
+
+TEST(LintSourceTest, BadEntryIsAnError) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry end
+start:
+  halt
+end:
+)");
+  const LintDiagnostic* found = Find(diagnostics, "bad-entry");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 0);
+}
+
+TEST(LintSourceTest, UnreachableCodeWarnsAtTheDeadLine) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  b done
+  li r9, 1
+done:
+  halt
+)");
+  const LintDiagnostic* found = Find(diagnostics, "unreachable-code");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 4);
+  EXPECT_NE(found->message.find("1 instruction"), std::string::npos);
+}
+
+TEST(LintSourceTest, WriteToR0Warns) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  li r1, 1
+  add r0, r1, r1
+  halt
+)");
+  const LintDiagnostic* found = Find(diagnostics, "write-to-r0");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 4);
+}
+
+TEST(LintSourceTest, LinkDiscardingJumpsDoNotWarnAboutR0) {
+  // `ret` is jalr with ra = r0 — discarding the link is idiom.
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  call leaf
+  halt
+leaf:
+  ret
+)");
+  EXPECT_EQ(Find(diagnostics, "write-to-r0"), nullptr);
+}
+
+TEST(LintSourceTest, FallingOffTheImageIsAnError) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  li r1, 1
+)");
+  const LintDiagnostic* found = Find(diagnostics, "falls-off-image");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 3);
+}
+
+TEST(LintSourceTest, MaybeUninitReadWarns) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  add r2, r1, r1
+  halt
+)");
+  const LintDiagnostic* found = Find(diagnostics, "maybe-uninit-read");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 3);
+  EXPECT_NE(found->message.find("r1"), std::string::npos);
+}
+
+TEST(LintSourceTest, UnmappedAddressIsAnError) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  la r6, 0x50000
+  st r0, [r6]
+  halt
+)");
+  const LintDiagnostic* found = Find(diagnostics, "unmapped-address");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 4);
+  EXPECT_NE(found->message.find("0x00050000"), std::string::npos);
+}
+
+TEST(LintSourceTest, StoreToCodeSegmentWarns) {
+  const auto diagnostics = LintWorkloadSource("w.s", R"(.entry start
+start:
+  la r6, 0x100
+  st r0, [r6]
+  halt
+)");
+  const LintDiagnostic* found = Find(diagnostics, "store-to-code");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 4);
+}
+
+// ---- .workload spec files ---------------------------------------------
+
+TEST(LintSpecTest, MissingFileIsAnIoError) {
+  const auto diagnostics =
+      LintWorkloadSpecFile("/nonexistent/dir/x.workload");
+  const LintDiagnostic* found = Find(diagnostics, "io-error");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+}
+
+TEST(LintSpecTest, MissingWorkloadSectionIsAnError) {
+  const std::string path =
+      WriteTempFile("lint_nosection.workload", "[other]\nname = x\n");
+  EXPECT_NE(Find(LintWorkloadSpecFile(path), "missing-section"), nullptr);
+}
+
+TEST(LintSpecTest, CleanSpecHasNoDiagnostics) {
+  WriteTempFile("lint_clean.s", ".entry start\nstart:\n  halt\n");
+  const std::string path = WriteTempFile("lint_clean.workload",
+                                         "[workload]\n"
+                                         "name = demo\n"
+                                         "assembly_file = lint_clean.s\n"
+                                         "output_base = 0x10000\n"
+                                         "output_length = 16\n"
+                                         "environment = engine\n");
+  const auto diagnostics = LintWorkloadSpecFile(path);
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintSpecTest, ReportsSpecLevelProblemsWithLines) {
+  WriteTempFile("lint_bad.s", ".entry start\nstart:\n  halt\n");
+  const std::string path = WriteTempFile(
+      "lint_bad.workload",
+      "[workload]\n"               // line 1
+      "name = demo\n"              // line 2
+      "assembly_file = lint_bad.s\n"
+      "output_base = 0x1fffc\n"    // line 4: region crosses data->stack
+      "output_length = 16\n"
+      "environment = marsrover\n"  // line 6
+      "frobs = 3\n");              // line 7
+  const auto diagnostics = LintWorkloadSpecFile(path);
+
+  const LintDiagnostic* range = Find(diagnostics, "output-range");
+  ASSERT_NE(range, nullptr);
+  EXPECT_EQ(range->severity, Severity::kError);
+  EXPECT_EQ(range->line, 4);
+
+  const LintDiagnostic* environment =
+      Find(diagnostics, "unknown-environment");
+  ASSERT_NE(environment, nullptr);
+  EXPECT_EQ(environment->line, 6);
+
+  const LintDiagnostic* unknown = Find(diagnostics, "unknown-key");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->severity, Severity::kWarning);
+  EXPECT_EQ(unknown->line, 7);
+}
+
+TEST(LintSpecTest, MissingNameAndAssemblyFileAreErrors) {
+  const std::string path =
+      WriteTempFile("lint_empty.workload", "[workload]\n");
+  const auto diagnostics = LintWorkloadSpecFile(path);
+  int missing = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "missing-key") ++missing;
+  }
+  EXPECT_EQ(missing, 2);  // no name, no assembly_file
+}
+
+TEST(LintSpecTest, UnreadableAssemblyFileIsAnIoError) {
+  const std::string path = WriteTempFile("lint_noasm.workload",
+                                         "[workload]\n"
+                                         "name = demo\n"
+                                         "assembly_file = missing_xyz.s\n");
+  const LintDiagnostic* found =
+      Find(LintWorkloadSpecFile(path), "io-error");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->line, 3);
+}
+
+// ---- campaign definitions ---------------------------------------------
+
+std::vector<LintDiagnostic> LintCampaign(const std::string& text) {
+  return LintCampaignText("c.ini", text, nullptr);
+}
+
+constexpr const char* kCleanCampaign =
+    "[campaign]\n"
+    "name = demo\n"
+    "workload = isort\n"
+    "technique = scifi\n"
+    "fault_model = transient\n"
+    "experiments = 10\n";
+
+TEST(LintCampaignTest, CleanCampaignHasNoDiagnostics) {
+  const auto diagnostics = LintCampaign(kCleanCampaign);
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintCampaignTest, IniParseErrorIsAnchored) {
+  const auto diagnostics = LintCampaign("[campaign]\nbogus line\n");
+  const LintDiagnostic* found = Find(diagnostics, "ini-error");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 2);
+}
+
+TEST(LintCampaignTest, MissingCampaignSectionIsAnError) {
+  EXPECT_NE(Find(LintCampaign("[other]\nname = x\n"), "missing-section"),
+            nullptr);
+}
+
+TEST(LintCampaignTest, UnknownKeyWarns) {
+  const auto diagnostics =
+      LintCampaign(std::string(kCleanCampaign) + "frobnicate = 1\n");
+  const LintDiagnostic* found = Find(diagnostics, "unknown-key");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 7);
+}
+
+TEST(LintCampaignTest, MissingNameAndWorkloadAreErrors) {
+  const auto diagnostics = LintCampaign("[campaign]\n");
+  int missing = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "missing-key") ++missing;
+  }
+  EXPECT_EQ(missing, 2);
+}
+
+TEST(LintCampaignTest, UnknownEnumValuesAreErrors) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "technique = warp\n"      // line 4
+      "fault_model = cosmic\n"  // line 5
+      "logging = chatty\n"      // line 6
+      "trigger = moonphase\n"); // line 7
+  int line = 4;
+  for (const char* key : {"technique", "fault_model", "logging", "trigger"}) {
+    (void)key;
+    bool found = false;
+    for (const LintDiagnostic& diagnostic : diagnostics) {
+      found = found || (diagnostic.check == "unknown-value" &&
+                        diagnostic.line == line &&
+                        diagnostic.severity == Severity::kError);
+    }
+    EXPECT_TRUE(found) << "no unknown-value diagnostic at line " << line;
+    ++line;
+  }
+}
+
+TEST(LintCampaignTest, UnknownWorkloadListsTheBuiltins) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = nosuch\n");
+  const LintDiagnostic* found = Find(diagnostics, "unknown-workload");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 3);
+  EXPECT_NE(found->message.find("isort"), std::string::npos);
+}
+
+TEST(LintCampaignTest, BadNumericValues) {
+  const auto diagnostics = LintCampaign(std::string(kCleanCampaign) +
+                                        "multiplicity = 0\n"
+                                        "time_window_lo = 9\n"
+                                        "time_window_hi = 3\n");
+  int bad = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "bad-value") ++bad;
+  }
+  EXPECT_EQ(bad, 2);  // multiplicity and the empty window
+}
+
+TEST(LintCampaignTest, ZeroExperimentsOnlyWarns) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "experiments = 0\n");
+  const LintDiagnostic* found = Find(diagnostics, "bad-value");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_FALSE(HasErrors(diagnostics));
+}
+
+TEST(LintCampaignTest, IgnoredKeysForMismatchedFaultModel) {
+  const auto diagnostics = LintCampaign(std::string(kCleanCampaign) +
+                                        "intermittent_period = 5\n"
+                                        "stuck_to_one = yes\n");
+  int ignored = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "ignored-key") {
+      ++ignored;
+      EXPECT_EQ(diagnostic.severity, Severity::kWarning);
+    }
+  }
+  EXPECT_EQ(ignored, 2);
+}
+
+TEST(LintCampaignTest, PreRuntimeSwifiIgnoresTriggerAndStaticAnalysis) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = qsort\n"
+      "technique = swifi_pre_runtime\n"
+      "trigger = instret\n"
+      "static_analysis = yes\n");
+  int ignored = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "ignored-key") ++ignored;
+  }
+  EXPECT_EQ(ignored, 2);
+}
+
+TEST(LintCampaignTest, LocationFilterMatchingNothingIsAnError) {
+  target::ThorRdTarget thor;
+  const auto locations = thor.ListLocations();
+  const auto diagnostics = LintCampaignText(
+      "c.ini", std::string(kCleanCampaign) + "location[] = nonexistent.*\n",
+      &locations);
+  const LintDiagnostic* found =
+      Find(diagnostics, "filter-matches-nothing");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 7);
+  EXPECT_NE(found->message.find("scifi"), std::string::npos);
+
+  // A filter the technique can actually reach passes.
+  const auto clean = LintCampaignText(
+      "c.ini", std::string(kCleanCampaign) + "location[] = cpu.regs.*\n",
+      &locations);
+  EXPECT_EQ(Find(clean, "filter-matches-nothing"), nullptr);
+}
+
+TEST(LintCampaignTest, RepositoryCampaignsAreClean) {
+  // The campaigns shipped in campaigns/ must stay lint-clean; CI runs
+  // goofi-lint over them.
+  target::ThorRdTarget thor;
+  const auto locations = thor.ListLocations();
+  for (const char* name : {"engine_preinjection", "image_swifi",
+                           "regs_scifi"}) {
+    const std::string path =
+        std::string(GOOFI_CAMPAIGNS_DIR "/") + name + ".ini";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto diagnostics = LintCampaignText(path, text, &locations);
+    EXPECT_TRUE(diagnostics.empty())
+        << FormatDiagnostic(diagnostics.front());
+  }
+}
+
+}  // namespace
+}  // namespace goofi::analysis

@@ -1,0 +1,88 @@
+#include "analysis/static_liveness.h"
+
+#include <gtest/gtest.h>
+
+namespace goofi::analysis {
+namespace {
+
+// r1 is read at pc 4 and dead after; r5 is written but never read; r6
+// feeds the store address of the one memory word the program reads.
+constexpr const char* kProgram = R"(
+.entry start
+start:
+  li r1, 7
+  add r2, r1, r1
+  li r5, 9
+  la r6, 0x10000
+  st r2, [r6]
+  ld r3, [r6]
+  halt
+)";
+
+StaticLiveness AnalyzeOrDie(const std::string& source) {
+  const auto analysis = StaticLiveness::AnalyzeSource(source);
+  EXPECT_TRUE(analysis.ok()) << analysis.status().message();
+  return *analysis;
+}
+
+TEST(StaticLivenessTest, MayBeLiveAtPcFollowsDataflow) {
+  const StaticLiveness analysis = AnalyzeOrDie(kProgram);
+  EXPECT_TRUE(analysis.MayBeLiveAtPc(1, 4));   // add still reads r1
+  EXPECT_FALSE(analysis.MayBeLiveAtPc(1, 8));  // dead past its last read
+  EXPECT_FALSE(analysis.MayBeLiveAtPc(5, 0));  // write-only register
+}
+
+TEST(StaticLivenessTest, ConservativeAnswersForUnknownQueries) {
+  const StaticLiveness analysis = AnalyzeOrDie(kProgram);
+  EXPECT_FALSE(analysis.MayBeLiveAtPc(0, 0));      // r0 never
+  EXPECT_TRUE(analysis.MayBeLiveAtPc(77, 0));      // unknown register
+  EXPECT_TRUE(analysis.MayBeLiveAtPc(2, 0x8888));  // pc not modelled
+}
+
+TEST(StaticLivenessTest, EverLiveLicensesPruning) {
+  const StaticLiveness analysis = AnalyzeOrDie(kProgram);
+  EXPECT_TRUE(analysis.EverLive(1));
+  EXPECT_TRUE(analysis.EverLive(2));
+  EXPECT_FALSE(analysis.EverLive(5));
+  EXPECT_FALSE(analysis.EverLive(0));
+  EXPECT_FALSE(analysis.EverLive(9));  // untouched register
+}
+
+TEST(StaticLivenessTest, MayWordHoldLiveDataTracksReadWords) {
+  const StaticLiveness analysis = AnalyzeOrDie(kProgram);
+  EXPECT_TRUE(analysis.MayWordHoldLiveData(0x10000));
+  EXPECT_TRUE(analysis.MayWordHoldLiveData(0x10002));  // same word
+  EXPECT_FALSE(analysis.MayWordHoldLiveData(0x10004));
+}
+
+TEST(StaticLivenessTest, UnknownLoadWidensEveryWord) {
+  const StaticLiveness analysis = AnalyzeOrDie(R"(
+.entry start
+start:
+  ld r2, [r3]
+  halt
+)");
+  EXPECT_TRUE(analysis.MayWordHoldLiveData(0x10000));
+  EXPECT_TRUE(analysis.MayWordHoldLiveData(0x23f00));
+}
+
+TEST(StaticLivenessTest, LocationNameFrontEnd) {
+  const StaticLiveness analysis = AnalyzeOrDie(kProgram);
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("cpu.regs.r1"));
+  EXPECT_FALSE(analysis.MayLocationHoldLiveData("cpu.regs.r5"));
+  EXPECT_FALSE(analysis.MayLocationHoldLiveData("cpu.regs.r0"));
+  // Everything that is not a register scan element stays live: the
+  // comparison stage reads memory and control state regardless.
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("mem@0x00010004"));
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("cpu.ir"));
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("icache.line3.data2"));
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("cpu.regs.r99"));
+  EXPECT_TRUE(analysis.MayLocationHoldLiveData("cpu.regs.rX"));
+}
+
+TEST(StaticLivenessTest, BadSourceReportsError) {
+  EXPECT_FALSE(StaticLiveness::AnalyzeSource("bogus instruction\n").ok());
+}
+
+}  // namespace
+}  // namespace goofi::analysis

@@ -1,0 +1,77 @@
+#!/bin/sh
+# End-to-end exercise of the goofi_lint CLI: diagnostics go to stderr in
+# file:line format and the exit status drives CI (0 clean, 1 findings,
+# 2 usage error).
+set -eu
+
+LINT="$1"
+REPO="$2"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# --- usage ---------------------------------------------------------------
+"$LINT" --help | grep -q usage || fail "--help must print usage"
+if "$LINT" > /dev/null 2>&1; then
+  fail "no files must exit 2"
+else
+  test $? -eq 2 || fail "no files must exit 2, got $?"
+fi
+
+# --- clean assembly exits 0 ----------------------------------------------
+cat > clean.s <<'EOF'
+.entry start
+start:
+  li r1, 3
+  halt
+EOF
+"$LINT" clean.s 2> clean.err || fail "clean source must exit 0"
+test ! -s clean.err || fail "clean source must print nothing"
+
+# --- errors exit 1 with file:line diagnostics ----------------------------
+cat > broken.s <<'EOF'
+.entry start
+start:
+  frobnicate r1
+EOF
+if "$LINT" broken.s 2> broken.err; then
+  fail "assembler error must exit 1"
+fi
+grep -q "broken.s:3: error:" broken.err || fail "file:line anchor"
+grep -q "asm-error" broken.err || fail "check id in output"
+grep -q "goofi-lint: 1 diagnostic" broken.err || fail "summary line"
+
+# --- warnings exit 0, --strict promotes them to failures -----------------
+cat > warn.s <<'EOF'
+.entry start
+start:
+  b done
+  li r9, 1
+done:
+  halt
+EOF
+"$LINT" warn.s 2> warn.err || fail "warnings alone must exit 0"
+grep -q "warn.s:4: warning:.*unreachable-code" warn.err \
+  || fail "unreachable-code warning"
+if "$LINT" --strict warn.s > /dev/null 2>&1; then
+  fail "--strict must fail on warnings"
+fi
+
+# --- campaign definitions ------------------------------------------------
+cat > bad.ini <<'EOF'
+[campaign]
+name = demo
+workload = nosuch
+EOF
+if "$LINT" bad.ini 2> bad.err; then
+  fail "unknown workload must exit 1"
+fi
+grep -q "unknown-workload" bad.err || fail "campaign diagnostic"
+
+# --- the repository's own inputs must stay clean -------------------------
+"$LINT" "$REPO"/workloads/*.workload "$REPO"/campaigns/*.ini \
+  || fail "shipped workloads and campaigns must lint clean"
+
+echo "goofi_lint CLI: all checks passed"

@@ -108,6 +108,65 @@ TEST(PreInjectionAnalysisTest, FaultTargetResolution) {
   EXPECT_FALSE(analysis.IsLive({"cpu.regs.r77", 0}, 5));
 }
 
+TEST(LivenessIntervalsTest, ContainsOnEmptyIntervals) {
+  const LivenessIntervals intervals;
+  EXPECT_FALSE(intervals.Contains(0));
+  EXPECT_FALSE(intervals.Contains(42));
+  EXPECT_EQ(intervals.TotalLiveTime(), 0u);
+}
+
+TEST(LivenessIntervalsTest, SinglePointSpanBoundaries) {
+  // write@6, read@7: the only live time is 7.
+  const std::vector<AccessEvent> events = {{6, true}, {7, false}};
+  const LivenessIntervals intervals = BuildIntervals(events);
+  ASSERT_EQ(intervals.spans.size(), 1u);
+  EXPECT_FALSE(intervals.Contains(6));
+  EXPECT_TRUE(intervals.Contains(7));
+  EXPECT_FALSE(intervals.Contains(8));
+  EXPECT_EQ(intervals.TotalLiveTime(), 1u);
+}
+
+TEST(PreInjectionAnalysisTest, EmptyTraceHasNoLiveness) {
+  const sim::AccessRecorder recorder;
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, /*end_time=*/0);
+  for (unsigned reg = 0; reg < 16; ++reg) {
+    EXPECT_FALSE(analysis.IsRegisterLive(reg, 0));
+  }
+  EXPECT_FALSE(analysis.IsMemoryWordLive(0x10000, 0));
+  EXPECT_TRUE(analysis.memory_intervals().empty());
+  EXPECT_EQ(analysis.RegisterLiveFraction(), 0.0);
+}
+
+TEST(PreInjectionAnalysisTest, RzeroIsNeverLiveEvenIfEventsClaimSo) {
+  // The recorder drops r0 events itself, but Build must stay safe even
+  // against a tracer that reports them.
+  sim::AccessRecorder recorder;
+  recorder.OnRegisterRead(0, 5);
+  recorder.OnRegisterWrite(0, 0, 1, 2);
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, 10);
+  EXPECT_FALSE(analysis.IsRegisterLive(0, 3));
+  EXPECT_FALSE(analysis.IsLive({"cpu.regs.r0", 0}, 3));
+}
+
+TEST(PreInjectionAnalysisTest, AccessesAtOrAfterEndTimeAreNotLive) {
+  // A read event at the end of the run keeps earlier times live, but an
+  // injection at t >= end_time happens after the workload halted and
+  // can never be read.
+  sim::AccessRecorder recorder;
+  recorder.OnRegisterRead(2, 9);  // last instruction of a 10-long run
+  recorder.OnMemoryWrite(0x10000, 4, 1, 1);
+  recorder.OnMemoryRead(0x10000, 4, 9);
+  PreInjectionAnalysis analysis;
+  analysis.Build(recorder, /*end_time=*/10);
+  EXPECT_TRUE(analysis.IsRegisterLive(2, 9));
+  EXPECT_FALSE(analysis.IsRegisterLive(2, 10));
+  EXPECT_FALSE(analysis.IsRegisterLive(2, 11));
+  EXPECT_TRUE(analysis.IsMemoryWordLive(0x10000, 9));
+  EXPECT_FALSE(analysis.IsMemoryWordLive(0x10000, 10));
+}
+
 TEST(PreInjectionAnalysisTest, RegisterLiveFraction) {
   sim::AccessRecorder recorder;
   // r1 live for [0,9] out of end_time 100 => 10/100 of one register;
