@@ -34,6 +34,7 @@ struct Arguments {
   std::string command;
   std::vector<std::string> positional;
   std::string db_dir = "goofi_db";
+  std::size_t jobs = 0;  // 0 = take the campaign's `jobs` key (default 1)
 };
 
 Arguments ParseArguments(int argc, char** argv) {
@@ -42,6 +43,8 @@ Arguments ParseArguments(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
       arguments.db_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      arguments.jobs = static_cast<std::size_t>(std::atol(argv[++i]));
     } else {
       arguments.positional.emplace_back(argv[i]);
     }
@@ -117,6 +120,7 @@ int CmdRun(const Arguments& arguments, bool resume) {
 
   std::string campaign_name;
   std::string workload_file;
+  std::size_t ini_jobs = 1;
   if (resume) {
     campaign_name = arguments.positional[0];
   } else {
@@ -130,6 +134,7 @@ int CmdRun(const Arguments& arguments, bool resume) {
     if (!config.ok()) return Fail(config.status());
     workload_file = section->GetStringOr("workload_file", "");
     campaign_name = config->name;
+    ini_jobs = config->jobs;
     // Idempotent target registration + campaign storage.
     if (!database.HasTable(core::kCampaignDataTable)) {
       (void)core::CreateGoofiSchema(database);
@@ -157,8 +162,7 @@ int CmdRun(const Arguments& arguments, bool resume) {
                                                : workload_file);
   if (!target.ok()) return Fail(target.status());
 
-  core::CampaignRunner runner(&database, target->get());
-  runner.set_progress_callback([](const core::ProgressInfo& info) {
+  const auto print_progress = [](core::ProgressInfo info) {
     if (info.experiments_done % 100 == 0 ||
         info.experiments_done == info.experiments_total) {
       std::printf("\r[%zu/%zu] %zu faults injected   ",
@@ -166,9 +170,29 @@ int CmdRun(const Arguments& arguments, bool resume) {
                   info.faults_injected);
       std::fflush(stdout);
     }
-  });
-  auto summary = resume ? runner.Resume(campaign_name)
-                        : runner.Run(campaign_name);
+  };
+  // --jobs beats the campaign's `jobs` key; either way the database is
+  // bit-identical to a serial run (the sharded runner's guarantee).
+  const std::size_t jobs = arguments.jobs != 0 ? arguments.jobs : ini_jobs;
+  auto run_campaign = [&]() -> Result<core::CampaignSummary> {
+    if (jobs > 1) {
+      target::TargetFactory factory =
+          [name = loaded->target, workload_file]() {
+            return MakeTarget(name, workload_file);
+          };
+      std::printf("running with %zu workers\n", jobs);
+      core::ParallelCampaignRunner runner(&database, std::move(factory),
+                                          jobs);
+      runner.set_progress_callback(print_progress);
+      return resume ? runner.Resume(campaign_name)
+                    : runner.Run(campaign_name);
+    }
+    core::CampaignRunner runner(&database, target->get());
+    runner.set_progress_callback(print_progress);
+    return resume ? runner.Resume(campaign_name)
+                  : runner.Run(campaign_name);
+  };
+  auto summary = run_campaign();
   std::printf("\n");
   if (!summary.ok()) return Fail(summary.status());
   std::printf("campaign %s: %zu experiments run (%zu skipped early)\n",
@@ -286,7 +310,12 @@ int main(int argc, char** argv) {
                "  workloads               list built-in workloads\n"
                "  run <campaign.ini>      store + run a campaign, print "
                "analysis\n"
-               "  resume <campaign>       continue a stopped campaign\n"
+               "                          (--jobs N or a `jobs` campaign "
+               "key shards it\n"
+               "                          across N workers, same database "
+               "bit for bit)\n"
+               "  resume <campaign>       continue a stopped campaign "
+               "(any --jobs)\n"
                "  analyze <campaign>      re-print the analysis report\n"
                "  export <campaign>       per-experiment outcomes as CSV\n"
                "  rerun <experiment>      detail-mode re-run "

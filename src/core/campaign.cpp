@@ -69,6 +69,10 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
   config.use_preinjection_analysis =
       section.GetBoolOr("preinjection", false);
   config.use_static_analysis = section.GetBoolOr("static_analysis", false);
+  config.jobs = static_cast<std::uint32_t>(section.GetIntOr("jobs", 1));
+  if (config.jobs == 0) {
+    return InvalidArgumentError("jobs must be >= 1");
+  }
   return config;
 }
 

@@ -57,6 +57,13 @@ struct CampaignConfig {
   // dead on every static path). Strictly coarser than the dynamic
   // analysis above — the two compose.
   bool use_static_analysis = false;
+
+  // How many parallel workers execute the campaign (`jobs` key; 1 =
+  // the serial runner). An execution knob, not part of the campaign's
+  // identity: the sharded runner's determinism guarantee makes any
+  // worker count produce the same database, so this is deliberately
+  // NOT stored in CampaignData and never affects results.
+  std::uint32_t jobs = 1;
 };
 
 // ---- config file <-> struct ------------------------------------------

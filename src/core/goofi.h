@@ -32,6 +32,7 @@
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
 #include "core/location.h"
+#include "core/parallel_runner.h"
 #include "core/plugin.h"
 #include "core/preinjection.h"
 #include "core/propagation.h"
@@ -40,6 +41,7 @@
 #include "db/database.h"
 #include "db/sql/executor.h"
 #include "target/environment.h"
+#include "target/factory.h"
 #include "target/framework_target.h"
 #include "target/thor_rd_target.h"
 #include "target/workloads.h"

@@ -1,0 +1,283 @@
+#include "core/parallel_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/goofi_schema.h"
+
+namespace goofi::core {
+
+namespace {
+
+// What one worker hands the writer for one claimed experiment index.
+struct WorkerResult {
+  target::ExperimentSpec spec;
+  target::Observation observation;
+  std::uint64_t resamples = 0;
+  bool skipped = false;  // resume: already logged, nothing was run
+};
+
+// The shard coordinator: claim order, the reorder buffer, and error
+// propagation. All fields are guarded by `mutex` except the controller
+// (its flags are atomics polled by everyone).
+struct ShardState {
+  std::mutex mutex;
+  std::condition_variable results_ready;  // writer waits on this
+  std::condition_variable claims_open;    // claim-throttled workers wait
+  std::map<std::size_t, WorkerResult> results;  // reorder buffer
+  std::size_t next_to_claim = 0;
+  std::size_t next_to_log = 0;  // canonical-order cursor
+  std::size_t workers_exited = 0;
+  bool abort = false;  // first error wins; everyone drains and exits
+  Status first_error = Status::Ok();
+
+  // Keep the reorder buffer bounded: a worker may not claim index i
+  // until the canonical cursor is within `window` of it. The worker
+  // holding next_to_log has always already claimed, so the cursor can
+  // always advance and the throttle cannot deadlock.
+  static constexpr std::size_t kClaimWindowPerWorker = 8;
+};
+
+}  // namespace
+
+ParallelCampaignRunner::ParallelCampaignRunner(db::Database* database,
+                                               target::TargetFactory factory,
+                                               std::size_t jobs)
+    : database_(database),
+      factory_(std::move(factory)),
+      jobs_(std::max<std::size_t>(1, jobs)) {}
+
+Result<CampaignSummary> ParallelCampaignRunner::Run(
+    const std::string& campaign_name) {
+  return RunInternal(campaign_name, /*resume=*/false);
+}
+
+Result<CampaignSummary> ParallelCampaignRunner::Resume(
+    const std::string& campaign_name) {
+  return RunInternal(campaign_name, /*resume=*/true);
+}
+
+Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
+    const std::string& campaign_name, bool resume) {
+  // The reference run happens once, on a target of our own making, and
+  // shares all the set-up logic with the serial runner.
+  ASSIGN_OR_RETURN(std::unique_ptr<target::TargetSystemInterface> reference,
+                   factory_());
+  ASSIGN_OR_RETURN(PreparedCampaign prepared,
+                   PrepareCampaignRun(*database_, reference.get(),
+                                      campaign_name, resume));
+  const CampaignConfig& config = prepared.config;
+  CampaignSummary& summary = prepared.summary;
+  const ExperimentPlan plan = prepared.MakePlan();
+  const std::size_t total = config.num_experiments;
+
+  // Resume: the canonical names decide what is already logged, no
+  // matter which worker (or how many) logged it before the interruption.
+  // Precomputed here so worker threads never touch the database.
+  std::vector<char> already_logged(total, 0);
+  if (resume) {
+    const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
+    for (std::size_t i = 0; i < total; ++i) {
+      already_logged[i] =
+          logged->FindByUnique(0, db::Value::Text_(ExperimentName(
+                                      campaign_name, i)))
+              .has_value();
+    }
+  }
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min<std::size_t>(jobs_, total));
+  const std::size_t claim_window =
+      std::max<std::size_t>(64, ShardState::kClaimWindowPerWorker * workers);
+
+  ShardState shard;
+  CampaignController* controller = controller_;
+
+  auto worker_main = [&](std::size_t) {
+    // Per-worker target with the workload installed (the factory may
+    // have pre-installed one; installing the campaign's workload again
+    // is idempotent and keeps every worker on the campaign's own).
+    std::unique_ptr<target::TargetSystemInterface> target;
+    {
+      auto made = factory_();
+      Status status = made.status();
+      if (status.ok()) {
+        target = std::move(*made);
+        status = ConfigureTargetWorkload(config, target.get()).status();
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.first_error.ok()) shard.first_error = status;
+        shard.abort = true;
+        ++shard.workers_exited;
+        shard.results_ready.notify_all();
+        shard.claims_open.notify_all();
+        return;
+      }
+    }
+
+    for (;;) {
+      // Fig. 7 pause applies fleet-wide: every worker blocks between
+      // experiments (the writer keeps emitting progress heartbeats).
+      while (controller != nullptr && controller->paused() &&
+             !controller->stopped()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+
+      std::size_t index;
+      {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        // Claim throttle; wait_for so an external Stop() is noticed
+        // even though it cannot notify our condition variable.
+        while (!shard.abort && shard.next_to_claim < total &&
+               !(controller != nullptr && controller->stopped()) &&
+               shard.next_to_claim >= shard.next_to_log + claim_window) {
+          shard.claims_open.wait_for(lock, std::chrono::milliseconds(5));
+        }
+        if (shard.abort || shard.next_to_claim >= total ||
+            (controller != nullptr && controller->stopped())) {
+          ++shard.workers_exited;
+          shard.results_ready.notify_all();
+          return;
+        }
+        // Claims are strictly in order and every claim produces a
+        // result, so on stop the logged experiments form a contiguous
+        // prefix, exactly like a serial stop.
+        index = shard.next_to_claim++;
+      }
+
+      WorkerResult result;
+      if (!already_logged.empty() && already_logged[index]) {
+        result.skipped = true;
+      } else {
+        auto spec =
+            SampleExperimentSpec(plan, index, &result.resamples);
+        Status status = spec.status();
+        if (status.ok()) {
+          target->set_experiment(*spec);
+          target->set_logging_mode(config.logging_mode);
+          status = target->RunExperiment();
+          if (status.ok()) {
+            result.spec = std::move(*spec);
+            result.observation = target->TakeObservation();
+          }
+        }
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          if (shard.first_error.ok()) shard.first_error = status;
+          shard.abort = true;
+          ++shard.workers_exited;
+          shard.results_ready.notify_all();
+          shard.claims_open.notify_all();
+          return;
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.results.emplace(index, std::move(result));
+        shard.results_ready.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> fleet;
+  fleet.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    fleet.emplace_back(worker_main, w);
+  }
+
+  // ---- the single writer (this thread) ---------------------------------
+  // Pops the reorder buffer at the canonical cursor, so inserts into
+  // LoggedSystemState happen in exactly the serial runner's order and
+  // the stored table — and any dump of it — is bit-identical.
+  ProgressInfo progress;
+  progress.experiments_total = total;
+  std::size_t skipped_existing = 0;
+  Status writer_error = Status::Ok();
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+      shard.results_ready.wait_for(lock, std::chrono::milliseconds(5), [&] {
+        return shard.results.count(shard.next_to_log) != 0 ||
+               shard.workers_exited == workers;
+      });
+
+      while (!shard.abort) {
+        auto it = shard.results.find(shard.next_to_log);
+        if (it == shard.results.end()) break;
+        WorkerResult result = std::move(it->second);
+        shard.results.erase(it);
+        ++shard.next_to_log;
+        shard.claims_open.notify_all();
+        lock.unlock();
+
+        if (result.skipped) {
+          ++skipped_existing;
+          ++progress.experiments_done;
+        } else {
+          summary.preinjection_resamples += result.resamples;
+          Status status = LogExperimentObservation(
+              *database_, result.spec.name, "", campaign_name, &result.spec,
+              result.observation);
+          if (status.ok()) {
+            ++summary.experiments_run;
+            progress.experiments_done =
+                skipped_existing + summary.experiments_run;
+            if (result.observation.fault_was_injected) {
+              ++progress.faults_injected;
+            }
+            progress.current_experiment = result.spec.name;
+            if (progress_) progress_(progress);  // value snapshot
+            if (checkpoint_every_ != 0 &&
+                summary.experiments_run % checkpoint_every_ == 0) {
+              status = database_->SaveToDirectory(checkpoint_directory_);
+            }
+          }
+          if (!status.ok()) {
+            lock.lock();
+            writer_error = status;
+            shard.abort = true;
+            shard.claims_open.notify_all();
+            lock.unlock();
+          }
+        }
+        lock.lock();
+        if (shard.abort) break;
+      }
+
+      if (shard.abort && shard.workers_exited == workers) break;
+      if (shard.workers_exited == workers &&
+          shard.results.count(shard.next_to_log) == 0) {
+        break;
+      }
+      // Heartbeat while paused, matching the serial pause loop's
+      // repeated progress emissions.
+      if (controller != nullptr && controller->paused() &&
+          !controller->stopped() && progress_) {
+        lock.unlock();
+        progress_(progress);
+        lock.lock();
+      }
+    }
+  }
+  for (std::thread& thread : fleet) thread.join();
+
+  if (!writer_error.ok()) return writer_error;
+  if (!shard.first_error.ok()) return shard.first_error;
+
+  const std::size_t done = skipped_existing + summary.experiments_run;
+  if (done < total) summary.experiments_stopped_early = total - done;
+  RETURN_IF_ERROR(UpdateCampaignRunStatus(
+      *database_, campaign_name,
+      summary.experiments_stopped_early > 0 ? "stopped" : "completed",
+      done));
+  return summary;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,79 @@
+// Sharded campaign execution: the serial fault-injection loop of
+// core/runner.h fanned out over N worker threads, each driving its own
+// target instance minted by a target::TargetFactory.
+//
+// The paper's campaign loop (Fig. 2) is one experiment at a time
+// against one target. Our targets are simulated in-process, so a
+// campaign's deterministic experiment plan shards freely: worker w
+// claims the next unclaimed experiment index, samples its spec from
+// the per-experiment RNG stream (campaign seed, index), runs it on its
+// private target, and hands the observation to the single writer,
+// which logs results to the SQL database *in canonical experiment
+// order*. The resulting LoggedSystemState table is bit-identical to a
+// serial run — same rows, same row order, same parentExperiment links
+// — which tests/core/parallel_runner_test.cpp proves row for row.
+//
+// Controls compose with the serial ones: one CampaignController
+// pauses/stops the whole fleet, ProgressInfo snapshots aggregate
+// across workers (emitted in canonical order, value-copied), and
+// checkpoint/Resume() work with sharded plans — resume skips
+// already-logged experiments regardless of which worker (or worker
+// count) logged them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/runner.h"
+#include "target/factory.h"
+
+namespace goofi::core {
+
+class ParallelCampaignRunner {
+ public:
+  // `database` must outlive the runner and is only ever touched from
+  // the thread that calls Run()/Resume() (the single writer). `factory`
+  // mints one target per worker plus one for the reference run; `jobs`
+  // is the worker count (clamped to >= 1; 1 degenerates to a serial
+  // run through the same machinery).
+  ParallelCampaignRunner(db::Database* database,
+                         target::TargetFactory factory, std::size_t jobs);
+
+  std::size_t jobs() const { return jobs_; }
+
+  void set_progress_callback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+  void set_controller(CampaignController* controller) {
+    controller_ = controller;
+  }
+  // Persist the database to `directory` after every `every_n` logged
+  // experiments, counted in canonical order (same cadence as the
+  // serial runner's checkpoints).
+  void set_checkpoint(std::string directory, std::size_t every_n) {
+    checkpoint_directory_ = std::move(directory);
+    checkpoint_every_ = every_n;
+  }
+
+  // Run a stored campaign end to end across the worker fleet.
+  Result<CampaignSummary> Run(const std::string& campaign_name);
+
+  // Continue a stopped campaign. The worker count may differ from the
+  // run that was interrupted: already-logged experiments are identified
+  // by canonical name and skipped wherever they came from.
+  Result<CampaignSummary> Resume(const std::string& campaign_name);
+
+ private:
+  Result<CampaignSummary> RunInternal(const std::string& campaign_name,
+                                      bool resume);
+
+  db::Database* database_;
+  target::TargetFactory factory_;
+  std::size_t jobs_;
+  ProgressCallback progress_;
+  CampaignController* controller_ = nullptr;
+  std::string checkpoint_directory_;
+  std::size_t checkpoint_every_ = 0;
+};
+
+}  // namespace goofi::core

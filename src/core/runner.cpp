@@ -21,23 +21,25 @@ CampaignRunner::CampaignRunner(db::Database* database,
                                target::TargetSystemInterface* target)
     : database_(database), target_(target) {}
 
-Result<target::WorkloadSpec> CampaignRunner::ConfigureWorkload(
-    const CampaignConfig& config) {
-  if (config.target != target_->target_name()) {
+Result<target::WorkloadSpec> ConfigureTargetWorkload(
+    const CampaignConfig& config, target::TargetSystemInterface* target) {
+  if (config.target != target->target_name()) {
     return FailedPreconditionError(
         "campaign '" + config.name + "' is for target '" + config.target +
-        "' but the runner holds '" + target_->target_name() + "'");
+        "' but the runner holds '" + target->target_name() + "'");
   }
   ASSIGN_OR_RETURN(target::WorkloadSpec workload,
                    target::GetBuiltinWorkload(config.workload));
-  RETURN_IF_ERROR(target_->SetWorkload(workload));
+  RETURN_IF_ERROR(target->SetWorkload(workload));
   return workload;
 }
 
-Status CampaignRunner::LogObservation(
-    const std::string& experiment_name, const std::string& parent,
-    const std::string& campaign_name, const target::ExperimentSpec* spec,
-    const target::Observation& observation) {
+Status LogExperimentObservation(db::Database& database,
+                                const std::string& experiment_name,
+                                const std::string& parent,
+                                const std::string& campaign_name,
+                                const target::ExperimentSpec* spec,
+                                const target::Observation& observation) {
   Row row;
   row.push_back(Value::Text_(experiment_name));
   row.push_back(parent.empty() ? Value::Null() : Value::Text_(parent));
@@ -45,13 +47,14 @@ Status CampaignRunner::LogObservation(
   row.push_back(Value::Text_(
       spec != nullptr ? SerializeExperimentSpec(*spec) : "reference"));
   row.push_back(Value::Text_(observation.Serialize()));
-  return database_->Insert(kLoggedSystemStateTable, std::move(row));
+  return database.Insert(kLoggedSystemStateTable, std::move(row));
 }
 
-Status CampaignRunner::UpdateCampaignStatus(const std::string& campaign_name,
-                                            const std::string& status,
-                                            std::size_t experiments_done) {
-  const auto result = database_->Update(
+Status UpdateCampaignRunStatus(db::Database& database,
+                               const std::string& campaign_name,
+                               const std::string& status,
+                               std::size_t experiments_done) {
+  const auto result = database.Update(
       kCampaignDataTable,
       [&](const Row& row) { return row[0].AsText() == campaign_name; },
       {{20, Value::Text_(status)},
@@ -59,28 +62,35 @@ Status CampaignRunner::UpdateCampaignStatus(const std::string& campaign_name,
   return result.ok() ? Status::Ok() : result.status();
 }
 
-Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
-    const CampaignConfig& config, const LocationSpace& space,
-    std::uint64_t window_lo, std::uint64_t window_hi, Rng& rng,
-    std::size_t index, const PreInjectionAnalysis* preinjection,
-    std::uint64_t* resamples) {
-  // Code/data ranges for address-based trigger kinds.
+std::string ExperimentName(const std::string& campaign_name,
+                           std::size_t index) {
+  return StrFormat("%s/exp%05zu", campaign_name.c_str(), index);
+}
+
+Result<target::ExperimentSpec> SampleExperimentSpec(
+    const ExperimentPlan& plan, std::size_t index, std::uint64_t* resamples) {
+  const CampaignConfig& config = *plan.config;
   target::ExperimentSpec spec;
-  spec.name = StrFormat("%s/exp%05zu", config.name.c_str(), index);
+  spec.name = ExperimentName(config.name, index);
   spec.technique = config.technique;
   spec.model = config.model;
   spec.termination = config.termination;
+
+  // Every experiment owns an RNG stream derived from (campaign seed,
+  // experiment index): sampling experiment 7 never depends on whether
+  // experiments 0..6 were sampled first, by this thread or any other.
+  Rng rng(DeriveStreamSeed(config.seed, index));
 
   constexpr int kMaxResamples = 20000;
   for (int attempt = 0; attempt < kMaxResamples; ++attempt) {
     spec.targets.clear();
     for (std::uint32_t m = 0; m < config.multiplicity; ++m) {
-      spec.targets.push_back(space.SampleBit(rng));
+      spec.targets.push_back(plan.space->SampleBit(rng));
     }
     const std::uint64_t time =
         static_cast<std::uint64_t>(rng.NextInRange(
-            static_cast<std::int64_t>(window_lo),
-            static_cast<std::int64_t>(window_hi)));
+            static_cast<std::int64_t>(plan.window_lo),
+            static_cast<std::int64_t>(plan.window_hi)));
 
     // Trigger construction per the campaign's trigger kind.
     sim::Breakpoint trigger;
@@ -93,8 +103,9 @@ Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
       trigger.micros = std::max<std::uint64_t>(1, time / 25);
     } else if (config.trigger_kind == "branch") {
       trigger.kind = sim::Breakpoint::Kind::kBranchTaken;
-      trigger.count = 1 + rng.NextBelow(std::max<std::uint64_t>(
-                              1, std::min<std::uint64_t>(window_hi / 4, 256)));
+      trigger.count =
+          1 + rng.NextBelow(std::max<std::uint64_t>(
+                  1, std::min<std::uint64_t>(plan.window_hi / 4, 256)));
     } else if (config.trigger_kind == "call") {
       trigger.kind = sim::Breakpoint::Kind::kCall;
       trigger.count = 1 + rng.NextBelow(16);
@@ -103,10 +114,8 @@ Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
                config.trigger_kind == "data_write") {
       // Sample an address from the loaded image footprint.
       std::vector<const LocationInfo*> ranges;
-      static thread_local std::vector<LocationInfo> all_locations;
-      all_locations = target_->ListLocations();
       const bool want_code = config.trigger_kind == "pc";
-      for (const LocationInfo& info : all_locations) {
+      for (const LocationInfo& info : plan.locations) {
         if (info.kind != LocationInfo::Kind::kMemoryRange) continue;
         const bool is_code = info.category == "memory_code";
         if (is_code == want_code) ranges.push_back(&info);
@@ -133,10 +142,10 @@ Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
     }
     spec.trigger = trigger;
 
-    if (preinjection == nullptr) return spec;
+    if (plan.preinjection == nullptr) return spec;
     bool all_live = true;
     for (const target::FaultTarget& fault_target : spec.targets) {
-      if (!preinjection->IsLive(fault_target, time)) {
+      if (!plan.preinjection->IsLive(fault_target, time)) {
         all_live = false;
         break;
       }
@@ -147,6 +156,108 @@ Result<target::ExperimentSpec> CampaignRunner::SampleExperiment(
   return FailedPreconditionError(
       "pre-injection analysis found no live (location, time) point in the "
       "configured window; widen the filters or the time window");
+}
+
+Result<PreparedCampaign> PrepareCampaignRun(
+    db::Database& database, target::TargetSystemInterface* reference_target,
+    const std::string& campaign_name, bool resume) {
+  RETURN_IF_ERROR(CreateGoofiSchema(database));
+  PreparedCampaign prepared;
+  ASSIGN_OR_RETURN(prepared.config, LoadCampaign(database, campaign_name));
+  ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
+                   ConfigureTargetWorkload(prepared.config, reference_target));
+  RETURN_IF_ERROR(UpdateCampaignRunStatus(database, campaign_name,
+                                          "running", 0));
+
+  prepared.summary.campaign_name = campaign_name;
+
+  // ---- static pre-run analysis (before any run) ------------------------
+  // Knows nothing the image doesn't say: registers no reachable
+  // instruction ever reads are dropped from the location space below.
+  std::optional<analysis::StaticLiveness> static_liveness;
+  if (prepared.config.use_static_analysis) {
+    ASSIGN_OR_RETURN(static_liveness, analysis::StaticLiveness::AnalyzeSource(
+                                          workload.assembly));
+  }
+
+  // ---- makeReferenceRun() ---------------------------------------------
+  target::ExperimentSpec reference_spec;
+  reference_spec.name = campaign_name + "/reference";
+  reference_spec.technique = prepared.config.technique;
+  reference_spec.termination = prepared.config.termination;
+  reference_target->set_experiment(reference_spec);
+  reference_target->set_logging_mode(prepared.config.logging_mode);
+
+  sim::AccessRecorder recorder;
+  if (prepared.config.use_preinjection_analysis) {
+    reference_target->set_external_tracer(&recorder);
+  }
+  RETURN_IF_ERROR(reference_target->MakeReferenceRun());
+  reference_target->set_external_tracer(nullptr);
+  prepared.summary.reference = reference_target->TakeObservation();
+  prepared.summary.reference_experiment = reference_spec.name;
+  const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
+  const bool reference_logged =
+      logged->FindByUnique(0, db::Value::Text_(reference_spec.name))
+          .has_value();
+  if (reference_logged && !resume) {
+    return AlreadyExistsError("campaign '" + campaign_name +
+                              "' has already been run (use Resume)");
+  }
+  if (!reference_logged) {
+    RETURN_IF_ERROR(LogExperimentObservation(database, reference_spec.name,
+                                             "", campaign_name, nullptr,
+                                             prepared.summary.reference));
+  }
+
+  prepared.use_preinjection = prepared.config.use_preinjection_analysis;
+  if (prepared.use_preinjection) {
+    prepared.preinjection.Build(recorder,
+                                prepared.summary.reference.instructions);
+    prepared.summary.register_live_fraction =
+        prepared.preinjection.RegisterLiveFraction();
+  }
+
+  // ---- location space and time window ----------------------------------
+  prepared.locations = reference_target->ListLocations();
+  ASSIGN_OR_RETURN(prepared.space,
+                   LocationSpace::Build(prepared.locations,
+                                        prepared.config.technique,
+                                        prepared.config.location_filters));
+  if (static_liveness.has_value()) {
+    const std::uint64_t unpruned_bits = prepared.space.total_bits();
+    LocationSpace pruned =
+        prepared.space.Restricted([&](const LocationInfo& info) {
+          return static_liveness->MayLocationHoldLiveData(info.name);
+        });
+    if (pruned.total_bits() == 0) {
+      return FailedPreconditionError(
+          "static analysis proves every selected location dead for "
+          "workload '" + prepared.config.workload +
+          "'; widen the location filters");
+    }
+    prepared.summary.static_pruned_bits =
+        unpruned_bits - pruned.total_bits();
+    prepared.summary.static_pruned_fraction =
+        static_cast<double>(prepared.summary.static_pruned_bits) /
+        static_cast<double>(unpruned_bits);
+    prepared.space = std::move(pruned);
+  }
+  const std::uint64_t duration = prepared.summary.reference.instructions;
+  if (duration < 3) {
+    return FailedPreconditionError("reference run too short to inject into");
+  }
+  prepared.window_lo =
+      prepared.config.time_window_lo != 0 ? prepared.config.time_window_lo
+                                          : 1;
+  prepared.window_hi =
+      prepared.config.time_window_hi != 0
+          ? std::min(prepared.config.time_window_hi, duration - 1)
+          : duration - 1;
+  if (prepared.window_lo > prepared.window_hi) {
+    return InvalidArgumentError("empty injection time window");
+  }
+  return prepared;
 }
 
 Result<CampaignSummary> CampaignRunner::Run(
@@ -161,97 +272,15 @@ Result<CampaignSummary> CampaignRunner::Resume(
 
 Result<CampaignSummary> CampaignRunner::RunInternal(
     const std::string& campaign_name, bool resume) {
-  RETURN_IF_ERROR(CreateGoofiSchema(*database_));
-  ASSIGN_OR_RETURN(CampaignConfig config,
-                   LoadCampaign(*database_, campaign_name));
-  ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
-                   ConfigureWorkload(config));
-  RETURN_IF_ERROR(UpdateCampaignStatus(campaign_name, "running", 0));
-
-  CampaignSummary summary;
-  summary.campaign_name = campaign_name;
-
-  // ---- static pre-run analysis (before any run) ------------------------
-  // Knows nothing the image doesn't say: registers no reachable
-  // instruction ever reads are dropped from the location space below.
-  std::optional<analysis::StaticLiveness> static_liveness;
-  if (config.use_static_analysis) {
-    ASSIGN_OR_RETURN(static_liveness, analysis::StaticLiveness::AnalyzeSource(
-                                          workload.assembly));
-  }
-
-  // ---- makeReferenceRun() ---------------------------------------------
-  target::ExperimentSpec reference_spec;
-  reference_spec.name = campaign_name + "/reference";
-  reference_spec.technique = config.technique;
-  reference_spec.termination = config.termination;
-  target_->set_experiment(reference_spec);
-  target_->set_logging_mode(config.logging_mode);
-
-  sim::AccessRecorder recorder;
-  if (config.use_preinjection_analysis) {
-    target_->set_external_tracer(&recorder);
-  }
-  RETURN_IF_ERROR(target_->MakeReferenceRun());
-  target_->set_external_tracer(nullptr);
-  summary.reference = target_->TakeObservation();
-  summary.reference_experiment = reference_spec.name;
+  ASSIGN_OR_RETURN(PreparedCampaign prepared,
+                   PrepareCampaignRun(*database_, target_, campaign_name,
+                                      resume));
+  const CampaignConfig& config = prepared.config;
+  CampaignSummary& summary = prepared.summary;
+  const ExperimentPlan plan = prepared.MakePlan();
   const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
-  const bool reference_logged =
-      logged->FindByUnique(0, db::Value::Text_(reference_spec.name))
-          .has_value();
-  if (reference_logged && !resume) {
-    return AlreadyExistsError("campaign '" + campaign_name +
-                              "' has already been run (use Resume)");
-  }
-  if (!reference_logged) {
-    RETURN_IF_ERROR(LogObservation(reference_spec.name, "", campaign_name,
-                                   nullptr, summary.reference));
-  }
-
-  PreInjectionAnalysis preinjection;
-  if (config.use_preinjection_analysis) {
-    preinjection.Build(recorder, summary.reference.instructions);
-    summary.register_live_fraction = preinjection.RegisterLiveFraction();
-  }
-
-  // ---- location space and time window ----------------------------------
-  ASSIGN_OR_RETURN(LocationSpace space,
-                   LocationSpace::Build(target_->ListLocations(),
-                                        config.technique,
-                                        config.location_filters));
-  if (static_liveness.has_value()) {
-    const std::uint64_t unpruned_bits = space.total_bits();
-    LocationSpace pruned = space.Restricted([&](const LocationInfo& info) {
-      return static_liveness->MayLocationHoldLiveData(info.name);
-    });
-    if (pruned.total_bits() == 0) {
-      return FailedPreconditionError(
-          "static analysis proves every selected location dead for "
-          "workload '" + config.workload + "'; widen the location filters");
-    }
-    summary.static_pruned_bits = unpruned_bits - pruned.total_bits();
-    summary.static_pruned_fraction =
-        static_cast<double>(summary.static_pruned_bits) /
-        static_cast<double>(unpruned_bits);
-    space = std::move(pruned);
-  }
-  const std::uint64_t duration = summary.reference.instructions;
-  if (duration < 3) {
-    return FailedPreconditionError("reference run too short to inject into");
-  }
-  const std::uint64_t window_lo =
-      config.time_window_lo != 0 ? config.time_window_lo : 1;
-  const std::uint64_t window_hi =
-      config.time_window_hi != 0
-          ? std::min(config.time_window_hi, duration - 1)
-          : duration - 1;
-  if (window_lo > window_hi) {
-    return InvalidArgumentError("empty injection time window");
-  }
 
   // ---- the experiment loop ---------------------------------------------
-  Rng rng(config.seed);
   ProgressInfo progress;
   progress.experiments_total = config.num_experiments;
   std::size_t skipped_existing = 0;
@@ -268,26 +297,26 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
       break;
     }
 
-    ASSIGN_OR_RETURN(
-        target::ExperimentSpec spec,
-        SampleExperiment(config, space, window_lo, window_hi, rng, i,
-                         config.use_preinjection_analysis ? &preinjection
-                                                          : nullptr,
-                         &summary.preinjection_resamples));
     if (resume &&
-        logged->FindByUnique(0, db::Value::Text_(spec.name)).has_value()) {
-      // Already ran before the campaign was stopped; the RNG draws above
-      // keep the remaining plan identical to an uninterrupted run.
+        logged->FindByUnique(0, db::Value::Text_(ExperimentName(
+                                    campaign_name, i))).has_value()) {
+      // Already ran before the campaign was stopped; per-experiment RNG
+      // streams keep the remaining plan identical to an uninterrupted
+      // run without replaying this experiment's draws.
       ++skipped_existing;
       ++progress.experiments_done;
       continue;
     }
+    ASSIGN_OR_RETURN(
+        target::ExperimentSpec spec,
+        SampleExperimentSpec(plan, i, &summary.preinjection_resamples));
     target_->set_experiment(spec);
     target_->set_logging_mode(config.logging_mode);
     RETURN_IF_ERROR(target_->RunExperiment());
     const target::Observation observation = target_->TakeObservation();
-    RETURN_IF_ERROR(LogObservation(spec.name, "", campaign_name, &spec,
-                                   observation));
+    RETURN_IF_ERROR(LogExperimentObservation(*database_, spec.name, "",
+                                             campaign_name, &spec,
+                                             observation));
     ++summary.experiments_run;
     progress.experiments_done = skipped_existing + summary.experiments_run;
     if (observation.fault_was_injected) ++progress.faults_injected;
@@ -299,8 +328,8 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     }
   }
 
-  RETURN_IF_ERROR(UpdateCampaignStatus(
-      campaign_name,
+  RETURN_IF_ERROR(UpdateCampaignRunStatus(
+      *database_, campaign_name,
       summary.experiments_stopped_early > 0 ? "stopped" : "completed",
       skipped_existing + summary.experiments_run));
   return summary;
@@ -345,7 +374,7 @@ Result<std::string> CampaignRunner::ReRunInDetailMode(
                    ParseExperimentSpec(experiment_data));
   ASSIGN_OR_RETURN(CampaignConfig config,
                    LoadCampaign(*database_, campaign_name));
-  RETURN_IF_ERROR(ConfigureWorkload(config).status());
+  RETURN_IF_ERROR(ConfigureTargetWorkload(config, target_).status());
 
   // Unique child name: count existing children of this experiment.
   std::size_t child_count = 0;
@@ -364,8 +393,9 @@ Result<std::string> CampaignRunner::ReRunInDetailMode(
   RETURN_IF_ERROR(target_->RunExperiment());
   target_->set_logging_mode(target::LoggingMode::kNormal);
   const target::Observation observation = target_->TakeObservation();
-  RETURN_IF_ERROR(LogObservation(child_name, experiment_name, campaign_name,
-                                 &spec, observation));
+  RETURN_IF_ERROR(LogExperimentObservation(*database_, child_name,
+                                           experiment_name, campaign_name,
+                                           &spec, observation));
   return child_name;
 }
 

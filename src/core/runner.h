@@ -10,6 +10,14 @@
 // technique comes from the campaign data (the generic Run() dispatches,
 // the named wrappers mirror the paper's method names).
 //
+// The experiment plan is *deterministic per experiment*: experiment i
+// draws its fault from the RNG stream (campaign seed, i), never from a
+// shared sequential stream. That makes the plan a pure function of the
+// stored campaign row — Resume() regenerates it after a crash, and the
+// sharded ParallelCampaignRunner (core/parallel_runner.h) samples it
+// out of order on worker threads yet logs a database bit-identical to
+// a serial run.
+//
 // Progress reporting and pause/stop mirror the paper's progress window
 // ("getting information about the number of faults injected and also to
 // pause, restart or end the campaign").
@@ -29,7 +37,9 @@
 
 namespace goofi::core {
 
-// Fig. 7's pause/restart/end controls, usable from another thread.
+// Fig. 7's pause/restart/end controls, usable from another thread. One
+// controller may steer a serial runner or a whole worker fleet: every
+// worker polls it between experiments.
 class CampaignController {
  public:
   void Pause() { paused_ = true; }
@@ -43,12 +53,18 @@ class CampaignController {
   std::atomic<bool> stopped_{false};
 };
 
+// A value snapshot of campaign progress. Callbacks always receive their
+// own copy (never a reference into runner state), so a callback may
+// stash the snapshot or hand it to another thread without racing the
+// run loop.
 struct ProgressInfo {
   std::size_t experiments_done = 0;
   std::size_t experiments_total = 0;
   std::size_t faults_injected = 0;
   std::string current_experiment;
 };
+
+using ProgressCallback = std::function<void(ProgressInfo)>;
 
 struct CampaignSummary {
   std::string campaign_name;
@@ -67,6 +83,90 @@ struct CampaignSummary {
   double static_pruned_fraction = 0.0;
 };
 
+// ---- the deterministic experiment plan --------------------------------
+// Everything needed to regenerate a campaign's experiment list.
+// Experiment i's spec is a pure function of (plan, i): its faults come
+// from the stream seed DeriveStreamSeed(config->seed, i). The plan is
+// read-only during a run, so sharded workers sample from one shared
+// instance concurrently.
+struct ExperimentPlan {
+  const CampaignConfig* config = nullptr;
+  const LocationSpace* space = nullptr;
+  // The target's location list (the pc/data_read/data_write trigger
+  // kinds sample addresses from its memory ranges). Identical across
+  // factory-made worker instances of the same target.
+  std::vector<target::TargetSystemInterface::LocationInfo> locations;
+  std::uint64_t window_lo = 1;
+  std::uint64_t window_hi = 1;
+  const PreInjectionAnalysis* preinjection = nullptr;  // null = analysis off
+};
+
+// The canonical name of experiment `index`: "<campaign>/exp00042".
+// Resume() and the sharded runner identify already-logged experiments
+// by this name, regardless of which worker logged them.
+std::string ExperimentName(const std::string& campaign_name,
+                           std::size_t index);
+
+// Sample experiment `index` of the plan. `resamples` accumulates the
+// draws the pre-injection analysis rejected (left untouched when the
+// analysis is off).
+Result<target::ExperimentSpec> SampleExperimentSpec(
+    const ExperimentPlan& plan, std::size_t index, std::uint64_t* resamples);
+
+// Check the campaign/target pairing, resolve the campaign's workload,
+// install it on `target` and return it (the static analysis re-reads
+// its assembly). Each parallel worker runs this against its own target
+// instance.
+Result<target::WorkloadSpec> ConfigureTargetWorkload(
+    const CampaignConfig& config, target::TargetSystemInterface* target);
+
+// Append one experiment (or reference, spec == nullptr) row to
+// LoggedSystemState.
+Status LogExperimentObservation(db::Database& database,
+                                const std::string& experiment_name,
+                                const std::string& parent,
+                                const std::string& campaign_name,
+                                const target::ExperimentSpec* spec,
+                                const target::Observation& observation);
+
+// Rewrite the campaign's status/experiments_done columns.
+Status UpdateCampaignRunStatus(db::Database& database,
+                               const std::string& campaign_name,
+                               const std::string& status,
+                               std::size_t experiments_done);
+
+// The shared front half of a campaign run: load the stored campaign,
+// install the workload on `reference_target`, run the static analysis,
+// make (and log) the reference run, build the pre-injection analysis
+// and the location space / time window. The returned value owns
+// everything MakePlan() points into; keep it alive for the whole run.
+struct PreparedCampaign {
+  CampaignConfig config;
+  LocationSpace space;
+  PreInjectionAnalysis preinjection;
+  bool use_preinjection = false;
+  std::vector<target::TargetSystemInterface::LocationInfo> locations;
+  std::uint64_t window_lo = 1;
+  std::uint64_t window_hi = 1;
+  // Prefilled with the reference observation and static-analysis stats.
+  CampaignSummary summary;
+
+  ExperimentPlan MakePlan() const {
+    ExperimentPlan plan;
+    plan.config = &config;
+    plan.space = &space;
+    plan.locations = locations;
+    plan.window_lo = window_lo;
+    plan.window_hi = window_hi;
+    plan.preinjection = use_preinjection ? &preinjection : nullptr;
+    return plan;
+  }
+};
+
+Result<PreparedCampaign> PrepareCampaignRun(
+    db::Database& database, target::TargetSystemInterface* reference_target,
+    const std::string& campaign_name, bool resume);
+
 class CampaignRunner {
  public:
   // `database` and `target` must outlive the runner. The target must
@@ -75,8 +175,7 @@ class CampaignRunner {
   CampaignRunner(db::Database* database,
                  target::TargetSystemInterface* target);
 
-  void set_progress_callback(
-      std::function<void(const ProgressInfo&)> callback) {
+  void set_progress_callback(ProgressCallback callback) {
     progress_ = std::move(callback);
   }
   void set_controller(CampaignController* controller) {
@@ -95,9 +194,9 @@ class CampaignRunner {
   Result<CampaignSummary> Run(const std::string& campaign_name);
 
   // Continue a previously stopped campaign: already-logged experiments
-  // are skipped (the plan regenerates deterministically from the stored
-  // seed), the remainder runs and logs as usual. Running campaigns to
-  // completion twice is a no-op.
+  // are skipped (every experiment's spec regenerates independently from
+  // its (seed, index) stream), the remainder runs and logs as usual.
+  // Running campaigns to completion twice is a no-op.
   Result<CampaignSummary> Resume(const std::string& campaign_name);
 
   // Paper-named wrappers; each checks that the stored campaign uses the
@@ -113,26 +212,10 @@ class CampaignRunner {
  private:
   Result<CampaignSummary> RunInternal(const std::string& campaign_name,
                                       bool resume);
-  // Resolves the campaign's workload, installs it on the target, and
-  // returns it (the static analysis re-reads its assembly).
-  Result<target::WorkloadSpec> ConfigureWorkload(const CampaignConfig& config);
-  Result<target::ExperimentSpec> SampleExperiment(
-      const CampaignConfig& config, const LocationSpace& space,
-      std::uint64_t window_lo, std::uint64_t window_hi, Rng& rng,
-      std::size_t index, const PreInjectionAnalysis* preinjection,
-      std::uint64_t* resamples);
-  Status LogObservation(const std::string& experiment_name,
-                        const std::string& parent,
-                        const std::string& campaign_name,
-                        const target::ExperimentSpec* spec,
-                        const target::Observation& observation);
-  Status UpdateCampaignStatus(const std::string& campaign_name,
-                              const std::string& status,
-                              std::size_t experiments_done);
 
   db::Database* database_;
   target::TargetSystemInterface* target_;
-  std::function<void(const ProgressInfo&)> progress_;
+  ProgressCallback progress_;
   CampaignController* controller_ = nullptr;
   std::string checkpoint_directory_;
   std::size_t checkpoint_every_ = 0;

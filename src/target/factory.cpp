@@ -1,0 +1,39 @@
+#include "target/factory.h"
+
+#include "target/framework_target.h"
+#include "target/thor_rd_target.h"
+
+namespace goofi::target {
+
+Result<TargetFactory> BuiltinTargetFactory(const std::string& target_name) {
+  if (target_name == "thor_rd") {
+    return TargetFactory([]() -> Result<std::unique_ptr<TargetSystemInterface>> {
+      return std::unique_ptr<TargetSystemInterface>(
+          std::make_unique<ThorRdTarget>());
+    });
+  }
+  if (target_name == "thor") {
+    return TargetFactory([]() -> Result<std::unique_ptr<TargetSystemInterface>> {
+      return std::unique_ptr<TargetSystemInterface>(MakeThorTarget());
+    });
+  }
+  if (target_name == "framework") {
+    return TargetFactory([]() -> Result<std::unique_ptr<TargetSystemInterface>> {
+      return std::unique_ptr<TargetSystemInterface>(
+          std::make_unique<FrameworkTarget>());
+    });
+  }
+  return NotFoundError("no builtin target factory for '" + target_name + "'");
+}
+
+TargetFactory WithWorkload(TargetFactory factory, WorkloadSpec workload) {
+  return [factory = std::move(factory), workload = std::move(workload)]()
+             -> Result<std::unique_ptr<TargetSystemInterface>> {
+    ASSIGN_OR_RETURN(std::unique_ptr<TargetSystemInterface> target,
+                     factory());
+    RETURN_IF_ERROR(target->SetWorkload(workload));
+    return target;
+  };
+}
+
+}  // namespace goofi::target

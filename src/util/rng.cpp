@@ -69,4 +69,15 @@ double Rng::NextDouble() {
 
 bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
 
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Two dependent SplitMix64 steps so that (seed, stream) and
+  // (seed', stream') collide only if the 128-bit pairs do modulo the
+  // golden-ratio lattice; a single step would make (s, k) and
+  // (s + gamma, k - 1) identical.
+  std::uint64_t x = seed;
+  const std::uint64_t mixed_seed = SplitMix64(x);
+  x = mixed_seed ^ stream;
+  return SplitMix64(x);
+}
+
 }  // namespace goofi

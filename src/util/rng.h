@@ -41,4 +41,12 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+// Seed for substream `stream` of `seed` (a SplitMix64 finalize over the
+// pair). Campaigns give experiment i the stream seed (campaign_seed, i),
+// so any experiment's fault can be regenerated without replaying the
+// draws of experiments 0..i-1 — the property that lets a sharded
+// campaign sample its plan out of order yet stay bit-identical to a
+// serial walk.
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace goofi

@@ -53,6 +53,43 @@ TEST(CampaignConfigTest, ParsesEveryField) {
   EXPECT_TRUE(campaign->use_preinjection_analysis);
 }
 
+TEST(CampaignConfigTest, ParsesJobsKey) {
+  auto config =
+      Config::Parse("[campaign]\nname = x\nworkload = fib\njobs = 4\n");
+  ASSERT_TRUE(config.ok());
+  auto campaign = ParseCampaignConfig(*config->FindSection("campaign"));
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign->jobs, 4u);
+}
+
+TEST(CampaignConfigTest, JobsIsAnExecutionKnobNotCampaignIdentity) {
+  // `jobs` defaults to serial, must be >= 1, and round-trips through
+  // CampaignData as the default (it is deliberately not persisted, so
+  // serial and parallel runs store byte-identical campaign rows).
+  auto config = Config::Parse("[campaign]\nname = x\nworkload = fib\n");
+  ASSERT_TRUE(config.ok());
+  auto campaign = ParseCampaignConfig(*config->FindSection("campaign"));
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign->jobs, 1u);
+
+  auto zero =
+      Config::Parse("[campaign]\nname = x\nworkload = fib\njobs = 0\n");
+  EXPECT_FALSE(ParseCampaignConfig(*zero->FindSection("campaign")).ok());
+
+  db::Database database;
+  ASSERT_TRUE(CreateGoofiSchema(database).ok());
+  target::ThorRdTarget target;
+  ASSERT_TRUE(RegisterTargetSystem(database, target, "card", "").ok());
+  CampaignConfig stored;
+  stored.name = "par";
+  stored.workload = "fib";
+  stored.jobs = 8;
+  ASSERT_TRUE(StoreCampaign(database, stored).ok());
+  auto loaded = LoadCampaign(database, "par");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->jobs, 1u);  // not persisted: loads as the default
+}
+
 TEST(CampaignConfigTest, DefaultsApply) {
   auto config = Config::Parse("[campaign]\nname = x\nworkload = fib\n");
   ASSERT_TRUE(config.ok());

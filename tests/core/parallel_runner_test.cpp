@@ -1,0 +1,360 @@
+// The serial-equivalence proof suite for sharded campaign execution:
+// a ParallelCampaignRunner with any worker count must produce a
+// database bit-identical to the serial CampaignRunner's — same
+// LoggedSystemState rows in the same order, same CampaignData state,
+// same outcome classification — plus the fleet-wide control-and-resume
+// behaviours (pause/stop under fire, sharded resume with a different
+// worker count, value-copied progress snapshots).
+#include "core/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/goofi_schema.h"
+#include "db/sql/executor.h"
+#include "target/framework_target.h"
+#include "target/thor_rd_target.h"
+#include "target/workloads.h"
+
+namespace goofi::core {
+namespace {
+
+// Every column of every row, encoded, in table order: the "dump" the
+// equivalence criterion is stated over.
+std::vector<std::string> DumpTable(db::Database& database,
+                                   const std::string& table_name) {
+  std::vector<std::string> rows;
+  const db::Table* table = database.FindTable(table_name);
+  if (table == nullptr) return rows;
+  for (const db::Row& row : table->rows()) {
+    std::string line;
+    for (const db::Value& value : row) {
+      line += value.Encode();
+      line += '\t';
+    }
+    rows.push_back(std::move(line));
+  }
+  return rows;
+}
+
+class ParallelRunnerTest : public ::testing::Test {
+ protected:
+  static CampaignConfig MakeConfig(const std::string& name,
+                                   std::uint32_t experiments = 24) {
+    CampaignConfig config;
+    config.name = name;
+    config.workload = "fib";
+    config.num_experiments = experiments;
+    config.seed = 23;
+    config.location_filters = {"cpu.regs.*"};
+    return config;
+  }
+
+  // A fresh database with the target registered and `config` stored,
+  // exactly as the serial tests set theirs up.
+  static void SetUpDatabase(db::Database& database,
+                            const CampaignConfig& config) {
+    ASSERT_TRUE(CreateGoofiSchema(database).ok());
+    target::ThorRdTarget registrar;
+    ASSERT_TRUE(
+        RegisterTargetSystem(database, registrar, "card", "").ok());
+    ASSERT_TRUE(StoreCampaign(database, config).ok());
+  }
+
+  static target::TargetFactory ThorFactory() {
+    auto factory = target::BuiltinTargetFactory("thor_rd");
+    EXPECT_TRUE(factory.ok());
+    return *factory;
+  }
+};
+
+TEST_F(ParallelRunnerTest, MatchesSerialRunBitForBitAtEveryWorkerCount) {
+  const CampaignConfig config = MakeConfig("eq");
+
+  db::Database serial_db;
+  SetUpDatabase(serial_db, config);
+  target::ThorRdTarget serial_target;
+  auto serial_summary = CampaignRunner(&serial_db, &serial_target).Run("eq");
+  ASSERT_TRUE(serial_summary.ok()) << serial_summary.status().ToString();
+  const auto serial_logged = DumpTable(serial_db, kLoggedSystemStateTable);
+  const auto serial_campaign = DumpTable(serial_db, kCampaignDataTable);
+  ASSERT_EQ(serial_logged.size(), 25u);  // 24 experiments + reference
+  auto serial_analysis = AnalyzeCampaign(serial_db, "eq");
+  ASSERT_TRUE(serial_analysis.ok());
+
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    db::Database parallel_db;
+    SetUpDatabase(parallel_db, config);
+    ParallelCampaignRunner runner(&parallel_db, ThorFactory(), workers);
+    auto summary = runner.Run("eq");
+    ASSERT_TRUE(summary.ok())
+        << workers << " workers: " << summary.status().ToString();
+    EXPECT_EQ(summary->experiments_run, 24u) << workers;
+    EXPECT_EQ(summary->experiments_stopped_early, 0u) << workers;
+
+    // The whole LoggedSystemState row set, row for row and byte for
+    // byte — names, parentExperiment links, specs, state vectors, and
+    // the row order a dump would serialize.
+    EXPECT_EQ(DumpTable(parallel_db, kLoggedSystemStateTable),
+              serial_logged)
+        << workers << " workers";
+    EXPECT_EQ(DumpTable(parallel_db, kCampaignDataTable), serial_campaign)
+        << workers << " workers";
+
+    // Outcome classification counts match (implied by the dump check,
+    // asserted separately for a readable failure).
+    auto analysis = AnalyzeCampaign(parallel_db, "eq");
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_EQ(analysis->detected, serial_analysis->detected) << workers;
+    EXPECT_EQ(analysis->escaped, serial_analysis->escaped) << workers;
+    EXPECT_EQ(analysis->latent, serial_analysis->latent) << workers;
+    EXPECT_EQ(analysis->overwritten, serial_analysis->overwritten)
+        << workers;
+    EXPECT_EQ(analysis->not_injected, serial_analysis->not_injected)
+        << workers;
+  }
+}
+
+TEST_F(ParallelRunnerTest, MatchesSerialWithPreinjectionAnalysis) {
+  CampaignConfig config = MakeConfig("eq_pre", 40);
+  config.use_preinjection_analysis = true;
+
+  db::Database serial_db;
+  SetUpDatabase(serial_db, config);
+  target::ThorRdTarget serial_target;
+  auto serial_summary =
+      CampaignRunner(&serial_db, &serial_target).Run("eq_pre");
+  ASSERT_TRUE(serial_summary.ok()) << serial_summary.status().ToString();
+
+  db::Database parallel_db;
+  SetUpDatabase(parallel_db, config);
+  ParallelCampaignRunner runner(&parallel_db, ThorFactory(), 4);
+  auto summary = runner.Run("eq_pre");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  EXPECT_EQ(DumpTable(parallel_db, kLoggedSystemStateTable),
+            DumpTable(serial_db, kLoggedSystemStateTable));
+  // Per-experiment RNG streams make even the resample count a sum of
+  // per-experiment constants, identical however the plan is sharded.
+  EXPECT_EQ(summary->preinjection_resamples,
+            serial_summary->preinjection_resamples);
+  EXPECT_EQ(summary->register_live_fraction,
+            serial_summary->register_live_fraction);
+}
+
+TEST_F(ParallelRunnerTest, SingleWorkerDegeneratesToSerial) {
+  const CampaignConfig config = MakeConfig("eq_one", 10);
+
+  db::Database serial_db;
+  SetUpDatabase(serial_db, config);
+  target::ThorRdTarget serial_target;
+  ASSERT_TRUE(CampaignRunner(&serial_db, &serial_target).Run("eq_one").ok());
+
+  db::Database parallel_db;
+  SetUpDatabase(parallel_db, config);
+  ParallelCampaignRunner runner(&parallel_db, ThorFactory(), 1);
+  ASSERT_TRUE(runner.Run("eq_one").ok());
+  EXPECT_EQ(DumpTable(parallel_db, kLoggedSystemStateTable),
+            DumpTable(serial_db, kLoggedSystemStateTable));
+}
+
+TEST_F(ParallelRunnerTest, FrameworkTargetShardsThroughTheFactory) {
+  CampaignConfig config = MakeConfig("eq_fw", 12);
+  config.target = "framework";
+  config.location_filters = {"counter*"};  // the skeleton's chain elements
+
+  auto factory = target::BuiltinTargetFactory("framework");
+  ASSERT_TRUE(factory.ok());
+
+  db::Database serial_db;
+  ASSERT_TRUE(CreateGoofiSchema(serial_db).ok());
+  target::FrameworkTarget registrar;
+  ASSERT_TRUE(RegisterTargetSystem(serial_db, registrar, "card", "").ok());
+  ASSERT_TRUE(StoreCampaign(serial_db, config).ok());
+  target::FrameworkTarget serial_target;
+  ASSERT_TRUE(CampaignRunner(&serial_db, &serial_target).Run("eq_fw").ok());
+
+  db::Database parallel_db;
+  ASSERT_TRUE(CreateGoofiSchema(parallel_db).ok());
+  target::FrameworkTarget registrar2;
+  ASSERT_TRUE(
+      RegisterTargetSystem(parallel_db, registrar2, "card", "").ok());
+  ASSERT_TRUE(StoreCampaign(parallel_db, config).ok());
+  ParallelCampaignRunner runner(&parallel_db, *factory, 4);
+  auto summary = runner.Run("eq_fw");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(DumpTable(parallel_db, kLoggedSystemStateTable),
+            DumpTable(serial_db, kLoggedSystemStateTable));
+}
+
+TEST_F(ParallelRunnerTest, UnknownTargetFactoryIsNotFound) {
+  EXPECT_EQ(target::BuiltinTargetFactory("no_such_board").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ParallelRunnerTest, WithWorkloadPreinstallsOnEveryInstance) {
+  auto factory = target::BuiltinTargetFactory("thor_rd");
+  ASSERT_TRUE(factory.ok());
+  auto workload = target::GetBuiltinWorkload("fib");
+  ASSERT_TRUE(workload.ok());
+  target::TargetFactory wrapped =
+      target::WithWorkload(*factory, *workload);
+  for (int i = 0; i < 2; ++i) {
+    auto target = wrapped();
+    ASSERT_TRUE(target.ok());
+    // A ready-to-run instance: the reference run works immediately.
+    target::ExperimentSpec reference;
+    reference.name = "probe";
+    (*target)->set_experiment(reference);
+    EXPECT_TRUE((*target)->MakeReferenceRun().ok());
+  }
+}
+
+// Satellite: the progress-callback data race. Snapshots are value
+// copies aggregated in canonical order — a callback may stash them and
+// a control thread may read them while the fleet runs (TSan-clean),
+// and the stored sequence is exactly the serial runner's.
+TEST_F(ParallelRunnerTest, ProgressSnapshotsAreOrderedValueCopies) {
+  const CampaignConfig config = MakeConfig("prog", 20);
+  db::Database database;
+  SetUpDatabase(database, config);
+
+  std::vector<ProgressInfo> snapshots;
+  std::atomic<std::size_t> done_view{0};  // read from another thread
+  ParallelCampaignRunner runner(&database, ThorFactory(), 4);
+  runner.set_progress_callback([&](ProgressInfo info) {
+    done_view = info.experiments_done;
+    snapshots.push_back(std::move(info));
+  });
+
+  std::atomic<bool> finished{false};
+  std::thread observer([&] {
+    std::size_t last = 0;
+    while (!finished) {
+      const std::size_t now = done_view;
+      EXPECT_GE(now, last);  // monotonic across threads
+      last = now;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  ASSERT_TRUE(runner.Run("prog").ok());
+  finished = true;
+  observer.join();
+
+  ASSERT_EQ(snapshots.size(), 20u);  // one per logged experiment
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].experiments_done, i + 1);
+    EXPECT_EQ(snapshots[i].experiments_total, 20u);
+    EXPECT_EQ(snapshots[i].current_experiment, ExperimentName("prog", i));
+  }
+}
+
+// Satellite: concurrency stress. A control thread hammers
+// Pause()/Resume()/Stop() while the fleet runs; no experiment may be
+// logged twice, and a stop must leave a resumable state that a fleet
+// of a *different* size completes to the serial result. Runs under
+// ThreadSanitizer in the GOOFI_TSAN CI job.
+TEST_F(ParallelRunnerTest, PauseResumeStopUnderFireLeavesResumableState) {
+  const CampaignConfig config = MakeConfig("stress", 120);
+  db::Database database;
+  SetUpDatabase(database, config);
+
+  CampaignController controller;
+  ParallelCampaignRunner runner(&database, ThorFactory(), 4);
+  runner.set_controller(&controller);
+
+  std::atomic<bool> run_finished{false};
+  std::thread control([&] {
+    // Hammer the controls until the run has made some progress, then
+    // stop mid-flight.
+    for (int burst = 0; !run_finished && burst < 400; ++burst) {
+      controller.Pause();
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      controller.Resume();
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    controller.Stop();
+  });
+  auto stopped = runner.Run("stress");
+  run_finished = true;
+  control.join();
+  ASSERT_TRUE(stopped.ok()) << stopped.status().ToString();
+
+  // No experiment logged twice: names are the primary key, so count
+  // distinct-by-construction rows against the total.
+  auto count = db::sql::ExecuteSql(
+      database,
+      "SELECT COUNT(*) FROM LoggedSystemState WHERE campaign_name = "
+      "'stress'");
+  ASSERT_TRUE(count.ok());
+  const std::int64_t logged_rows = count->rows[0][0].AsInteger();
+  EXPECT_EQ(static_cast<std::size_t>(logged_rows),
+            1 + 120 - stopped->experiments_stopped_early);
+  std::set<std::string> names;
+  const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
+  for (const db::Row& row : logged->rows()) {
+    EXPECT_TRUE(names.insert(row[0].AsText()).second)
+        << "duplicate " << row[0].AsText();
+  }
+
+  // Stop leaves a resumable state: a different worker count finishes
+  // the campaign, and the completed database matches a serial run.
+  ParallelCampaignRunner resumer(&database, ThorFactory(), 8);
+  auto resumed = resumer.Resume("stress");
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->experiments_run + (120 - stopped->experiments_stopped_early),
+            120u);
+
+  db::Database serial_db;
+  SetUpDatabase(serial_db, config);
+  target::ThorRdTarget serial_target;
+  ASSERT_TRUE(
+      CampaignRunner(&serial_db, &serial_target).Run("stress").ok());
+  // Row *sets* match; the row order may differ from a never-stopped
+  // run when the stop landed between shards.
+  auto sorted = [](std::vector<std::string> rows) {
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(sorted(DumpTable(database, kLoggedSystemStateTable)),
+            sorted(DumpTable(serial_db, kLoggedSystemStateTable)));
+  auto status = db::sql::ExecuteSql(
+      database,
+      "SELECT status, experiments_done FROM CampaignData WHERE "
+      "campaign_name = 'stress'");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->rows[0][0].AsText(), "completed");
+  EXPECT_EQ(status->rows[0][1].AsInteger(), 120);
+}
+
+// Aggregate-aware pause: with the fleet paused before the first claim,
+// nothing is logged until a Resume from another thread releases all
+// workers.
+TEST_F(ParallelRunnerTest, FleetWidePauseBlocksAllWorkers) {
+  const CampaignConfig config = MakeConfig("pausefleet", 16);
+  db::Database database;
+  SetUpDatabase(database, config);
+
+  CampaignController controller;
+  controller.Pause();
+  ParallelCampaignRunner runner(&database, ThorFactory(), 4);
+  runner.set_controller(&controller);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    controller.Resume();
+  });
+  auto summary = runner.Run("pausefleet");
+  releaser.join();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->experiments_run, 16u);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -32,8 +32,13 @@ class ResumeTest : public ::testing::Test {
   }
 
   std::vector<std::string> ExperimentData(const std::string& campaign) {
+    return ExperimentDataIn(database_, campaign);
+  }
+
+  static std::vector<std::string> ExperimentDataIn(
+      db::Database& database, const std::string& campaign) {
     std::vector<std::string> data;
-    const db::Table* logged = database_.FindTable(kLoggedSystemStateTable);
+    const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
     for (const db::Row& row : logged->rows()) {
       if (row[2].AsText() != campaign) continue;
       if (row[3].AsText() == "reference") continue;
@@ -133,6 +138,60 @@ TEST_F(ResumeTest, CrashRecoveryViaCheckpointDirectory) {
   auto analysis = AnalyzeCampaign(*recovered, "ckpt");
   ASSERT_TRUE(analysis.ok());
   EXPECT_EQ(analysis->total, 30u);
+  fs::remove_all(dir);
+}
+
+TEST_F(ResumeTest, ParallelCrashAfterCheckpointResumesWithOtherWorkerCount) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "goofi_parallel_checkpoint_test").string();
+  fs::remove_all(dir);
+
+  ASSERT_TRUE(StoreCampaign(database_, MakeConfig("pckpt")).ok());
+  auto factory = target::BuiltinTargetFactory("thor_rd");
+  ASSERT_TRUE(factory.ok());
+  ParallelCampaignRunner runner(&database_, *factory, 4);
+  runner.set_checkpoint(dir, /*every_n=*/5);
+  CampaignController controller;
+  runner.set_controller(&controller);
+  runner.set_progress_callback([&](ProgressInfo info) {
+    // "Crash" mid-campaign: stop the fleet right after a checkpoint.
+    if (info.experiments_done == 15) controller.Stop();
+  });
+  ASSERT_TRUE(runner.Run("pckpt").ok());
+
+  // Recovery: reload the checkpointed world (which holds some multiple
+  // of 5 experiments — in-flight claims may land after the stop) and
+  // resume the sharded plan with a *different* worker count.
+  auto recovered = db::Database::LoadFromDirectory(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ParallelCampaignRunner resumer(&(*recovered), *factory, 2);
+  auto summary = resumer.Resume("pckpt");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->experiments_stopped_early, 0u);
+
+  // Completion with no duplicates: exactly 30 experiments + reference.
+  auto count = db::sql::ExecuteSql(
+      *recovered,
+      "SELECT COUNT(*) FROM LoggedSystemState WHERE campaign_name = "
+      "'pckpt'");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInteger(), 31);
+  auto status = db::sql::ExecuteSql(
+      *recovered,
+      "SELECT status, experiments_done FROM CampaignData WHERE "
+      "campaign_name = 'pckpt'");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->rows[0][0].AsText(), "completed");
+  EXPECT_EQ(status->rows[0][1].AsInteger(), 30);
+
+  // And the recovered campaign holds the same experiments as a serial
+  // uninterrupted run of the same configuration.
+  CampaignConfig reference_config = MakeConfig("pserial");
+  ASSERT_TRUE(StoreCampaign(*recovered, reference_config).ok());
+  ASSERT_TRUE(CampaignRunner(&(*recovered), &target_).Run("pserial").ok());
+  EXPECT_EQ(ExperimentDataIn(*recovered, "pckpt"),
+            ExperimentDataIn(*recovered, "pserial"));
   fs::remove_all(dir);
 }
 
