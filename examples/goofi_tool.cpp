@@ -13,12 +13,15 @@
 // The campaign database persists in the directory given by --db (default
 // ./goofi_db), so phases can run in separate invocations, as they would
 // with the Java tool and its SQL database.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/goofi.h"
+#include "target/flaky_target.h"
 #include "util/strings.h"
 
 namespace {
@@ -35,6 +38,10 @@ struct Arguments {
   std::vector<std::string> positional;
   std::string db_dir = "goofi_db";
   std::size_t jobs = 0;  // 0 = take the campaign's `jobs` key (default 1)
+  // Scripted target faults (target/flaky_target.h), e.g.
+  // "io@3;hang@5;target_fault@7:2;hang_ms=200" — exercises the
+  // supervision layer against a deterministic flaky transport.
+  std::string flaky;
 };
 
 Arguments ParseArguments(int argc, char** argv) {
@@ -45,6 +52,8 @@ Arguments ParseArguments(int argc, char** argv) {
       arguments.db_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       arguments.jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--flaky") == 0 && i + 1 < argc) {
+      arguments.flaky = argv[++i];
     } else {
       arguments.positional.emplace_back(argv[i]);
     }
@@ -171,23 +180,35 @@ int CmdRun(const Arguments& arguments, bool resume) {
       std::fflush(stdout);
     }
   };
+  // Scripted transport faults: wrap every minted target in the flaky
+  // decorator so the supervision layer has something to survive.
+  std::shared_ptr<target::FlakyScript> flaky_script;
+  if (!arguments.flaky.empty()) {
+    auto parsed = target::ParseFlakyScript(arguments.flaky);
+    if (!parsed.ok()) return Fail(parsed.status());
+    flaky_script = std::move(*parsed);
+  }
+  target::TargetFactory factory = [name = loaded->target, workload_file]() {
+    return MakeTarget(name, workload_file);
+  };
+  if (flaky_script != nullptr) {
+    factory = target::MakeFlakyTargetFactory(std::move(factory),
+                                             flaky_script);
+  }
+
   // --jobs beats the campaign's `jobs` key; either way the database is
   // bit-identical to a serial run (the sharded runner's guarantee).
   const std::size_t jobs = arguments.jobs != 0 ? arguments.jobs : ini_jobs;
   auto run_campaign = [&]() -> Result<core::CampaignSummary> {
     if (jobs > 1) {
-      target::TargetFactory factory =
-          [name = loaded->target, workload_file]() {
-            return MakeTarget(name, workload_file);
-          };
       std::printf("running with %zu workers\n", jobs);
-      core::ParallelCampaignRunner runner(&database, std::move(factory),
-                                          jobs);
+      core::ParallelCampaignRunner runner(&database, factory, jobs);
       runner.set_progress_callback(print_progress);
       return resume ? runner.Resume(campaign_name)
                     : runner.Run(campaign_name);
     }
     core::CampaignRunner runner(&database, target->get());
+    runner.set_target_factory(factory);
     runner.set_progress_callback(print_progress);
     return resume ? runner.Resume(campaign_name)
                   : runner.Run(campaign_name);
@@ -198,6 +219,22 @@ int CmdRun(const Arguments& arguments, bool resume) {
   std::printf("campaign %s: %zu experiments run (%zu skipped early)\n",
               campaign_name.c_str(), summary->experiments_run,
               summary->experiments_stopped_early);
+  if (summary->experiment_retries > 0 ||
+      summary->experiments_abandoned > 0 ||
+      summary->targets_quarantined > 0) {
+    std::printf("supervision: %zu retries, %zu experiments abandoned "
+                "(tool-incomplete), %zu target instances quarantined\n",
+                summary->experiment_retries,
+                summary->experiments_abandoned,
+                summary->targets_quarantined);
+  }
+  if (flaky_script != nullptr) {
+    std::printf("flaky script: %llu faults + %llu hangs injected\n",
+                static_cast<unsigned long long>(
+                    flaky_script->faults_injected.load()),
+                static_cast<unsigned long long>(
+                    flaky_script->hangs_injected.load()));
+  }
   if (summary->static_pruned_bits > 0) {
     std::printf("static analysis pruned %llu location bits "
                 "(%.1f%% of the selected fault space)\n",
@@ -213,6 +250,15 @@ int CmdRun(const Arguments& arguments, bool resume) {
     return Fail(s);
   }
   std::printf("database saved to %s\n", arguments.db_dir.c_str());
+
+  // Abandoned (wedged) target instances drain on their own when their
+  // runs return; give them a bounded grace period instead of racing
+  // process teardown.
+  if (!core::WaitForAbandonedTargets(std::chrono::milliseconds(10000))) {
+    std::fprintf(stderr,
+                 "warning: %zu abandoned target(s) still in flight at exit\n",
+                 core::AbandonedTargetsInFlight());
+  }
   return 0;
 }
 
@@ -316,6 +362,10 @@ int main(int argc, char** argv) {
                "bit for bit)\n"
                "  resume <campaign>       continue a stopped campaign "
                "(any --jobs)\n"
+               "                          (--flaky \"io@3;hang@5\" scripts "
+               "transport faults\n"
+               "                          to exercise the supervision "
+               "layer)\n"
                "  analyze <campaign>      re-print the analysis report\n"
                "  export <campaign>       per-experiment outcomes as CSV\n"
                "  rerun <experiment>      detail-mode re-run "

@@ -316,7 +316,8 @@ std::vector<LintDiagnostic> LintCampaignText(
       "time_window_lo", "time_window_hi", "trigger",
       "max_instructions", "max_iterations", "logging",
       "preinjection",  "static_analysis", "intermittent_period",
-      "intermittent_occurrences", "stuck_to_one"};
+      "intermittent_occurrences", "stuck_to_one", "jobs",
+      "experiment_timeout_ms", "max_retries", "retry_backoff_ms"};
   for (const auto& [key, value] : section->entries()) {
     (void)value;
     if (kKnownKeys.count(key) == 0) {
@@ -417,6 +418,25 @@ std::vector<LintDiagnostic> LintCampaignText(
     Add(&out, Severity::kWarning, file, LineOfKey(text, "trigger"),
         "ignored-key",
         "pre-runtime SWIFI has no trigger phase; 'trigger' is ignored");
+  }
+  // Supervision keys (core/supervision.h). Retries without a watchdog
+  // deadline means a *wedged* (as opposed to cleanly failing) target
+  // blocks the campaign forever on the very attempt a retry budget is
+  // meant to survive — almost always a config mistake.
+  if (section->GetIntOr("max_retries", 0) > 0 &&
+      !section->Has("experiment_timeout_ms")) {
+    Add(&out, Severity::kWarning, file, LineOfKey(text, "max_retries"),
+        "retry-without-timeout",
+        "'max_retries' without 'experiment_timeout_ms': a hung (not "
+        "failing) experiment attempt is only detected by the watchdog "
+        "deadline; set experiment_timeout_ms (or rely on the derived "
+        "default only if the workload's instruction budget is set)");
+  }
+  if (section->Has("retry_backoff_ms") &&
+      section->GetIntOr("max_retries", 0) == 0) {
+    Add(&out, Severity::kWarning, file, LineOfKey(text, "retry_backoff_ms"),
+        "ignored-key",
+        "'retry_backoff_ms' only applies when max_retries > 0");
   }
   if (technique == target::Technique::kSwifiPreRuntime &&
       section->GetBoolOr("static_analysis", false)) {

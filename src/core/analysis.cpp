@@ -152,6 +152,13 @@ Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
     if (row[2].AsText() != campaign_name) continue;
     if (!row[1].is_null()) continue;  // detail re-run child
     if (row[3].AsText() == "reference") continue;
+    // Abandoned experiments (watchdog/retry gave up; see
+    // core/supervision.h) have no observation to classify: the outcome
+    // taxonomy is only defined for experiments the tool completed.
+    if (row.size() > 6 && !row[6].is_null() && row[6].AsText() != "ok") {
+      ++analysis.tool_incomplete;
+      continue;
+    }
 
     ASSIGN_OR_RETURN(target::Observation observation,
                      target::Observation::Deserialize(row[4].AsText()));
@@ -308,6 +315,12 @@ std::string FormatAnalysisReport(const CampaignAnalysis& analysis) {
   out += StrFormat("    Overwritten errors:  %zu\n", analysis.overwritten);
   if (analysis.not_injected > 0) {
     out += StrFormat("    (never injected):    %zu\n", analysis.not_injected);
+  }
+  if (analysis.tool_incomplete > 0) {
+    out += StrFormat(
+        "  Tool-incomplete:       %zu (abandoned by the supervisor; "
+        "excluded from the taxonomy)\n",
+        analysis.tool_incomplete);
   }
   out += StrFormat(
       "  Detection coverage:    %.3f  [%.3f, %.3f] (95%% Wilson)\n",

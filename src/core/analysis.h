@@ -109,6 +109,11 @@ struct CampaignAnalysis {
   std::size_t latency_samples = 0;
   double latency_mean = 0.0;
   std::uint64_t latency_max = 0;
+  // Experiments the tool never completed (LoggedSystemState rows whose
+  // tool_status is not "ok"). They carry no observation and are
+  // excluded from `total` and from every outcome statistic above — the
+  // paper's taxonomy only applies to tool-completed experiments.
+  std::size_t tool_incomplete = 0;
 };
 
 // Load the campaign's rows from LoggedSystemState and classify them.

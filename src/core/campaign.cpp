@@ -73,6 +73,12 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
   if (config.jobs == 0) {
     return InvalidArgumentError("jobs must be >= 1");
   }
+  config.experiment_timeout_ms = static_cast<std::uint64_t>(
+      section.GetIntOr("experiment_timeout_ms", 0));
+  config.max_retries = static_cast<std::uint32_t>(
+      section.GetIntOr("max_retries", 0));
+  config.retry_backoff_ms = static_cast<std::uint64_t>(
+      section.GetIntOr("retry_backoff_ms", 0));
   return config;
 }
 
@@ -117,6 +123,11 @@ Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
   row.push_back(Value::Integer(config.model.stuck_to_one ? 1 : 0));
   row.push_back(Value::Text_("configured"));
   row.push_back(Value::Integer(0));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.experiment_timeout_ms)));
+  row.push_back(Value::Integer(config.max_retries));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.retry_backoff_ms)));
   return database.Insert(kCampaignDataTable, std::move(row));
 }
 
@@ -161,6 +172,19 @@ Result<CampaignConfig> LoadCampaign(db::Database& database,
   config.model.period = static_cast<std::uint64_t>(row[17].AsInteger());
   config.model.occurrences = static_cast<std::uint32_t>(row[18].AsInteger());
   config.model.stuck_to_one = row[19].AsInteger() != 0;
+  // Supervision keys (columns 22-24); absent/null in pre-supervision
+  // databases, meaning "no watchdog override, no retries".
+  if (row.size() > 22 && !row[22].is_null()) {
+    config.experiment_timeout_ms =
+        static_cast<std::uint64_t>(row[22].AsInteger());
+  }
+  if (row.size() > 23 && !row[23].is_null()) {
+    config.max_retries = static_cast<std::uint32_t>(row[23].AsInteger());
+  }
+  if (row.size() > 24 && !row[24].is_null()) {
+    config.retry_backoff_ms =
+        static_cast<std::uint64_t>(row[24].AsInteger());
+  }
   return config;
 }
 

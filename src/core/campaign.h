@@ -64,6 +64,18 @@ struct CampaignConfig {
   // worker count produce the same database, so this is deliberately
   // NOT stored in CampaignData and never affects results.
   std::uint32_t jobs = 1;
+
+  // ---- supervision (core/supervision.h) ---------------------------------
+  // Wall-clock watchdog deadline per experiment attempt, in ms. 0 =
+  // derive from the workload's tool-level instruction budget. Unlike
+  // `jobs`, these ARE stored in CampaignData: an abandoned experiment's
+  // disposition depends on them, so they are part of the campaign record.
+  std::uint64_t experiment_timeout_ms = 0;
+  // Retries after a retryable tool-level failure (hang/target/transport);
+  // 0 = fail an experiment on its first bad attempt.
+  std::uint32_t max_retries = 0;
+  // Base backoff before retry n: backoff * 2^(n-1), capped. 0 = none.
+  std::uint64_t retry_backoff_ms = 0;
 };
 
 // ---- config file <-> struct ------------------------------------------

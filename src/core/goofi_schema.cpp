@@ -49,6 +49,9 @@ CREATE TABLE CampaignData (
   stuck_to_one             INTEGER,
   status                   TEXT NOT NULL,
   experiments_done         INTEGER NOT NULL,
+  experiment_timeout_ms    INTEGER,
+  max_retries              INTEGER,
+  retry_backoff_ms         INTEGER,
   FOREIGN KEY (target_name) REFERENCES TargetSystemData(target_name)
 );
 
@@ -58,6 +61,9 @@ CREATE TABLE LoggedSystemState (
   campaign_name     TEXT NOT NULL,
   experiment_data   TEXT,
   state_vector      TEXT,
+  attempts          INTEGER,
+  tool_status       TEXT,
+  quarantined       INTEGER,
   FOREIGN KEY (campaign_name) REFERENCES CampaignData(campaign_name),
   FOREIGN KEY (parent_experiment) REFERENCES LoggedSystemState(experiment_name)
 );

@@ -17,7 +17,11 @@ namespace {
 // What one worker hands the writer for one claimed experiment index.
 struct WorkerResult {
   target::ExperimentSpec spec;
+  // Valid only when disposition.completed(); an abandoned experiment
+  // still fills its reorder-buffer slot (with a non-ok tool status) so
+  // the canonical cursor can always advance.
   target::Observation observation;
+  ExperimentDisposition disposition;
   std::uint64_t resamples = 0;
   bool skipped = false;  // resume: already logged, nothing was run
 };
@@ -90,6 +94,9 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
     }
   }
 
+  const SupervisionPolicy policy =
+      ResolveSupervisionPolicy(config, prepared.workload_termination);
+
   const std::size_t workers =
       std::max<std::size_t>(1, std::min<std::size_t>(jobs_, total));
   const std::size_t claim_window =
@@ -101,14 +108,16 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
   auto worker_main = [&](std::size_t) {
     // Per-worker target with the workload installed (the factory may
     // have pre-installed one; installing the campaign's workload again
-    // is idempotent and keeps every worker on the campaign's own).
-    std::unique_ptr<target::TargetSystemInterface> target;
+    // is idempotent and keeps every worker on the campaign's own). The
+    // slot is owned, so the worker's supervised runs can abandon a
+    // wedged instance to the reaper and quarantine-replace it.
+    TargetSlot slot;
     {
       auto made = factory_();
       Status status = made.status();
       if (status.ok()) {
-        target = std::move(*made);
-        status = ConfigureTargetWorkload(config, target.get()).status();
+        slot = TargetSlot::Own(std::move(*made));
+        status = ConfigureTargetWorkload(config, slot.get()).status();
       }
       if (!status.ok()) {
         std::lock_guard<std::mutex> lock(shard.mutex);
@@ -159,12 +168,19 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
             SampleExperimentSpec(plan, index, &result.resamples);
         Status status = spec.status();
         if (status.ok()) {
-          target->set_experiment(*spec);
-          target->set_logging_mode(config.logging_mode);
-          status = target->RunExperiment();
+          // Fail-soft per experiment: only non-retryable errors reach
+          // `status` and abort the fleet. Retryable tool-level failures
+          // are consumed here (retry + quarantine on this worker's own
+          // slot) and surface as the result's disposition.
+          auto outcome =
+              RunSupervisedExperiment(slot, *spec, config, policy, factory_);
+          status = outcome.status();
           if (status.ok()) {
             result.spec = std::move(*spec);
-            result.observation = target->TakeObservation();
+            result.disposition = std::move(outcome->disposition);
+            if (result.disposition.completed()) {
+              result.observation = std::move(outcome->observation);
+            }
           }
         }
         if (!status.ok()) {
@@ -222,14 +238,22 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
           ++progress.experiments_done;
         } else {
           summary.preinjection_resamples += result.resamples;
+          const bool completed = result.disposition.completed();
           Status status = LogExperimentObservation(
               *database_, result.spec.name, "", campaign_name, &result.spec,
-              result.observation);
+              completed ? &result.observation : nullptr,
+              &result.disposition);
           if (status.ok()) {
             ++summary.experiments_run;
+            summary.experiment_retries += result.disposition.attempts - 1;
+            summary.targets_quarantined += result.disposition.quarantined;
+            if (!completed) ++summary.experiments_abandoned;
             progress.experiments_done =
                 skipped_existing + summary.experiments_run;
-            if (result.observation.fault_was_injected) {
+            progress.experiment_retries = summary.experiment_retries;
+            progress.experiments_abandoned = summary.experiments_abandoned;
+            progress.targets_quarantined = summary.targets_quarantined;
+            if (completed && result.observation.fault_was_injected) {
               ++progress.faults_injected;
             }
             progress.current_experiment = result.spec.name;

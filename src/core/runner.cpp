@@ -39,14 +39,22 @@ Status LogExperimentObservation(db::Database& database,
                                 const std::string& parent,
                                 const std::string& campaign_name,
                                 const target::ExperimentSpec* spec,
-                                const target::Observation& observation) {
+                                const target::Observation* observation,
+                                const ExperimentDisposition* disposition) {
+  static const ExperimentDisposition kDefaultDisposition;
+  if (disposition == nullptr) disposition = &kDefaultDisposition;
   Row row;
   row.push_back(Value::Text_(experiment_name));
   row.push_back(parent.empty() ? Value::Null() : Value::Text_(parent));
   row.push_back(Value::Text_(campaign_name));
   row.push_back(Value::Text_(
       spec != nullptr ? SerializeExperimentSpec(*spec) : "reference"));
-  row.push_back(Value::Text_(observation.Serialize()));
+  row.push_back(observation != nullptr
+                    ? Value::Text_(observation->Serialize())
+                    : Value::Null());
+  row.push_back(Value::Integer(disposition->attempts));
+  row.push_back(Value::Text_(disposition->tool_status));
+  row.push_back(Value::Integer(disposition->quarantined));
   return database.Insert(kLoggedSystemStateTable, std::move(row));
 }
 
@@ -166,6 +174,7 @@ Result<PreparedCampaign> PrepareCampaignRun(
   ASSIGN_OR_RETURN(prepared.config, LoadCampaign(database, campaign_name));
   ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
                    ConfigureTargetWorkload(prepared.config, reference_target));
+  prepared.workload_termination = workload.termination;
   RETURN_IF_ERROR(UpdateCampaignRunStatus(database, campaign_name,
                                           "running", 0));
 
@@ -207,7 +216,8 @@ Result<PreparedCampaign> PrepareCampaignRun(
   if (!reference_logged) {
     RETURN_IF_ERROR(LogExperimentObservation(database, reference_spec.name,
                                              "", campaign_name, nullptr,
-                                             prepared.summary.reference));
+                                             &prepared.summary.reference,
+                                             nullptr));
   }
 
   prepared.use_preinjection = prepared.config.use_preinjection_analysis;
@@ -279,6 +289,20 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
   CampaignSummary& summary = prepared.summary;
   const ExperimentPlan plan = prepared.MakePlan();
   const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
+  const SupervisionPolicy policy =
+      ResolveSupervisionPolicy(config, prepared.workload_termination);
+
+  // The slot the supervised experiments run on. With a factory the
+  // runner mints its own instance (abandonable on a watchdog trip and
+  // replaceable under quarantine); without one it borrows the
+  // caller-owned target, which can only be reused.
+  TargetSlot slot = TargetSlot::Borrow(target_);
+  if (target_factory_) {
+    ASSIGN_OR_RETURN(std::unique_ptr<target::TargetSystemInterface> minted,
+                     target_factory_());
+    RETURN_IF_ERROR(ConfigureTargetWorkload(config, minted.get()).status());
+    slot = TargetSlot::Own(std::move(minted));
+  }
 
   // ---- the experiment loop ---------------------------------------------
   ProgressInfo progress;
@@ -310,16 +334,29 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     ASSIGN_OR_RETURN(
         target::ExperimentSpec spec,
         SampleExperimentSpec(plan, i, &summary.preinjection_resamples));
-    target_->set_experiment(spec);
-    target_->set_logging_mode(config.logging_mode);
-    RETURN_IF_ERROR(target_->RunExperiment());
-    const target::Observation observation = target_->TakeObservation();
-    RETURN_IF_ERROR(LogExperimentObservation(*database_, spec.name, "",
-                                             campaign_name, &spec,
-                                             observation));
+    // Fail-soft: a retryable tool-level failure (hang, target fault,
+    // transport error) consumes attempts and possibly quarantines the
+    // instance, but never the rest of the campaign — an abandoned
+    // experiment logs its disposition with a NULL observation and the
+    // loop moves on. Only non-retryable errors abort the run.
+    ASSIGN_OR_RETURN(SupervisedOutcome outcome,
+                     RunSupervisedExperiment(slot, spec, config, policy,
+                                             target_factory_));
+    const bool completed = outcome.disposition.completed();
+    RETURN_IF_ERROR(LogExperimentObservation(
+        *database_, spec.name, "", campaign_name, &spec,
+        completed ? &outcome.observation : nullptr, &outcome.disposition));
     ++summary.experiments_run;
+    summary.experiment_retries += outcome.disposition.attempts - 1;
+    summary.targets_quarantined += outcome.disposition.quarantined;
+    if (!completed) ++summary.experiments_abandoned;
     progress.experiments_done = skipped_existing + summary.experiments_run;
-    if (observation.fault_was_injected) ++progress.faults_injected;
+    progress.experiment_retries = summary.experiment_retries;
+    progress.experiments_abandoned = summary.experiments_abandoned;
+    progress.targets_quarantined = summary.targets_quarantined;
+    if (completed && outcome.observation.fault_was_injected) {
+      ++progress.faults_injected;
+    }
     progress.current_experiment = spec.name;
     if (progress_) progress_(progress);
     if (checkpoint_every_ != 0 &&
@@ -374,7 +411,8 @@ Result<std::string> CampaignRunner::ReRunInDetailMode(
                    ParseExperimentSpec(experiment_data));
   ASSIGN_OR_RETURN(CampaignConfig config,
                    LoadCampaign(*database_, campaign_name));
-  RETURN_IF_ERROR(ConfigureTargetWorkload(config, target_).status());
+  ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
+                   ConfigureTargetWorkload(config, target_));
 
   // Unique child name: count existing children of this experiment.
   std::size_t child_count = 0;
@@ -388,14 +426,22 @@ Result<std::string> CampaignRunner::ReRunInDetailMode(
       StrFormat("%s/detail%zu", experiment_name.c_str(), child_count);
   spec.name = child_name;
 
-  target_->set_experiment(spec);
-  target_->set_logging_mode(target::LoggingMode::kDetail);
-  RETURN_IF_ERROR(target_->RunExperiment());
+  // Fail-soft (like the campaign loop): a detail re-run that the tool
+  // cannot complete still logs its disposition — with no observation —
+  // instead of erroring out of the investigation workflow.
+  CampaignConfig detail_config = config;
+  detail_config.logging_mode = target::LoggingMode::kDetail;
+  const SupervisionPolicy policy =
+      ResolveSupervisionPolicy(detail_config, workload.termination);
+  TargetSlot slot = TargetSlot::Borrow(target_);
+  ASSIGN_OR_RETURN(SupervisedOutcome outcome,
+                   RunSupervisedExperiment(slot, spec, detail_config, policy,
+                                           target_factory_));
   target_->set_logging_mode(target::LoggingMode::kNormal);
-  const target::Observation observation = target_->TakeObservation();
-  RETURN_IF_ERROR(LogExperimentObservation(*database_, child_name,
-                                           experiment_name, campaign_name,
-                                           &spec, observation));
+  const bool completed = outcome.disposition.completed();
+  RETURN_IF_ERROR(LogExperimentObservation(
+      *database_, child_name, experiment_name, campaign_name, &spec,
+      completed ? &outcome.observation : nullptr, &outcome.disposition));
   return child_name;
 }
 

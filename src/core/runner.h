@@ -30,8 +30,10 @@
 #include "core/campaign.h"
 #include "core/location.h"
 #include "core/preinjection.h"
+#include "core/supervision.h"
 #include "util/rng.h"
 #include "db/database.h"
+#include "target/factory.h"
 #include "target/fault_injection_algorithms.h"
 #include "util/status.h"
 
@@ -62,6 +64,12 @@ struct ProgressInfo {
   std::size_t experiments_total = 0;
   std::size_t faults_injected = 0;
   std::string current_experiment;
+  // Supervision counters (core/supervision.h): extra attempts consumed
+  // by retries, experiments the tool gave up on, target instances
+  // quarantined/replaced.
+  std::size_t experiment_retries = 0;
+  std::size_t experiments_abandoned = 0;
+  std::size_t targets_quarantined = 0;
 };
 
 using ProgressCallback = std::function<void(ProgressInfo)>;
@@ -81,6 +89,13 @@ struct CampaignSummary {
   // unpruned space.
   std::uint64_t static_pruned_bits = 0;
   double static_pruned_fraction = 0.0;
+  // Supervision totals: extra attempts retried, experiments abandoned
+  // with a non-ok tool status (their rows carry no observation), target
+  // instances quarantined. experiments_run includes abandoned ones —
+  // every planned experiment ends with a logged disposition.
+  std::size_t experiment_retries = 0;
+  std::size_t experiments_abandoned = 0;
+  std::size_t targets_quarantined = 0;
 };
 
 // ---- the deterministic experiment plan --------------------------------
@@ -121,13 +136,17 @@ Result<target::WorkloadSpec> ConfigureTargetWorkload(
     const CampaignConfig& config, target::TargetSystemInterface* target);
 
 // Append one experiment (or reference, spec == nullptr) row to
-// LoggedSystemState.
+// LoggedSystemState. `observation` may be null for an abandoned
+// experiment (the tool never completed a run; the state_vector column
+// stays NULL). `disposition` may be null, meaning the default
+// first-try/ok/no-quarantine disposition.
 Status LogExperimentObservation(db::Database& database,
                                 const std::string& experiment_name,
                                 const std::string& parent,
                                 const std::string& campaign_name,
                                 const target::ExperimentSpec* spec,
-                                const target::Observation& observation);
+                                const target::Observation* observation,
+                                const ExperimentDisposition* disposition);
 
 // Rewrite the campaign's status/experiments_done columns.
 Status UpdateCampaignRunStatus(db::Database& database,
@@ -148,6 +167,10 @@ struct PreparedCampaign {
   std::vector<target::TargetSystemInterface::LocationInfo> locations;
   std::uint64_t window_lo = 1;
   std::uint64_t window_hi = 1;
+  // The workload's tool-level termination defaults; the supervision
+  // policy derives its watchdog deadline from these when the campaign
+  // sets no explicit experiment_timeout_ms.
+  target::TerminationSpec workload_termination{0, 0};
   // Prefilled with the reference observation and static-analysis stats.
   CampaignSummary summary;
 
@@ -190,6 +213,16 @@ class CampaignRunner {
     checkpoint_every_ = every_n;
   }
 
+  // Give the runner a way to mint fresh target instances. With a
+  // factory, experiments run on factory-made instances under the full
+  // supervision discipline: a wedged instance is abandoned to the
+  // reaper and replaced (quarantine). Without one, the caller-owned
+  // target is reused for every attempt and over-deadline runs are only
+  // classified after they return.
+  void set_target_factory(target::TargetFactory factory) {
+    target_factory_ = std::move(factory);
+  }
+
   // Run a stored campaign end to end (any technique).
   Result<CampaignSummary> Run(const std::string& campaign_name);
 
@@ -215,6 +248,7 @@ class CampaignRunner {
 
   db::Database* database_;
   target::TargetSystemInterface* target_;
+  target::TargetFactory target_factory_;
   ProgressCallback progress_;
   CampaignController* controller_ = nullptr;
   std::string checkpoint_directory_;

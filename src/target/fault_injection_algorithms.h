@@ -70,11 +70,13 @@ class TargetSystemInterface {
   sim::Tracer* external_tracer() const { return external_tracer_; }
 
   // Fault-free reference run: the Fig. 2 sequence without the trigger
-  // and injection phases. Produces the golden observation.
-  Status MakeReferenceRun();
+  // and injection phases. Produces the golden observation. Virtual so
+  // decorator targets (target/flaky_target.h) can wrap the run without
+  // re-implementing the Fig. 3 operations.
+  virtual Status MakeReferenceRun();
 
   // Run the experiment in spec_ with the technique it names.
-  Status RunExperiment();
+  virtual Status RunExperiment();
 
   // ------------------------------------------------------------------
   // The Fig. 2 algorithms (template methods; public so tools can drive
@@ -87,7 +89,7 @@ class TargetSystemInterface {
   // The observation of the last completed run. TakeObservation hands it
   // over and resets the slate for the next run.
   const Observation& observation() const { return observation_; }
-  Observation TakeObservation();
+  virtual Observation TakeObservation();
 
  protected:
   // ------------------------------------------------------------------

@@ -1,0 +1,75 @@
+// FlakyTargetFactory: fault injection for the fault injector.
+//
+// Wraps any TargetFactory so every minted instance forwards to a real
+// target but consults a shared, deterministic script before each
+// RunExperiment: scripted attempts fail with a transport error (kIo),
+// a target fault (kTargetFault) or a *hang* (the call wedges for
+// `hang_ms` of wall-clock time before failing — long enough to trip
+// the campaign supervisor's watchdog). The script is keyed by
+// (experiment index, per-experiment attempt number), never by worker
+// or wall clock, so the same script produces the same dispositions in
+// serial and sharded runs regardless of scheduling.
+//
+// This is how the supervision layer (core/supervision.h) is itself
+// tested by fault injection, and what `goofi_tool --flaky` and the
+// flaky-target-smoke CI job feed the campaign runners.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "target/factory.h"
+
+namespace goofi::target {
+
+enum class FlakyFault {
+  kIo,           // transient transport failure: kIo status
+  kTargetFault,  // target refused the operation: kTargetFault status
+  kHang,         // the host<->test-card link wedges for hang_ms
+};
+
+// One shared script steers every instance a flaky factory mints.
+// Reference runs and experiments whose (index, attempt) is not
+// scripted pass through untouched.
+struct FlakyScript {
+  // (experiment index, 1-based attempt for that experiment) -> fault.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, FlakyFault> faults;
+  // Experiments that fail *every* attempt (scripted unrecoverable).
+  std::map<std::uint64_t, FlakyFault> always;
+  // How long a scripted hang wedges the link. Pick this larger than
+  // the campaign's experiment_timeout_ms so the watchdog fires first.
+  std::uint64_t hang_ms = 100;
+
+  // Injection counters (across all minted instances and threads).
+  std::atomic<std::uint64_t> faults_injected{0};
+  std::atomic<std::uint64_t> hangs_injected{0};
+
+  // Per-experiment attempt counters, so retries of experiment i see
+  // attempt 2, 3, ... whichever instance or worker runs them.
+  std::mutex mutex;
+  std::map<std::uint64_t, std::uint32_t> attempts_seen;
+};
+
+// Parse a script spec like "io@3;hang@5;target_fault@7:2;io@9:*":
+// `<kind>@<experiment>[:<attempt>]`, ';'- or ','-separated. Attempt
+// defaults to 1 (the first try); `:*` scripts every attempt. Kinds:
+// io, target_fault, hang. Optional `hang_ms=<n>` entry overrides the
+// hang duration.
+Result<std::shared_ptr<FlakyScript>> ParseFlakyScript(
+    const std::string& text);
+
+// The experiment index encoded in a canonical experiment name
+// ("<campaign>/exp00042[/detail0]" -> 42); max uint64 when the name
+// has none (e.g. the reference run).
+std::uint64_t FlakyExperimentIndex(const std::string& experiment_name);
+
+// Wrap `inner` so every minted instance shares `script`.
+TargetFactory MakeFlakyTargetFactory(TargetFactory inner,
+                                     std::shared_ptr<FlakyScript> script);
+
+}  // namespace goofi::target

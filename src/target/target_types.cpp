@@ -53,6 +53,10 @@ std::string Observation::Serialize() const {
   out += StrFormat(";recov=%llu",
                    static_cast<unsigned long long>(recovery_count));
   out += StrFormat(";inj=%d", fault_was_injected ? 1 : 0);
+  if (link_words_retried != 0) {
+    out += StrFormat(";linkretry=%llu",
+                     static_cast<unsigned long long>(link_words_retried));
+  }
   if (edm.has_value()) {
     out += StrFormat(";edm=%d,%llu,0x%08x,%s", static_cast<int>(edm->type),
                      static_cast<unsigned long long>(edm->time), edm->pc,
@@ -122,12 +126,14 @@ Result<Observation> Observation::Deserialize(const std::string& text) {
       if (!parsed || *parsed > 4) return BadObservation("stop=" + value);
       observation.stop_reason = static_cast<sim::StopReason>(*parsed);
       saw_stop = true;
-    } else if (key == "instr" || key == "iter" || key == "recov") {
+    } else if (key == "instr" || key == "iter" || key == "recov" ||
+               key == "linkretry") {
       const auto parsed = ParseUint64(value);
       if (!parsed) return BadObservation(key + "=" + value);
       if (key == "instr") observation.instructions = *parsed;
       if (key == "iter") observation.iterations = *parsed;
       if (key == "recov") observation.recovery_count = *parsed;
+      if (key == "linkretry") observation.link_words_retried = *parsed;
     } else if (key == "inj") {
       observation.fault_was_injected = value == "1";
     } else if (key == "edm") {

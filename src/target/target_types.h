@@ -105,6 +105,11 @@ struct Observation {
   std::uint64_t iterations = 0;
   std::uint64_t recovery_count = 0;
   bool fault_was_injected = false;
+  // Words the test card's exchange chain had to retry on the host link
+  // during this run (TestCard link-level fault recovery). 0 on a clean
+  // link; serialized only when nonzero so fault-free observations keep
+  // their historical text form.
+  std::uint64_t link_words_retried = 0;
   // First error-detection event, when the run stopped on one.
   std::optional<sim::EdmEvent> edm;
   // Final image of each scan chain, keyed by chain name.

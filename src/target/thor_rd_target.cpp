@@ -157,6 +157,7 @@ Status ThorRdTarget::initTestCard() {
   scan_images_.clear();
   breakpoint_hit_ = false;
   run_finished_ = false;
+  link_retry_baseline_ = card_.link_stats().words_retried;
   return Status::Ok();
 }
 
@@ -277,6 +278,8 @@ Status ThorRdTarget::readMemory() {
         card_.DumpMemory(workload_.output_base, workload_.output_length));
   }
   observation_.emitted = card_.cpu().emitted();
+  observation_.link_words_retried =
+      card_.link_stats().words_retried - link_retry_baseline_;
   return Status::Ok();
 }
 

@@ -105,6 +105,9 @@ class ThorRdTarget : public TargetSystemInterface {
   std::map<std::string, BitVector> scan_images_;
   bool breakpoint_hit_ = false;
   bool run_finished_ = false;
+  // The card's cumulative link-retry counter at initTestCard time;
+  // readMemory records the per-run delta into the observation.
+  std::uint64_t link_retry_baseline_ = 0;
 };
 
 // The commercial (non rad-hard) Thor: the same board with the cache

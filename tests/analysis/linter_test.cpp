@@ -400,6 +400,38 @@ TEST(LintCampaignTest, PreRuntimeSwifiIgnoresTriggerAndStaticAnalysis) {
   EXPECT_EQ(ignored, 2);
 }
 
+TEST(LintCampaignTest, SupervisionKeysAreKnownAndCleanTogether) {
+  const auto diagnostics = LintCampaign(std::string(kCleanCampaign) +
+                                        "experiment_timeout_ms = 2000\n"
+                                        "max_retries = 2\n"
+                                        "retry_backoff_ms = 10\n"
+                                        "jobs = 4\n");
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintCampaignTest, RetriesWithoutATimeoutWarn) {
+  // max_retries without experiment_timeout_ms: retries only fire on
+  // returned errors, so a wedged target still stalls the campaign for
+  // the full derived deadline. Flag the half-configured supervisor.
+  const auto diagnostics =
+      LintCampaign(std::string(kCleanCampaign) + "max_retries = 2\n");
+  const LintDiagnostic* found = Find(diagnostics, "retry-without-timeout");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 7);
+}
+
+TEST(LintCampaignTest, BackoffWithoutRetriesIsIgnored) {
+  const auto diagnostics = LintCampaign(std::string(kCleanCampaign) +
+                                        "experiment_timeout_ms = 2000\n"
+                                        "retry_backoff_ms = 10\n");
+  const LintDiagnostic* found = Find(diagnostics, "ignored-key");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_NE(found->message.find("retry_backoff_ms"), std::string::npos);
+}
+
 TEST(LintCampaignTest, LocationFilterMatchingNothingIsAnError) {
   target::ThorRdTarget thor;
   const auto locations = thor.ListLocations();
@@ -426,7 +458,7 @@ TEST(LintCampaignTest, RepositoryCampaignsAreClean) {
   target::ThorRdTarget thor;
   const auto locations = thor.ListLocations();
   for (const char* name : {"engine_preinjection", "image_swifi",
-                           "regs_scifi"}) {
+                           "regs_scifi", "regs_scifi_supervised"}) {
     const std::string path =
         std::string(GOOFI_CAMPAIGNS_DIR "/") + name + ".ini";
     std::ifstream in(path, std::ios::binary);

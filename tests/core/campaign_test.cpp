@@ -90,6 +90,27 @@ TEST(CampaignConfigTest, JobsIsAnExecutionKnobNotCampaignIdentity) {
   EXPECT_EQ(loaded->jobs, 1u);  // not persisted: loads as the default
 }
 
+TEST(CampaignConfigTest, ParsesSupervisionKeys) {
+  auto config = Config::Parse(
+      "[campaign]\nname = x\nworkload = fib\n"
+      "experiment_timeout_ms = 2000\nmax_retries = 3\n"
+      "retry_backoff_ms = 50\n");
+  ASSERT_TRUE(config.ok());
+  auto campaign = ParseCampaignConfig(*config->FindSection("campaign"));
+  ASSERT_TRUE(campaign.ok()) << campaign.status().ToString();
+  EXPECT_EQ(campaign->experiment_timeout_ms, 2000u);
+  EXPECT_EQ(campaign->max_retries, 3u);
+  EXPECT_EQ(campaign->retry_backoff_ms, 50u);
+
+  // All default to "off" (timeout derived, no retries).
+  auto plain = Config::Parse("[campaign]\nname = x\nworkload = fib\n");
+  auto defaults = ParseCampaignConfig(*plain->FindSection("campaign"));
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->experiment_timeout_ms, 0u);
+  EXPECT_EQ(defaults->max_retries, 0u);
+  EXPECT_EQ(defaults->retry_backoff_ms, 0u);
+}
+
 TEST(CampaignConfigTest, DefaultsApply) {
   auto config = Config::Parse("[campaign]\nname = x\nworkload = fib\n");
   ASSERT_TRUE(config.ok());
@@ -225,6 +246,21 @@ TEST_F(CampaignDbTest, StoreAndLoadRoundTrip) {
   EXPECT_EQ(loaded->termination.max_iterations, 11u);
   EXPECT_EQ(loaded->logging_mode, target::LoggingMode::kDetail);
   EXPECT_TRUE(loaded->use_preinjection_analysis);
+}
+
+TEST_F(CampaignDbTest, SupervisionKeysRoundTripThroughCampaignData) {
+  // Unlike `jobs`, the supervision keys ARE part of the campaign
+  // record: an abandoned experiment's disposition depends on them.
+  CampaignConfig config = MakeConfig("supervised");
+  config.experiment_timeout_ms = 2500;
+  config.max_retries = 2;
+  config.retry_backoff_ms = 10;
+  ASSERT_TRUE(StoreCampaign(database_, config).ok());
+  auto loaded = LoadCampaign(database_, "supervised");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->experiment_timeout_ms, 2500u);
+  EXPECT_EQ(loaded->max_retries, 2u);
+  EXPECT_EQ(loaded->retry_backoff_ms, 10u);
 }
 
 TEST_F(CampaignDbTest, DuplicateCampaignRejected) {

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/analysis.h"
 #include "core/goofi_schema.h"
 #include "db/sql/executor.h"
+#include "target/flaky_target.h"
 #include "target/framework_target.h"
 #include "target/thor_rd_target.h"
 #include "target/workloads.h"
@@ -332,6 +334,95 @@ TEST_F(ParallelRunnerTest, PauseResumeStopUnderFireLeavesResumableState) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(status->rows[0][0].AsText(), "completed");
   EXPECT_EQ(status->rows[0][1].AsInteger(), 120);
+}
+
+// Satellite: the supervisor must not cost the sharded runner its
+// serial-equivalence guarantee. With the same scripted faults, a flaky
+// 4-worker run is bit-identical to a flaky serial run; every surviving
+// experiment matches a fault-free serial baseline; and the abandoned
+// experiment is recorded with its non-ok tool status, not lost.
+TEST_F(ParallelRunnerTest, SupervisorPreservesSerialEquivalenceUnderFaults) {
+  CampaignConfig config = MakeConfig("flaky_eq");
+  config.experiment_timeout_ms = 30'000;
+  config.max_retries = 2;
+  config.retry_backoff_ms = 1;
+
+  // The script is keyed by (experiment, attempt), so two fresh copies
+  // of it steer the serial and parallel runs identically regardless of
+  // worker scheduling.
+  auto make_script = [] {
+    auto script = std::make_shared<target::FlakyScript>();
+    script->faults[{3, 1}] = target::FlakyFault::kTargetFault;
+    script->faults[{11, 1}] = target::FlakyFault::kIo;
+    script->faults[{11, 2}] = target::FlakyFault::kIo;
+    script->always[17] = target::FlakyFault::kIo;  // abandoned
+    return script;
+  };
+
+  db::Database clean_db;
+  SetUpDatabase(clean_db, config);
+  target::ThorRdTarget clean_target;
+  ASSERT_TRUE(
+      CampaignRunner(&clean_db, &clean_target).Run("flaky_eq").ok());
+
+  db::Database serial_db;
+  SetUpDatabase(serial_db, config);
+  target::ThorRdTarget serial_target;
+  CampaignRunner serial_runner(&serial_db, &serial_target);
+  serial_runner.set_target_factory(
+      target::MakeFlakyTargetFactory(ThorFactory(), make_script()));
+  auto serial_summary = serial_runner.Run("flaky_eq");
+  ASSERT_TRUE(serial_summary.ok()) << serial_summary.status().ToString();
+
+  db::Database parallel_db;
+  SetUpDatabase(parallel_db, config);
+  ParallelCampaignRunner parallel_runner(
+      &parallel_db,
+      target::MakeFlakyTargetFactory(ThorFactory(), make_script()), 4);
+  auto parallel_summary = parallel_runner.Run("flaky_eq");
+  ASSERT_TRUE(parallel_summary.ok())
+      << parallel_summary.status().ToString();
+
+  // No experiment lost, and the supervision counters agree.
+  EXPECT_EQ(serial_summary->experiments_run, 24u);
+  EXPECT_EQ(parallel_summary->experiments_run, 24u);
+  EXPECT_EQ(serial_summary->experiment_retries, 5u);
+  EXPECT_EQ(parallel_summary->experiment_retries, 5u);
+  EXPECT_EQ(serial_summary->experiments_abandoned, 1u);
+  EXPECT_EQ(parallel_summary->experiments_abandoned, 1u);
+  EXPECT_EQ(serial_summary->targets_quarantined, 6u);
+  EXPECT_EQ(parallel_summary->targets_quarantined, 6u);
+
+  // Flaky serial and flaky 4-worker databases are bit-identical —
+  // dispositions, row order and all.
+  EXPECT_EQ(DumpTable(parallel_db, kLoggedSystemStateTable),
+            DumpTable(serial_db, kLoggedSystemStateTable));
+  EXPECT_EQ(DumpTable(parallel_db, kCampaignDataTable),
+            DumpTable(serial_db, kCampaignDataTable));
+
+  // Every surviving experiment — retried ones included — produced the
+  // same spec and observation as the fault-free baseline.
+  for (std::size_t i = 0; i < 24; ++i) {
+    const std::string query =
+        "SELECT experiment_data, state_vector, tool_status FROM "
+        "LoggedSystemState WHERE experiment_name = '" +
+        ExperimentName("flaky_eq", i) + "'";
+    auto flaky = db::sql::ExecuteSql(parallel_db, query);
+    auto clean = db::sql::ExecuteSql(clean_db, query);
+    ASSERT_TRUE(flaky.ok());
+    ASSERT_TRUE(clean.ok());
+    ASSERT_EQ(flaky->rows.size(), 1u) << i;
+    if (i == 17) {
+      // The abandoned experiment keeps its row: disposition recorded,
+      // observation absent.
+      EXPECT_EQ(flaky->rows[0][2].AsText(), "io");
+      EXPECT_TRUE(flaky->rows[0][1].is_null());
+      continue;
+    }
+    EXPECT_EQ(flaky->rows[0][2].AsText(), "ok") << i;
+    EXPECT_EQ(flaky->rows[0][0].AsText(), clean->rows[0][0].AsText()) << i;
+    EXPECT_EQ(flaky->rows[0][1].AsText(), clean->rows[0][1].AsText()) << i;
+  }
 }
 
 // Aggregate-aware pause: with the fleet paused before the first claim,

@@ -1,0 +1,490 @@
+// The supervision layer under test by fault injection: a FlakyTarget
+// factory scripts transport faults, target faults and hangs at exact
+// (experiment, attempt) coordinates, and the tests assert the
+// supervisor's dispositions — retries consumed, instances quarantined,
+// experiments abandoned with the right tool status — plus the
+// fail-soft behaviour of the serial campaign loop and the detail
+// re-run workflow built on top of it.
+#include "core/supervision.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/analysis.h"
+#include "core/goofi_schema.h"
+#include "core/runner.h"
+#include "db/sql/executor.h"
+#include "target/factory.h"
+#include "target/flaky_target.h"
+#include "target/thor_rd_target.h"
+
+namespace goofi::core {
+namespace {
+
+using target::FlakyFault;
+using target::FlakyScript;
+
+// ---- policy ------------------------------------------------------------
+
+TEST(SupervisionPolicyTest, DerivedTimeoutHasAFloorAndScalesWithBudget) {
+  EXPECT_EQ(DeriveExperimentTimeoutMs(0), 1000u);
+  EXPECT_EQ(DeriveExperimentTimeoutMs(1), 1000u);
+  EXPECT_EQ(DeriveExperimentTimeoutMs(500'000), 1000u);
+  EXPECT_EQ(DeriveExperimentTimeoutMs(2'000'000), 2100u);
+  EXPECT_EQ(DeriveExperimentTimeoutMs(50'000'000), 50'100u);
+}
+
+TEST(SupervisionPolicyTest, ExplicitTimeoutBeatsEveryDerivation) {
+  CampaignConfig config;
+  config.experiment_timeout_ms = 777;
+  config.max_retries = 3;
+  config.retry_backoff_ms = 5;
+  const SupervisionPolicy policy =
+      ResolveSupervisionPolicy(config, target::TerminationSpec{9'000'000, 0});
+  EXPECT_EQ(policy.experiment_timeout_ms, 777u);
+  EXPECT_EQ(policy.max_retries, 3u);
+  EXPECT_EQ(policy.retry_backoff_ms, 5u);
+}
+
+TEST(SupervisionPolicyTest, TimeoutDerivesFromTheEffectiveBudget) {
+  // Campaign termination override beats the workload's default.
+  CampaignConfig config;
+  config.termination.max_instructions = 10'000'000;
+  EXPECT_EQ(ResolveSupervisionPolicy(config,
+                                     target::TerminationSpec{4'000'000, 0})
+                .experiment_timeout_ms,
+            DeriveExperimentTimeoutMs(10'000'000));
+  // Workload default beats the global budget.
+  config.termination.max_instructions = 0;
+  EXPECT_EQ(ResolveSupervisionPolicy(config,
+                                     target::TerminationSpec{4'000'000, 0})
+                .experiment_timeout_ms,
+            DeriveExperimentTimeoutMs(4'000'000));
+  // Nothing set: the global 2M-instruction budget.
+  EXPECT_EQ(ResolveSupervisionPolicy(config, target::TerminationSpec{0, 0})
+                .experiment_timeout_ms,
+            DeriveExperimentTimeoutMs(2'000'000));
+}
+
+// ---- the flaky script --------------------------------------------------
+
+TEST(FlakyScriptTest, ParsesKindsAttemptsAndHangDuration) {
+  auto script = target::ParseFlakyScript(
+      "io@3;hang@5;target_fault@7:2;io@9:*;hang_ms=250");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ((*script)->faults.at({3, 1}), FlakyFault::kIo);
+  EXPECT_EQ((*script)->faults.at({5, 1}), FlakyFault::kHang);
+  EXPECT_EQ((*script)->faults.at({7, 2}), FlakyFault::kTargetFault);
+  EXPECT_EQ((*script)->always.at(9), FlakyFault::kIo);
+  EXPECT_EQ((*script)->hang_ms, 250u);
+  // Comma separation works too.
+  EXPECT_TRUE(target::ParseFlakyScript("io@1,io@2").ok());
+}
+
+TEST(FlakyScriptTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(target::ParseFlakyScript("laser@3").ok());
+  EXPECT_FALSE(target::ParseFlakyScript("io@").ok());
+  EXPECT_FALSE(target::ParseFlakyScript("io").ok());
+  EXPECT_FALSE(target::ParseFlakyScript("io@x").ok());
+  EXPECT_FALSE(target::ParseFlakyScript("io@3:y").ok());
+}
+
+TEST(FlakyScriptTest, ExperimentIndexComesFromTheCanonicalName) {
+  EXPECT_EQ(target::FlakyExperimentIndex("camp/exp00042"), 42u);
+  EXPECT_EQ(target::FlakyExperimentIndex("camp/exp00007/detail0"), 7u);
+  // Reference runs (and anything unnamed) are never scripted.
+  EXPECT_EQ(target::FlakyExperimentIndex("camp/reference"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+// ---- the supervised run ------------------------------------------------
+
+class SupervisedRunTest : public ::testing::Test {
+ protected:
+  static CampaignConfig MakeConfig() {
+    CampaignConfig config;
+    config.name = "sup";
+    config.workload = "fib";
+    config.seed = 7;
+    return config;
+  }
+
+  // An experiment any thor_rd instance can run: flip one register bit
+  // before the first instruction.
+  static target::ExperimentSpec MakeSpec(const std::string& name) {
+    target::ExperimentSpec spec;
+    spec.name = name;
+    spec.targets = {{"cpu.regs.r2", 13}};
+    return spec;
+  }
+
+  // A flaky thor_rd factory sharing `script`, plus a slot owning one
+  // configured instance minted from it.
+  target::TargetFactory FlakyFactory(std::shared_ptr<FlakyScript> script) {
+    auto inner = target::BuiltinTargetFactory("thor_rd");
+    EXPECT_TRUE(inner.ok());
+    return target::MakeFlakyTargetFactory(*inner, std::move(script));
+  }
+
+  TargetSlot MintConfiguredSlot(const target::TargetFactory& factory,
+                                const CampaignConfig& config) {
+    auto made = factory();
+    EXPECT_TRUE(made.ok());
+    EXPECT_TRUE(ConfigureTargetWorkload(config, made->get()).ok());
+    return TargetSlot::Own(std::move(*made));
+  }
+
+  static SupervisionPolicy FastPolicy(std::uint32_t max_retries,
+                                      std::uint64_t timeout_ms = 30'000) {
+    SupervisionPolicy policy;
+    policy.experiment_timeout_ms = timeout_ms;
+    policy.max_retries = max_retries;
+    policy.retry_backoff_ms = 1;  // exercise the backoff path cheaply
+    return policy;
+  }
+};
+
+TEST_F(SupervisedRunTest, CleanRunCompletesOnTheFirstAttempt) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  const target::TargetFactory factory = FlakyFactory(script);
+  TargetSlot slot = MintConfiguredSlot(factory, config);
+
+  auto outcome = RunSupervisedExperiment(slot, MakeSpec("sup/exp00001"),
+                                         config, FastPolicy(2), factory);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->disposition.completed());
+  EXPECT_FALSE(outcome->disposition.retried());
+  EXPECT_EQ(outcome->disposition.attempts, 1u);
+  EXPECT_EQ(outcome->disposition.quarantined, 0u);
+  EXPECT_TRUE(outcome->last_error.ok());
+  EXPECT_TRUE(outcome->observation.fault_was_injected);
+}
+
+TEST_F(SupervisedRunTest, RetryableFaultRetriesQuarantinesAndMatchesClean) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  script->faults[{3, 1}] = FlakyFault::kTargetFault;  // first try only
+  const target::TargetFactory factory = FlakyFactory(script);
+  TargetSlot slot = MintConfiguredSlot(factory, config);
+
+  auto outcome = RunSupervisedExperiment(slot, MakeSpec("sup/exp00003"),
+                                         config, FastPolicy(2), factory);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->disposition.completed());
+  EXPECT_EQ(outcome->disposition.attempts, 2u);
+  EXPECT_EQ(outcome->disposition.quarantined, 1u);
+  EXPECT_EQ(script->faults_injected.load(), 1u);
+
+  // The retried experiment's observation is byte-identical to the same
+  // experiment run without any scripted fault: retries do not perturb
+  // results, which is what keeps flaky runs serial-equivalent.
+  auto clean_script = std::make_shared<FlakyScript>();
+  const target::TargetFactory clean = FlakyFactory(clean_script);
+  TargetSlot clean_slot = MintConfiguredSlot(clean, config);
+  auto clean_outcome = RunSupervisedExperiment(
+      clean_slot, MakeSpec("sup/exp00003"), config, FastPolicy(2), clean);
+  ASSERT_TRUE(clean_outcome.ok());
+  EXPECT_EQ(outcome->observation.Serialize(),
+            clean_outcome->observation.Serialize());
+}
+
+TEST_F(SupervisedRunTest, ExhaustedRetriesAbandonWithTheFinalToolStatus) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  script->always[4] = FlakyFault::kIo;  // every attempt fails
+  const target::TargetFactory factory = FlakyFactory(script);
+  TargetSlot slot = MintConfiguredSlot(factory, config);
+
+  auto outcome = RunSupervisedExperiment(slot, MakeSpec("sup/exp00004"),
+                                         config, FastPolicy(2), factory);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->disposition.completed());
+  EXPECT_EQ(outcome->disposition.tool_status, kToolStatusIo);
+  EXPECT_EQ(outcome->disposition.attempts, 3u);  // 1 try + 2 retries
+  // Every failed attempt quarantined its instance.
+  EXPECT_EQ(outcome->disposition.quarantined, 3u);
+  EXPECT_EQ(outcome->last_error.code(), ErrorCode::kIo);
+  EXPECT_EQ(script->faults_injected.load(), 3u);
+  // The slot still holds a healthy replacement for the next experiment.
+  EXPECT_NE(slot.get(), nullptr);
+}
+
+TEST_F(SupervisedRunTest, WatchdogAbandonsAWedgedOwnedInstance) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  script->faults[{5, 1}] = FlakyFault::kHang;
+  script->hang_ms = 1500;  // well past the 100 ms watchdog below
+  const target::TargetFactory factory = FlakyFactory(script);
+  TargetSlot slot = MintConfiguredSlot(factory, config);
+
+  auto outcome =
+      RunSupervisedExperiment(slot, MakeSpec("sup/exp00005"), config,
+                              FastPolicy(1, /*timeout_ms=*/100), factory);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The hang consumed attempt 1, quarantine minted a replacement, and
+  // the unscripted retry completed.
+  EXPECT_TRUE(outcome->disposition.completed());
+  EXPECT_EQ(outcome->disposition.attempts, 2u);
+  EXPECT_GE(outcome->disposition.quarantined, 1u);
+  EXPECT_EQ(script->hangs_injected.load(), 1u);
+  // The wedged instance was handed to the reaper and self-releases
+  // when its run finally returns; drain it so no corpse outlives the
+  // test.
+  EXPECT_TRUE(WaitForAbandonedTargets(std::chrono::milliseconds(10'000)));
+  EXPECT_EQ(AbandonedTargetsInFlight(), 0u);
+}
+
+TEST_F(SupervisedRunTest, PersistentHangIsAbandonedAsAHang) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  script->always[6] = FlakyFault::kHang;
+  script->hang_ms = 1500;
+  const target::TargetFactory factory = FlakyFactory(script);
+  TargetSlot slot = MintConfiguredSlot(factory, config);
+
+  auto outcome =
+      RunSupervisedExperiment(slot, MakeSpec("sup/exp00006"), config,
+                              FastPolicy(0, /*timeout_ms=*/100), factory);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->disposition.completed());
+  EXPECT_EQ(outcome->disposition.tool_status, kToolStatusHang);
+  EXPECT_EQ(outcome->disposition.attempts, 1u);
+  EXPECT_TRUE(WaitForAbandonedTargets(std::chrono::milliseconds(10'000)));
+}
+
+TEST_F(SupervisedRunTest, BorrowedSlotRetriesInPlaceWithoutAFactory) {
+  const CampaignConfig config = MakeConfig();
+  auto script = std::make_shared<FlakyScript>();
+  script->faults[{8, 1}] = FlakyFault::kIo;
+  const target::TargetFactory factory = FlakyFactory(script);
+  auto made = factory();
+  ASSERT_TRUE(made.ok());
+  ASSERT_TRUE(ConfigureTargetWorkload(config, made->get()).ok());
+  TargetSlot slot = TargetSlot::Borrow(made->get());
+
+  // No factory: the retry must reuse the borrowed instance (and the
+  // caller keeps ownership throughout).
+  auto outcome =
+      RunSupervisedExperiment(slot, MakeSpec("sup/exp00008"), config,
+                              FastPolicy(1), target::TargetFactory());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->disposition.completed());
+  EXPECT_EQ(outcome->disposition.attempts, 2u);
+  EXPECT_EQ(outcome->disposition.quarantined, 0u);
+  EXPECT_EQ(slot.get(), made->get());
+}
+
+TEST_F(SupervisedRunTest, NonRetryableErrorsStayCampaignFatal) {
+  const CampaignConfig config = MakeConfig();
+  auto inner = target::BuiltinTargetFactory("thor_rd");
+  ASSERT_TRUE(inner.ok());
+  TargetSlot slot = MintConfiguredSlot(*inner, config);
+
+  // A programming error (nonexistent fault location) must surface as a
+  // Status, not burn retries or masquerade as an abandoned experiment.
+  auto outcome = RunSupervisedExperiment(slot, MakeSpec("sup/exp00002"),
+                                         config, FastPolicy(3), *inner);
+  target::ExperimentSpec bogus = MakeSpec("sup/exp00002");
+  bogus.targets = {{"no.such.element", 0}};
+  auto fatal = RunSupervisedExperiment(slot, bogus, config, FastPolicy(3),
+                                       *inner);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(fatal.ok());
+}
+
+// ---- the fail-soft campaign loop ---------------------------------------
+
+class SupervisedCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateGoofiSchema(database_).ok());
+    auto workload = target::GetBuiltinWorkload("fib");
+    ASSERT_TRUE(workload.ok());
+    ASSERT_TRUE(target_.SetWorkload(*workload).ok());
+    ASSERT_TRUE(RegisterTargetSystem(database_, target_, "card0", "").ok());
+  }
+
+  CampaignConfig MakeConfig(const std::string& name,
+                            std::uint32_t experiments = 12) {
+    CampaignConfig config;
+    config.name = name;
+    config.workload = "fib";
+    config.num_experiments = experiments;
+    config.seed = 11;
+    config.location_filters = {"cpu.regs.*"};
+    config.experiment_timeout_ms = 30'000;
+    config.max_retries = 2;
+    config.retry_backoff_ms = 1;
+    return config;
+  }
+
+  target::TargetFactory FlakyFactory(std::shared_ptr<FlakyScript> script) {
+    auto inner = target::BuiltinTargetFactory("thor_rd");
+    EXPECT_TRUE(inner.ok());
+    return target::MakeFlakyTargetFactory(*inner, std::move(script));
+  }
+
+  db::Value FetchOne(const std::string& column, const std::string& name) {
+    auto result = db::sql::ExecuteSql(
+        database_, "SELECT " + column +
+                       " FROM LoggedSystemState WHERE experiment_name = '" +
+                       name + "'");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->rows.size(), 1u) << name;
+    return result->rows[0][0];
+  }
+
+  db::Database database_;
+  target::ThorRdTarget target_;
+};
+
+TEST_F(SupervisedCampaignTest, FlakyCampaignCompletesAndLogsDispositions) {
+  ASSERT_TRUE(StoreCampaign(database_, MakeConfig("flaky")).ok());
+  auto script = std::make_shared<FlakyScript>();
+  script->faults[{3, 1}] = FlakyFault::kTargetFault;  // retried once
+  script->always[5] = FlakyFault::kIo;                // abandoned
+
+  CampaignRunner runner(&database_, &target_);
+  runner.set_target_factory(FlakyFactory(script));
+  auto summary = runner.Run("flaky");
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  // Every planned experiment ended with a logged disposition — the
+  // abandoned one included.
+  EXPECT_EQ(summary->experiments_run, 12u);
+  EXPECT_EQ(summary->experiments_stopped_early, 0u);
+  EXPECT_EQ(summary->experiment_retries, 3u);     // 1 (exp3) + 2 (exp5)
+  EXPECT_EQ(summary->experiments_abandoned, 1u);  // exp5
+  EXPECT_EQ(summary->targets_quarantined, 4u);    // 1 (exp3) + 3 (exp5)
+
+  // The retried experiment completed: ok status, real observation.
+  EXPECT_EQ(FetchOne("attempts", "flaky/exp00003").AsInteger(), 2);
+  EXPECT_EQ(FetchOne("tool_status", "flaky/exp00003").AsText(), "ok");
+  EXPECT_EQ(FetchOne("quarantined", "flaky/exp00003").AsInteger(), 1);
+  EXPECT_FALSE(FetchOne("state_vector", "flaky/exp00003").is_null());
+
+  // The abandoned experiment carries its full disposition and no
+  // observation (NULL state vector).
+  EXPECT_EQ(FetchOne("attempts", "flaky/exp00005").AsInteger(), 3);
+  EXPECT_EQ(FetchOne("tool_status", "flaky/exp00005").AsText(), "io");
+  EXPECT_EQ(FetchOne("quarantined", "flaky/exp00005").AsInteger(), 3);
+  EXPECT_TRUE(FetchOne("state_vector", "flaky/exp00005").is_null());
+
+  // Untouched experiments log the default disposition.
+  EXPECT_EQ(FetchOne("attempts", "flaky/exp00000").AsInteger(), 1);
+  EXPECT_EQ(FetchOne("tool_status", "flaky/exp00000").AsText(), "ok");
+  EXPECT_EQ(FetchOne("quarantined", "flaky/exp00000").AsInteger(), 0);
+
+  // The campaign still reads as completed.
+  auto status = db::sql::ExecuteSql(
+      database_,
+      "SELECT status, experiments_done FROM CampaignData WHERE "
+      "campaign_name = 'flaky'");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->rows[0][0].AsText(), "completed");
+  EXPECT_EQ(status->rows[0][1].AsInteger(), 12);
+}
+
+TEST_F(SupervisedCampaignTest, RetriedResultsMatchAFaultFreeRun) {
+  // The same campaign with and without scripted faults: every
+  // *surviving* experiment's data and state vector are byte-identical.
+  const CampaignConfig config = MakeConfig("ident");
+  ASSERT_TRUE(StoreCampaign(database_, config).ok());
+  auto script = std::make_shared<FlakyScript>();
+  script->faults[{2, 1}] = FlakyFault::kIo;
+  script->faults[{7, 1}] = FlakyFault::kTargetFault;
+  CampaignRunner flaky_runner(&database_, &target_);
+  flaky_runner.set_target_factory(FlakyFactory(script));
+  ASSERT_TRUE(flaky_runner.Run("ident").ok());
+
+  db::Database clean_db;
+  ASSERT_TRUE(CreateGoofiSchema(clean_db).ok());
+  target::ThorRdTarget clean_target;
+  auto workload = target::GetBuiltinWorkload("fib");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_TRUE(clean_target.SetWorkload(*workload).ok());
+  ASSERT_TRUE(
+      RegisterTargetSystem(clean_db, clean_target, "card0", "").ok());
+  CampaignConfig clean_config = config;
+  ASSERT_TRUE(StoreCampaign(clean_db, clean_config).ok());
+  CampaignRunner clean_runner(&clean_db, &clean_target);
+  ASSERT_TRUE(clean_runner.Run("ident").ok());
+
+  for (const std::size_t index : {2u, 7u}) {
+    const std::string name = ExperimentName("ident", index);
+    const std::string query =
+        "SELECT experiment_data, state_vector FROM LoggedSystemState WHERE "
+        "experiment_name = '" +
+        name + "'";
+    auto flaky_row = db::sql::ExecuteSql(database_, query);
+    auto clean_row = db::sql::ExecuteSql(clean_db, query);
+    ASSERT_TRUE(flaky_row.ok());
+    ASSERT_TRUE(clean_row.ok());
+    EXPECT_EQ(flaky_row->rows[0][0].AsText(), clean_row->rows[0][0].AsText())
+        << name;
+    EXPECT_EQ(flaky_row->rows[0][1].AsText(), clean_row->rows[0][1].AsText())
+        << name;
+  }
+}
+
+TEST_F(SupervisedCampaignTest, AnalysisSkipsAbandonedExperiments) {
+  ASSERT_TRUE(StoreCampaign(database_, MakeConfig("skipped")).ok());
+  auto script = std::make_shared<FlakyScript>();
+  script->always[4] = FlakyFault::kTargetFault;
+  CampaignRunner runner(&database_, &target_);
+  runner.set_target_factory(FlakyFactory(script));
+  ASSERT_TRUE(runner.Run("skipped").ok());
+
+  // The abandoned experiment is counted as tool-incomplete and excluded
+  // from the outcome taxonomy: an experiment with no observation is not
+  // evidence about the target's error-handling.
+  auto analysis = AnalyzeCampaign(database_, "skipped");
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->tool_incomplete, 1u);
+  EXPECT_EQ(analysis->total, 11u);
+  const std::string report = FormatAnalysisReport(*analysis);
+  EXPECT_NE(report.find("Tool-incomplete"), std::string::npos);
+}
+
+TEST_F(SupervisedCampaignTest, DetailReRunIsFailSoft) {
+  // Satellite: a detail re-run that hits tool-level failures retries
+  // like any experiment, and one the tool cannot complete still logs
+  // its disposition instead of erroring out of the investigation.
+  ASSERT_TRUE(StoreCampaign(database_, MakeConfig("forensic", 5)).ok());
+  auto script = std::make_shared<FlakyScript>();
+  // Campaign runs consume attempt 1 of each experiment; the re-runs
+  // below start at attempt 2.
+  script->faults[{2, 2}] = FlakyFault::kIo;           // retried re-run
+  script->faults[{3, 2}] = FlakyFault::kTargetFault;  // abandoned re-run
+  script->faults[{3, 3}] = FlakyFault::kTargetFault;
+  script->faults[{3, 4}] = FlakyFault::kTargetFault;
+  const target::TargetFactory factory = FlakyFactory(script);
+  auto flaky_serial = factory();
+  ASSERT_TRUE(flaky_serial.ok());
+
+  CampaignRunner runner(&database_, flaky_serial->get());
+  ASSERT_TRUE(runner.Run("forensic").ok());
+
+  auto retried = runner.ReRunInDetailMode("forensic/exp00002");
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, "forensic/exp00002/detail0");
+  EXPECT_EQ(FetchOne("attempts", *retried).AsInteger(), 2);
+  EXPECT_EQ(FetchOne("tool_status", *retried).AsText(), "ok");
+  EXPECT_FALSE(FetchOne("state_vector", *retried).is_null());
+
+  auto abandoned = runner.ReRunInDetailMode("forensic/exp00003");
+  ASSERT_TRUE(abandoned.ok()) << abandoned.status().ToString();
+  EXPECT_EQ(FetchOne("attempts", *abandoned).AsInteger(), 3);
+  EXPECT_EQ(FetchOne("tool_status", *abandoned).AsText(), "target_fault");
+  EXPECT_TRUE(FetchOne("state_vector", *abandoned).is_null());
+}
+
+}  // namespace
+}  // namespace goofi::core

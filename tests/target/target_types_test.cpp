@@ -92,6 +92,25 @@ TEST(TargetTypesTest, ObservationSerializeRoundTripsEveryField) {
   EXPECT_EQ(back.Serialize(), original.Serialize());
 }
 
+TEST(TargetTypesTest, LinkRetriesRoundTripAndAreOmittedWhenZero) {
+  Observation observation;
+  observation.link_words_retried = 17;
+  const std::string text = observation.Serialize();
+  EXPECT_NE(text.find("linkretry=17"), std::string::npos);
+  const auto decoded = Observation::Deserialize(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().link_words_retried, 17u);
+
+  // A clean link serializes exactly as it did before the field existed,
+  // so historical state vectors (and fault-free dumps) stay byte-stable.
+  observation.link_words_retried = 0;
+  EXPECT_EQ(observation.Serialize().find("linkretry"), std::string::npos);
+  EXPECT_EQ(Observation::Deserialize(observation.Serialize())
+                .value()
+                .link_words_retried,
+            0u);
+}
+
 TEST(TargetTypesTest, DefaultObservationRoundTrips) {
   const Observation original;
   const auto decoded = Observation::Deserialize(original.Serialize());

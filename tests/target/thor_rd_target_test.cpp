@@ -119,6 +119,41 @@ TEST(ThorRdTargetTest, ScifiRegisterFlipDivergesFromReference) {
   EXPECT_NE(observation.emitted[0], golden[0]);
 }
 
+TEST(ThorRdTargetTest, LinkRetriesLandInTheObservationPerRun) {
+  // A lossy host<->card link: every transferred word needs retries.
+  // The per-run delta (not the card's cumulative counter) must land in
+  // the observation, so each experiment logs its own link trouble.
+  TestCardOptions lossy;
+  lossy.link_fault_probability = 1.0;
+  ThorRdTarget target(lossy);
+  auto spec = GetBuiltinWorkload("fib");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(target.SetWorkload(std::move(spec.value())).ok());
+
+  ASSERT_TRUE(target.MakeReferenceRun().ok());
+  const std::uint64_t reference_retries =
+      target.observation().link_words_retried;
+  EXPECT_GT(reference_retries, 0u);
+
+  target.set_experiment(AtInstret(10, {"cpu.regs.r2", 13}));
+  ASSERT_TRUE(target.RunExperiment().ok());
+  const Observation observation = target.TakeObservation();
+  EXPECT_GT(observation.link_words_retried, 0u);
+  // Per-run delta, not the cumulative card counter.
+  EXPECT_LT(observation.link_words_retried,
+            target.test_card().link_stats().words_retried);
+  // And the stat survives the LoggedSystemState text codec.
+  auto decoded = Observation::Deserialize(observation.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().link_words_retried,
+            observation.link_words_retried);
+
+  // A clean link records none.
+  auto clean = MakeLoadedTarget("fib");
+  ASSERT_TRUE(clean->MakeReferenceRun().ok());
+  EXPECT_EQ(clean->observation().link_words_retried, 0u);
+}
+
 TEST(ThorRdTargetTest, RuntimeSwifiMatchesScifiForTheSameFlip) {
   // A transient register flip at the same trigger must corrupt the run
   // identically whether it arrives via the scan chains or the debug
