@@ -8,6 +8,12 @@
 // the sharding overhead is negligible); on an N-core host the regs
 // campaign scales to ~min(jobs, N)x because experiments share nothing
 // but the claim lock and the single writer.
+//
+// A second sweep repeats the worker ladder with checkpoint-fork
+// execution forced on, proving the dump stays bit-identical to the
+// serial replay baseline at every worker count — the two speedups
+// (sharding and forking) compose. All rows land in
+// BENCH_parallel_campaign.json.
 #include <thread>
 #include <vector>
 
@@ -59,6 +65,7 @@ void Prepare(goofi::db::Database& database,
 
 int main() {
   using namespace goofi;
+  bench::BenchJson json("parallel_campaign");
   std::printf("== T-PARALLEL: sharded campaign speedup ==\n\n");
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
@@ -89,36 +96,83 @@ int main() {
               static_cast<double>(serial_summary->experiments_run) /
                   serial_seconds,
               "1.00x", "(baseline)");
+  json.BeginEntry()
+      .Field("jobs", std::uint64_t{0})
+      .Field("checkpoint_mode", false)
+      .Field("experiments", std::uint64_t{serial_summary->experiments_run})
+      .Field("experiments_per_sec",
+             static_cast<double>(serial_summary->experiments_run) /
+                 serial_seconds)
+      .Field("mean_pretrigger_instructions_replayed",
+             serial_summary->experiments_run > 0
+                 ? static_cast<double>(
+                       serial_summary->trigger_instructions_total -
+                       serial_summary->instructions_skipped) /
+                       static_cast<double>(serial_summary->experiments_run)
+                 : 0.0)
+      .Field("dump_identical", true);
 
   auto factory = target::BuiltinTargetFactory("thor_rd");
   if (!factory.ok()) std::abort();
-  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
-    db::Database database;
-    core::CampaignConfig parallel_config = MakeConfig("par_serial");
-    Prepare(database, parallel_config);
-    core::ParallelCampaignRunner runner(&database, *factory, jobs);
-    const auto begin = std::chrono::steady_clock::now();
-    auto summary = runner.Run("par_serial");
-    const auto end = std::chrono::steady_clock::now();
-    if (!summary.ok()) {
-      std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
-      std::abort();
+  // Both sweeps replay the same stored campaign; the checkpoint-fork
+  // sweep only flips the execution-mode override, so every dump must
+  // still match the serial replay baseline byte for byte.
+  for (const bool checkpoint_on : {false, true}) {
+    if (checkpoint_on) {
+      std::printf("\ncheckpoint-fork forced on (same campaign, same "
+                  "expected dump):\n");
     }
-    const double seconds =
-        std::chrono::duration<double>(end - begin).count();
-    const bool identical = DumpLogged(database) == serial_rows;
-    std::printf("%-8zu %6zu | %9.3f %9.1f %8.2fx | %s\n", jobs,
-                summary->experiments_run, seconds,
-                static_cast<double>(summary->experiments_run) / seconds,
-                serial_seconds / seconds,
-                identical ? "bit-identical" : "MISMATCH");
-    if (!identical) return 1;
+    for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+      db::Database database;
+      core::CampaignConfig parallel_config = MakeConfig("par_serial");
+      Prepare(database, parallel_config);
+      core::ParallelCampaignRunner runner(&database, *factory, jobs);
+      runner.set_checkpoint_fork(checkpoint_on);
+      const auto begin = std::chrono::steady_clock::now();
+      auto summary = runner.Run("par_serial");
+      const auto end = std::chrono::steady_clock::now();
+      if (!summary.ok()) {
+        std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+        std::abort();
+      }
+      const double seconds =
+          std::chrono::duration<double>(end - begin).count();
+      const bool identical = DumpLogged(database) == serial_rows;
+      std::printf("%-8zu %6zu | %9.3f %9.1f %8.2fx | %s%s\n", jobs,
+                  summary->experiments_run, seconds,
+                  static_cast<double>(summary->experiments_run) / seconds,
+                  serial_seconds / seconds,
+                  identical ? "bit-identical" : "MISMATCH",
+                  checkpoint_on ? " (fork)" : "");
+      json.BeginEntry()
+          .Field("jobs", std::uint64_t{jobs})
+          .Field("checkpoint_mode", checkpoint_on)
+          .Field("experiments", std::uint64_t{summary->experiments_run})
+          .Field("experiments_per_sec",
+                 static_cast<double>(summary->experiments_run) / seconds)
+          .Field("mean_pretrigger_instructions_replayed",
+                 summary->experiments_run > 0
+                     ? static_cast<double>(
+                           summary->trigger_instructions_total -
+                           summary->instructions_skipped) /
+                           static_cast<double>(summary->experiments_run)
+                     : 0.0)
+          .Field("checkpoint_forks",
+                 std::uint64_t{summary->checkpoint_forks})
+          .Field("dump_identical", identical);
+      if (!identical) {
+        json.Write();
+        return 1;
+      }
+    }
   }
 
   std::printf(
       "\nEvery row's dump matches the serial baseline byte for byte —\n"
-      "worker count is a pure execution knob. Speedup tracks\n"
-      "min(jobs, hardware threads); with one hardware thread the table\n"
-      "degenerates to measuring the sharding overhead (~1.0x).\n");
+      "worker count and checkpoint-fork mode are pure execution knobs.\n"
+      "Speedup tracks min(jobs, hardware threads); with one hardware\n"
+      "thread the table degenerates to measuring the sharding overhead\n"
+      "(~1.0x), and the fork sweep shows the fork-mode gain alone.\n");
+  json.Write();
   return 0;
 }

@@ -4,7 +4,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/goofi.h"
 #include "util/strings.h"
@@ -19,10 +23,14 @@ struct CampaignRun {
 
 // Store + run + analyze `config` against a fresh Thor RD target bound to
 // `database`. Aborts the process on tool errors (benches have no user to
-// report to).
+// report to). `checkpoint` forces checkpoint-fork execution on or off
+// for the run (execution-only; the stored campaign row and the logged
+// results are identical either way).
 inline CampaignRun RunCampaign(db::Database& database,
                                target::TargetSystemInterface& target,
-                               const core::CampaignConfig& config) {
+                               const core::CampaignConfig& config,
+                               std::optional<bool> checkpoint
+                               = std::nullopt) {
   auto workload = target::GetBuiltinWorkload(config.workload);
   if (!workload.ok()) {
     std::fprintf(stderr, "workload %s: %s\n", config.workload.c_str(),
@@ -45,6 +53,7 @@ inline CampaignRun RunCampaign(db::Database& database,
     std::abort();
   }
   core::CampaignRunner runner(&database, &target);
+  runner.set_checkpoint_fork(checkpoint);
   const auto begin = std::chrono::steady_clock::now();
   auto summary = runner.Run(config.name);
   const auto end = std::chrono::steady_clock::now();
@@ -66,6 +75,80 @@ inline CampaignRun RunCampaign(db::Database& database,
       std::chrono::duration<double>(end - begin).count();
   return run;
 }
+
+// ---- machine-readable bench reports ------------------------------------
+// Accumulates flat entries and writes BENCH_<name>.json in the working
+// directory, so CI and EXPERIMENTS.md consume the same numbers the bench
+// prints. Values are pre-rendered JSON tokens; the overloads cover every
+// type the benches report.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& BeginEntry() {
+    entries_.emplace_back();
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + Escaped(value) + "\"");
+  }
+  BenchJson& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  BenchJson& Field(const std::string& key, double value) {
+    return Raw(key, StrFormat("%.4f", value));
+  }
+  BenchJson& Field(const std::string& key, std::uint64_t value) {
+    return Raw(key, StrFormat("%llu",
+                              static_cast<unsigned long long>(value)));
+  }
+  BenchJson& Field(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  // Writes BENCH_<name>.json; aborts on I/O failure like the rest of
+  // the bench plumbing.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    std::string text = "{\n  \"bench\": \"" + Escaped(name_) +
+                       "\",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      text += "    {";
+      for (std::size_t f = 0; f < entries_[i].size(); ++f) {
+        if (f != 0) text += ", ";
+        text += "\"" + Escaped(entries_[i][f].first) +
+                "\": " + entries_[i][f].second;
+      }
+      text += i + 1 < entries_.size() ? "},\n" : "}\n";
+    }
+    text += "  ]\n}\n";
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::abort();
+    }
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+  }
+
+ private:
+  static std::string Escaped(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  BenchJson& Raw(const std::string& key, std::string token) {
+    if (entries_.empty()) entries_.emplace_back();
+    entries_.back().emplace_back(key, std::move(token));
+    return *this;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> entries_;
+};
 
 inline void PrintTaxonomyHeader(const char* first_column) {
   std::printf(

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct Arguments {
   // "io@3;hang@5;target_fault@7:2;hang_ms=200" — exercises the
   // supervision layer against a deterministic flaky transport.
   std::string flaky;
+  // --checkpoint on|off forces checkpoint-fork execution for this run
+  // only (execution-only override; the stored campaign row and the
+  // logged results are identical either way). Unset honours the
+  // campaign's checkpoint_mode key.
+  std::optional<bool> checkpoint;
+  bool bad_checkpoint = false;
 };
 
 Arguments ParseArguments(int argc, char** argv) {
@@ -54,6 +61,15 @@ Arguments ParseArguments(int argc, char** argv) {
       arguments.jobs = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--flaky") == 0 && i + 1 < argc) {
       arguments.flaky = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "on") {
+        arguments.checkpoint = true;
+      } else if (value == "off") {
+        arguments.checkpoint = false;
+      } else {
+        arguments.bad_checkpoint = true;
+      }
     } else {
       arguments.positional.emplace_back(argv[i]);
     }
@@ -125,6 +141,9 @@ int CmdRun(const Arguments& arguments, bool resume) {
                                   "[--db DIR]\n");
     return 1;
   }
+  if (arguments.bad_checkpoint) {
+    return Fail(InvalidArgumentError("--checkpoint takes 'on' or 'off'"));
+  }
   db::Database database = LoadOrCreate(arguments.db_dir);
 
   std::string campaign_name;
@@ -174,9 +193,20 @@ int CmdRun(const Arguments& arguments, bool resume) {
   const auto print_progress = [](core::ProgressInfo info) {
     if (info.experiments_done % 100 == 0 ||
         info.experiments_done == info.experiments_total) {
-      std::printf("\r[%zu/%zu] %zu faults injected   ",
-                  info.experiments_done, info.experiments_total,
-                  info.faults_injected);
+      if (info.checkpoint_forks > 0) {
+        // Fork-mode speedup is visible in flight: how many experiments
+        // skipped to a checkpoint and the replay instructions saved.
+        std::printf("\r[%zu/%zu] %zu faults injected, %zu forked "
+                    "(%llu instructions saved)   ",
+                    info.experiments_done, info.experiments_total,
+                    info.faults_injected, info.checkpoint_forks,
+                    static_cast<unsigned long long>(
+                        info.instructions_skipped));
+      } else {
+        std::printf("\r[%zu/%zu] %zu faults injected   ",
+                    info.experiments_done, info.experiments_total,
+                    info.faults_injected);
+      }
       std::fflush(stdout);
     }
   };
@@ -204,12 +234,14 @@ int CmdRun(const Arguments& arguments, bool resume) {
       std::printf("running with %zu workers\n", jobs);
       core::ParallelCampaignRunner runner(&database, factory, jobs);
       runner.set_progress_callback(print_progress);
+      runner.set_checkpoint_fork(arguments.checkpoint);
       return resume ? runner.Resume(campaign_name)
                     : runner.Run(campaign_name);
     }
     core::CampaignRunner runner(&database, target->get());
     runner.set_target_factory(factory);
     runner.set_progress_callback(print_progress);
+    runner.set_checkpoint_fork(arguments.checkpoint);
     return resume ? runner.Resume(campaign_name)
                   : runner.Run(campaign_name);
   };
@@ -227,6 +259,23 @@ int CmdRun(const Arguments& arguments, bool resume) {
                 summary->experiment_retries,
                 summary->experiments_abandoned,
                 summary->targets_quarantined);
+  }
+  if (summary->checkpoint_forks > 0) {
+    std::printf("checkpoint-fork: %zu checkpoints recorded, %zu/%zu "
+                "experiments forked, %llu of %llu pre-trigger instructions "
+                "skipped (%.1f%%)\n",
+                summary->checkpoints_recorded, summary->checkpoint_forks,
+                summary->experiments_run,
+                static_cast<unsigned long long>(
+                    summary->instructions_skipped),
+                static_cast<unsigned long long>(
+                    summary->trigger_instructions_total),
+                summary->trigger_instructions_total > 0
+                    ? 100.0 * static_cast<double>(
+                                  summary->instructions_skipped) /
+                          static_cast<double>(
+                              summary->trigger_instructions_total)
+                    : 0.0);
   }
   if (flaky_script != nullptr) {
     std::printf("flaky script: %llu faults + %llu hangs injected\n",
@@ -366,6 +415,10 @@ int main(int argc, char** argv) {
                "transport faults\n"
                "                          to exercise the supervision "
                "layer)\n"
+               "                          (--checkpoint on|off forces "
+               "checkpoint-fork\n"
+               "                          execution; results are identical "
+               "either way)\n"
                "  analyze <campaign>      re-print the analysis report\n"
                "  export <campaign>       per-experiment outcomes as CSV\n"
                "  rerun <experiment>      detail-mode re-run "

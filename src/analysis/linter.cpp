@@ -317,7 +317,8 @@ std::vector<LintDiagnostic> LintCampaignText(
       "max_instructions", "max_iterations", "logging",
       "preinjection",  "static_analysis", "intermittent_period",
       "intermittent_occurrences", "stuck_to_one", "jobs",
-      "experiment_timeout_ms", "max_retries", "retry_backoff_ms"};
+      "experiment_timeout_ms", "max_retries", "retry_backoff_ms",
+      "checkpoint_mode", "checkpoint_stride"};
   for (const auto& [key, value] : section->entries()) {
     (void)value;
     if (kKnownKeys.count(key) == 0) {
@@ -437,6 +438,49 @@ std::vector<LintDiagnostic> LintCampaignText(
     Add(&out, Severity::kWarning, file, LineOfKey(text, "retry_backoff_ms"),
         "ignored-key",
         "'retry_backoff_ms' only applies when max_retries > 0");
+  }
+  // Checkpoint-fork keys (core/checkpoint.h). Mirrors the supervision
+  // checks: a stride without the mode is dead configuration, and a
+  // stride past the workload's tool-level instruction budget records no
+  // checkpoint beyond the boot snapshot, silently degrading every fork
+  // to replay-from-reset.
+  if (section->Has("checkpoint_stride") &&
+      !section->GetBoolOr("checkpoint_mode", false)) {
+    Add(&out, Severity::kWarning, file, LineOfKey(text, "checkpoint_stride"),
+        "ignored-key",
+        "'checkpoint_stride' only applies when checkpoint_mode = true");
+  }
+  if (section->GetBoolOr("checkpoint_mode", false)) {
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(section->GetIntOr("max_instructions", 0));
+    if (budget == 0 && !workload.empty()) {
+      const auto builtin = target::GetBuiltinWorkload(workload);
+      if (builtin.ok()) budget = builtin->termination.max_instructions;
+    }
+    const auto stride =
+        static_cast<std::uint64_t>(section->GetIntOr("checkpoint_stride", 0));
+    if (budget != 0 && stride > budget) {
+      Add(&out, Severity::kWarning, file,
+          LineOfKey(text, "checkpoint_stride"), "stride-past-budget",
+          StrFormat("checkpoint_stride (%llu) exceeds the workload's "
+                    "tool-level instruction budget (%llu): only the boot "
+                    "snapshot is recorded and forking saves nothing",
+                    static_cast<unsigned long long>(stride),
+                    static_cast<unsigned long long>(budget)));
+    }
+    if (trigger != "instret") {
+      Add(&out, Severity::kWarning, file, LineOfKey(text, "checkpoint_mode"),
+          "ignored-key",
+          "checkpoint-fork execution requires trigger = instret; the "
+          "campaign falls back to replaying every experiment from reset");
+    }
+    if (EqualsIgnoreCase(logging, "detail")) {
+      Add(&out, Severity::kWarning, file, LineOfKey(text, "checkpoint_mode"),
+          "ignored-key",
+          "checkpoint-fork execution requires logging = normal (detail "
+          "mode traces the whole run); the campaign falls back to "
+          "replaying every experiment from reset");
+    }
   }
   if (technique == target::Technique::kSwifiPreRuntime &&
       section->GetBoolOr("static_analysis", false)) {

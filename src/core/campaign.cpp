@@ -79,6 +79,9 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
       section.GetIntOr("max_retries", 0));
   config.retry_backoff_ms = static_cast<std::uint64_t>(
       section.GetIntOr("retry_backoff_ms", 0));
+  config.checkpoint_mode = section.GetBoolOr("checkpoint_mode", false);
+  config.checkpoint_stride = static_cast<std::uint64_t>(
+      section.GetIntOr("checkpoint_stride", 0));
   return config;
 }
 
@@ -128,6 +131,9 @@ Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
   row.push_back(Value::Integer(config.max_retries));
   row.push_back(Value::Integer(static_cast<std::int64_t>(
       config.retry_backoff_ms)));
+  row.push_back(Value::Integer(config.checkpoint_mode ? 1 : 0));
+  row.push_back(Value::Integer(static_cast<std::int64_t>(
+      config.checkpoint_stride)));
   return database.Insert(kCampaignDataTable, std::move(row));
 }
 
@@ -184,6 +190,15 @@ Result<CampaignConfig> LoadCampaign(db::Database& database,
   if (row.size() > 24 && !row[24].is_null()) {
     config.retry_backoff_ms =
         static_cast<std::uint64_t>(row[24].AsInteger());
+  }
+  // Checkpoint-fork keys (columns 25-26); absent/null in databases from
+  // before checkpoint execution existed, meaning "replay from reset".
+  if (row.size() > 25 && !row[25].is_null()) {
+    config.checkpoint_mode = row[25].AsInteger() != 0;
+  }
+  if (row.size() > 26 && !row[26].is_null()) {
+    config.checkpoint_stride =
+        static_cast<std::uint64_t>(row[26].AsInteger());
   }
   return config;
 }

@@ -76,6 +76,18 @@ struct CampaignConfig {
   std::uint32_t max_retries = 0;
   // Base backoff before retry n: backoff * 2^(n-1), capped. 0 = none.
   std::uint64_t retry_backoff_ms = 0;
+
+  // ---- checkpoint-fork execution (core/checkpoint.h) --------------------
+  // Memoize the golden run as a series of snapshots and start each
+  // experiment from the checkpoint nearest below its trigger instead of
+  // replaying from reset. Results are bit-identical either way (the
+  // dump-equality suite proves it), but like the supervision keys these
+  // ARE stored in CampaignData: the stride is part of how the campaign
+  // was executed, and resuming must reuse it.
+  bool checkpoint_mode = false;
+  // Instructions between recorded checkpoints. 0 = a tenth of the
+  // workload's tool-level instruction budget.
+  std::uint64_t checkpoint_stride = 0;
 };
 
 // ---- config file <-> struct ------------------------------------------

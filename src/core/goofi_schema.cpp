@@ -52,6 +52,8 @@ CREATE TABLE CampaignData (
   experiment_timeout_ms    INTEGER,
   max_retries              INTEGER,
   retry_backoff_ms         INTEGER,
+  checkpoint_mode          INTEGER,
+  checkpoint_stride        INTEGER,
   FOREIGN KEY (target_name) REFERENCES TargetSystemData(target_name)
 );
 

@@ -24,6 +24,11 @@ struct WorkerResult {
   ExperimentDisposition disposition;
   std::uint64_t resamples = 0;
   bool skipped = false;  // resume: already logged, nothing was run
+  // Checkpoint-fork accounting, aggregated by the writer in canonical
+  // order so the summary is independent of worker scheduling.
+  bool forked = false;
+  std::uint64_t instructions_skipped = 0;   // the fork's checkpoint instret
+  std::uint64_t trigger_instructions = 0;   // instret triggers only
 };
 
 // The shard coordinator: claim order, the reorder buffer, and error
@@ -74,7 +79,8 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
                    factory_());
   ASSIGN_OR_RETURN(PreparedCampaign prepared,
                    PrepareCampaignRun(*database_, reference.get(),
-                                      campaign_name, resume));
+                                      campaign_name, resume,
+                                      checkpoint_override_));
   const CampaignConfig& config = prepared.config;
   CampaignSummary& summary = prepared.summary;
   const ExperimentPlan plan = prepared.MakePlan();
@@ -112,6 +118,10 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
     // slot is owned, so the worker's supervised runs can abandon a
     // wedged instance to the reaper and quarantine-replace it.
     TargetSlot slot;
+    // This worker's view of the shared checkpoint store (null-safe when
+    // checkpoint-fork is off). A quarantine-replaced instance restores
+    // the same shared snapshot, so the cache survives re-minting.
+    CheckpointCache fork_cache(plan.checkpoints);
     {
       auto made = factory_();
       Status status = made.status();
@@ -168,12 +178,23 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
             SampleExperimentSpec(plan, index, &result.resamples);
         Status status = spec.status();
         if (status.ok()) {
+          std::shared_ptr<const sim::Snapshot> start_snapshot;
+          if (spec->trigger.kind ==
+              sim::Breakpoint::Kind::kInstretReached) {
+            result.trigger_instructions = spec->trigger.count;
+            start_snapshot = fork_cache.ForTrigger(spec->trigger.count);
+            if (start_snapshot != nullptr) {
+              result.forked = true;
+              result.instructions_skipped = start_snapshot->instret;
+            }
+          }
           // Fail-soft per experiment: only non-retryable errors reach
           // `status` and abort the fleet. Retryable tool-level failures
           // are consumed here (retry + quarantine on this worker's own
           // slot) and surface as the result's disposition.
           auto outcome =
-              RunSupervisedExperiment(slot, *spec, config, policy, factory_);
+              RunSupervisedExperiment(slot, *spec, config, policy, factory_,
+                                      std::move(start_snapshot));
           status = outcome.status();
           if (status.ok()) {
             result.spec = std::move(*spec);
@@ -248,11 +269,16 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
             summary.experiment_retries += result.disposition.attempts - 1;
             summary.targets_quarantined += result.disposition.quarantined;
             if (!completed) ++summary.experiments_abandoned;
+            if (result.forked) ++summary.checkpoint_forks;
+            summary.instructions_skipped += result.instructions_skipped;
+            summary.trigger_instructions_total += result.trigger_instructions;
             progress.experiments_done =
                 skipped_existing + summary.experiments_run;
             progress.experiment_retries = summary.experiment_retries;
             progress.experiments_abandoned = summary.experiments_abandoned;
             progress.targets_quarantined = summary.targets_quarantined;
+            progress.checkpoint_forks = summary.checkpoint_forks;
+            progress.instructions_skipped = summary.instructions_skipped;
             if (completed && result.observation.fault_was_injected) {
               ++progress.faults_injected;
             }

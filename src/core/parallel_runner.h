@@ -54,6 +54,14 @@ class ParallelCampaignRunner {
     checkpoint_directory_ = std::move(directory);
     checkpoint_every_ = every_n;
   }
+  // Force checkpoint-fork execution on or off for this runner's runs,
+  // overriding the stored campaign's checkpoint_mode (execution-only;
+  // the CampaignData row is untouched). std::nullopt honours the
+  // campaign configuration. Worker count never affects results either
+  // way: forked and replayed experiments log bit-identical rows.
+  void set_checkpoint_fork(std::optional<bool> enabled) {
+    checkpoint_override_ = enabled;
+  }
 
   // Run a stored campaign end to end across the worker fleet.
   Result<CampaignSummary> Run(const std::string& campaign_name);
@@ -74,6 +82,7 @@ class ParallelCampaignRunner {
   CampaignController* controller_ = nullptr;
   std::string checkpoint_directory_;
   std::size_t checkpoint_every_ = 0;
+  std::optional<bool> checkpoint_override_;
 };
 
 }  // namespace goofi::core

@@ -168,7 +168,8 @@ Result<target::ExperimentSpec> SampleExperimentSpec(
 
 Result<PreparedCampaign> PrepareCampaignRun(
     db::Database& database, target::TargetSystemInterface* reference_target,
-    const std::string& campaign_name, bool resume) {
+    const std::string& campaign_name, bool resume,
+    std::optional<bool> checkpoint_override) {
   RETURN_IF_ERROR(CreateGoofiSchema(database));
   PreparedCampaign prepared;
   ASSIGN_OR_RETURN(prepared.config, LoadCampaign(database, campaign_name));
@@ -201,8 +202,45 @@ Result<PreparedCampaign> PrepareCampaignRun(
   if (prepared.config.use_preinjection_analysis) {
     reference_target->set_external_tracer(&recorder);
   }
+
+  // ---- checkpoint-fork eligibility ------------------------------------
+  // The golden run doubles as the checkpoint recording pass when the
+  // mode is on (campaign key or runner override) and the campaign
+  // qualifies: forking is only bit-exact for instret triggers (every
+  // other trigger kind depends on execution history a fork would skip),
+  // normal logging (detail mode traces the whole run) and runtime
+  // injection. Ineligible campaigns silently replay from reset — the
+  // logged database is identical by construction.
+  const bool checkpoint_requested =
+      checkpoint_override.value_or(prepared.config.checkpoint_mode);
+  const bool checkpoint_eligible =
+      checkpoint_requested && prepared.config.trigger_kind == "instret" &&
+      prepared.config.logging_mode == target::LoggingMode::kNormal &&
+      prepared.config.technique != target::Technique::kSwifiPreRuntime &&
+      reference_target->SupportsCheckpointFork();
+  std::vector<sim::Snapshot> recorded_checkpoints;
+  if (checkpoint_eligible) {
+    // Default stride: a tenth of the effective tool-level instruction
+    // budget (spec beats workload beats the global 2M bound, matching
+    // ResolveSupervisionPolicy).
+    std::uint64_t stride = prepared.config.checkpoint_stride;
+    if (stride == 0) {
+      std::uint64_t budget = prepared.config.termination.max_instructions != 0
+                                 ? prepared.config.termination.max_instructions
+                                 : workload.termination.max_instructions;
+      if (budget == 0) budget = 2'000'000;
+      stride = std::max<std::uint64_t>(1, budget / 10);
+    }
+    reference_target->set_checkpoint_recording(stride, &recorded_checkpoints);
+  }
   RETURN_IF_ERROR(reference_target->MakeReferenceRun());
+  reference_target->set_checkpoint_recording(0, nullptr);
   reference_target->set_external_tracer(nullptr);
+  for (sim::Snapshot& snapshot : recorded_checkpoints) {
+    prepared.checkpoints.Add(std::move(snapshot));
+  }
+  prepared.checkpoint_fork = !prepared.checkpoints.empty();
+  prepared.summary.checkpoints_recorded = prepared.checkpoints.size();
   prepared.summary.reference = reference_target->TakeObservation();
   prepared.summary.reference_experiment = reference_spec.name;
   const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
@@ -284,13 +322,16 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     const std::string& campaign_name, bool resume) {
   ASSIGN_OR_RETURN(PreparedCampaign prepared,
                    PrepareCampaignRun(*database_, target_, campaign_name,
-                                      resume));
+                                      resume, checkpoint_override_));
   const CampaignConfig& config = prepared.config;
   CampaignSummary& summary = prepared.summary;
   const ExperimentPlan plan = prepared.MakePlan();
   const db::Table* logged = database_->FindTable(kLoggedSystemStateTable);
   const SupervisionPolicy policy =
       ResolveSupervisionPolicy(config, prepared.workload_termination);
+  // Checkpoint-fork lookup cache (misses everything when the plan holds
+  // no checkpoints, i.e. the mode is off or the campaign is ineligible).
+  CheckpointCache fork_cache(plan.checkpoints);
 
   // The slot the supervised experiments run on. With a factory the
   // runner mints its own instance (abandonable on a watchdog trip and
@@ -334,6 +375,11 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     ASSIGN_OR_RETURN(
         target::ExperimentSpec spec,
         SampleExperimentSpec(plan, i, &summary.preinjection_resamples));
+    std::shared_ptr<const sim::Snapshot> start_snapshot;
+    if (spec.trigger.kind == sim::Breakpoint::Kind::kInstretReached) {
+      summary.trigger_instructions_total += spec.trigger.count;
+      start_snapshot = fork_cache.ForTrigger(spec.trigger.count);
+    }
     // Fail-soft: a retryable tool-level failure (hang, target fault,
     // transport error) consumes attempts and possibly quarantines the
     // instance, but never the rest of the campaign — an abandoned
@@ -341,7 +387,8 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     // loop moves on. Only non-retryable errors abort the run.
     ASSIGN_OR_RETURN(SupervisedOutcome outcome,
                      RunSupervisedExperiment(slot, spec, config, policy,
-                                             target_factory_));
+                                             target_factory_,
+                                             start_snapshot));
     const bool completed = outcome.disposition.completed();
     RETURN_IF_ERROR(LogExperimentObservation(
         *database_, spec.name, "", campaign_name, &spec,
@@ -354,6 +401,10 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     progress.experiment_retries = summary.experiment_retries;
     progress.experiments_abandoned = summary.experiments_abandoned;
     progress.targets_quarantined = summary.targets_quarantined;
+    summary.checkpoint_forks = fork_cache.forks();
+    summary.instructions_skipped = fork_cache.instructions_skipped();
+    progress.checkpoint_forks = summary.checkpoint_forks;
+    progress.instructions_skipped = summary.instructions_skipped;
     if (completed && outcome.observation.fault_was_injected) {
       ++progress.faults_injected;
     }

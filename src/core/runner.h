@@ -25,9 +25,11 @@
 
 #include <atomic>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "core/campaign.h"
+#include "core/checkpoint.h"
 #include "core/location.h"
 #include "core/preinjection.h"
 #include "core/supervision.h"
@@ -70,6 +72,11 @@ struct ProgressInfo {
   std::size_t experiment_retries = 0;
   std::size_t experiments_abandoned = 0;
   std::size_t targets_quarantined = 0;
+  // Checkpoint-fork counters: experiments started from a golden-run
+  // checkpoint instead of reset, and the pre-trigger instructions those
+  // forks did not have to replay.
+  std::size_t checkpoint_forks = 0;
+  std::uint64_t instructions_skipped = 0;
 };
 
 using ProgressCallback = std::function<void(ProgressInfo)>;
@@ -96,6 +103,15 @@ struct CampaignSummary {
   std::size_t experiment_retries = 0;
   std::size_t experiments_abandoned = 0;
   std::size_t targets_quarantined = 0;
+  // Checkpoint-fork totals (zero when the mode is off or the campaign
+  // is ineligible): golden-run checkpoints recorded, experiments forked
+  // from one, pre-trigger instructions those forks skipped, and the sum
+  // of all instret triggers (what a replay-from-reset run would have
+  // executed before its triggers) for speedup accounting.
+  std::size_t checkpoints_recorded = 0;
+  std::size_t checkpoint_forks = 0;
+  std::uint64_t instructions_skipped = 0;
+  std::uint64_t trigger_instructions_total = 0;
 };
 
 // ---- the deterministic experiment plan --------------------------------
@@ -114,6 +130,10 @@ struct ExperimentPlan {
   std::uint64_t window_lo = 1;
   std::uint64_t window_hi = 1;
   const PreInjectionAnalysis* preinjection = nullptr;  // null = analysis off
+  // Golden-run checkpoints to fork experiments from (null = replay every
+  // experiment from reset). Read-only during the run, like the rest of
+  // the plan; workers front it with their own CheckpointCache.
+  const CheckpointStore* checkpoints = nullptr;
 };
 
 // The canonical name of experiment `index`: "<campaign>/exp00042".
@@ -171,6 +191,14 @@ struct PreparedCampaign {
   // policy derives its watchdog deadline from these when the campaign
   // sets no explicit experiment_timeout_ms.
   target::TerminationSpec workload_termination{0, 0};
+  // Golden-run checkpoints (checkpoint-fork execution). Populated — and
+  // checkpoint_fork set — only when the campaign enables the mode (or a
+  // runner override forces it) AND the campaign is eligible: instret
+  // triggers, normal logging, not pre-runtime SWIFI, and a target that
+  // supports snapshot fork. Ineligible campaigns silently replay from
+  // reset; the logged database is identical either way.
+  CheckpointStore checkpoints;
+  bool checkpoint_fork = false;
   // Prefilled with the reference observation and static-analysis stats.
   CampaignSummary summary;
 
@@ -182,13 +210,20 @@ struct PreparedCampaign {
     plan.window_lo = window_lo;
     plan.window_hi = window_hi;
     plan.preinjection = use_preinjection ? &preinjection : nullptr;
+    plan.checkpoints = checkpoint_fork ? &checkpoints : nullptr;
     return plan;
   }
 };
 
+// `checkpoint_override` forces checkpoint-fork execution on or off for
+// this run only, regardless of the stored campaign's checkpoint_mode.
+// Execution-only: the CampaignData row is not rewritten, so a forked
+// run and a replayed run of the same campaign store identical rows
+// (the CI smoke job diffs exactly that).
 Result<PreparedCampaign> PrepareCampaignRun(
     db::Database& database, target::TargetSystemInterface* reference_target,
-    const std::string& campaign_name, bool resume);
+    const std::string& campaign_name, bool resume,
+    std::optional<bool> checkpoint_override = std::nullopt);
 
 class CampaignRunner {
  public:
@@ -223,6 +258,13 @@ class CampaignRunner {
     target_factory_ = std::move(factory);
   }
 
+  // Force checkpoint-fork execution on or off for this runner's runs,
+  // overriding the stored campaign's checkpoint_mode. std::nullopt
+  // (default) honours the campaign configuration.
+  void set_checkpoint_fork(std::optional<bool> enabled) {
+    checkpoint_override_ = enabled;
+  }
+
   // Run a stored campaign end to end (any technique).
   Result<CampaignSummary> Run(const std::string& campaign_name);
 
@@ -253,6 +295,7 @@ class CampaignRunner {
   CampaignController* controller_ = nullptr;
   std::string checkpoint_directory_;
   std::size_t checkpoint_every_ = 0;
+  std::optional<bool> checkpoint_override_;
 };
 
 }  // namespace goofi::core

@@ -174,7 +174,8 @@ SupervisionPolicy ResolveSupervisionPolicy(
 Result<SupervisedOutcome> RunSupervisedExperiment(
     TargetSlot& slot, const target::ExperimentSpec& spec,
     const CampaignConfig& config, const SupervisionPolicy& policy,
-    const target::TargetFactory& factory) {
+    const target::TargetFactory& factory,
+    std::shared_ptr<const sim::Snapshot> start_snapshot) {
   SupervisedOutcome outcome;
   for (std::uint32_t attempt = 1;; ++attempt) {
     outcome.disposition.attempts = attempt;
@@ -184,6 +185,9 @@ Result<SupervisedOutcome> RunSupervisedExperiment(
     }
     target->set_experiment(spec);
     target->set_logging_mode(config.logging_mode);
+    // Re-installed per attempt: a quarantine replacement minted below
+    // must fork from the same checkpoint as the instance it replaces.
+    target->set_start_snapshot(start_snapshot);
     const AttemptResult result = RunAttemptWithDeadline(
         slot, policy.experiment_timeout_ms);
 

@@ -134,10 +134,16 @@ struct SupervisedOutcome {
 // `factory` may be empty (no quarantine; retries reuse the instance).
 // A borrowed, non-abandonable slot detects deadline overruns only after
 // the run returns.
+//
+// `start_snapshot` (checkpoint-fork execution, core/checkpoint.h) is
+// installed on the target before *every* attempt — including on a
+// freshly minted quarantine replacement — so retried runs fork from the
+// same golden checkpoint as the first try. nullptr runs from reset.
 Result<SupervisedOutcome> RunSupervisedExperiment(
     TargetSlot& slot, const target::ExperimentSpec& spec,
     const CampaignConfig& config, const SupervisionPolicy& policy,
-    const target::TargetFactory& factory);
+    const target::TargetFactory& factory,
+    std::shared_ptr<const sim::Snapshot> start_snapshot = nullptr);
 
 // ---- the reaper --------------------------------------------------------
 

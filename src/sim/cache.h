@@ -22,6 +22,8 @@
 
 namespace goofi::sim {
 
+struct CacheState;  // sim/snapshot.h
+
 struct CacheGeometry {
   std::uint32_t lines = 16;           // power of two
   std::uint32_t words_per_line = 4;   // power of two
@@ -75,6 +77,12 @@ class Cache {
   std::uint32_t Tag(std::uint32_t address) const;
 
   static bool ComputeParity(std::uint32_t word);  // even parity over 32 bits
+
+  // Checkpoint support (sim/snapshot.h): every array bit — valid, tag,
+  // data words and the stored parity bits — plus the statistics.
+  // RestoreState fails when the line shape does not match the geometry.
+  CacheState CaptureState() const;
+  Status RestoreState(const CacheState& state);
 
  private:
   CacheGeometry geometry_;

@@ -28,6 +28,8 @@
 
 namespace goofi::sim {
 
+struct CpuState;  // sim/snapshot.h
+
 struct CpuConfig {
   CacheGeometry icache_geometry;
   CacheGeometry dcache_geometry;
@@ -124,6 +126,14 @@ class Cpu {
   // logs, counters). Memory contents are left alone: the loader fills
   // them between reset and run.
   void Reset(std::uint32_t boot_pc = 0);
+
+  // Checkpoint support (sim/snapshot.h): copy out / reinstate the full
+  // run state including the owned memory image and cache arrays. The
+  // tracer, post-step hooks and trap configuration are driver wiring
+  // and are not part of the state; RestoreState fails when the memory
+  // or cache geometry differs from the captured one.
+  CpuState CaptureState() const;
+  Status RestoreState(const CpuState& state);
 
   // Execute one instruction (plus the prefetch of its successor).
   // The very first Step() after Reset performs the initial fetch.

@@ -16,6 +16,8 @@
 
 namespace goofi::sim {
 
+struct MemoryState;  // sim/snapshot.h
+
 enum class MemFault {
   kNone = 0,
   kUnmapped,     // no segment covers the address
@@ -70,6 +72,12 @@ class Memory {
 
   // Zero every segment's contents (segments stay mapped).
   void ClearContents();
+
+  // Checkpoint support (sim/snapshot.h): capture/reinstate all segment
+  // contents. RestoreState fails unless the segment layout (count and
+  // sizes, in mapping order) matches the captured one.
+  MemoryState CaptureState() const;
+  Status RestoreState(const MemoryState& state);
 
  private:
   struct Backing {

@@ -23,6 +23,8 @@
 
 namespace goofi::sim {
 
+struct TapControllerState;  // sim/snapshot.h
+
 enum class TapState : std::uint8_t {
   kTestLogicReset, kRunTestIdle,
   kSelectDrScan, kCaptureDr, kShiftDr, kExit1Dr, kPauseDr, kExit2Dr,
@@ -55,6 +57,11 @@ class TapController {
   // Synchronous reset (5 TMS=1 clocks reach Test-Logic-Reset from any
   // state; this helper just does it).
   void Reset();
+
+  // Checkpoint support (sim/snapshot.h): FSM position, shift registers
+  // and the cycle counter. The chain/CPU wiring is identity, not state.
+  TapControllerState CaptureState() const;
+  void RestoreState(const TapControllerState& state);
 
   // --- test-card conveniences built on Clock() ------------------------
   // Load a TAP instruction through Shift-IR.

@@ -57,6 +57,66 @@ bool EngineEnvironment::OnIterationEnd(sim::Memory& memory) {
   return true;
 }
 
+namespace {
+
+void AppendWord64(std::vector<std::uint8_t>* blob, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    blob->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+std::uint64_t ReadWord64(const std::vector<std::uint8_t>& blob,
+                         std::size_t offset) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(blob[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status Environment::RestoreState(const std::vector<std::uint8_t>& blob) {
+  if (!blob.empty()) {
+    return UnimplementedError(
+        "environment '" + name() + "' does not implement RestoreState");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::uint8_t> EngineEnvironment::CaptureState() const {
+  // Little-endian: speed, step, output count, outputs. The IO page the
+  // plant exchanges through lives in target memory and is restored with
+  // the CPU's memory image, not here.
+  std::vector<std::uint8_t> blob;
+  AppendWord64(&blob, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(speed_)));
+  AppendWord64(&blob, step_);
+  AppendWord64(&blob, outputs_.size());
+  for (const std::uint32_t output : outputs_) {
+    AppendWord64(&blob, output);
+  }
+  return blob;
+}
+
+Status EngineEnvironment::RestoreState(
+    const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < 24 || blob.size() != 24 + 8 * ReadWord64(blob, 16)) {
+    return InvalidArgumentError("malformed engine environment snapshot");
+  }
+  speed_ = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(ReadWord64(blob, 0)));
+  step_ = ReadWord64(blob, 8);
+  outputs_.clear();
+  const std::uint64_t count = ReadWord64(blob, 16);
+  outputs_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    outputs_.push_back(
+        static_cast<std::uint32_t>(ReadWord64(blob, 24 + 8 * i)));
+  }
+  return Status::Ok();
+}
+
 Result<std::unique_ptr<Environment>> MakeEnvironment(
     const std::string& name) {
   if (name == "engine") {

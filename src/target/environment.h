@@ -36,6 +36,13 @@ class Environment {
 
   // Actuator command observed at each exchange so far.
   virtual const std::vector<std::uint32_t>& outputs() const = 0;
+
+  // Checkpoint support: serialize the plant state into an opaque blob
+  // (it rides in sim::Snapshot::extras) and reinstate it. The defaults
+  // fit stateless environments — an empty blob that restores to a
+  // no-op; stateful models must override both.
+  virtual std::vector<std::uint8_t> CaptureState() const { return {}; }
+  virtual Status RestoreState(const std::vector<std::uint8_t>& blob);
 };
 
 // First-order jet-engine model for the engine_control workloads: the
@@ -51,6 +58,9 @@ class EngineEnvironment : public Environment {
   }
 
   std::int32_t speed() const { return speed_; }
+
+  std::vector<std::uint8_t> CaptureState() const override;
+  Status RestoreState(const std::vector<std::uint8_t>& blob) override;
 
  private:
   std::int32_t speed_ = 0;

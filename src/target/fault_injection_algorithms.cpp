@@ -31,6 +31,16 @@ Observation TargetSystemInterface::TakeObservation() {
   return taken;
 }
 
+Result<sim::Snapshot> TargetSystemInterface::CaptureSnapshot() {
+  return UnimplementedError("target '" + target_name() +
+                            "' does not support snapshots");
+}
+
+Status TargetSystemInterface::RestoreSnapshot(const sim::Snapshot&) {
+  return UnimplementedError("target '" + target_name() +
+                            "' does not support snapshots");
+}
+
 // ---------------------------------------------------------------------
 // Paper Fig. 2. Each algorithm is a fixed sequence over the abstract
 // operations; tests/target/algorithms_test.cpp asserts these sequences

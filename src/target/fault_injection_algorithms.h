@@ -11,9 +11,12 @@
 // operations, which keep the paper's camelCase names.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.h"
 #include "sim/tracer.h"
 #include "target/target_types.h"
 #include "target/workloads.h"
@@ -91,6 +94,46 @@ class TargetSystemInterface {
   const Observation& observation() const { return observation_; }
   virtual Observation TakeObservation();
 
+  // ------------------------------------------------------------------
+  // Checkpoint-fork execution (ZOFI-style golden-run memoization).
+  //
+  // A supporting target can capture its complete run state as a
+  // sim::Snapshot, and can start subsequent runs from an installed
+  // snapshot instead of reset: the Fig. 2 phase sequences are
+  // unchanged, but writeMemory/runWorkload reinstate the snapshot in
+  // place of the download + reset. The campaign runners drive this —
+  // they record checkpoints during the reference run and install the
+  // one nearest below each experiment's trigger.
+  // ------------------------------------------------------------------
+
+  // True when Capture/RestoreSnapshot reproduce runs bit-exactly. A
+  // target whose transport consumes randomness per operation (link
+  // faults) must refuse: chunked reference runs would desynchronize it.
+  virtual bool SupportsCheckpointFork() const { return false; }
+
+  virtual Result<sim::Snapshot> CaptureSnapshot();
+  virtual Status RestoreSnapshot(const sim::Snapshot& snapshot);
+
+  // Record a snapshot into `sink` at instruction 0 and then at every
+  // multiple of `stride` during MakeReferenceRun. A null sink or zero
+  // stride disables recording (the default).
+  virtual void set_checkpoint_recording(std::uint64_t stride,
+                                        std::vector<sim::Snapshot>* sink) {
+    checkpoint_stride_ = stride;
+    checkpoint_sink_ = sink;
+  }
+
+  // Start subsequent runs from `snapshot` (nullptr reverts to running
+  // from reset). The runner keeps ownership shared so one snapshot
+  // serves many experiments and many workers.
+  virtual void set_start_snapshot(
+      std::shared_ptr<const sim::Snapshot> snapshot) {
+    start_snapshot_ = std::move(snapshot);
+  }
+  const sim::Snapshot* start_snapshot() const {
+    return start_snapshot_.get();
+  }
+
  protected:
   // ------------------------------------------------------------------
   // The abstract operations of paper Fig. 3, in the paper's naming.
@@ -113,6 +156,9 @@ class TargetSystemInterface {
   Observation observation_;
   LoggingMode logging_mode_ = LoggingMode::kNormal;
   sim::Tracer* external_tracer_ = nullptr;
+  std::shared_ptr<const sim::Snapshot> start_snapshot_;
+  std::uint64_t checkpoint_stride_ = 0;
+  std::vector<sim::Snapshot>* checkpoint_sink_ = nullptr;
 };
 
 // Which locations a technique can physically inject into:

@@ -63,6 +63,26 @@ class FlakyTarget : public TargetSystemInterface {
     return inner_->TakeObservation();
   }
 
+  // Checkpoint-fork plumbing is pure pass-through: scripted transport
+  // faults strike whole runs, so the inner target owns all snapshots.
+  bool SupportsCheckpointFork() const override {
+    return inner_->SupportsCheckpointFork();
+  }
+  Result<sim::Snapshot> CaptureSnapshot() override {
+    return inner_->CaptureSnapshot();
+  }
+  Status RestoreSnapshot(const sim::Snapshot& snapshot) override {
+    return inner_->RestoreSnapshot(snapshot);
+  }
+  void set_checkpoint_recording(
+      std::uint64_t stride, std::vector<sim::Snapshot>* sink) override {
+    inner_->set_checkpoint_recording(stride, sink);
+  }
+  void set_start_snapshot(
+      std::shared_ptr<const sim::Snapshot> snapshot) override {
+    inner_->set_start_snapshot(std::move(snapshot));
+  }
+
  protected:
   // Never reached: the public template methods above forward to the
   // inner target wholesale, so the Fig. 3 sequence runs there.

@@ -63,7 +63,14 @@ Status FrameworkTarget::loadWorkload() { return Status::Ok(); }
 
 Status FrameworkTarget::writeMemory() { return Status::Ok(); }
 
-Status FrameworkTarget::runWorkload() { return Status::Ok(); }
+Status FrameworkTarget::runWorkload() {
+  if (start_snapshot_ != nullptr) {
+    // Fork from the installed golden checkpoint: initTestCard already
+    // zeroed the machine, exactly like a replay before this time step.
+    return RestoreSnapshot(*start_snapshot_);
+  }
+  return Status::Ok();
+}
 
 Status FrameworkTarget::waitForBreakpoint() {
   StepUntil(spec_.trigger.count);
@@ -143,6 +150,82 @@ Status FrameworkTarget::waitForTermination() {
 
 Status FrameworkTarget::readMemory() {
   observation_.emitted = {counters_[0], counters_[3]};
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-fork support. The machine state fits in a fixed-size blob:
+// the four counters, the time step and the detection flag. The SCIFI
+// working image (snapshot_) is scratch between readScanChain and
+// writeScanChain — it is always empty at checkpoint and fork points.
+// ---------------------------------------------------------------------
+
+Result<sim::Snapshot> FrameworkTarget::CaptureSnapshot() {
+  sim::Snapshot snapshot;
+  snapshot.instret = time_;
+  std::vector<std::uint8_t>& blob = snapshot.extras["framework"];
+  auto append64 = [&blob](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      blob.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  };
+  for (const std::uint32_t counter : counters_) append64(counter);
+  append64(time_);
+  append64(detected_ ? 1 : 0);
+  return snapshot;
+}
+
+Status FrameworkTarget::RestoreSnapshot(const sim::Snapshot& snapshot) {
+  const auto found = snapshot.extras.find("framework");
+  if (found == snapshot.extras.end() ||
+      found->second.size() != (kCounters + 2) * 8) {
+    return InvalidArgumentError(
+        "snapshot carries no framework machine state");
+  }
+  const std::vector<std::uint8_t>& blob = found->second;
+  auto read64 = [&blob](std::size_t offset) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(blob[offset + i]) << (8 * i);
+    }
+    return value;
+  };
+  for (unsigned i = 0; i < kCounters; ++i) {
+    counters_[i] = static_cast<std::uint32_t>(read64(i * 8));
+  }
+  time_ = read64(kCounters * 8);
+  detected_ = read64((kCounters + 1) * 8) != 0;
+  snapshot_ = BitVector();
+  return Status::Ok();
+}
+
+Status FrameworkTarget::MakeReferenceRun() {
+  if (checkpoint_sink_ == nullptr || checkpoint_stride_ == 0) {
+    return TargetSystemInterface::MakeReferenceRun();
+  }
+  // The Fig. 2 reference sequence, with the run-to-completion phase
+  // chunked at stride boundaries to record checkpoints.
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(runWorkload());
+  {
+    ASSIGN_OR_RETURN(sim::Snapshot boot, CaptureSnapshot());
+    checkpoint_sink_->push_back(std::move(boot));
+  }
+  for (;;) {
+    const std::uint64_t boundary =
+        time_ + (checkpoint_stride_ - time_ % checkpoint_stride_);
+    if (boundary >= kDuration) break;
+    StepUntil(boundary);
+    if (detected_) break;
+    ASSIGN_OR_RETURN(sim::Snapshot snapshot, CaptureSnapshot());
+    checkpoint_sink_->push_back(std::move(snapshot));
+  }
+  RETURN_IF_ERROR(waitForTermination());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
   return Status::Ok();
 }
 

@@ -31,6 +31,16 @@ class FrameworkTarget : public TargetSystemInterface {
   // observe-only identification register.
   std::vector<LocationInfo> ListLocations() const override;
 
+  // Checkpoint-fork support for the skeleton's counter machine, carried
+  // as an opaque "framework" blob in sim::Snapshot::extras. A port that
+  // adds target state of its own must override these three alongside
+  // the Fig. 3 operations — or override SupportsCheckpointFork to
+  // return false until it does.
+  bool SupportsCheckpointFork() const override { return true; }
+  Result<sim::Snapshot> CaptureSnapshot() override;
+  Status RestoreSnapshot(const sim::Snapshot& snapshot) override;
+  Status MakeReferenceRun() override;
+
  protected:
   Status initTestCard() override;
   Status loadWorkload() override;

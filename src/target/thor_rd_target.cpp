@@ -1,5 +1,7 @@
 #include "target/thor_rd_target.h"
 
+#include <algorithm>
+
 #include "target/io_map.h"
 #include "util/strings.h"
 
@@ -148,6 +150,102 @@ void ThorRdTarget::FinishRun(const sim::RunResult& result) {
 }
 
 // ---------------------------------------------------------------------
+// Checkpoint-fork support.
+// ---------------------------------------------------------------------
+
+bool ThorRdTarget::SupportsCheckpointFork() const {
+  return card_.options().link_fault_probability == 0.0;
+}
+
+Result<sim::Snapshot> ThorRdTarget::CaptureSnapshot() {
+  if (!card_.initialized()) {
+    return FailedPreconditionError("test card not initialized");
+  }
+  sim::Snapshot snapshot;
+  snapshot.instret = card_.cpu().instret();
+  snapshot.cpu = card_.cpu().CaptureState();
+  snapshot.tap = card_.tap().CaptureState();
+  if (environment_ != nullptr) {
+    snapshot.extras["environment"] = environment_->CaptureState();
+  }
+  return snapshot;
+}
+
+Status ThorRdTarget::RestoreSnapshot(const sim::Snapshot& snapshot) {
+  if (!card_.initialized()) {
+    return FailedPreconditionError("test card not initialized");
+  }
+  if (!snapshot.cpu.has_value() || !snapshot.tap.has_value()) {
+    return InvalidArgumentError(
+        "snapshot is missing CPU or TAP state for target '" + name_ + "'");
+  }
+  RETURN_IF_ERROR(card_.cpu().RestoreState(*snapshot.cpu));
+  card_.tap().RestoreState(*snapshot.tap);
+  if (environment_ != nullptr) {
+    const auto blob = snapshot.extras.find("environment");
+    RETURN_IF_ERROR(environment_->RestoreState(
+        blob != snapshot.extras.end() ? blob->second
+                                      : std::vector<std::uint8_t>{}));
+  }
+  return Status::Ok();
+}
+
+Status ThorRdTarget::RunToTerminationRecordingCheckpoints() {
+  const EffectiveTermination term = ResolveTermination();
+  {
+    ASSIGN_OR_RETURN(sim::Snapshot boot, CaptureSnapshot());
+    checkpoint_sink_->push_back(std::move(boot));
+  }
+  for (;;) {
+    const std::uint64_t remaining = RemainingBudget(term);
+    if (remaining == 0) {
+      // The budget expired exactly on a stride boundary; report what a
+      // single un-chunked run would have reported.
+      sim::RunResult result;
+      result.reason = sim::StopReason::kBudgetExhausted;
+      result.instructions_executed = 0;
+      FinishRun(result);
+      return Status::Ok();
+    }
+    const std::uint64_t instret = card_.cpu().instret();
+    const std::uint64_t to_boundary =
+        checkpoint_stride_ - instret % checkpoint_stride_;
+    const sim::RunResult result =
+        card_.Run(std::min(remaining, to_boundary), term.max_iterations,
+                  IterationCallback());
+    if (result.reason != sim::StopReason::kBudgetExhausted) {
+      FinishRun(result);
+      return Status::Ok();
+    }
+    if (RemainingBudget(term) == 0) {
+      FinishRun(result);
+      return Status::Ok();
+    }
+    ASSIGN_OR_RETURN(sim::Snapshot snapshot, CaptureSnapshot());
+    checkpoint_sink_->push_back(std::move(snapshot));
+  }
+}
+
+Status ThorRdTarget::MakeReferenceRun() {
+  if (checkpoint_sink_ == nullptr || checkpoint_stride_ == 0) {
+    return TargetSystemInterface::MakeReferenceRun();
+  }
+  // The Fig. 2 reference sequence with waitForTermination replaced by
+  // the chunked recording loop. The chunks only add debug-port run
+  // commands, which no observation field sees, so the produced golden
+  // observation is bit-identical to the un-chunked run's.
+  observation_ = Observation{};
+  RETURN_IF_ERROR(initTestCard());
+  RETURN_IF_ERROR(loadWorkload());
+  RETURN_IF_ERROR(writeMemory());
+  RETURN_IF_ERROR(runWorkload());
+  RETURN_IF_ERROR(RunToTerminationRecordingCheckpoints());
+  RETURN_IF_ERROR(readMemory());
+  RETURN_IF_ERROR(readScanChain());
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
 // Abstract operations (paper Fig. 3).
 // ---------------------------------------------------------------------
 
@@ -170,6 +268,11 @@ Status ThorRdTarget::loadWorkload() {
 }
 
 Status ThorRdTarget::writeMemory() {
+  if (start_snapshot_ != nullptr) {
+    // Forked run: the snapshot carries the full memory image, so the
+    // download would only be overwritten when runWorkload restores it.
+    return Status::Ok();
+  }
   // A fresh download: clear residue from the previous experiment first
   // (the workloads sort and scribble in place).
   card_.cpu().memory().ClearContents();
@@ -177,9 +280,16 @@ Status ThorRdTarget::writeMemory() {
 }
 
 Status ThorRdTarget::runWorkload() {
-  card_.ResetTarget(assembled_->entry);
-  if (environment_ != nullptr) {
-    environment_->Reset(card_.cpu().memory());
+  if (start_snapshot_ != nullptr) {
+    // Fork from the installed golden checkpoint instead of reset. The
+    // debug unit and post-step hooks were already cleared by
+    // initTestCard, matching a replay's state at the same instruction.
+    RETURN_IF_ERROR(RestoreSnapshot(*start_snapshot_));
+  } else {
+    card_.ResetTarget(assembled_->entry);
+    if (environment_ != nullptr) {
+      environment_->Reset(card_.cpu().memory());
+    }
   }
   // Workloads that define a trap_handler symbol run with EDM
   // trap-to-handler (best-effort recovery) instead of fail-stop.

@@ -41,6 +41,18 @@ class ThorRdTarget : public TargetSystemInterface {
   const TestCard& test_card() const { return card_; }
   const Environment* environment() const { return environment_.get(); }
 
+  // Checkpoint-fork support. Snapshots cover the CPU (with memory image
+  // and caches), the TAP controller and the environment model; the card
+  // must run a clean link — link faults draw from the transport RNG per
+  // operation, so a chunked reference run would diverge from replay.
+  bool SupportsCheckpointFork() const override;
+  Result<sim::Snapshot> CaptureSnapshot() override;
+  Status RestoreSnapshot(const sim::Snapshot& snapshot) override;
+
+  // With checkpoint recording armed, the reference run executes in
+  // stride-sized chunks, capturing a snapshot at each stride boundary.
+  Status MakeReferenceRun() override;
+
  protected:
   Status initTestCard() override;
   Status loadWorkload() override;
@@ -85,6 +97,9 @@ class ThorRdTarget : public TargetSystemInterface {
   std::uint64_t RemainingBudget(const EffectiveTermination& term) const;
   std::function<bool(sim::Cpu&)> IterationCallback();
   void FinishRun(const sim::RunResult& result);
+  // waitForTermination in checkpoint_stride_-sized chunks, recording a
+  // snapshot into checkpoint_sink_ at every stride boundary reached.
+  Status RunToTerminationRecordingCheckpoints();
 
   // Apply one fault model instance to a scan element (directly on the
   // CPU for runtime SWIFI) or to target memory.
