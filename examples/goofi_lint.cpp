@@ -12,12 +12,14 @@
 // at all was reported) — wire it straight into CI.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/linter.h"
-#include "target/thor_rd_target.h"
+#include "target/factory.h"
+#include "util/config.h"
 
 namespace {
 
@@ -26,6 +28,38 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
              0;
 }
+
+// Campaign location filters are checked against the board the campaign
+// actually names with its `target` key (thor_rd when the key is absent
+// or names no builtin — the location checks then still catch the
+// legacy-board mistakes, and the unknown target itself is the runner's
+// error to report).
+class LocationInventory {
+ public:
+  const std::vector<goofi::target::TargetSystemInterface::LocationInfo>*
+  ForCampaignText(const std::string& ini_text) {
+    std::string name = "thor_rd";
+    const auto parsed = goofi::Config::Parse(ini_text);
+    if (parsed.ok()) {
+      const goofi::ConfigSection* section = parsed->FindSection("campaign");
+      if (section != nullptr) name = section->GetStringOr("target", name);
+    }
+    if (!goofi::target::BuiltinTargetFactory(name).ok()) name = "thor_rd";
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+      auto factory = goofi::target::BuiltinTargetFactory(name);
+      auto target = (*factory)();
+      if (!target.ok()) return nullptr;
+      it = cache_.emplace(name, (*target)->ListLocations()).first;
+    }
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string,
+           std::vector<goofi::target::TargetSystemInterface::LocationInfo>>
+      cache_;
+};
 
 }  // namespace
 
@@ -49,11 +83,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Campaign location filters are checked against the Thor RD board,
-  // the target every stored campaign in this repository runs on.
-  goofi::target::ThorRdTarget thor;
-  const auto locations = thor.ListLocations();
-
+  LocationInventory inventory;
   std::vector<LintDiagnostic> diagnostics;
   for (const std::string& file : files) {
     if (EndsWith(file, ".workload")) {
@@ -71,8 +101,9 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     const std::vector<LintDiagnostic> found =
         EndsWith(file, ".ini")
-            ? goofi::analysis::LintCampaignText(file, buffer.str(),
-                                                &locations)
+            ? goofi::analysis::LintCampaignText(
+                  file, buffer.str(),
+                  inventory.ForCampaignText(buffer.str()))
             : goofi::analysis::LintWorkloadSource(file, buffer.str());
     diagnostics.insert(diagnostics.end(), found.begin(), found.end());
   }

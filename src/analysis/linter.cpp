@@ -1,7 +1,9 @@
 #include "analysis/linter.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -9,6 +11,7 @@
 #include "analysis/dataflow.h"
 #include "analysis/static_liveness.h"
 #include "sim/assembler.h"
+#include "target/cache_target.h"
 #include "target/environment.h"
 #include "target/io_map.h"
 #include "target/target_types.h"
@@ -344,13 +347,19 @@ std::vector<LintDiagnostic> LintCampaignText(
   }
 
   target::FaultModel::Kind model = target::FaultModel::Kind::kTransientBitFlip;
+  std::optional<target::CacheFaultModel> cache_model;
   if (const auto value = section->GetString("fault_model")) {
     const auto known = target::FaultModelKindFromName(*value);
-    if (!known) {
+    const auto cache = target::CacheFaultModelFromName(*value);
+    if (known) {
+      model = *known;
+    } else if (cache) {
+      // Access-path models (target/cache_target.h): temporally a
+      // transient flip; the name narrows the location family.
+      cache_model = *cache;
+    } else {
       Add(&out, Severity::kError, file, LineOfKey(text, "fault_model"),
           "unknown-value", "unknown fault model '" + *value + "'");
-    } else {
-      model = *known;
     }
   }
 
@@ -491,6 +500,44 @@ std::vector<LintDiagnostic> LintCampaignText(
   }
 
   if (locations != nullptr) {
+    // The extent of the advertised cache-coordinate family, for the
+    // out-of-range diagnosis below (coordinates count from set0/word0,
+    // so the largest advertised index bounds the geometry).
+    bool has_cache_coordinates = false;
+    std::uint32_t max_set = 0;
+    std::uint32_t max_word = 0;
+    for (const auto& info : *locations) {
+      if (const auto coordinate = target::ParseCacheCoordinate(info.name)) {
+        has_cache_coordinates = true;
+        max_set = std::max(max_set, coordinate->set);
+        max_word = std::max(max_word, coordinate->word);
+      }
+    }
+    // A cache fault model only injects into its coordinate family; a
+    // target that advertises no cache coordinates (anything but
+    // cache_hierarchy) gives the campaign an empty fault space.
+    if (cache_model.has_value()) {
+      const char* family_glob =
+          target::CacheFaultModelLocationGlob(*cache_model);
+      bool family_reachable = false;
+      for (const auto& info : *locations) {
+        if (target::TechniqueCanReach(technique, info) &&
+            GlobMatch(family_glob, info.name)) {
+          family_reachable = true;
+          break;
+        }
+      }
+      if (!family_reachable) {
+        Add(&out, Severity::kError, file, LineOfKey(text, "fault_model"),
+            "cache-model-without-geometry",
+            StrFormat("fault model '%s' needs '%s' cache coordinates "
+                      "technique '%s' can reach, and the campaign's target "
+                      "advertises none (set target = cache_hierarchy and "
+                      "technique = scifi)",
+                      target::CacheFaultModelName(*cache_model), family_glob,
+                      target::TechniqueName(technique)));
+      }
+    }
     for (const std::string& filter : section->GetList("location")) {
       bool matched = false;
       for (const auto& info : *locations) {
@@ -500,13 +547,25 @@ std::vector<LintDiagnostic> LintCampaignText(
           break;
         }
       }
-      if (!matched) {
+      if (matched) continue;
+      // A concrete cache coordinate that misses every advertised
+      // location on a target that does have the family is not a glob
+      // typo — it indexes past the real geometry.
+      const auto coordinate = target::ParseCacheCoordinate(filter);
+      if (coordinate.has_value() && has_cache_coordinates) {
         Add(&out, Severity::kError, file, LineOfKey(text, "location"),
-            "filter-matches-nothing",
-            "location filter '" + filter + "' selects nothing technique '" +
-                std::string(target::TechniqueName(technique)) +
-                "' can inject into");
+            "coordinate-out-of-range",
+            StrFormat("cache coordinate '%s' is outside the target's "
+                      "geometry (largest advertised set is set%u, largest "
+                      "word is word%u)",
+                      filter.c_str(), max_set, max_word));
+        continue;
       }
+      Add(&out, Severity::kError, file, LineOfKey(text, "location"),
+          "filter-matches-nothing",
+          "location filter '" + filter + "' selects nothing technique '" +
+              std::string(target::TechniqueName(technique)) +
+              "' can inject into");
     }
   }
   return out;

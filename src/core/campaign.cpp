@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/goofi_schema.h"
+#include "target/cache_target.h"
 #include "util/strings.h"
 
 namespace goofi::core {
@@ -34,9 +35,17 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
       section.GetIntOr("seed", static_cast<std::int64_t>(config.seed)));
   if (const auto model = section.GetString("fault_model")) {
     const auto parsed = target::FaultModelKindFromName(*model);
-    if (!parsed) return InvalidArgumentError("unknown fault model '" +
-                                             *model + "'");
-    config.model.kind = *parsed;
+    if (parsed) {
+      config.model.kind = *parsed;
+    } else if (target::CacheFaultModelFromName(*model).has_value()) {
+      // An access-path model: the name narrows the sampled location
+      // family (core/runner); the temporal behaviour is a transient
+      // flip applied by the injector on the access path.
+      config.cache_fault_model = *model;
+      config.model.kind = target::FaultModel::Kind::kTransientBitFlip;
+    } else {
+      return InvalidArgumentError("unknown fault model '" + *model + "'");
+    }
   }
   config.model.period = static_cast<std::uint64_t>(section.GetIntOr(
       "intermittent_period", static_cast<std::int64_t>(config.model.period)));
@@ -134,6 +143,7 @@ Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
   row.push_back(Value::Integer(config.checkpoint_mode ? 1 : 0));
   row.push_back(Value::Integer(static_cast<std::int64_t>(
       config.checkpoint_stride)));
+  row.push_back(Value::Text_(config.cache_fault_model));
   return database.Insert(kCampaignDataTable, std::move(row));
 }
 
@@ -199,6 +209,11 @@ Result<CampaignConfig> LoadCampaign(db::Database& database,
   if (row.size() > 26 && !row[26].is_null()) {
     config.checkpoint_stride =
         static_cast<std::uint64_t>(row[26].AsInteger());
+  }
+  // Access-path fault model (column 27); absent/null in databases from
+  // before the cache-hierarchy target existed.
+  if (row.size() > 27 && !row[27].is_null()) {
+    config.cache_fault_model = row[27].AsText();
   }
   return config;
 }

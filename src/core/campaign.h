@@ -31,6 +31,14 @@ struct CampaignConfig {
   target::FaultModel model;
   std::uint32_t multiplicity = 1;  // bits flipped per experiment
 
+  // Access-path fault model name ("cache_data_bit", "cache_tag_bit",
+  // "cache_parity_bit", "inflight_load_bit"; target/cache_target.h) when
+  // the `fault_model` key names one instead of a temporal kind. Empty
+  // for ordinary campaigns. It narrows the sampled location space to the
+  // model's coordinate family (core/runner); the temporal model stays
+  // `model` (transient for all four).
+  std::string cache_fault_model;
+
   // Glob patterns over location names ("cpu.regs.*", "icache.*",
   // "mem.*"); empty = every writable location the technique can reach.
   std::vector<std::string> location_filters;

@@ -54,6 +54,7 @@ CREATE TABLE CampaignData (
   retry_backoff_ms         INTEGER,
   checkpoint_mode          INTEGER,
   checkpoint_stride        INTEGER,
+  cache_fault_model        TEXT,
   FOREIGN KEY (target_name) REFERENCES TargetSystemData(target_name)
 );
 

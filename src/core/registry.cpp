@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include "target/cache_target.h"
 #include "target/thor_rd_target.h"
 
 namespace goofi::core {
@@ -54,6 +55,13 @@ void RegisterBuiltinTargets(TargetRegistry& registry) {
     (void)registry.Register("thor", []() {
       return std::unique_ptr<target::TargetSystemInterface>(
           target::MakeThorTarget());
+    });
+  }
+  if (!registry.Has("cache_hierarchy")) {
+    // Thor RD with access-path injection into the cache arrays.
+    (void)registry.Register("cache_hierarchy", []() {
+      return std::unique_ptr<target::TargetSystemInterface>(
+          target::MakeCacheHierarchyTarget());
     });
   }
 }

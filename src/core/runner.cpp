@@ -8,6 +8,7 @@
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
 #include "sim/access_recorder.h"
+#include "target/cache_target.h"
 #include "target/workloads.h"
 #include "util/strings.h"
 
@@ -272,6 +273,32 @@ Result<PreparedCampaign> PrepareCampaignRun(
                    LocationSpace::Build(prepared.locations,
                                         prepared.config.technique,
                                         prepared.config.location_filters));
+  if (!prepared.config.cache_fault_model.empty()) {
+    // An access-path fault model narrows the sampled space to its
+    // coordinate family. A target without those coordinates (anything
+    // but cache_hierarchy) leaves the restriction empty — fail with the
+    // cause rather than sampling a space the model cannot inject into.
+    const auto cache_model =
+        target::CacheFaultModelFromName(prepared.config.cache_fault_model);
+    if (!cache_model.has_value()) {
+      return InvalidArgumentError("unknown cache fault model '" +
+                                  prepared.config.cache_fault_model + "'");
+    }
+    const char* family_glob = target::CacheFaultModelLocationGlob(*cache_model);
+    LocationSpace narrowed =
+        prepared.space.Restricted([family_glob](const LocationInfo& info) {
+          return GlobMatch(family_glob, info.name);
+        });
+    if (narrowed.total_bits() == 0) {
+      return FailedPreconditionError(
+          "cache fault model '" + prepared.config.cache_fault_model +
+          "' selects nothing: target '" + prepared.config.target +
+          "' advertises no matching cache coordinates (use the "
+          "cache_hierarchy target, and location filters that keep some '" +
+          std::string(family_glob) + "' locations)");
+    }
+    prepared.space = std::move(narrowed);
+  }
   if (static_liveness.has_value()) {
     const std::uint64_t unpruned_bits = prepared.space.total_bits();
     LocationSpace pruned =

@@ -43,6 +43,10 @@ MemFault Cache::ReadWord(Memory& memory, std::uint32_t address,
                          bool* parity_error) {
   *parity_error = false;
   if (address % 4 != 0) return MemFault::kMisaligned;
+  std::uint32_t inflight_mask = 0;
+  if (injector_ != nullptr) {
+    inflight_mask = injector_->PreRead(injector_unit_, this, address, kind);
+  }
   CacheLine& line = lines_[LineIndex(address)];
   const std::uint32_t word = WordIndex(address);
   if (line.valid && line.tag == Tag(address)) {
@@ -59,7 +63,7 @@ MemFault Cache::ReadWord(Memory& memory, std::uint32_t address,
       ++stats_.parity_errors;
       *parity_error = true;
     }
-    *value = line.words[word];
+    *value = line.words[word] ^ inflight_mask;
     return MemFault::kNone;
   }
   // Miss: fill the whole line from memory.
@@ -78,7 +82,7 @@ MemFault Cache::ReadWord(Memory& memory, std::uint32_t address,
     line.words[w] = filled[w];
     line.parity[w] = ComputeParity(filled[w]);
   }
-  *value = line.words[word];
+  *value = line.words[word] ^ inflight_mask;
   return MemFault::kNone;
 }
 
@@ -91,6 +95,9 @@ MemFault Cache::WriteWord(Memory& memory, std::uint32_t address,
     const std::uint32_t word = WordIndex(address);
     line.words[word] = value;
     line.parity[word] = ComputeParity(value);
+  }
+  if (injector_ != nullptr) {
+    injector_->PostWrite(injector_unit_, this, address, value);
   }
   return MemFault::kNone;
 }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault_injector.h"
 #include "sim/memory.h"
 
 namespace goofi::sim {
@@ -78,6 +79,19 @@ class Cache {
 
   static bool ComputeParity(std::uint32_t word);  // even parity over 32 bits
 
+  // Access-path fault injection (sim/fault_injector.h). When installed,
+  // ReadWord calls PreRead after the alignment check and before hit
+  // determination (tag flips can turn the access into a miss, data flips
+  // are seen by that read's own parity check) and XORs the returned
+  // in-flight mask into the loaded word *after* the parity check;
+  // WriteWord calls PostWrite after the write-through and resident-line
+  // update. `unit` tells the injector which cache this is.
+  void set_fault_injector(FaultInjector* injector, MemUnit unit) {
+    injector_ = injector;
+    injector_unit_ = unit;
+  }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Checkpoint support (sim/snapshot.h): every array bit — valid, tag,
   // data words and the stored parity bits — plus the statistics.
   // RestoreState fails when the line shape does not match the geometry.
@@ -88,6 +102,8 @@ class Cache {
   CacheGeometry geometry_;
   std::vector<CacheLine> lines_;
   CacheStats stats_;
+  FaultInjector* injector_ = nullptr;
+  MemUnit injector_unit_ = MemUnit::kMainMemory;
 };
 
 }  // namespace goofi::sim

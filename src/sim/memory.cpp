@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/fault_injector.h"
+
 namespace goofi::sim {
 
 Status Memory::AddSegment(Segment segment) {
@@ -77,6 +79,9 @@ MemFault Memory::ReadWord(std::uint32_t address, std::uint32_t* value,
   if (offset + 4 > backing->bytes.size()) return MemFault::kUnmapped;
   std::uint32_t out = 0;
   std::memcpy(&out, backing->bytes.data() + offset, 4);
+  if (injector_ != nullptr) {
+    out ^= injector_->PreRead(MemUnit::kMainMemory, nullptr, address, kind);
+  }
   *value = out;
   return MemFault::kNone;
 }
@@ -89,6 +94,9 @@ MemFault Memory::WriteWord(std::uint32_t address, std::uint32_t value) {
   const std::size_t offset = address - backing->segment.base;
   if (offset + 4 > backing->bytes.size()) return MemFault::kUnmapped;
   std::memcpy(backing->bytes.data() + offset, &value, 4);
+  if (injector_ != nullptr) {
+    injector_->PostWrite(MemUnit::kMainMemory, nullptr, address, value);
+  }
   return MemFault::kNone;
 }
 

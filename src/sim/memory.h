@@ -16,7 +16,8 @@
 
 namespace goofi::sim {
 
-struct MemoryState;  // sim/snapshot.h
+struct MemoryState;   // sim/snapshot.h
+class FaultInjector;  // sim/fault_injector.h
 
 enum class MemFault {
   kNone = 0,
@@ -73,6 +74,14 @@ class Memory {
   // Zero every segment's contents (segments stay mapped).
   void ClearContents();
 
+  // Access-path fault injection (sim/fault_injector.h): ReadWord calls
+  // PreRead (unit kMainMemory) and XORs its in-flight mask into the
+  // loaded word; WriteWord calls PostWrite after the store. Peek/Poke
+  // and the bulk helpers stay hook-free — they model the loader and the
+  // test card's backdoor, not the access path.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Checkpoint support (sim/snapshot.h): capture/reinstate all segment
   // contents. RestoreState fails unless the segment layout (count and
   // sizes, in mapping order) matches the captured one.
@@ -89,6 +98,7 @@ class Memory {
 
   std::vector<Segment> segments_;
   std::vector<Backing> backings_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace goofi::sim

@@ -29,6 +29,7 @@
 #include "sim/access_recorder.h"
 #include "sim/cache.h"
 #include "sim/cpu.h"
+#include "sim/fault_injector.h"
 #include "sim/memory.h"
 #include "sim/tap.h"
 #include "util/bitvector.h"
@@ -84,6 +85,18 @@ struct TapControllerState {
   std::uint64_t tck_cycles = 0;
 };
 
+// The access-path fault injector's armed faults and access counters
+// (sim/fault_injector.h). Armed faults are part of the run state: a
+// checkpoint taken with a fault armed mid-window must fork into a
+// continuation whose remaining applications land on exactly the same
+// accesses as replay-from-reset.
+struct FaultInjectorState {
+  std::vector<ArmedCacheFault> armed;
+  std::array<std::uint64_t, kMemUnitCount> unit_accesses{};
+  std::uint64_t applied = 0;
+  std::uint64_t inflight_flips = 0;
+};
+
 // The pre-injection analysis tracer's event streams (core/preinjection
 // rebuilds liveness intervals from these).
 struct AccessRecorderState {
@@ -105,6 +118,7 @@ struct Snapshot {
   std::optional<CpuState> cpu;
   std::optional<TapControllerState> tap;
   std::optional<AccessRecorderState> recorder;
+  std::optional<FaultInjectorState> injector;
   std::map<std::string, std::vector<std::uint8_t>> extras;
 };
 

@@ -1,5 +1,6 @@
 #include "target/factory.h"
 
+#include "target/cache_target.h"
 #include "target/framework_target.h"
 #include "target/thor_rd_target.h"
 
@@ -15,6 +16,12 @@ Result<TargetFactory> BuiltinTargetFactory(const std::string& target_name) {
   if (target_name == "thor") {
     return TargetFactory([]() -> Result<std::unique_ptr<TargetSystemInterface>> {
       return std::unique_ptr<TargetSystemInterface>(MakeThorTarget());
+    });
+  }
+  if (target_name == "cache_hierarchy") {
+    return TargetFactory([]() -> Result<std::unique_ptr<TargetSystemInterface>> {
+      return std::unique_ptr<TargetSystemInterface>(
+          MakeCacheHierarchyTarget());
     });
   }
   if (target_name == "framework") {

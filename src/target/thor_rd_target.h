@@ -65,6 +65,15 @@ class ThorRdTarget : public TargetSystemInterface {
   Status waitForTermination() override;
   Status readMemory() override;
 
+  // Fault-application helpers, shared with derived targets (the cache
+  // hierarchy target delegates non-cache locations to these): apply one
+  // fault model instance to a scan element (directly on the CPU for
+  // runtime SWIFI) or to target memory.
+  Status InjectIntoImage(const FaultTarget& fault);     // SCIFI snapshot
+  Status InjectIntoCpu(const FaultTarget& fault);       // runtime SWIFI
+  Status InjectIntoMemory(const FaultTarget& fault);    // SWIFI variants
+  bool breakpoint_hit() const { return breakpoint_hit_; }
+
  private:
   // Fans the CPU's trace events out to the campaign's external tracer
   // and, in detail mode, captures the internal chain image after every
@@ -101,11 +110,6 @@ class ThorRdTarget : public TargetSystemInterface {
   // snapshot into checkpoint_sink_ at every stride boundary reached.
   Status RunToTerminationRecordingCheckpoints();
 
-  // Apply one fault model instance to a scan element (directly on the
-  // CPU for runtime SWIFI) or to target memory.
-  Status InjectIntoImage(const FaultTarget& fault);     // SCIFI snapshot
-  Status InjectIntoCpu(const FaultTarget& fault);       // runtime SWIFI
-  Status InjectIntoMemory(const FaultTarget& fault);    // SWIFI variants
   void InstallModelHook(const sim::ScanElement* element,
                         std::uint32_t bit);
   void InstallMemoryModelHook(std::uint32_t address, std::uint32_t bit);

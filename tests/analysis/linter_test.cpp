@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "target/cache_target.h"
 #include "target/thor_rd_target.h"
 
 namespace goofi::analysis {
@@ -450,6 +451,96 @@ TEST(LintCampaignTest, LocationFilterMatchingNothingIsAnError) {
       "c.ini", std::string(kCleanCampaign) + "location[] = cpu.regs.*\n",
       &locations);
   EXPECT_EQ(Find(clean, "filter-matches-nothing"), nullptr);
+}
+
+TEST(LintCampaignTest, CacheFaultModelNamesAreKnownValues) {
+  // The access-path fault models share the fault_model key; naming one
+  // must not trip unknown-value (geometry checks need locations, so a
+  // location-less lint stays quiet about them).
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "technique = scifi\n"
+      "fault_model = cache_data_bit\n"
+      "experiments = 10\n");
+  EXPECT_EQ(Find(diagnostics, "unknown-value"), nullptr);
+  EXPECT_EQ(Find(diagnostics, "cache-model-without-geometry"), nullptr);
+}
+
+TEST(LintCampaignTest, CacheModelWithoutGeometryIsAnError) {
+  // A cache fault model against a board with no cache coordinates (the
+  // scan-chain-only thor_rd) selects an empty fault space.
+  target::ThorRdTarget thor;
+  const auto thor_locations = thor.ListLocations();
+  const std::string text =
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "technique = scifi\n"
+      "fault_model = inflight_load_bit\n"  // line 5
+      "experiments = 10\n";
+  const auto diagnostics = LintCampaignText("c.ini", text, &thor_locations);
+  const LintDiagnostic* found =
+      Find(diagnostics, "cache-model-without-geometry");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 5);
+  EXPECT_NE(found->message.find("cache_hierarchy"), std::string::npos);
+
+  // The same campaign against the cache board is clean.
+  target::CacheHierarchyTarget cache_target;
+  const auto cache_locations = cache_target.ListLocations();
+  const auto clean = LintCampaignText("c.ini", text, &cache_locations);
+  EXPECT_EQ(Find(clean, "cache-model-without-geometry"), nullptr);
+}
+
+TEST(LintCampaignTest, CacheCoordinateOutOfRangeIsDiagnosed) {
+  // A syntactically valid coordinate past the advertised geometry is
+  // reported as out-of-range (with the real maxima), not as a generic
+  // unmatched filter.
+  target::CacheHierarchyTarget cache_target;
+  const auto locations = cache_target.ListLocations();
+  const auto diagnostics = LintCampaignText(
+      "c.ini",
+      std::string(kCleanCampaign) +
+          "location[] = dcache.set99.word0.data\n",
+      &locations);
+  const LintDiagnostic* found = Find(diagnostics, "coordinate-out-of-range");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 7);
+  EXPECT_NE(found->message.find("set15"), std::string::npos);
+  EXPECT_EQ(Find(diagnostics, "filter-matches-nothing"), nullptr);
+
+  // An in-range coordinate passes; a non-coordinate filter still gets
+  // the generic diagnostic.
+  const auto clean = LintCampaignText(
+      "c.ini",
+      std::string(kCleanCampaign) + "location[] = dcache.set15.word3.data\n",
+      &locations);
+  EXPECT_EQ(Find(clean, "coordinate-out-of-range"), nullptr);
+  EXPECT_EQ(Find(clean, "filter-matches-nothing"), nullptr);
+  const auto generic = LintCampaignText(
+      "c.ini", std::string(kCleanCampaign) + "location[] = nonexistent.*\n",
+      &locations);
+  EXPECT_NE(Find(generic, "filter-matches-nothing"), nullptr);
+}
+
+TEST(LintCampaignTest, CacheCampaignIniIsClean) {
+  // The shipped cache campaign must lint clean against the board it
+  // names (goofi_lint resolves locations per campaign target).
+  target::CacheHierarchyTarget cache_target;
+  const auto locations = cache_target.ListLocations();
+  const std::string path =
+      std::string(GOOFI_CAMPAIGNS_DIR "/regs_cache_parity.ini");
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto diagnostics = LintCampaignText(path, text, &locations);
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
 }
 
 TEST(LintCampaignTest, RepositoryCampaignsAreClean) {

@@ -70,6 +70,54 @@ if "$LINT" bad.ini 2> bad.err; then
 fi
 grep -q "unknown-workload" bad.err || fail "campaign diagnostic"
 
+# --- cache fault models resolve locations per campaign target ------------
+cat > cache_wrong_board.ini <<'EOF'
+[campaign]
+name = demo
+target = thor_rd
+technique = scifi
+workload = isort
+fault_model = cache_data_bit
+experiments = 10
+EOF
+if "$LINT" cache_wrong_board.ini 2> cache_wrong.err; then
+  fail "cache model without cache geometry must exit 1"
+fi
+grep -q "cache-model-without-geometry" cache_wrong.err \
+  || fail "cache-model-without-geometry diagnostic"
+
+cat > cache_oob.ini <<'EOF'
+[campaign]
+name = demo
+target = cache_hierarchy
+technique = scifi
+workload = isort
+fault_model = cache_data_bit
+experiments = 10
+location[] = dcache.set99.word0.data
+EOF
+if "$LINT" cache_oob.ini 2> cache_oob.err; then
+  fail "out-of-range cache coordinate must exit 1"
+fi
+grep -q "coordinate-out-of-range" cache_oob.err \
+  || fail "coordinate-out-of-range diagnostic"
+grep -q "set15" cache_oob.err \
+  || fail "diagnostic must name the real geometry maxima"
+
+cat > cache_clean.ini <<'EOF'
+[campaign]
+name = demo
+target = cache_hierarchy
+technique = scifi
+workload = isort
+fault_model = inflight_load_bit
+experiments = 10
+location[] = icache.set*.word*.inflight
+EOF
+"$LINT" cache_clean.ini 2> cache_clean.err \
+  || fail "cache campaign on the cache board must lint clean"
+test ! -s cache_clean.err || fail "clean cache campaign must print nothing"
+
 # --- the repository's own inputs must stay clean -------------------------
 "$LINT" "$REPO"/workloads/*.workload "$REPO"/campaigns/*.ini \
   || fail "shipped workloads and campaigns must lint clean"

@@ -20,6 +20,7 @@ TEST(RegistryTest, BuiltinTargets) {
   RegisterBuiltinTargets(registry);
   EXPECT_TRUE(registry.Has("thor_rd"));
   EXPECT_TRUE(registry.Has("thor"));
+  EXPECT_TRUE(registry.Has("cache_hierarchy"));
   auto target = registry.Create("thor_rd");
   ASSERT_TRUE(target.ok());
   EXPECT_EQ((*target)->target_name(), "thor_rd");
@@ -39,7 +40,7 @@ TEST(RegistryTest, BuiltinTargets) {
             ErrorCode::kAlreadyExists);
   // ...but RegisterBuiltinTargets itself is idempotent.
   RegisterBuiltinTargets(registry);
-  EXPECT_EQ(registry.Names().size(), 2u);
+  EXPECT_EQ(registry.Names().size(), 3u);
 }
 
 TEST(RegistryTest, ThorLacksCacheParityCheckers) {

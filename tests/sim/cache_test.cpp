@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault_injector.h"
+
 namespace goofi::sim {
 namespace {
 
@@ -143,6 +145,203 @@ TEST_F(CacheTest, MisalignedAndFaultingFills) {
   EXPECT_EQ(cache_.ReadWord(memory_, 0x20000, &value, AccessKind::kRead,
                             &parity),
             MemFault::kUnmapped);
+}
+
+// ---- access-path fault injection (sim/fault_injector.h) --------------
+
+ArmedCacheFault DcacheFault(CacheArray array, std::uint32_t set,
+                            std::uint32_t word, std::uint32_t bit) {
+  ArmedCacheFault fault;
+  fault.unit = MemUnit::kDcache;
+  fault.array = array;
+  fault.set = set;
+  fault.word = word;
+  fault.bit = bit;
+  return fault;
+}
+
+class CacheInjectionTest : public CacheTest {
+ protected:
+  CacheInjectionTest() {
+    cache_.set_fault_injector(&injector_, MemUnit::kDcache);
+  }
+
+  AccessPathInjector injector_;
+};
+
+// The exhaustive detection property over the whole geometry: for every
+// (set, word, bit), a single data-array flip injected through the
+// access-path hook into a resident line is caught by the parity checker
+// on the very next read hit of that word — and the corrupted value is
+// what the read returns, faithful to a real array fault.
+TEST_F(CacheInjectionTest, EveryDataBitFlipIsParityDetectedOnNextReadHit) {
+  for (std::uint32_t set = 0; set < cache_.line_count(); ++set) {
+    for (std::uint32_t word = 0; word < 4; ++word) {
+      for (std::uint32_t bit = 0; bit < 32; ++bit) {
+        cache_.Invalidate();
+        injector_.Reset();
+        const std::uint32_t address = set * 16 + word * 4;
+        Read(address);  // line resident with fresh parity
+        injector_.Arm(DcacheFault(CacheArray::kData, set, word, bit));
+        bool parity = false;
+        const std::uint32_t value = Read(address, &parity);
+        EXPECT_TRUE(parity) << "set " << set << " word " << word << " bit "
+                            << bit;
+        EXPECT_EQ(value, (address * 3 + 1) ^ (1u << bit))
+            << "set " << set << " word " << word << " bit " << bit;
+      }
+    }
+  }
+}
+
+// The EDM blind spot: flipping the data bit AND the word's stored
+// parity bit on the same access keeps the checksum consistent, so the
+// corrupted value sails through undetected — a paired fault no
+// single-bit parity code can see.
+TEST_F(CacheInjectionTest, PairedDataAndParityFlipEscapesDetection) {
+  for (std::uint32_t set = 0; set < cache_.line_count(); ++set) {
+    for (std::uint32_t word = 0; word < 4; ++word) {
+      for (std::uint32_t bit = 0; bit < 32; bit += 7) {
+        cache_.Invalidate();
+        injector_.Reset();
+        const std::uint32_t address = set * 16 + word * 4;
+        Read(address);
+        injector_.Arm(DcacheFault(CacheArray::kData, set, word, bit));
+        injector_.Arm(DcacheFault(CacheArray::kParity, set, word, 0));
+        bool parity = false;
+        const std::uint32_t value = Read(address, &parity);
+        EXPECT_FALSE(parity) << "set " << set << " word " << word
+                             << " bit " << bit;
+        EXPECT_EQ(value, (address * 3 + 1) ^ (1u << bit));
+      }
+    }
+  }
+}
+
+TEST_F(CacheInjectionTest, LoneParityFlipIsAFalseAlarm) {
+  Read(0x10);
+  injector_.Arm(DcacheFault(CacheArray::kParity, 1, 0, 0));
+  bool parity = false;
+  const std::uint32_t value = Read(0x10, &parity);
+  EXPECT_TRUE(parity);                // detected...
+  EXPECT_EQ(value, 0x10u * 3 + 1);    // ...but the data was never wrong
+}
+
+TEST_F(CacheInjectionTest, TagFlipTurnsTheNextAccessIntoAMiss) {
+  Read(0x10);
+  injector_.Arm(DcacheFault(CacheArray::kTag, 1, 0, 0));
+  bool parity = false;
+  // PreRead mutates the tag before hit determination: this very read
+  // misses, refills the line, and returns clean data.
+  EXPECT_EQ(Read(0x10, &parity), 0x10u * 3 + 1);
+  EXPECT_FALSE(parity);
+  EXPECT_EQ(cache_.stats().misses, 2u);
+}
+
+TEST_F(CacheInjectionTest, InflightFlipEscapesParityAndLeavesArraysClean) {
+  Read(0x10);
+  injector_.Arm(DcacheFault(CacheArray::kInflight, 1, 0, 3));
+  bool parity = false;
+  // Corrupted on the wires, after the parity comparison.
+  EXPECT_EQ(Read(0x10, &parity), (0x10u * 3 + 1) ^ 0x8u);
+  EXPECT_FALSE(parity);
+  EXPECT_EQ(injector_.inflight_flip_count(), 1u);
+  // The arrays were never touched: the next read is clean.
+  EXPECT_EQ(Read(0x10, &parity), 0x10u * 3 + 1);
+  EXPECT_FALSE(parity);
+}
+
+TEST_F(CacheInjectionTest, InflightFlipWaitsForItsCoordinate) {
+  Read(0x10);
+  Read(0x20);
+  injector_.Arm(DcacheFault(CacheArray::kInflight, 1, 0, 3));
+  // Accesses to other words pass untouched without consuming the fault.
+  bool parity = false;
+  EXPECT_EQ(Read(0x20, &parity), 0x20u * 3 + 1);
+  EXPECT_EQ(Read(0x14, &parity), 0x14u * 3 + 1);
+  ASSERT_EQ(injector_.armed().size(), 1u);
+  EXPECT_EQ(Read(0x10, &parity), (0x10u * 3 + 1) ^ 0x8u);
+  EXPECT_TRUE(injector_.armed().empty());
+}
+
+TEST_F(CacheInjectionTest, TransientFaultDisarmsAfterOneApplication) {
+  Read(0x10);
+  injector_.Arm(DcacheFault(CacheArray::kData, 1, 0, 2));
+  bool parity = false;
+  Read(0x10, &parity);
+  EXPECT_TRUE(parity);
+  EXPECT_TRUE(injector_.armed().empty());
+  EXPECT_EQ(injector_.applied_count(), 1u);
+}
+
+TEST_F(CacheInjectionTest, PermanentStuckAtRePinsOnEveryAccess) {
+  Read(0x10);
+  // 0x10 * 3 + 1 = 49: bit 4 is set, so stuck-at-0 visibly corrupts.
+  ArmedCacheFault fault = DcacheFault(CacheArray::kData, 1, 0, 4);
+  fault.kind = ArmedFaultKind::kPermanentStuckAt;
+  fault.stuck_to_one = false;
+  ASSERT_NE((0x10u * 3 + 1) & 0x10u, 0u);
+  injector_.Arm(fault);
+  bool parity = false;
+  EXPECT_EQ(Read(0x10, &parity) & 0x10u, 0u);
+  EXPECT_TRUE(parity);
+  // A refill rewrites the array with correct data + parity (PreRead's
+  // pin lands before the fill); the stuck bit must reappear on the
+  // access after that all the same.
+  cache_.Invalidate();
+  EXPECT_EQ(Read(0x10, &parity), 0x10u * 3 + 1);  // miss: fresh fill
+  EXPECT_EQ(Read(0x10, &parity) & 0x10u, 0u);     // pinned again
+  EXPECT_FALSE(injector_.armed().empty());  // permanents never disarm
+}
+
+TEST_F(CacheInjectionTest, IntermittentFaultAppliesEveryPeriod) {
+  Read(0x10);
+  ArmedCacheFault fault = DcacheFault(CacheArray::kParity, 1, 0, 0);
+  fault.kind = ArmedFaultKind::kIntermittent;
+  fault.period = 2;
+  fault.remaining = 2;
+  injector_.Arm(fault);
+  bool parity = false;
+  Read(0x10, &parity);
+  EXPECT_TRUE(parity);   // application 1: stored parity now stale
+  Read(0x10, &parity);
+  EXPECT_TRUE(parity);   // period gap: no reapply, but still stale
+  Read(0x10, &parity);
+  EXPECT_FALSE(parity);  // application 2 flips the bit back: consistent
+  EXPECT_TRUE(injector_.armed().empty());  // both occurrences spent
+  EXPECT_EQ(cache_.stats().parity_errors, 2u);
+}
+
+TEST(MemoryInjectionTest, MainMemoryInflightFlipCorruptsUncachedReads) {
+  Memory memory;
+  ASSERT_TRUE(
+      memory.AddSegment({"ram", 0, 0x1000, true, true, true, false}).ok());
+  ASSERT_TRUE(memory.PokeWord(0x40, 0x1111));
+  AccessPathInjector injector;
+  memory.set_fault_injector(&injector);
+
+  ArmedCacheFault fault;
+  fault.unit = MemUnit::kMainMemory;
+  fault.array = CacheArray::kInflight;
+  fault.set = 0x40;  // word address stands in for (set, word)
+  fault.bit = 0;
+  injector.Arm(fault);
+
+  std::uint32_t value = 0;
+  ASSERT_EQ(memory.ReadWord(0x40, &value, AccessKind::kRead),
+            MemFault::kNone);
+  EXPECT_EQ(value, 0x1110u);
+  // Transient: consumed. The backing store itself was never modified.
+  ASSERT_EQ(memory.ReadWord(0x40, &value, AccessKind::kRead),
+            MemFault::kNone);
+  EXPECT_EQ(value, 0x1111u);
+  // The backdoor Peek/Poke path is hook-free by design (it is the
+  // loader's and the test card's channel, not the access path).
+  injector.Arm(fault);
+  std::uint32_t peeked = 0;
+  ASSERT_TRUE(memory.PeekWord(0x40, &peeked));
+  EXPECT_EQ(peeked, 0x1111u);
+  EXPECT_EQ(injector.armed().size(), 1u);
 }
 
 TEST_F(CacheTest, HitStillChecksProtection) {

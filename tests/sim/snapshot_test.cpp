@@ -365,6 +365,152 @@ TEST(TapSnapshotTest, CaptureCarriesShiftRegisterAndCycleCount) {
   EXPECT_EQ(back.tck_cycles, saved.tck_cycles);
 }
 
+// ---- AccessPathInjector -----------------------------------------------
+
+void ExpectFaultInjectorStateEq(const FaultInjectorState& a,
+                                const FaultInjectorState& b) {
+  EXPECT_EQ(a.armed, b.armed);
+  EXPECT_EQ(a.unit_accesses, b.unit_accesses);
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.inflight_flips, b.inflight_flips);
+}
+
+TEST(FaultInjectorSnapshotTest, RoundTripIsBitExact) {
+  AccessPathInjector injector;
+  // Advance the unit counters so the capture holds non-trivial values.
+  injector.PostWrite(MemUnit::kMainMemory, nullptr, 0x40, 1);
+  injector.PostWrite(MemUnit::kMainMemory, nullptr, 0x44, 2);
+  (void)injector.PreRead(MemUnit::kMainMemory, nullptr, 0x40,
+                         AccessKind::kRead);
+
+  ArmedCacheFault transient;
+  transient.unit = MemUnit::kDcache;
+  transient.array = CacheArray::kData;
+  transient.set = 3;
+  transient.word = 1;
+  transient.bit = 17;
+  injector.Arm(transient);
+  ArmedCacheFault permanent;
+  permanent.unit = MemUnit::kIcache;
+  permanent.array = CacheArray::kTag;
+  permanent.set = 7;
+  permanent.bit = 2;
+  permanent.kind = ArmedFaultKind::kPermanentStuckAt;
+  permanent.stuck_to_one = true;
+  injector.Arm(permanent);
+
+  const FaultInjectorState saved = injector.CaptureState();
+  EXPECT_EQ(saved.armed.size(), 2u);
+  EXPECT_GT(saved.unit_accesses[static_cast<std::size_t>(
+                MemUnit::kMainMemory)],
+            0u);
+
+  // Drift everything: more accesses, then wipe the armed list.
+  injector.PostWrite(MemUnit::kMainMemory, nullptr, 0x48, 3);
+  injector.Reset();
+  injector.RestoreState(saved);
+  ExpectFaultInjectorStateEq(injector.CaptureState(), saved);
+}
+
+TEST(FaultInjectorSnapshotTest, MidWindowCaptureForksIdentically) {
+  // The checkpoint-fork property on the access path: capture while a
+  // fault is armed but not yet applied, fork onto fresh hardware, and
+  // the continuation must corrupt exactly the same accesses as the
+  // original run — values, parity alarms and counters, bit for bit.
+  Memory memory;
+  ASSERT_TRUE(
+      memory.AddSegment({"ram", 0, 0x10000, true, true, true, false}).ok());
+  for (std::uint32_t address = 0; address < 0x400; address += 4) {
+    ASSERT_TRUE(memory.PokeWord(address, address * 5 + 3));
+  }
+  Cache cache({4, 4, 24});
+  AccessPathInjector injector;
+  cache.set_fault_injector(&injector, MemUnit::kDcache);
+
+  auto read = [&memory](Cache& target, std::uint32_t address,
+                        std::pair<std::uint32_t, bool>* out) {
+    std::uint32_t value = 0;
+    bool parity = false;
+    ASSERT_EQ(target.ReadWord(memory, address, &value, AccessKind::kRead,
+                              &parity),
+              MemFault::kNone);
+    *out = {value, parity};
+  };
+
+  // Warm up, then arm an intermittent fault whose window extends well
+  // past the capture point.
+  std::pair<std::uint32_t, bool> sample;
+  read(cache, 0x10, &sample);
+  read(cache, 0x20, &sample);
+  ArmedCacheFault fault;
+  fault.unit = MemUnit::kDcache;
+  fault.array = CacheArray::kData;
+  fault.set = 1;
+  fault.word = 0;
+  fault.bit = 9;
+  fault.kind = ArmedFaultKind::kIntermittent;
+  fault.period = 3;
+  fault.remaining = 4;
+  injector.Arm(fault);
+  read(cache, 0x10, &sample);  // application 1 of 4: mid-window now
+
+  const CacheState cache_saved = cache.CaptureState();
+  const FaultInjectorState injector_saved = injector.CaptureState();
+  ASSERT_EQ(injector_saved.armed.size(), 1u);
+  EXPECT_EQ(injector_saved.armed[0].remaining, 3u);
+
+  // Original continuation.
+  const std::vector<std::uint32_t> addresses = {0x10, 0x14, 0x10, 0x20,
+                                                0x10, 0x10, 0x30, 0x10,
+                                                0x10, 0x10};
+  std::vector<std::pair<std::uint32_t, bool>> original;
+  for (const std::uint32_t address : addresses) {
+    std::pair<std::uint32_t, bool> result;
+    read(cache, address, &result);
+    original.push_back(result);
+  }
+  const FaultInjectorState original_end = injector.CaptureState();
+
+  // Fork onto a fresh cache + injector pair and replay.
+  Cache forked_cache({4, 4, 24});
+  AccessPathInjector forked_injector;
+  forked_cache.set_fault_injector(&forked_injector, MemUnit::kDcache);
+  ASSERT_TRUE(forked_cache.RestoreState(cache_saved).ok());
+  forked_injector.RestoreState(injector_saved);
+  std::vector<std::pair<std::uint32_t, bool>> forked;
+  for (const std::uint32_t address : addresses) {
+    std::pair<std::uint32_t, bool> result;
+    read(forked_cache, address, &result);
+    forked.push_back(result);
+  }
+
+  EXPECT_EQ(forked, original);
+  ExpectFaultInjectorStateEq(forked_injector.CaptureState(), original_end);
+}
+
+TEST(FaultInjectorSnapshotTest, SnapshotCarriesTheInjectorField) {
+  // The aggregate Snapshot round-trips the injector sub-state like any
+  // other component (targets fill it in CaptureSnapshot).
+  AccessPathInjector injector;
+  ArmedCacheFault fault;
+  fault.unit = MemUnit::kIcache;
+  fault.array = CacheArray::kInflight;
+  fault.set = 2;
+  fault.word = 3;
+  fault.bit = 31;
+  injector.Arm(fault);
+
+  Snapshot snapshot;
+  snapshot.injector = injector.CaptureState();
+  const Snapshot copied = snapshot;  // snapshots pass by value to workers
+  ASSERT_TRUE(copied.injector.has_value());
+  injector.Reset();
+  injector.RestoreState(*copied.injector);
+  ASSERT_EQ(injector.armed().size(), 1u);
+  fault.next_access = 1;  // Arm() scheduled it for the next unit access
+  EXPECT_EQ(injector.armed()[0], fault);
+}
+
 // ---- AccessRecorder ---------------------------------------------------
 
 TEST(AccessRecorderSnapshotTest, RoundTripPreservesAllThreeStreams) {
