@@ -1,15 +1,18 @@
 // goofi-lint: static checks for workloads and campaign definitions.
 //
-//   goofi_lint [--strict] FILE...
+//   goofi_lint [--strict] [--format=text|json] FILE...
 //
 // FILE kinds are inferred from the extension:
 //   *.workload     .workload spec (checks the spec and its assembly)
 //   *.ini          campaign definition
 //   anything else  GOOFI-32 assembly source
 //
-// Diagnostics print as "file:line: severity: message [check]". Exit
-// status is 1 when any error was reported (with --strict, when anything
-// at all was reported) — wire it straight into CI.
+// Diagnostics print as "file:line: severity: message [check]";
+// --format=json emits them to stdout as a JSON array of
+// {file, line, check, severity, message} objects instead. Repeats of
+// the same (file, line, check) are reported once. Exit status is 1
+// when any error was reported (with --strict, when anything at all was
+// reported) — wire it straight into CI.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -66,20 +69,29 @@ class LocationInventory {
 int main(int argc, char** argv) {
   using goofi::analysis::LintDiagnostic;
   bool strict = false;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--format", 0) == 0) {
+      std::fprintf(stderr, "goofi_lint: unknown format '%s'\n", arg.c_str());
+      return 2;
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: goofi_lint [--strict] FILE...");
+      std::puts("usage: goofi_lint [--strict] [--format=text|json] FILE...");
       return 0;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::fputs("usage: goofi_lint [--strict] FILE...\n", stderr);
+    std::fputs("usage: goofi_lint [--strict] [--format=text|json] FILE...\n",
+               stderr);
     return 2;
   }
 
@@ -108,16 +120,23 @@ int main(int argc, char** argv) {
     diagnostics.insert(diagnostics.end(), found.begin(), found.end());
   }
 
-  for (const LintDiagnostic& diagnostic : diagnostics) {
-    std::fprintf(stderr, "%s\n",
-                 goofi::analysis::FormatDiagnostic(diagnostic).c_str());
+  diagnostics =
+      goofi::analysis::DeduplicateDiagnostics(std::move(diagnostics));
+  if (json) {
+    std::fputs(goofi::analysis::FormatDiagnosticsJson(diagnostics).c_str(),
+               stdout);
+  } else {
+    for (const LintDiagnostic& diagnostic : diagnostics) {
+      std::fprintf(stderr, "%s\n",
+                   goofi::analysis::FormatDiagnostic(diagnostic).c_str());
+    }
+    if (!diagnostics.empty()) {
+      std::fprintf(stderr, "goofi-lint: %zu diagnostic%s\n",
+                   diagnostics.size(), diagnostics.size() == 1 ? "" : "s");
+    }
   }
   const bool failed =
       goofi::analysis::HasErrors(diagnostics) ||
       (strict && !diagnostics.empty());
-  if (!diagnostics.empty()) {
-    std::fprintf(stderr, "goofi-lint: %zu diagnostic%s\n",
-                 diagnostics.size(), diagnostics.size() == 1 ? "" : "s");
-  }
   return failed ? 1 : 0;
 }

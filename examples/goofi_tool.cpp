@@ -290,6 +290,15 @@ int CmdRun(const Arguments& arguments, bool resume) {
                 static_cast<unsigned long long>(summary->static_pruned_bits),
                 100.0 * summary->static_pruned_fraction);
   }
+  if (summary->equiv_classes > 0) {
+    std::printf("equivalence partitioning: %zu classes, %zu/%zu experiments "
+                "injected (%zu duplicates pruned), %llu fault points "
+                "extrapolated\n",
+                summary->equiv_classes,
+                summary->experiments_run - summary->equiv_duplicates,
+                summary->experiments_run, summary->equiv_duplicates,
+                static_cast<unsigned long long>(summary->equiv_space_weight));
+  }
 
   auto analysis = core::AnalyzeCampaign(database, campaign_name);
   if (!analysis.ok()) return Fail(analysis.status());
@@ -360,6 +369,31 @@ int CmdRerun(const Arguments& arguments) {
   return 0;
 }
 
+int CmdEquivCheck(const Arguments& arguments) {
+  if (arguments.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: goofi_tool equivcheck <campaign> [max_classes] "
+                 "[--db DIR]\n");
+    return 1;
+  }
+  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  if (!database.ok()) return Fail(database.status());
+  const std::size_t max_classes =
+      arguments.positional.size() > 1
+          ? static_cast<std::size_t>(std::atol(
+                arguments.positional[1].c_str()))
+          : 0;
+  auto audit = core::CrossCheckEquivalenceCampaign(
+      *database, arguments.positional[0], max_classes);
+  if (!audit.ok()) return Fail(audit.status());
+  std::printf("equivalence crosscheck: %zu classes checked, %zu member "
+              "injections re-run (%llu fault points), all "
+              "outcome-homogeneous\n",
+              audit->classes_checked, audit->members_injected,
+              static_cast<unsigned long long>(audit->space_weight));
+  return 0;
+}
+
 int CmdSql(const Arguments& arguments) {
   if (arguments.positional.empty()) {
     std::fprintf(stderr, "usage: goofi_tool sql \"<statement>\" [--db DIR]\n");
@@ -392,6 +426,7 @@ int main(int argc, char** argv) {
   if (arguments.command == "analyze") return CmdAnalyze(arguments, false);
   if (arguments.command == "export") return CmdAnalyze(arguments, true);
   if (arguments.command == "rerun") return CmdRerun(arguments);
+  if (arguments.command == "equivcheck") return CmdEquivCheck(arguments);
   if (arguments.command == "sql") return CmdSql(arguments);
   if (arguments.command == "schema") {
     std::printf("%s\n", core::GoofiSchemaSql());
@@ -423,6 +458,11 @@ int main(int argc, char** argv) {
                "  export <campaign>       per-experiment outcomes as CSV\n"
                "  rerun <experiment>      detail-mode re-run "
                "(parentExperiment)\n"
+               "  equivcheck <campaign>   re-inject every member of logged\n"
+               "                          equivalence classes and prove "
+               "them\n"
+               "                          outcome-homogeneous "
+               "([max_classes] bounds it)\n"
                "  sql \"<statement>\"       query the campaign database\n"
                "  schema                  print the Fig. 4 schema as SQL\n");
   return arguments.command.empty() ? 0 : 1;

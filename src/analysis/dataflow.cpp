@@ -1,7 +1,10 @@
 #include "analysis/dataflow.h"
 
+#include <algorithm>
 #include <array>
+#include <iterator>
 #include <limits>
+#include <utility>
 
 namespace goofi::analysis {
 namespace {
@@ -99,6 +102,133 @@ LivenessResult ComputeLiveness(const Cfg& cfg) {
       result.ever_live |= state;
       if (pc == block.begin) break;
     }
+  }
+  return result;
+}
+
+namespace {
+
+using UseSet = FirstUseResult::UseSet;
+using UseState = std::array<UseSet, 16>;
+
+UseSet WidenedUseSet() {
+  UseSet set;
+  set.unknown = true;
+  return set;
+}
+
+bool SameUseSet(const UseSet& a, const UseSet& b) {
+  return a.unknown == b.unknown && a.pcs == b.pcs;
+}
+
+// Union with cap: beyond kMaxTrackedUses distinct use sites the set
+// widens to unknown, keeping the fixpoint's lattice finite.
+void UnionInto(UseSet& into, const UseSet& from) {
+  if (into.unknown) return;
+  if (from.unknown) {
+    into = WidenedUseSet();
+    return;
+  }
+  std::vector<std::uint32_t> merged;
+  merged.reserve(into.pcs.size() + from.pcs.size());
+  std::set_union(into.pcs.begin(), into.pcs.end(), from.pcs.begin(),
+                 from.pcs.end(), std::back_inserter(merged));
+  if (merged.size() > FirstUseResult::kMaxTrackedUses) {
+    into = WidenedUseSet();
+  } else {
+    into.pcs = std::move(merged);
+  }
+}
+
+// Backward per-instruction transfer: a read of `reg` at pc makes pc the
+// first use (reads happen before the same instruction's write); a pure
+// write kills the set (the incoming value is never read on this path).
+void FirstUseTransfer(const Cfg& cfg, const BasicBlock& block,
+                      UseState& state,
+                      std::map<std::uint32_t, UseState>* per_pc) {
+  for (std::uint32_t pc = block.end - 4;; pc -= 4) {
+    const sim::RegDefUse du = sim::InstructionDefUse(*cfg.InstructionAt(pc));
+    for (std::uint8_t reg = 1; reg < 16; ++reg) {
+      const std::uint16_t bit = static_cast<std::uint16_t>(1u << reg);
+      if ((du.uses & bit) != 0) {
+        state[reg] = UseSet{false, {pc}};
+      } else if ((du.defs & bit) != 0) {
+        state[reg] = UseSet{};
+      }
+    }
+    if (per_pc != nullptr) (*per_pc)[pc] = state;
+    if (pc == block.begin) break;
+  }
+}
+
+}  // namespace
+
+bool FirstUseResult::UseSet::Contains(std::uint32_t pc) const {
+  return unknown || std::binary_search(pcs.begin(), pcs.end(), pc);
+}
+
+bool FirstUseResult::MayFirstUseAt(std::uint8_t reg, std::uint32_t def_pc,
+                                   std::uint32_t use_pc) const {
+  if (reg == 0 || reg >= 16) return true;  // unmodeled: stay conservative
+  const auto it = first_use_in.find(def_pc);
+  if (it == first_use_in.end()) return true;  // pc the Cfg never decoded
+  return it->second[reg].Contains(use_pc);
+}
+
+FirstUseResult ComputeFirstUses(const Cfg& cfg) {
+  const auto preds = Predecessors(cfg);
+  std::map<std::uint32_t, UseState> block_in;
+
+  // Widening points match ComputeLiveness: past an indirect branch or
+  // off the decoded image, any instruction may consume the value.
+  const auto first_use_out = [&](const BasicBlock& block) {
+    UseState out;
+    if (block.has_indirect_successor || block.falls_off_image) {
+      for (std::uint8_t reg = 1; reg < 16; ++reg) out[reg] = WidenedUseSet();
+      return out;
+    }
+    for (const std::uint32_t successor : block.successors) {
+      const auto it = block_in.find(successor);
+      if (it == block_in.end()) continue;
+      for (std::uint8_t reg = 1; reg < 16; ++reg) {
+        UnionInto(out[reg], it->second[reg]);
+      }
+    }
+    return out;
+  };
+
+  std::vector<std::uint32_t> work;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)block;
+    work.push_back(begin);
+  }
+  while (!work.empty()) {
+    const std::uint32_t begin = work.back();
+    work.pop_back();
+    const BasicBlock& block = cfg.blocks().at(begin);
+    UseState in = first_use_out(block);
+    FirstUseTransfer(cfg, block, in, nullptr);
+    auto& current = block_in[begin];
+    bool changed = false;
+    for (std::uint8_t reg = 1; reg < 16; ++reg) {
+      if (!SameUseSet(in[reg], current[reg])) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) continue;
+    current = in;  // monotone under UnionInto: only grows toward unknown
+    const auto it = preds.find(begin);
+    if (it != preds.end()) {
+      work.insert(work.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  FirstUseResult result;
+  for (const auto& [begin, block] : cfg.blocks()) {
+    (void)begin;
+    UseState state = first_use_out(block);
+    FirstUseTransfer(cfg, block, state, &result.first_use_in);
   }
   return result;
 }

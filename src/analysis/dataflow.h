@@ -9,6 +9,7 @@
 // or diagnose based on an unsound fact.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -42,6 +43,40 @@ struct MaybeUninitRead {
   std::uint8_t reg = 0;
 };
 std::vector<MaybeUninitRead> FindMaybeUninitReads(const Cfg& cfg);
+
+// Backward first-use analysis: for each reachable pc and register, the
+// set of instruction addresses at which the value `reg` holds on entry
+// to pc may be *first read* (before any redefinition), over all paths.
+// This refines liveness from "will some path read it?" to "which
+// instruction consumes it?" — the static counterpart of the dynamic
+// def-use intervals analysis::FaultSpacePartition builds from the
+// access trace, and the superset side of the first-use crosscheck
+// (core/crosscheck.h): every dynamically observed first use must be in
+// the static may-first-use set at every pc of its interval.
+//
+// The per-(pc, reg) sets are capped at kMaxTrackedUses and widen to
+// "unknown" (any read possible) beyond the cap and at the Cfg's
+// declared widening points, mirroring ComputeLiveness.
+struct FirstUseResult {
+  static constexpr std::size_t kMaxTrackedUses = 16;
+
+  struct UseSet {
+    bool unknown = false;             // widened: any read is possible
+    std::vector<std::uint32_t> pcs;   // sorted, <= kMaxTrackedUses
+
+    bool Contains(std::uint32_t pc) const;
+  };
+
+  // Per reachable instruction address: one UseSet per register (index
+  // 1..15; r0 stays empty).
+  std::map<std::uint32_t, std::array<UseSet, 16>> first_use_in;
+
+  // True when the value of `reg` entering `def_pc` may be first read at
+  // `use_pc`. Conservatively true for pcs the analysis has no entry for.
+  bool MayFirstUseAt(std::uint8_t reg, std::uint32_t def_pc,
+                     std::uint32_t use_pc) const;
+};
+FirstUseResult ComputeFirstUses(const Cfg& cfg);
 
 // Memory-word def/use summary for statically addressable loads and
 // stores, by intra-procedural constant propagation of register values

@@ -1,0 +1,105 @@
+// Fault-equivalence partitioning: def-use interval construction over
+// the reference run's access trace.
+//
+// The pre-injection analysis (core/preinjection.h) answers "is this
+// (location, time) point live?"; this pass answers the sharper
+// question "which live points are *indistinguishable*?". Between two
+// consecutive accesses to a location, an injected bit flip corrupts
+// the identical stored value, the rest of the machine evolves exactly
+// as in the fault-free run (nothing reads the corrupted value), and
+// the first instruction to touch the location sees the identical
+// corrupted value in the identical machine state. Every injection
+// time in such an interval therefore produces the *same observation*
+// — only the injection-to-detection latency shifts linearly with the
+// injection time. One representative injection per interval predicts
+// the whole class; core/runner samples exactly that way when a
+// campaign sets `static_analysis = equivalence`, and core/crosscheck
+// re-injects whole classes to prove the outcome-homogeneity claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/access_recorder.h"
+#include "target/target_types.h"
+#include "util/status.h"
+
+namespace goofi::analysis {
+
+// One def-use interval: the inclusive injection-time span between two
+// consecutive accesses to a location ("injection at time t" = the flip
+// happens just before the instruction with index t executes, so the
+// span delimited by accesses at times a_prev < a is [a_prev+1, a]).
+struct EquivInterval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  std::uint64_t weight() const { return hi - lo + 1; }
+};
+
+// Split one access-event stream into its def-use intervals. Unlike
+// core::BuildIntervals this NEVER merges across an access: reads
+// delimit classes too (injections on either side of a read reach
+// different first uses and may behave differently), so the result is
+// a partition of [0, last access time] with one interval ending at
+// every access time. Exposed for unit tests.
+std::vector<EquivInterval> BuildAccessIntervals(
+    const std::vector<sim::AccessEvent>& events);
+
+// The partition of a campaign's (location, bit, time) fault space into
+// equivalence classes, built from the reference run's access trace.
+// Modeled locations are the architectural ones the trace records:
+// "cpu.regs.r1".."cpu.regs.r15" and "mem@<addr>" words. Anything else
+// (cache arrays, IR, latches) is unmodeled — callers fall back to
+// singleton classes there.
+class FaultSpacePartition {
+ public:
+  // `end_time` is the reference run's instruction count.
+  void Build(const sim::AccessRecorder& recorder, std::uint64_t end_time);
+
+  // The def-use interval containing injection time `time` for the
+  // target's location, or nullopt when the location is unmodeled or
+  // the time lies past the location's last access (the fault is then
+  // never consumed; the liveness filter rejects such points anyway).
+  // The bit index does not change the interval — all bits of one
+  // location share the same access stream — but it IS part of the
+  // class identity: different bits corrupt different values.
+  std::optional<EquivInterval> IntervalOf(const target::FaultTarget& target,
+                                          std::uint64_t time) const;
+
+  std::uint64_t end_time() const { return end_time_; }
+
+  // Interval counts, for reporting.
+  std::size_t register_interval_count() const;
+  std::size_t memory_interval_count() const;
+
+ private:
+  const std::vector<EquivInterval>* IntervalsFor(
+      const target::FaultTarget& target) const;
+
+  std::vector<EquivInterval> reg_intervals_[16];
+  std::map<std::uint32_t, std::vector<EquivInterval>> mem_intervals_;
+  std::uint64_t end_time_ = 0;
+};
+
+// ---- class identity ----------------------------------------------------
+// Classes persist in LoggedSystemState.equiv_class as a self-describing
+// id "<location>:b<bit>:[<lo>,<hi>]" so the analysis stage can weight
+// outcomes and the crosscheck can enumerate every member without
+// rebuilding the partition.
+struct EquivalenceClassKey {
+  target::FaultTarget target;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  std::uint64_t weight() const { return hi - lo + 1; }
+};
+
+std::string EquivalenceClassId(const target::FaultTarget& target,
+                               std::uint64_t lo, std::uint64_t hi);
+Result<EquivalenceClassKey> ParseEquivalenceClassId(const std::string& id);
+
+}  // namespace goofi::analysis

@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
@@ -114,6 +115,64 @@ std::string FormatDiagnostic(const LintDiagnostic& diagnostic) {
   }
   return StrFormat("%s: %s: %s [%s]", diagnostic.file.c_str(), severity,
                    diagnostic.message.c_str(), diagnostic.check.c_str());
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDiagnosticsJson(
+    const std::vector<LintDiagnostic>& diagnostics) {
+  if (diagnostics.empty()) return "[]\n";
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const LintDiagnostic& diagnostic = diagnostics[i];
+    out += StrFormat(
+        "  {\"file\": \"%s\", \"line\": %d, \"check\": \"%s\", "
+        "\"severity\": \"%s\", \"message\": \"%s\"}%s\n",
+        JsonEscape(diagnostic.file).c_str(), diagnostic.line,
+        JsonEscape(diagnostic.check).c_str(),
+        diagnostic.severity == Severity::kError ? "error" : "warning",
+        JsonEscape(diagnostic.message).c_str(),
+        i + 1 < diagnostics.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
+}
+
+std::vector<LintDiagnostic> DeduplicateDiagnostics(
+    std::vector<LintDiagnostic> diagnostics) {
+  std::set<std::tuple<std::string, int, std::string>> seen;
+  std::vector<LintDiagnostic> out;
+  out.reserve(diagnostics.size());
+  for (LintDiagnostic& diagnostic : diagnostics) {
+    if (seen.emplace(diagnostic.file, diagnostic.line, diagnostic.check)
+            .second) {
+      out.push_back(std::move(diagnostic));
+    }
+  }
+  return out;
 }
 
 bool HasErrors(const std::vector<LintDiagnostic>& diagnostics) {
@@ -491,12 +550,62 @@ std::vector<LintDiagnostic> LintCampaignText(
           "replaying every experiment from reset");
     }
   }
+  // `static_analysis` is a tri-state: boolean (liveness pruning) or the
+  // string "equivalence" (def-use class partitioning, core/runner.cpp).
+  // Anything else silently parses as `false`, so flag it here.
+  const std::string static_mode =
+      AsciiToLower(section->GetStringOr("static_analysis", "false"));
+  const bool equivalence_mode = static_mode == "equivalence";
+  if (!equivalence_mode && section->Has("static_analysis") &&
+      !section->GetBool("static_analysis").ok()) {
+    Add(&out, Severity::kError, file, LineOfKey(text, "static_analysis"),
+        "unknown-value",
+        "static_analysis must be a boolean or 'equivalence', got '" +
+            section->GetStringOr("static_analysis", "") + "'");
+  }
   if (technique == target::Technique::kSwifiPreRuntime &&
-      section->GetBoolOr("static_analysis", false)) {
+      (equivalence_mode ||
+       section->GetBoolOr("static_analysis", false))) {
     Add(&out, Severity::kWarning, file, LineOfKey(text, "static_analysis"),
         "ignored-key",
         "static analysis prunes register scan elements only; pre-runtime "
         "SWIFI cannot inject into them anyway");
+  }
+  // The equivalence partitioner's homogeneity argument only holds for a
+  // single transient flip delivered at an instret trigger; the runner
+  // rejects every other combination at PrepareCampaignRun time.
+  if (equivalence_mode) {
+    if (trigger != "instret") {
+      Add(&out, Severity::kError, file, LineOfKey(text, "trigger"),
+          "equivalence-needs-instret",
+          "static_analysis = equivalence partitions the instruction-time "
+          "axis; it requires trigger = instret");
+    }
+    if (model != target::FaultModel::Kind::kTransientBitFlip) {
+      Add(&out, Severity::kError, file, LineOfKey(text, "fault_model"),
+          "equivalence-needs-transient",
+          "static_analysis = equivalence assumes a single transient flip "
+          "whose corrupted value is read exactly once; use fault_model = "
+          "transient");
+    }
+    if (section->GetIntOr("multiplicity", 1) > 1) {
+      Add(&out, Severity::kError, file, LineOfKey(text, "multiplicity"),
+          "equivalence-needs-single-fault",
+          "static_analysis = equivalence requires multiplicity = 1 "
+          "(classes are per-location def-use intervals)");
+    }
+    if (technique == target::Technique::kSwifiPreRuntime) {
+      Add(&out, Severity::kError, file, LineOfKey(text, "technique"),
+          "equivalence-needs-trigger-phase",
+          "pre-runtime SWIFI has no injection-time axis to partition; "
+          "use technique = scifi (or drop static_analysis = equivalence)");
+    }
+    if (EqualsIgnoreCase(logging, "detail")) {
+      Add(&out, Severity::kError, file, LineOfKey(text, "logging"),
+          "equivalence-needs-normal-logging",
+          "detail logging traces every experiment individually; class "
+          "representatives must be logged in normal mode");
+    }
   }
 
   if (locations != nullptr) {

@@ -28,6 +28,23 @@ struct LintDiagnostic {
 
 // "file:line: error: message [check]" (line elided when 0).
 std::string FormatDiagnostic(const LintDiagnostic& diagnostic);
+
+// The whole batch as one JSON array, one object per diagnostic:
+//   [{"file": ..., "line": N, "check": ..., "severity": "error"|"warning",
+//     "message": ...}, ...]
+// Stable key order, newline after every element, strings escaped; an
+// empty batch prints as "[]". For `goofi_lint --format=json` and any
+// other machine consumer.
+std::string FormatDiagnosticsJson(
+    const std::vector<LintDiagnostic>& diagnostics);
+
+// Drops repeats of the same (file, line, check) triple, keeping the
+// first occurrence (and its severity/message) and the original order.
+// Several checks walk per-instruction state and can report one root
+// cause many times; exit codes and CI counts should see it once.
+std::vector<LintDiagnostic> DeduplicateDiagnostics(
+    std::vector<LintDiagnostic> diagnostics);
+
 bool HasErrors(const std::vector<LintDiagnostic>& diagnostics);
 
 // ---- GOOFI-32 assembly sources ----------------------------------------

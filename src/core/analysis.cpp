@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/equivalence.h"
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
+#include "core/supervision.h"
 #include "util/strings.h"
 
 namespace goofi::core {
@@ -150,6 +152,25 @@ Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
   analysis.campaign = campaign_name;
   for (const db::Row& row : logged->rows()) {
     if (row[2].AsText() != campaign_name) continue;
+    // Equivalence-class duplicates carry their representative's name in
+    // the parent column, so this check must precede the detail-re-run
+    // skip below: a stub row is pruned sampling, not a child run.
+    if (row.size() > 6 && !row[6].is_null() &&
+        row[6].AsText() == kToolStatusEquivalent) {
+      ++analysis.equivalence.duplicates;
+      analysis.equivalence.enabled = true;
+      const auto rep_index =
+          row[1].is_null()
+              ? std::nullopt
+              : logged->FindByUnique(0, db::Value::Text_(row[1].AsText()));
+      if (!rep_index ||
+          (logged->row(*rep_index).size() > 6 &&
+           !logged->row(*rep_index)[6].is_null() &&
+           logged->row(*rep_index)[6].AsText() != "ok")) {
+        ++analysis.equivalence.unresolved_duplicates;
+      }
+      continue;
+    }
     if (!row[1].is_null()) continue;  // detail re-run child
     if (row[3].AsText() == "reference") continue;
     // Abandoned experiments (watchdog/retry gave up; see
@@ -217,12 +238,77 @@ Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
     if (!result.category.empty()) {
       ++analysis.by_category[result.category][result.classification.outcome];
     }
+
+    // Equivalence representative: re-count its outcome with the class
+    // weight for the extrapolated-to-full-space taxonomy.
+    if (row.size() > 8 && !row[8].is_null()) {
+      CampaignAnalysis::EquivalenceStats& equiv = analysis.equivalence;
+      equiv.enabled = true;
+      ++equiv.classes;
+      const std::uint64_t weight =
+          row.size() > 9 && !row[9].is_null()
+              ? static_cast<std::uint64_t>(row[9].AsInteger())
+              : 1;
+      equiv.space_weight += weight;
+      switch (result.classification.outcome) {
+        case OutcomeClass::kDetected: equiv.weighted_detected += weight; break;
+        case OutcomeClass::kEscaped: equiv.weighted_escaped += weight; break;
+        case OutcomeClass::kLatent: equiv.weighted_latent += weight; break;
+        case OutcomeClass::kOverwritten:
+          equiv.weighted_overwritten += weight;
+          break;
+        case OutcomeClass::kNotInjected:
+          equiv.weighted_not_injected += weight;
+          break;
+      }
+      if (result.classification.outcome == OutcomeClass::kDetected &&
+          observation.edm && result.injection_time > 0 &&
+          observation.edm->time >= result.injection_time) {
+        // In-class latency is linear in the injection time (the EDM
+        // event is at one fixed instant for the whole class), so the
+        // class mean is the representative's latency shifted from the
+        // representative's time to the class midpoint.
+        const auto key =
+            goofi::analysis::ParseEquivalenceClassId(row[8].AsText());
+        if (key.ok()) {
+          const double rep_latency = static_cast<double>(
+              observation.edm->time - result.injection_time);
+          const double midpoint = (static_cast<double>(key.value().lo) +
+                                   static_cast<double>(key.value().hi)) /
+                                  2.0;
+          const double class_mean =
+              rep_latency +
+              (static_cast<double>(result.injection_time) - midpoint);
+          equiv.extrapolated_latency_mean =
+              (equiv.extrapolated_latency_mean *
+                   static_cast<double>(equiv.extrapolated_latency_weight) +
+               class_mean * static_cast<double>(weight)) /
+              static_cast<double>(equiv.extrapolated_latency_weight + weight);
+          equiv.extrapolated_latency_weight += weight;
+        }
+      }
+    }
     analysis.experiments.push_back(std::move(result));
   }
 
   const std::size_t effective = analysis.detected + analysis.escaped;
   analysis.detection_coverage = WilsonInterval95(analysis.detected, effective);
   analysis.effectiveness = WilsonInterval95(effective, analysis.total);
+  if (analysis.equivalence.enabled) {
+    CampaignAnalysis::EquivalenceStats& equiv = analysis.equivalence;
+    const std::uint64_t weighted_effective =
+        equiv.weighted_detected + equiv.weighted_escaped;
+    if (weighted_effective > 0) {
+      equiv.weighted_detection_coverage =
+          static_cast<double>(equiv.weighted_detected) /
+          static_cast<double>(weighted_effective);
+    }
+    if (equiv.space_weight > 0) {
+      equiv.weighted_effectiveness =
+          static_cast<double>(weighted_effective) /
+          static_cast<double>(equiv.space_weight);
+    }
+  }
   return analysis;
 }
 
@@ -337,6 +423,44 @@ std::string FormatAnalysisReport(const CampaignAnalysis& analysis) {
         analysis.latency_mean,
         static_cast<unsigned long long>(analysis.latency_max),
         analysis.latency_samples);
+  }
+  if (analysis.equivalence.enabled) {
+    const CampaignAnalysis::EquivalenceStats& equiv = analysis.equivalence;
+    out += StrFormat(
+        "  Equivalence classes:   %zu measured, %zu duplicates pruned\n",
+        equiv.classes, equiv.duplicates);
+    if (equiv.unresolved_duplicates > 0) {
+      out += StrFormat(
+          "    unresolved dups:     %zu (representative missing or "
+          "incomplete)\n",
+          equiv.unresolved_duplicates);
+    }
+    out += StrFormat(
+        "    Extrapolated space:  %llu fault points (class weights)\n",
+        static_cast<unsigned long long>(equiv.space_weight));
+    out += StrFormat(
+        "    Weighted outcomes:   detected=%llu escaped=%llu latent=%llu "
+        "overwritten=%llu not_injected=%llu\n",
+        static_cast<unsigned long long>(equiv.weighted_detected),
+        static_cast<unsigned long long>(equiv.weighted_escaped),
+        static_cast<unsigned long long>(equiv.weighted_latent),
+        static_cast<unsigned long long>(equiv.weighted_overwritten),
+        static_cast<unsigned long long>(equiv.weighted_not_injected));
+    out += StrFormat(
+        "    Weighted coverage:   %.3f (measured %.3f over "
+        "representatives)\n",
+        equiv.weighted_detection_coverage,
+        analysis.detection_coverage.estimate);
+    out += StrFormat("    Weighted effectiveness: %.3f (measured %.3f)\n",
+                     equiv.weighted_effectiveness,
+                     analysis.effectiveness.estimate);
+    if (equiv.extrapolated_latency_weight > 0) {
+      out += StrFormat(
+          "    Extrapolated latency: mean %.1f instructions over %llu "
+          "fault points\n",
+          equiv.extrapolated_latency_mean,
+          static_cast<unsigned long long>(equiv.extrapolated_latency_weight));
+    }
   }
   if (!analysis.by_category.empty()) {
     out += "  By location category:\n";

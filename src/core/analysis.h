@@ -114,6 +114,39 @@ struct CampaignAnalysis {
   // excluded from `total` and from every outcome statistic above — the
   // paper's taxonomy only applies to tool-completed experiments.
   std::size_t tool_incomplete = 0;
+  // Equivalence-partitioning extrapolation (`static_analysis =
+  // equivalence` campaigns; `enabled` false otherwise). The measured
+  // taxonomy above covers only the class representatives; these fields
+  // extrapolate it to the full fault space by class weight.
+  struct EquivalenceStats {
+    bool enabled = false;
+    std::size_t classes = 0;     // representatives measured
+    std::size_t duplicates = 0;  // stub rows pruned by the partitioning
+    // Duplicates whose representative row is missing or tool-incomplete
+    // (a stopped/failed campaign): their classes have no outcome.
+    std::size_t unresolved_duplicates = 0;
+    // Summed class weights: how many (location, bit, time) fault points
+    // the measured representatives stand in for.
+    std::uint64_t space_weight = 0;
+    // The measured taxonomy re-counted with each representative's class
+    // weight — the extrapolated-to-full-space outcome distribution.
+    std::uint64_t weighted_detected = 0;
+    std::uint64_t weighted_escaped = 0;
+    std::uint64_t weighted_latent = 0;
+    std::uint64_t weighted_overwritten = 0;
+    std::uint64_t weighted_not_injected = 0;
+    // Weighted point estimates (the class-count Wilson intervals of the
+    // measured taxonomy remain the uncertainty statement).
+    double weighted_detection_coverage = 0.0;
+    double weighted_effectiveness = 0.0;
+    // Detection latency extrapolated over whole class spans: within a
+    // class the latency varies linearly with the injection time, so a
+    // class's mean latency is its representative's latency plus the
+    // offset from the representative's time to the class midpoint.
+    std::uint64_t extrapolated_latency_weight = 0;
+    double extrapolated_latency_mean = 0.0;
+  };
+  EquivalenceStats equivalence;
 };
 
 // Load the campaign's rows from LoggedSystemState and classify them.

@@ -77,7 +77,16 @@ Result<CampaignConfig> ParseCampaignConfig(const ConfigSection& section) {
   }
   config.use_preinjection_analysis =
       section.GetBoolOr("preinjection", false);
-  config.use_static_analysis = section.GetBoolOr("static_analysis", false);
+  // `static_analysis` is historically a boolean but also accepts the
+  // mode name "equivalence". Check the string first: GetBoolOr would
+  // silently fall back to `false` on a non-boolean value.
+  const std::string static_mode = section.GetStringOr("static_analysis", "");
+  if (EqualsIgnoreCase(static_mode, "equivalence")) {
+    config.use_static_analysis = true;
+    config.use_equivalence = true;
+  } else {
+    config.use_static_analysis = section.GetBoolOr("static_analysis", false);
+  }
   config.jobs = static_cast<std::uint32_t>(section.GetIntOr("jobs", 1));
   if (config.jobs == 0) {
     return InvalidArgumentError("jobs must be >= 1");
@@ -128,7 +137,10 @@ Status StoreCampaign(db::Database& database, const CampaignConfig& config) {
       config.logging_mode == target::LoggingMode::kDetail ? "detail"
                                                           : "normal"));
   row.push_back(Value::Integer(config.use_preinjection_analysis ? 1 : 0));
-  row.push_back(Value::Integer(config.use_static_analysis ? 1 : 0));
+  // 0 = off, 1 = liveness pruning, 2 = equivalence partitioning.
+  row.push_back(Value::Integer(config.use_equivalence          ? 2
+                               : config.use_static_analysis ? 1
+                                                            : 0));
   row.push_back(Value::Integer(static_cast<std::int64_t>(
       config.model.period)));
   row.push_back(Value::Integer(config.model.occurrences));
@@ -185,6 +197,7 @@ Result<CampaignConfig> LoadCampaign(db::Database& database,
   config.use_preinjection_analysis = row[15].AsInteger() != 0;
   config.use_static_analysis =
       !row[16].is_null() && row[16].AsInteger() != 0;
+  config.use_equivalence = !row[16].is_null() && row[16].AsInteger() == 2;
   config.model.period = static_cast<std::uint64_t>(row[17].AsInteger());
   config.model.occurrences = static_cast<std::uint32_t>(row[18].AsInteger());
   config.model.stuck_to_one = row[19].AsInteger() != 0;

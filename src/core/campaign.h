@@ -66,6 +66,15 @@ struct CampaignConfig {
   // analysis above — the two compose.
   bool use_static_analysis = false;
 
+  // `static_analysis = equivalence`: beyond pruning, partition the
+  // fault space into def-use equivalence classes (analysis/equivalence)
+  // and physically inject only one representative per class; every
+  // other member is logged as a stub row pointing at its
+  // representative. Implies use_static_analysis (and forces the
+  // reference-run access trace to be recorded). The analysis stage
+  // extrapolates class outcomes to the full space by class weight.
+  bool use_equivalence = false;
+
   // How many parallel workers execute the campaign (`jobs` key; 1 =
   // the serial runner). An execution knob, not part of the campaign's
   // identity: the sharded runner's determinism guarantee makes any

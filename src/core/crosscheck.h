@@ -14,19 +14,25 @@
 // target, builds both analyses and reports every violation;
 // tests/analysis/crosscheck_test.cpp fails if any built-in workload
 // produces one.
+// The equivalence analogue (analysis/equivalence.h) has its own, fully
+// dynamic gate: a class claims every member injection produces the
+// identical observation, so CrossCheckEquivalenceCampaign re-injects
+// every member of logged classes and fails loudly on any class whose
+// members disagree with the representative's stored observation.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "db/database.h"
 #include "util/status.h"
 
 namespace goofi::core {
 
 struct CrossCheckViolation {
   std::string workload;
-  // "register", "memory" or "reachability".
+  // "register", "memory", "reachability" or "first-use".
   std::string kind;
   std::uint64_t time = 0;
   std::uint32_t pc = 0;
@@ -43,5 +49,25 @@ Result<std::vector<CrossCheckViolation>> CrossCheckWorkload(
 
 // All built-in workloads; error describes every violation found.
 Status CrossCheckBuiltinWorkloads();
+
+// ---- equivalence-class soundness audit ---------------------------------
+
+struct EquivalenceAudit {
+  std::size_t classes_checked = 0;    // representative rows audited
+  std::size_t members_injected = 0;   // injections actually re-run
+  std::uint64_t space_weight = 0;     // summed weight of audited classes
+};
+
+// Exhaustively re-inject every member of the equivalence classes a
+// `static_analysis = equivalence` campaign logged (representative rows
+// carry the class id), on a fresh registry-built target, and compare
+// each member's observation with the representative's stored one.
+// `max_classes` bounds the audit (0 = every class); classes are taken
+// in logged order. Errors with the offending class id and member time
+// if any class is outcome-heterogeneous — the claim the whole
+// extrapolation rests on.
+Result<EquivalenceAudit> CrossCheckEquivalenceCampaign(
+    db::Database& database, const std::string& campaign_name,
+    std::size_t max_classes = 0);
 
 }  // namespace goofi::core

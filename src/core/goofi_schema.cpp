@@ -67,6 +67,8 @@ CREATE TABLE LoggedSystemState (
   attempts          INTEGER,
   tool_status       TEXT,
   quarantined       INTEGER,
+  equiv_class       TEXT,
+  equiv_weight      INTEGER,
   FOREIGN KEY (campaign_name) REFERENCES CampaignData(campaign_name),
   FOREIGN KEY (parent_experiment) REFERENCES LoggedSystemState(experiment_name)
 );

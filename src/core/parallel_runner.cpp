@@ -24,6 +24,10 @@ struct WorkerResult {
   ExperimentDisposition disposition;
   std::uint64_t resamples = 0;
   bool skipped = false;  // resume: already logged, nothing was run
+  // Equivalence mode: this index is a duplicate of an earlier class
+  // representative; nothing ran, the writer logs a stub row pointing at
+  // the representative (whose index is in the shared plan).
+  bool equivalent_dup = false;
   // Checkpoint-fork accounting, aggregated by the writer in canonical
   // order so the summary is independent of worker scheduling.
   bool forked = false;
@@ -177,7 +181,20 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
         auto spec =
             SampleExperimentSpec(plan, index, &result.resamples);
         Status status = spec.status();
-        if (status.ok()) {
+        const PlannedEquivalence* equiv =
+            plan.equivalence != nullptr && index < plan.equivalence->size()
+                ? &(*plan.equivalence)[index]
+                : nullptr;
+        if (status.ok() && equiv != nullptr &&
+            equiv->representative != index) {
+          // Duplicate of an earlier representative: no injection runs.
+          // The representative's index is lower, so the canonical-order
+          // writer logs its row first with no extra coordination.
+          result.spec = std::move(*spec);
+          result.equivalent_dup = true;
+          result.disposition.attempts = 0;
+          result.disposition.tool_status = kToolStatusEquivalent;
+        } else if (status.ok()) {
           std::shared_ptr<const sim::Snapshot> start_snapshot;
           if (spec->trigger.kind ==
               sim::Breakpoint::Kind::kInstretReached) {
@@ -248,6 +265,7 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
       while (!shard.abort) {
         auto it = shard.results.find(shard.next_to_log);
         if (it == shard.results.end()) break;
+        const std::size_t index = it->first;
         WorkerResult result = std::move(it->second);
         shard.results.erase(it);
         ++shard.next_to_log;
@@ -257,13 +275,46 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
         if (result.skipped) {
           ++skipped_existing;
           ++progress.experiments_done;
+        } else if (result.equivalent_dup) {
+          // Mirror the serial runner's duplicate handling exactly: a
+          // stub row naming the representative, counted as a processed
+          // experiment but never as abandoned/retried/injected.
+          summary.preinjection_resamples += result.resamples;
+          const PlannedEquivalence& equiv = (*plan.equivalence)[index];
+          Status status = LogExperimentObservation(
+              *database_, result.spec.name,
+              ExperimentName(campaign_name, equiv.representative),
+              campaign_name, &result.spec, nullptr, &result.disposition,
+              &equiv);
+          if (status.ok()) {
+            ++summary.experiments_run;
+            progress.experiments_done =
+                skipped_existing + summary.experiments_run;
+            progress.current_experiment = result.spec.name;
+            if (progress_) progress_(progress);
+            if (checkpoint_every_ != 0 &&
+                summary.experiments_run % checkpoint_every_ == 0) {
+              status = database_->SaveToDirectory(checkpoint_directory_);
+            }
+          }
+          if (!status.ok()) {
+            lock.lock();
+            writer_error = status;
+            shard.abort = true;
+            shard.claims_open.notify_all();
+            lock.unlock();
+          }
         } else {
           summary.preinjection_resamples += result.resamples;
           const bool completed = result.disposition.completed();
+          const PlannedEquivalence* equiv =
+              plan.equivalence != nullptr && index < plan.equivalence->size()
+                  ? &(*plan.equivalence)[index]
+                  : nullptr;
           Status status = LogExperimentObservation(
               *database_, result.spec.name, "", campaign_name, &result.spec,
               completed ? &result.observation : nullptr,
-              &result.disposition);
+              &result.disposition, equiv);
           if (status.ok()) {
             ++summary.experiments_run;
             summary.experiment_retries += result.disposition.attempts - 1;

@@ -1,9 +1,12 @@
 #include "core/runner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <optional>
 #include <thread>
 
+#include "analysis/equivalence.h"
 #include "analysis/static_liveness.h"
 #include "core/experiment_codec.h"
 #include "core/goofi_schema.h"
@@ -41,7 +44,8 @@ Status LogExperimentObservation(db::Database& database,
                                 const std::string& campaign_name,
                                 const target::ExperimentSpec* spec,
                                 const target::Observation* observation,
-                                const ExperimentDisposition* disposition) {
+                                const ExperimentDisposition* disposition,
+                                const PlannedEquivalence* equivalence) {
   static const ExperimentDisposition kDefaultDisposition;
   if (disposition == nullptr) disposition = &kDefaultDisposition;
   Row row;
@@ -56,6 +60,12 @@ Status LogExperimentObservation(db::Database& database,
   row.push_back(Value::Integer(disposition->attempts));
   row.push_back(Value::Text_(disposition->tool_status));
   row.push_back(Value::Integer(disposition->quarantined));
+  row.push_back(equivalence != nullptr ? Value::Text_(equivalence->class_id)
+                                       : Value::Null());
+  row.push_back(equivalence != nullptr
+                    ? Value::Integer(
+                          static_cast<std::int64_t>(equivalence->weight))
+                    : Value::Null());
   return database.Insert(kLoggedSystemStateTable, std::move(row));
 }
 
@@ -151,7 +161,20 @@ Result<target::ExperimentSpec> SampleExperimentSpec(
     }
     spec.trigger = trigger;
 
-    if (plan.preinjection == nullptr) return spec;
+    // Equivalence mode pins the accepted draw to its class's canonical
+    // injection time (the planning pass proved the whole class
+    // outcome-equivalent, so this changes nothing observable and makes
+    // every member of one class run the identical experiment). Applied
+    // after the liveness filter: the filter must see the raw draw so
+    // the resample sequence stays a pure function of (plan, index).
+    const auto pin_to_class = [&](target::ExperimentSpec accepted) {
+      if (plan.equivalence != nullptr && index < plan.equivalence->size()) {
+        accepted.trigger.count = (*plan.equivalence)[index].canonical_time;
+      }
+      return accepted;
+    };
+
+    if (plan.preinjection == nullptr) return pin_to_class(spec);
     bool all_live = true;
     for (const target::FaultTarget& fault_target : spec.targets) {
       if (!plan.preinjection->IsLive(fault_target, time)) {
@@ -159,7 +182,7 @@ Result<target::ExperimentSpec> SampleExperimentSpec(
         break;
       }
     }
-    if (all_live) return spec;
+    if (all_live) return pin_to_class(spec);
     ++*resamples;
   }
   return FailedPreconditionError(
@@ -182,6 +205,38 @@ Result<PreparedCampaign> PrepareCampaignRun(
 
   prepared.summary.campaign_name = campaign_name;
 
+  // ---- equivalence-mode eligibility ------------------------------------
+  // The outcome-homogeneity argument (analysis/equivalence.h) only
+  // holds when every class member runs the identical experiment apart
+  // from the injection time: one transient flip, triggered by instret
+  // (any other trigger kind decouples the trigger from the interval's
+  // time base), injected at runtime, observed in normal logging. Unlike
+  // checkpoint mode this is an explicit analysis claim, so an
+  // ineligible campaign fails loudly instead of silently degrading.
+  if (prepared.config.use_equivalence) {
+    if (prepared.config.trigger_kind != "instret") {
+      return FailedPreconditionError(
+          "static_analysis = equivalence requires the instret trigger");
+    }
+    if (prepared.config.multiplicity != 1) {
+      return FailedPreconditionError(
+          "static_analysis = equivalence requires multiplicity 1");
+    }
+    if (prepared.config.model.kind !=
+        target::FaultModel::Kind::kTransientBitFlip) {
+      return FailedPreconditionError(
+          "static_analysis = equivalence requires the transient fault model");
+    }
+    if (prepared.config.logging_mode != target::LoggingMode::kNormal) {
+      return FailedPreconditionError(
+          "static_analysis = equivalence requires normal logging");
+    }
+    if (prepared.config.technique == target::Technique::kSwifiPreRuntime) {
+      return FailedPreconditionError(
+          "static_analysis = equivalence requires runtime injection");
+    }
+  }
+
   // ---- static pre-run analysis (before any run) ------------------------
   // Knows nothing the image doesn't say: registers no reachable
   // instruction ever reads are dropped from the location space below.
@@ -200,7 +255,10 @@ Result<PreparedCampaign> PrepareCampaignRun(
   reference_target->set_logging_mode(prepared.config.logging_mode);
 
   sim::AccessRecorder recorder;
-  if (prepared.config.use_preinjection_analysis) {
+  if (prepared.config.use_preinjection_analysis ||
+      prepared.config.use_equivalence) {
+    // Equivalence partitioning needs the golden run's access trace even
+    // when the campaign does not enable the liveness filter itself.
     reference_target->set_external_tracer(&recorder);
   }
 
@@ -332,6 +390,53 @@ Result<PreparedCampaign> PrepareCampaignRun(
   if (prepared.window_lo > prepared.window_hi) {
     return InvalidArgumentError("empty injection time window");
   }
+
+  // ---- equivalence-class planning --------------------------------------
+  // Re-derive every experiment's raw draw (a pure function of (plan, i),
+  // so this costs no target runs) and assign it to its def-use class.
+  // The first experiment landing in a class becomes the representative;
+  // the rest will be logged as duplicate stubs. Draws on unmodeled
+  // locations — or past a location's last access — fall back to
+  // singleton classes: never unsound, only less pruned.
+  if (prepared.config.use_equivalence) {
+    analysis::FaultSpacePartition partition;
+    partition.Build(recorder, prepared.summary.reference.instructions);
+    const ExperimentPlan plan = prepared.MakePlan();  // equivalence still empty
+    std::map<std::string, std::size_t> representatives;
+    std::uint64_t planning_resamples = 0;  // run-time loop re-counts these
+    prepared.equivalence.reserve(prepared.config.num_experiments);
+    for (std::size_t i = 0; i < prepared.config.num_experiments; ++i) {
+      ASSIGN_OR_RETURN(const target::ExperimentSpec spec,
+                       SampleExperimentSpec(plan, i, &planning_resamples));
+      const target::FaultTarget& fault_target = spec.targets[0];
+      const std::uint64_t time = spec.trigger.count;
+      PlannedEquivalence planned;
+      const auto interval = partition.IntervalOf(fault_target, time);
+      std::uint64_t lo = time;
+      std::uint64_t hi = time;
+      if (interval.has_value()) {
+        lo = std::max(interval->lo, prepared.window_lo);
+        hi = std::min(interval->hi, prepared.window_hi);
+      }
+      planned.class_id = analysis::EquivalenceClassId(fault_target, lo, hi);
+      planned.weight = hi - lo + 1;
+      // The canonical representative time: the interval's last in-window
+      // point. For live draws that is the class's first-use instruction
+      // (minimal fault dwell time), and it is live whenever the raw draw
+      // was — both lie in the same def-use interval.
+      planned.canonical_time = hi;
+      const auto [it, inserted] =
+          representatives.emplace(planned.class_id, i);
+      planned.representative = it->second;
+      if (inserted) {
+        ++prepared.summary.equiv_classes;
+        prepared.summary.equiv_space_weight += planned.weight;
+      } else {
+        ++prepared.summary.equiv_duplicates;
+      }
+      prepared.equivalence.push_back(std::move(planned));
+    }
+  }
   return prepared;
 }
 
@@ -402,6 +507,33 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     ASSIGN_OR_RETURN(
         target::ExperimentSpec spec,
         SampleExperimentSpec(plan, i, &summary.preinjection_resamples));
+    const PlannedEquivalence* equiv =
+        plan.equivalence != nullptr && i < plan.equivalence->size()
+            ? &(*plan.equivalence)[i]
+            : nullptr;
+    if (equiv != nullptr && equiv->representative != i) {
+      // A duplicate of an earlier representative: the class's outcome is
+      // (provably) the representative's, so no injection runs — only a
+      // stub row pointing at it. The representative's plan index is
+      // always lower, so its row is already logged (serial) or will be
+      // logged earlier in canonical order (sharded writer).
+      ExperimentDisposition stub;
+      stub.attempts = 0;
+      stub.tool_status = kToolStatusEquivalent;
+      RETURN_IF_ERROR(LogExperimentObservation(
+          *database_, spec.name,
+          ExperimentName(campaign_name, equiv->representative),
+          campaign_name, &spec, nullptr, &stub, equiv));
+      ++summary.experiments_run;
+      progress.experiments_done = skipped_existing + summary.experiments_run;
+      progress.current_experiment = spec.name;
+      if (progress_) progress_(progress);
+      if (checkpoint_every_ != 0 &&
+          summary.experiments_run % checkpoint_every_ == 0) {
+        RETURN_IF_ERROR(database_->SaveToDirectory(checkpoint_directory_));
+      }
+      continue;
+    }
     std::shared_ptr<const sim::Snapshot> start_snapshot;
     if (spec.trigger.kind == sim::Breakpoint::Kind::kInstretReached) {
       summary.trigger_instructions_total += spec.trigger.count;
@@ -419,7 +551,8 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     const bool completed = outcome.disposition.completed();
     RETURN_IF_ERROR(LogExperimentObservation(
         *database_, spec.name, "", campaign_name, &spec,
-        completed ? &outcome.observation : nullptr, &outcome.disposition));
+        completed ? &outcome.observation : nullptr, &outcome.disposition,
+        equiv));
     ++summary.experiments_run;
     summary.experiment_retries += outcome.disposition.attempts - 1;
     summary.targets_quarantined += outcome.disposition.quarantined;

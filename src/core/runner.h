@@ -112,6 +112,15 @@ struct CampaignSummary {
   std::size_t checkpoint_forks = 0;
   std::uint64_t instructions_skipped = 0;
   std::uint64_t trigger_instructions_total = 0;
+  // Equivalence-partitioning totals (`static_analysis = equivalence`):
+  // distinct classes the plan's draws fell into, planned experiments
+  // that were logged as duplicates of an earlier representative (no
+  // injection run), and the summed weight (member count) of the
+  // distinct classes — the fault-space size the representatives stand
+  // in for.
+  std::size_t equiv_classes = 0;
+  std::size_t equiv_duplicates = 0;
+  std::uint64_t equiv_space_weight = 0;
 };
 
 // ---- the deterministic experiment plan --------------------------------
@@ -120,6 +129,21 @@ struct CampaignSummary {
 // from the stream seed DeriveStreamSeed(config->seed, i). The plan is
 // read-only during a run, so sharded workers sample from one shared
 // instance concurrently.
+// The equivalence-partitioning verdict for one planned experiment
+// (`static_analysis = equivalence`). Computed once, in plan order, by
+// PrepareCampaignRun: experiment i's raw draw falls into a def-use
+// equivalence class; the first experiment whose draw lands in a class
+// becomes its representative and is physically injected at the class's
+// canonical time, every later one is logged as a duplicate stub row
+// pointing at the representative. Because the verdict depends only on
+// (plan, draw) — never on execution — serial and sharded runs agree.
+struct PlannedEquivalence {
+  std::string class_id;              // analysis::EquivalenceClassId
+  std::uint64_t weight = 1;          // class member count (window-clamped)
+  std::uint64_t canonical_time = 0;  // the one injection time reps use
+  std::size_t representative = 0;    // plan index of the class's rep
+};
+
 struct ExperimentPlan {
   const CampaignConfig* config = nullptr;
   const LocationSpace* space = nullptr;
@@ -134,6 +158,10 @@ struct ExperimentPlan {
   // experiment from reset). Read-only during the run, like the rest of
   // the plan; workers front it with their own CheckpointCache.
   const CheckpointStore* checkpoints = nullptr;
+  // Per-experiment equivalence verdicts, index-aligned with the plan
+  // (null = equivalence mode off). When set, SampleExperimentSpec pins
+  // each experiment's trigger to its class's canonical time.
+  const std::vector<PlannedEquivalence>* equivalence = nullptr;
 };
 
 // The canonical name of experiment `index`: "<campaign>/exp00042".
@@ -160,13 +188,16 @@ Result<target::WorkloadSpec> ConfigureTargetWorkload(
 // experiment (the tool never completed a run; the state_vector column
 // stays NULL). `disposition` may be null, meaning the default
 // first-try/ok/no-quarantine disposition.
+// `equivalence` fills the equiv_class/equiv_weight columns (null =
+// leave them NULL; only equivalence-mode campaigns set them).
 Status LogExperimentObservation(db::Database& database,
                                 const std::string& experiment_name,
                                 const std::string& parent,
                                 const std::string& campaign_name,
                                 const target::ExperimentSpec* spec,
                                 const target::Observation* observation,
-                                const ExperimentDisposition* disposition);
+                                const ExperimentDisposition* disposition,
+                                const PlannedEquivalence* equivalence = nullptr);
 
 // Rewrite the campaign's status/experiments_done columns.
 Status UpdateCampaignRunStatus(db::Database& database,
@@ -199,6 +230,9 @@ struct PreparedCampaign {
   // reset; the logged database is identical either way.
   CheckpointStore checkpoints;
   bool checkpoint_fork = false;
+  // Equivalence-mode planning (config.use_equivalence): one verdict per
+  // planned experiment, in plan order. Empty when the mode is off.
+  std::vector<PlannedEquivalence> equivalence;
   // Prefilled with the reference observation and static-analysis stats.
   CampaignSummary summary;
 
@@ -211,6 +245,7 @@ struct PreparedCampaign {
     plan.window_hi = window_hi;
     plan.preinjection = use_preinjection ? &preinjection : nullptr;
     plan.checkpoints = checkpoint_fork ? &checkpoints : nullptr;
+    plan.equivalence = config.use_equivalence ? &equivalence : nullptr;
     return plan;
   }
 };

@@ -74,6 +74,11 @@ inline constexpr const char* kToolStatusOk = "ok";
 inline constexpr const char* kToolStatusHang = "hang";
 inline constexpr const char* kToolStatusTargetFault = "target_fault";
 inline constexpr const char* kToolStatusIo = "io";
+// Not a failure: the experiment is an equivalence-class duplicate whose
+// outcome is the representative row named by parent_experiment
+// (core/runner, `static_analysis = equivalence`). No injection was run;
+// attempts is 0 and state_vector NULL.
+inline constexpr const char* kToolStatusEquivalent = "equiv";
 
 struct ExperimentDisposition {
   std::uint32_t attempts = 1;        // total attempts (1 = first try)

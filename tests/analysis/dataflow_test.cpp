@@ -235,5 +235,137 @@ store:
   EXPECT_TRUE(summary.written_words.empty());
 }
 
+// ---- ComputeFirstUses: the equivalence partitioner's static dual ------
+
+TEST(FirstUseTest, StraightLineFirstUseIsTheNextRead) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 7
+  add r2, r1, r1
+  st r2, [r6]
+  halt
+)");
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // The value of r1 entering the add (pc 4) is first read right there.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 4, 4));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 4, 8));
+  // Entering the li (pc 0) the incoming r1 is killed unread.
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 0, 4));
+  // After its only read r1 is dead: no first use anywhere.
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 8, 8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 8, 12));
+}
+
+TEST(FirstUseTest, FirstUseCrossesBasicBlockBoundaries) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 5
+  b next
+next:
+  add r2, r1, r1
+  halt
+)");
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // The def-use interval spans the unconditional branch: the value
+  // entering the `b` (pc 4) is first read in the NEXT block (pc 8).
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 4, 8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 4, 4));
+  // Entering the li the incoming value is killed before any read.
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 0, 8));
+}
+
+TEST(FirstUseTest, BranchJoinUnionsBothArms) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 5
+  li r3, 1
+  beq r3, r0, other
+  add r2, r1, r1
+  halt
+other:
+  add r4, r1, r1
+  halt
+)");
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // Entering the beq (pc 8) the first read of r1 may be either arm's
+  // add (pc 12 fallthrough, pc 20 taken) — the may-set is their union.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 8, 12));
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 8, 20));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 8, 8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 8, 0));
+}
+
+TEST(FirstUseTest, LoopBackEdgeConverges) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 0
+  li r2, 10
+loop:
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+)");
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // r2 flows around the back edge untouched: entering the addi (pc 8)
+  // its first read is the blt (pc 12), in every iteration.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(2, 8, 12));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(2, 8, 8));
+  // r1 entering the addi is consumed by the addi itself — the blt
+  // reads the REDEFINED r1, a different def-use interval.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 8, 8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 8, 12));
+  // Around the back edge: entering the blt, r1's first read is there.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 12, 12));
+}
+
+TEST(FirstUseTest, UnreachableBlockDoesNotLeakUsesIntoLivePath) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  li r1, 1
+  b end
+  add r2, r1, r1
+end:
+  halt
+)");
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // The add at pc 8 sits after an unconditional branch and has no
+  // predecessors; its read of r1 must not flow into the live path.
+  EXPECT_FALSE(cfg.IsReachable(8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 4, 8));
+  EXPECT_FALSE(first_uses.MayFirstUseAt(1, 4, 4));
+}
+
+TEST(FirstUseTest, UnresolvedIndirectControlFlowWidens) {
+  const Cfg cfg = BuildCfg(R"(
+.entry start
+start:
+  la sp, 0x24000
+  call outer
+  halt
+outer:
+  push lr
+  call leaf
+  pop lr
+  ret
+leaf:
+  addi r1, r1, 1
+  ret
+)");
+  ASSERT_FALSE(cfg.returns_resolved());
+  const FirstUseResult first_uses = ComputeFirstUses(cfg);
+  // Past an unbounded jalr any instruction may consume any value; a
+  // register nothing ever touches must stay conservatively unknown.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(5, 0, 0xdeadbeef));
+  // Unmodeled registers are always conservative.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(0, 0, 4));
+  // A pc the Cfg never decoded is conservative too.
+  EXPECT_TRUE(first_uses.MayFirstUseAt(1, 0x7777, 4));
+}
+
 }  // namespace
 }  // namespace goofi::analysis

@@ -549,7 +549,8 @@ TEST(LintCampaignTest, RepositoryCampaignsAreClean) {
   target::ThorRdTarget thor;
   const auto locations = thor.ListLocations();
   for (const char* name : {"engine_preinjection", "image_swifi",
-                           "regs_scifi", "regs_scifi_supervised"}) {
+                           "regs_scifi", "regs_scifi_supervised",
+                           "regs_scifi_equivalence"}) {
     const std::string path =
         std::string(GOOFI_CAMPAIGNS_DIR "/") + name + ".ini";
     std::ifstream in(path, std::ios::binary);
@@ -560,6 +561,107 @@ TEST(LintCampaignTest, RepositoryCampaignsAreClean) {
     EXPECT_TRUE(diagnostics.empty())
         << FormatDiagnostic(diagnostics.front());
   }
+}
+
+// ---- machine-readable output and deduplication ------------------------
+
+TEST(LintJsonTest, EmptyBatchIsAnEmptyArray) {
+  EXPECT_EQ(FormatDiagnosticsJson({}), "[]\n");
+}
+
+TEST(LintJsonTest, EmitsOneObjectPerDiagnosticWithEscaping) {
+  const std::vector<LintDiagnostic> diagnostics = {
+      {Severity::kError, "dir/w.s", 7, "asm-error", "bad \"thing\""},
+      {Severity::kWarning, "c.ini", 0, "ignored-key", "line1\nline2"},
+  };
+  EXPECT_EQ(FormatDiagnosticsJson(diagnostics),
+            "[\n"
+            "  {\"file\": \"dir/w.s\", \"line\": 7, \"check\": "
+            "\"asm-error\", \"severity\": \"error\", \"message\": "
+            "\"bad \\\"thing\\\"\"},\n"
+            "  {\"file\": \"c.ini\", \"line\": 0, \"check\": "
+            "\"ignored-key\", \"severity\": \"warning\", \"message\": "
+            "\"line1\\nline2\"}\n"
+            "]\n");
+}
+
+TEST(LintDedupTest, DropsRepeatsOfTheSameFileLineCheck) {
+  const std::vector<LintDiagnostic> deduped = DeduplicateDiagnostics({
+      {Severity::kWarning, "w.s", 3, "maybe-uninit-read", "r1"},
+      {Severity::kWarning, "w.s", 3, "maybe-uninit-read", "r2"},
+      {Severity::kWarning, "w.s", 4, "maybe-uninit-read", "r1"},
+      {Severity::kError, "w.s", 3, "unmapped-address", "x"},
+      {Severity::kWarning, "w.s", 3, "maybe-uninit-read", "r3"},
+  });
+  ASSERT_EQ(deduped.size(), 3u);
+  // First occurrence wins, original order preserved.
+  EXPECT_EQ(deduped[0].message, "r1");
+  EXPECT_EQ(deduped[0].line, 3);
+  EXPECT_EQ(deduped[1].line, 4);
+  EXPECT_EQ(deduped[2].check, "unmapped-address");
+}
+
+TEST(LintDedupTest, ExitCodeRelevantErrorsSurviveDedup) {
+  // A duplicated error must still be an error after dedup.
+  const auto deduped = DeduplicateDiagnostics({
+      {Severity::kError, "w.s", 1, "asm-error", "a"},
+      {Severity::kError, "w.s", 1, "asm-error", "a"},
+  });
+  ASSERT_EQ(deduped.size(), 1u);
+  EXPECT_TRUE(HasErrors(deduped));
+}
+
+// ---- equivalence-mode campaign checks ---------------------------------
+
+constexpr const char* kEquivalenceCampaign =
+    "[campaign]\n"
+    "name = demo\n"
+    "workload = isort\n"
+    "technique = scifi\n"
+    "fault_model = transient\n"
+    "static_analysis = equivalence\n";
+
+TEST(LintCampaignTest, EquivalenceModeIsCleanOnItsSupportedShape) {
+  const auto diagnostics = LintCampaign(kEquivalenceCampaign);
+  EXPECT_TRUE(diagnostics.empty())
+      << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintCampaignTest, MisspelledStaticAnalysisValueIsAnError) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "static_analysis = equivalnce\n");
+  const LintDiagnostic* found = Find(diagnostics, "unknown-value");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 4);
+}
+
+TEST(LintCampaignTest, EquivalenceRejectsNonInstretTriggers) {
+  const auto diagnostics = LintCampaign(
+      std::string(kEquivalenceCampaign) + "trigger = branch\n");
+  EXPECT_NE(Find(diagnostics, "equivalence-needs-instret"), nullptr);
+}
+
+TEST(LintCampaignTest, EquivalenceRejectsNonTransientModels) {
+  const auto diagnostics = LintCampaign(
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = isort\n"
+      "fault_model = permanent\n"
+      "static_analysis = equivalence\n");
+  EXPECT_NE(Find(diagnostics, "equivalence-needs-transient"), nullptr);
+}
+
+TEST(LintCampaignTest, EquivalenceRejectsMultiBitAndDetailLogging) {
+  const auto diagnostics = LintCampaign(
+      std::string(kEquivalenceCampaign) +
+      "multiplicity = 2\n"
+      "logging = detail\n");
+  EXPECT_NE(Find(diagnostics, "equivalence-needs-single-fault"), nullptr);
+  EXPECT_NE(Find(diagnostics, "equivalence-needs-normal-logging"), nullptr);
 }
 
 }  // namespace

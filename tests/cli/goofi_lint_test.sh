@@ -118,6 +118,34 @@ EOF
   || fail "cache campaign on the cache board must lint clean"
 test ! -s cache_clean.err || fail "clean cache campaign must print nothing"
 
+# --- --format=json emits machine-readable diagnostics to stdout ----------
+if "$LINT" --format=json broken.s > broken.json 2> broken_json.err; then
+  fail "JSON mode must keep the failing exit status"
+fi
+grep -q '"check": "asm-error"' broken.json || fail "JSON check id"
+grep -q '"line": 3' broken.json || fail "JSON line number"
+grep -q '"severity": "error"' broken.json || fail "JSON severity"
+test ! -s broken_json.err || fail "JSON mode must not also print text"
+"$LINT" --format=json clean.s > clean.json || fail "clean JSON must exit 0"
+grep -q '^\[\]$' clean.json || fail "clean JSON must be an empty array"
+"$LINT" --format=text clean.s || fail "--format=text must be accepted"
+if "$LINT" --format=yaml clean.s > /dev/null 2>&1; then
+  fail "unknown format must exit 2"
+else
+  test $? -eq 2 || fail "unknown format must exit 2, got $?"
+fi
+
+# --- repeated (file, line, check) diagnostics are reported once ----------
+cat > dup.s <<'EOF'
+.entry start
+start:
+  add r3, r1, r2
+  halt
+EOF
+"$LINT" dup.s 2> dup.err || fail "uninit reads are warnings, exit 0"
+test "$(grep -c 'maybe-uninit-read' dup.err)" = 1 \
+  || fail "r1 and r2 uninit reads on one line must dedup to one"
+
 # --- the repository's own inputs must stay clean -------------------------
 "$LINT" "$REPO"/workloads/*.workload "$REPO"/campaigns/*.ini \
   || fail "shipped workloads and campaigns must lint clean"
