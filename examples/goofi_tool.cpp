@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -77,12 +78,26 @@ Arguments ParseArguments(int argc, char** argv) {
   return arguments;
 }
 
-// Load the database directory if it exists, else start fresh.
-db::Database LoadOrCreate(const std::string& dir) {
-  auto loaded = db::Database::LoadFromDirectory(dir);
-  if (loaded.ok()) return std::move(*loaded);
+// How often the runners group-commit the WAL, in experiments. The
+// cadence is counted in canonical order by both runners, so serial and
+// --jobs N runs flush at the same points and write identical log bytes.
+constexpr std::size_t kCommitEveryExperiments = 32;
+
+// Open the database directory in whichever format it holds; a fresh
+// directory becomes a WAL database (legacy text directories keep their
+// format until migrated with goofi_dbck).
+Result<db::Database> OpenOrCreate(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (fs::exists(fs::path(dir) / "wal.log") ||
+      fs::exists(fs::path(dir) / "snapshot.manifest") ||
+      fs::exists(fs::path(dir) / "manifest.txt") ||
+      fs::exists(fs::path(dir + ".saving") / "manifest.txt")) {
+    return db::Database::Open(dir);
+  }
   db::Database database;
-  (void)core::CreateGoofiSchema(database);
+  RETURN_IF_ERROR(database.AttachWal(dir));
+  RETURN_IF_ERROR(core::CreateGoofiSchema(database));
+  RETURN_IF_ERROR(database.Commit());
   return database;
 }
 
@@ -144,7 +159,9 @@ int CmdRun(const Arguments& arguments, bool resume) {
   if (arguments.bad_checkpoint) {
     return Fail(InvalidArgumentError("--checkpoint takes 'on' or 'off'"));
   }
-  db::Database database = LoadOrCreate(arguments.db_dir);
+  auto opened = OpenOrCreate(arguments.db_dir);
+  if (!opened.ok()) return Fail(opened.status());
+  db::Database database = std::move(*opened);
 
   std::string campaign_name;
   std::string workload_file;
@@ -229,12 +246,19 @@ int CmdRun(const Arguments& arguments, bool resume) {
   // --jobs beats the campaign's `jobs` key; either way the database is
   // bit-identical to a serial run (the sharded runner's guarantee).
   const std::size_t jobs = arguments.jobs != 0 ? arguments.jobs : ini_jobs;
+  // With a WAL attached, checkpoints are cheap group-commit flushes, so
+  // run them on a fixed cadence; legacy text databases keep the old
+  // behaviour (no mid-campaign rewrites unless asked).
+  const bool wal = database.wal_attached();
   auto run_campaign = [&]() -> Result<core::CampaignSummary> {
     if (jobs > 1) {
       std::printf("running with %zu workers\n", jobs);
       core::ParallelCampaignRunner runner(&database, factory, jobs);
       runner.set_progress_callback(print_progress);
       runner.set_checkpoint_fork(arguments.checkpoint);
+      if (wal) {
+        runner.set_checkpoint(arguments.db_dir, kCommitEveryExperiments);
+      }
       return resume ? runner.Resume(campaign_name)
                     : runner.Run(campaign_name);
     }
@@ -242,6 +266,9 @@ int CmdRun(const Arguments& arguments, bool resume) {
     runner.set_target_factory(factory);
     runner.set_progress_callback(print_progress);
     runner.set_checkpoint_fork(arguments.checkpoint);
+    if (wal) {
+      runner.set_checkpoint(arguments.db_dir, kCommitEveryExperiments);
+    }
     return resume ? runner.Resume(campaign_name)
                   : runner.Run(campaign_name);
   };
@@ -300,11 +327,12 @@ int CmdRun(const Arguments& arguments, bool resume) {
                 static_cast<unsigned long long>(summary->equiv_space_weight));
   }
 
-  auto analysis = core::AnalyzeCampaign(database, campaign_name);
+  auto analysis = core::AnalyzeCampaign(database, campaign_name,
+                                        /*collect_experiments=*/false);
   if (!analysis.ok()) return Fail(analysis.status());
   std::printf("%s", core::FormatAnalysisReport(*analysis).c_str());
 
-  if (auto s = database.SaveToDirectory(arguments.db_dir); !s.ok()) {
+  if (auto s = database.Persist(arguments.db_dir); !s.ok()) {
     return Fail(s);
   }
   std::printf("database saved to %s\n", arguments.db_dir.c_str());
@@ -326,10 +354,11 @@ int CmdAnalyze(const Arguments& arguments, bool csv) {
                  csv ? "export" : "analyze");
     return 1;
   }
-  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  auto database = db::Database::Open(arguments.db_dir);
   if (!database.ok()) return Fail(database.status());
-  auto analysis =
-      core::AnalyzeCampaign(*database, arguments.positional[0]);
+  // The CSV export needs per-experiment rows; the report streams.
+  auto analysis = core::AnalyzeCampaign(*database, arguments.positional[0],
+                                        /*collect_experiments=*/csv);
   if (!analysis.ok()) return Fail(analysis.status());
   std::printf("%s", csv ? core::FormatAnalysisCsv(*analysis).c_str()
                         : core::FormatAnalysisReport(*analysis).c_str());
@@ -341,7 +370,7 @@ int CmdRerun(const Arguments& arguments) {
     std::fprintf(stderr, "usage: goofi_tool rerun <experiment> [--db DIR]\n");
     return 1;
   }
-  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  auto database = db::Database::Open(arguments.db_dir);
   if (!database.ok()) return Fail(database.status());
   // Resolve the experiment's campaign to know which target to build.
   const db::Table* logged =
@@ -363,7 +392,7 @@ int CmdRerun(const Arguments& arguments) {
   if (!child.ok()) return Fail(child.status());
   std::printf("detail re-run logged as %s (parentExperiment = %s)\n",
               child->c_str(), arguments.positional[0].c_str());
-  if (auto s = database->SaveToDirectory(arguments.db_dir); !s.ok()) {
+  if (auto s = database->Persist(arguments.db_dir); !s.ok()) {
     return Fail(s);
   }
   return 0;
@@ -376,7 +405,7 @@ int CmdEquivCheck(const Arguments& arguments) {
                  "[--db DIR]\n");
     return 1;
   }
-  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  auto database = db::Database::Open(arguments.db_dir);
   if (!database.ok()) return Fail(database.status());
   const std::size_t max_classes =
       arguments.positional.size() > 1
@@ -399,7 +428,7 @@ int CmdSql(const Arguments& arguments) {
     std::fprintf(stderr, "usage: goofi_tool sql \"<statement>\" [--db DIR]\n");
     return 1;
   }
-  auto database = db::Database::LoadFromDirectory(arguments.db_dir);
+  auto database = db::Database::Open(arguments.db_dir);
   if (!database.ok()) return Fail(database.status());
   auto result = db::sql::ExecuteSql(*database, arguments.positional[0]);
   if (!result.ok()) return Fail(result.status());
@@ -408,7 +437,7 @@ int CmdSql(const Arguments& arguments) {
     std::printf("(%zu rows)\n", result->rows.size());
   } else {
     std::printf("%zu rows affected\n", result->affected_rows);
-    if (auto s = database->SaveToDirectory(arguments.db_dir); !s.ok()) {
+    if (auto s = database->Persist(arguments.db_dir); !s.ok()) {
       return Fail(s);
     }
   }

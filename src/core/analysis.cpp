@@ -132,7 +132,8 @@ std::string LocationCategory(const std::string& location) {
 }
 
 Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
-                                         const std::string& campaign_name) {
+                                         const std::string& campaign_name,
+                                         bool collect_experiments) {
   const db::Table* logged = database.FindTable(kLoggedSystemStateTable);
   if (logged == nullptr) return NotFoundError("no LoggedSystemState table");
 
@@ -150,7 +151,21 @@ Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
 
   CampaignAnalysis analysis;
   analysis.campaign = campaign_name;
-  for (const db::Row& row : logged->rows()) {
+  // Row selection: probe the campaign_name secondary index when the
+  // schema declares one (the default GOOFI schema does); legacy schemas
+  // without the INDEXED marker fall back to the full scan.
+  std::vector<std::size_t> scan_order;
+  const std::vector<std::size_t>* selected = &scan_order;
+  if (logged->HasSecondaryIndex(2)) {
+    const auto* bucket =
+        logged->FindBySecondary(2, db::Value::Text_(campaign_name));
+    if (bucket != nullptr) selected = bucket;
+  } else {
+    scan_order.resize(logged->row_count());
+    for (std::size_t i = 0; i < scan_order.size(); ++i) scan_order[i] = i;
+  }
+  for (const std::size_t row_index : *selected) {
+    const db::Row& row = logged->row(row_index);
     if (row[2].AsText() != campaign_name) continue;
     // Equivalence-class duplicates carry their representative's name in
     // the parent column, so this check must precede the detail-re-run
@@ -288,7 +303,7 @@ Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
         }
       }
     }
-    analysis.experiments.push_back(std::move(result));
+    if (collect_experiments) analysis.experiments.push_back(std::move(result));
   }
 
   const std::size_t effective = analysis.detected + analysis.escaped;

@@ -151,9 +151,14 @@ struct CampaignAnalysis {
 
 // Load the campaign's rows from LoggedSystemState and classify them.
 // Detail-mode re-runs (rows with a parentExperiment) are excluded from
-// the statistics.
+// the statistics. Row selection uses the campaign_name secondary index
+// when the schema declares one, and every count in the taxonomy is
+// accumulated streaming, row by row; pass collect_experiments = false
+// to skip materializing the per-experiment vector entirely (the CSV
+// export and time histogram are the only consumers that need it).
 Result<CampaignAnalysis> AnalyzeCampaign(db::Database& database,
-                                         const std::string& campaign_name);
+                                         const std::string& campaign_name,
+                                         bool collect_experiments = true);
 
 // Human-readable report in the shape of the §3.4 taxonomy.
 std::string FormatAnalysisReport(const CampaignAnalysis& analysis);

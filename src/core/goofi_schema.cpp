@@ -60,12 +60,12 @@ CREATE TABLE CampaignData (
 
 CREATE TABLE LoggedSystemState (
   experiment_name   TEXT PRIMARY KEY,
-  parent_experiment TEXT,
-  campaign_name     TEXT NOT NULL,
+  parent_experiment TEXT INDEXED,
+  campaign_name     TEXT NOT NULL INDEXED,
   experiment_data   TEXT,
   state_vector      TEXT,
   attempts          INTEGER,
-  tool_status       TEXT,
+  tool_status       TEXT INDEXED,
   quarantined       INTEGER,
   equiv_class       TEXT,
   equiv_weight      INTEGER,

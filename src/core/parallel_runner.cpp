@@ -294,7 +294,7 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
             if (progress_) progress_(progress);
             if (checkpoint_every_ != 0 &&
                 summary.experiments_run % checkpoint_every_ == 0) {
-              status = database_->SaveToDirectory(checkpoint_directory_);
+              status = database_->Persist(checkpoint_directory_);
             }
           }
           if (!status.ok()) {
@@ -337,7 +337,7 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
             if (progress_) progress_(progress);  // value snapshot
             if (checkpoint_every_ != 0 &&
                 summary.experiments_run % checkpoint_every_ == 0) {
-              status = database_->SaveToDirectory(checkpoint_directory_);
+              status = database_->Persist(checkpoint_directory_);
             }
           }
           if (!status.ok()) {

@@ -49,7 +49,9 @@ class ParallelCampaignRunner {
   }
   // Persist the database to `directory` after every `every_n` logged
   // experiments, counted in canonical order (same cadence as the
-  // serial runner's checkpoints).
+  // serial runner's checkpoints). With a WAL attached to `directory`
+  // each checkpoint is a group-commit flush from the single writer, so
+  // the log bytes are identical to a serial run's.
   void set_checkpoint(std::string directory, std::size_t every_n) {
     checkpoint_directory_ = std::move(directory);
     checkpoint_every_ = every_n;

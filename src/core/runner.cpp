@@ -530,7 +530,7 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
       if (progress_) progress_(progress);
       if (checkpoint_every_ != 0 &&
           summary.experiments_run % checkpoint_every_ == 0) {
-        RETURN_IF_ERROR(database_->SaveToDirectory(checkpoint_directory_));
+        RETURN_IF_ERROR(database_->Persist(checkpoint_directory_));
       }
       continue;
     }
@@ -572,7 +572,7 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     if (progress_) progress_(progress);
     if (checkpoint_every_ != 0 &&
         summary.experiments_run % checkpoint_every_ == 0) {
-      RETURN_IF_ERROR(database_->SaveToDirectory(checkpoint_directory_));
+      RETURN_IF_ERROR(database_->Persist(checkpoint_directory_));
     }
   }
 

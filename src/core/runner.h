@@ -275,9 +275,12 @@ class CampaignRunner {
     controller_ = controller;
   }
 
-  // Crash tolerance for long campaigns: persist the whole database to
-  // `directory` after every `every_n` logged experiments. After a crash,
-  // load the checkpoint directory and Resume() the campaign.
+  // Crash tolerance for long campaigns: persist the database to
+  // `directory` after every `every_n` logged experiments. When the
+  // database has a WAL attached to `directory` this is a group-commit
+  // flush (append + sync of the batched rows); otherwise it rewrites
+  // the legacy text format. After a crash, Open() the checkpoint
+  // directory and Resume() the campaign.
   void set_checkpoint(std::string directory, std::size_t every_n) {
     checkpoint_directory_ = std::move(directory);
     checkpoint_every_ = every_n;

@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -50,7 +51,8 @@ Status Database::CreateTable(TableSchema schema) {
   }
   const std::string name = schema.table_name();
   tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
-  return Status::Ok();
+  return LogRecord(
+      wal::EncodeSchemaRecord(SerializeSchema(tables_[name]->schema())));
 }
 
 Status Database::DropTable(const std::string& name) {
@@ -68,7 +70,7 @@ Status Database::DropTable(const std::string& name) {
     }
   }
   tables_.erase(name);
-  return Status::Ok();
+  return LogRecord(wal::EncodeDropRecord(name));
 }
 
 bool Database::HasTable(const std::string& name) const {
@@ -142,7 +144,10 @@ Status Database::Insert(const std::string& table_name, Row row) {
                   table->schema().column_count()));
   }
   RETURN_IF_ERROR(CheckForeignKeysForRow(*table, row));
-  return table->Insert(std::move(row));
+  RETURN_IF_ERROR(table->Insert(std::move(row)));
+  // Log the stored row (after INTEGER->REAL widening), not the input.
+  return LogRecord(
+      wal::EncodeInsertRecord(table_name, table->rows().back()));
 }
 
 Result<std::size_t> Database::Update(
@@ -186,7 +191,13 @@ Result<std::size_t> Database::Update(
       }
     }
   }
-  return table->Update(predicate, updates);
+  std::vector<std::pair<std::uint64_t, Row>> applied;
+  ASSIGN_OR_RETURN(std::size_t count,
+                   table->Update(predicate, updates, &applied));
+  if (count != 0) {
+    RETURN_IF_ERROR(LogRecord(wal::EncodeUpdateRecord(table_name, applied)));
+  }
+  return count;
 }
 
 Result<std::size_t> Database::Delete(
@@ -226,7 +237,12 @@ Result<std::size_t> Database::Delete(
       }
     }
   }
-  return table->Delete(predicate);
+  std::vector<std::uint64_t> deleted;
+  const std::size_t count = table->Delete(predicate, &deleted);
+  if (count != 0) {
+    RETURN_IF_ERROR(LogRecord(wal::EncodeDeleteRecord(table_name, deleted)));
+  }
+  return count;
 }
 
 // ---------------------------------------------------------------------------
@@ -238,7 +254,10 @@ std::string SerializeSchema(const TableSchema& schema) {
   for (const Column& column : schema.columns()) {
     out += "column\t" + EscapeTsvField(column.name) + "\t" +
            ColumnTypeName(column.type) + "\t" +
-           (column.primary_key ? "pk" : (column.unique ? "unique" : "-")) +
+           (column.primary_key
+                ? "pk"
+                : (column.unique ? "unique"
+                                 : (column.indexed ? "idx" : "-"))) +
            "\t" + (column.not_null ? "notnull" : "-") + "\n";
   }
   for (const ForeignKey& fk : schema.foreign_keys()) {
@@ -275,6 +294,7 @@ Result<TableSchema> ParseSchemaText(const std::string& text) {
       column.type = *type;
       column.primary_key = fields[3] == "pk";
       column.unique = column.primary_key || fields[3] == "unique";
+      column.indexed = fields[3] == "idx";
       column.not_null = column.primary_key || fields[4] == "notnull";
       RETURN_IF_ERROR(schema.AddColumn(std::move(column)));
     } else if (fields[0] == "fk") {
@@ -294,19 +314,17 @@ Result<TableSchema> ParseSchemaText(const std::string& text) {
   return schema;
 }
 
-Status Database::SaveToDirectory(const std::string& path) const {
-  std::error_code ec;
-  fs::create_directories(path, ec);
-  if (ec) return IoError("cannot create directory '" + path + "'");
-  // Manifest lists tables in creation-compatible (FK-respecting) order.
+Result<std::vector<std::string>> TablesInDependencyOrder(
+    const Database& database) {
+  // Manifests list tables in creation-compatible (FK-respecting) order.
   // std::map iteration is alphabetical, which may put children before
   // parents, so order by dependency here.
   std::vector<std::string> ordered;
-  std::vector<std::string> remaining = TableNames();
+  std::vector<std::string> remaining = database.TableNames();
   while (!remaining.empty()) {
     bool progressed = false;
     for (auto it = remaining.begin(); it != remaining.end();) {
-      const Table* table = FindTable(*it);
+      const Table* table = database.FindTable(*it);
       bool deps_met = true;
       for (const ForeignKey& fk : table->schema().foreign_keys()) {
         if (fk.ref_table == *it) continue;  // self
@@ -328,23 +346,27 @@ Status Database::SaveToDirectory(const std::string& path) const {
       return InternalError("foreign key cycle between tables");
     }
   }
+  return ordered;
+}
 
-  std::ofstream manifest(fs::path(path) / "manifest.txt",
-                         std::ios::trunc);
+namespace {
+
+// Write the legacy text format into `path` (which must already exist).
+Status WriteTextFormat(const Database& database, const fs::path& path,
+                       const std::vector<std::string>& ordered) {
+  std::ofstream manifest(path / "manifest.txt", std::ios::trunc);
   if (!manifest) return IoError("cannot write manifest");
   for (const std::string& name : ordered) manifest << name << "\n";
   manifest.close();
 
   for (const std::string& name : ordered) {
-    const Table* table = FindTable(name);
-    std::ofstream schema_file(fs::path(path) / (name + ".schema"),
-                              std::ios::trunc);
+    const Table* table = database.FindTable(name);
+    std::ofstream schema_file(path / (name + ".schema"), std::ios::trunc);
     if (!schema_file) return IoError("cannot write schema for '" + name + "'");
     schema_file << SerializeSchema(table->schema());
     schema_file.close();
 
-    std::ofstream data_file(fs::path(path) / (name + ".rows"),
-                            std::ios::trunc);
+    std::ofstream data_file(path / (name + ".rows"), std::ios::trunc);
     if (!data_file) return IoError("cannot write rows for '" + name + "'");
     for (const Row& row : table->rows()) {
       for (std::size_t i = 0; i < row.size(); ++i) {
@@ -357,7 +379,48 @@ Status Database::SaveToDirectory(const std::string& path) const {
   return Status::Ok();
 }
 
+}  // namespace
+
+Status Database::SaveToDirectory(const std::string& path) const {
+  ASSIGN_OR_RETURN(std::vector<std::string> ordered,
+                   TablesInDependencyOrder(*this));
+
+  // Write into a sibling temp directory, then swap it into place, so a
+  // crash mid-save leaves either the old or the new database — never a
+  // half-written mix (the non-atomicity the WAL's crash harness would
+  // otherwise flag in its own fallback path).
+  const fs::path target(path);
+  const fs::path temp(path + ".saving");
+  const fs::path stale(path + ".stale");
+  std::error_code ec;
+  fs::remove_all(temp, ec);
+  fs::remove_all(stale, ec);
+  fs::create_directories(temp, ec);
+  if (ec) return IoError("cannot create directory '" + temp.string() + "'");
+  RETURN_IF_ERROR(WriteTextFormat(*this, temp, ordered));
+
+  if (fs::exists(target)) {
+    fs::rename(target, stale, ec);
+    if (ec) return IoError("cannot move aside '" + path + "'");
+  }
+  fs::rename(temp, target, ec);
+  if (ec) return IoError("cannot move saved database into '" + path + "'");
+  fs::remove_all(stale, ec);  // best-effort cleanup
+  return Status::Ok();
+}
+
 Result<Database> Database::LoadFromDirectory(const std::string& path) {
+  // Finish an interrupted atomic save: if the target vanished between
+  // SaveToDirectory's two renames, the sibling ".saving" directory holds
+  // a complete database (it is fully written before the swap begins).
+  if (!fs::exists(fs::path(path) / "manifest.txt") &&
+      fs::exists(fs::path(path + ".saving") / "manifest.txt") &&
+      !fs::exists(path)) {
+    std::error_code ec;
+    fs::rename(path + ".saving", path, ec);
+    if (ec) return IoError("cannot recover interrupted save of '" +
+                           path + "'");
+  }
   std::ifstream manifest(fs::path(path) / "manifest.txt");
   if (!manifest) return IoError("cannot open manifest in '" + path + "'");
   Database database;
@@ -426,6 +489,316 @@ Result<Database> Database::LoadFromDirectory(const std::string& path) {
     }
   }
   return database;
+}
+
+// ---------------------------------------------------------------------------
+// WAL persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string SnapshotFileName(const std::string& table,
+                             std::uint64_t generation) {
+  return table + "." + std::to_string(generation) + ".snap";
+}
+
+// Remove *.snap files that are not in `keep` (stale generations left by
+// an interrupted compaction). Best-effort: failures are ignored.
+void RemoveStaleSnapshots(const fs::path& dir,
+                          const std::vector<std::string>& keep) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!EndsWith(name, ".snap")) continue;
+    if (std::find(keep.begin(), keep.end(), name) != keep.end()) continue;
+    std::error_code remove_ec;
+    fs::remove(entry.path(), remove_ec);
+  }
+}
+
+}  // namespace
+
+Status Database::LogRecord(const std::string& payload) {
+  if (wal_file_ == nullptr || replaying_) return Status::Ok();
+  pending_ += wal::FrameRecord(payload);
+  ++pending_records_;
+  return Status::Ok();
+}
+
+Status Database::ReplayRecord(const wal::WalRecord& record) {
+  switch (record.type) {
+    case wal::RecordType::kSchema: {
+      ASSIGN_OR_RETURN(TableSchema schema,
+                       ParseSchemaText(record.schema_text));
+      return CreateTable(std::move(schema));
+    }
+    case wal::RecordType::kInsert: {
+      Table* table = FindTable(record.table);
+      if (table == nullptr) {
+        return DataLossError("insert replay into missing table '" +
+                             record.table + "'");
+      }
+      // FK checks are skipped: the record was FK-validated before it was
+      // logged, and replay preserves the original mutation order.
+      return table->Insert(record.row);
+    }
+    case wal::RecordType::kUpdate: {
+      Table* table = FindTable(record.table);
+      if (table == nullptr) {
+        return DataLossError("update replay into missing table '" +
+                             record.table + "'");
+      }
+      return table->ApplyUpdateBatch(record.updates);
+    }
+    case wal::RecordType::kDelete: {
+      Table* table = FindTable(record.table);
+      if (table == nullptr) {
+        return DataLossError("delete replay into missing table '" +
+                             record.table + "'");
+      }
+      return table->ApplyDeleteBatch(record.deletes);
+    }
+    case wal::RecordType::kDropTable:
+      if (tables_.erase(record.table) == 0) {
+        return DataLossError("drop replay of missing table '" +
+                             record.table + "'");
+      }
+      return Status::Ok();
+    case wal::RecordType::kCommit:
+      // ReadWal folds commit markers into bookkeeping; none reach here.
+      return Status::Ok();
+  }
+  return InternalError("unhandled record type in replay");
+}
+
+Status Database::WriteSnapshots(std::uint64_t generation) const {
+  ASSIGN_OR_RETURN(std::vector<std::string> ordered,
+                   TablesInDependencyOrder(*this));
+  for (const std::string& name : ordered) {
+    const Table* table = FindTable(name);
+    const std::string bytes = wal::EncodeTableSnapshot(
+        SerializeSchema(table->schema()), table->rows());
+    RETURN_IF_ERROR(wal::WriteFileAtomic(
+        (fs::path(wal_dir_) / SnapshotFileName(name, generation)).string(),
+        bytes));
+  }
+  return Status::Ok();
+}
+
+Status Database::AttachWal(const std::string& path,
+                           wal::WalFileFactory factory) {
+  if (wal_attached()) {
+    return FailedPreconditionError("a WAL is already attached");
+  }
+  const fs::path dir(path);
+  if (fs::exists(dir / "wal.log") || fs::exists(dir / "snapshot.manifest")) {
+    return AlreadyExistsError("'" + path +
+                              "' already holds a WAL database; use Open");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return IoError("cannot create directory '" + path + "'");
+
+  wal_dir_ = path;
+  wal_factory_ = factory ? std::move(factory) : wal::OpenLogFile;
+  generation_ = 0;
+  commit_sequence_ = 0;
+  pending_.clear();
+  pending_records_ = 0;
+
+  // Current in-memory state becomes the generation-0 snapshot; the log
+  // starts empty. Order matters: snapshots, then the manifest naming
+  // them, then the log — the same publish order compaction uses.
+  RETURN_IF_ERROR(WriteSnapshots(0));
+  ASSIGN_OR_RETURN(std::vector<std::string> ordered,
+                   TablesInDependencyOrder(*this));
+  RETURN_IF_ERROR(wal::WriteFileAtomic(
+      (dir / "snapshot.manifest").string(), wal::EncodeManifest(0, ordered)));
+  RETURN_IF_ERROR(wal::WriteFileAtomic((dir / "wal.log").string(),
+                                       wal::EncodeWalHeader(0)));
+  log_bytes_ = wal::kWalHeaderSize;
+  ASSIGN_OR_RETURN(wal_file_, wal_factory_((dir / "wal.log").string()));
+  return Status::Ok();
+}
+
+Status Database::OpenWalInto(const std::string& path,
+                             wal::WalFileFactory factory) {
+  const fs::path dir(path);
+  wal_dir_ = path;
+  wal_factory_ = factory ? std::move(factory) : wal::OpenLogFile;
+
+  ASSIGN_OR_RETURN(std::string manifest_text,
+                   wal::ReadFileBytes((dir / "snapshot.manifest").string()));
+  ASSIGN_OR_RETURN(wal::DecodedManifest manifest,
+                   wal::DecodeManifest(manifest_text));
+
+  const std::string log_path = (dir / "wal.log").string();
+  auto log_bytes = wal::ReadFileBytes(log_path);
+  const wal::WalReadResult log =
+      wal::ReadWal(log_bytes.ok() ? *log_bytes : std::string());
+
+  // The manifest generation decides what is live. A log of the same
+  // generation replays on top of the snapshots; anything else (missing
+  // log, torn header, or the previous generation left by a compaction
+  // crash between the manifest and log renames) means the snapshots
+  // alone are the committed state and the log restarts empty.
+  const bool replay_log = log.header_valid &&
+                          log.generation == manifest.generation;
+
+  replaying_ = true;
+  for (const std::string& name : manifest.tables) {
+    auto snap_bytes = wal::ReadFileBytes(
+        (dir / SnapshotFileName(name, manifest.generation)).string());
+    if (!snap_bytes.ok()) {
+      replaying_ = false;
+      return DataLossError("missing snapshot for table '" + name +
+                           "' generation " +
+                           std::to_string(manifest.generation));
+    }
+    auto snapshot = wal::DecodeTableSnapshot(*snap_bytes);
+    if (!snapshot.ok()) {
+      replaying_ = false;
+      return snapshot.status();
+    }
+    auto schema = ParseSchemaText(snapshot->schema_text);
+    if (!schema.ok()) {
+      replaying_ = false;
+      return schema.status();
+    }
+    Status created = CreateTable(std::move(*schema));
+    if (!created.ok()) {
+      replaying_ = false;
+      return created;
+    }
+    Table* table = FindTable(name);
+    for (const Row& row : snapshot->rows) {
+      Status inserted = table->Insert(row);
+      if (!inserted.ok()) {
+        replaying_ = false;
+        return inserted;
+      }
+    }
+  }
+  if (replay_log) {
+    for (const wal::WalRecord& record : log.committed) {
+      Status replayed = ReplayRecord(record);
+      if (!replayed.ok()) {
+        replaying_ = false;
+        return replayed;
+      }
+    }
+  }
+  replaying_ = false;
+
+  generation_ = manifest.generation;
+  if (replay_log) {
+    commit_sequence_ = log.last_commit_sequence;
+    // Drop the torn/uncommitted tail so the writer appends after the
+    // last commit marker.
+    if (log.total_bytes > log.committed_bytes) {
+      std::error_code ec;
+      fs::resize_file(log_path, log.committed_bytes, ec);
+      if (ec) return IoError("cannot truncate torn tail of wal.log");
+    }
+    log_bytes_ = log.committed_bytes;
+  } else {
+    commit_sequence_ = 0;
+    RETURN_IF_ERROR(wal::WriteFileAtomic(
+        log_path, wal::EncodeWalHeader(manifest.generation)));
+    log_bytes_ = wal::kWalHeaderSize;
+  }
+
+  std::vector<std::string> keep;
+  for (const std::string& name : manifest.tables) {
+    keep.push_back(SnapshotFileName(name, manifest.generation));
+  }
+  RemoveStaleSnapshots(dir, keep);
+
+  ASSIGN_OR_RETURN(wal_file_, wal_factory_(log_path));
+  return Status::Ok();
+}
+
+Result<Database> Database::Open(const std::string& path,
+                                wal::WalFileFactory factory) {
+  const fs::path dir(path);
+  if (fs::exists(dir / "wal.log") || fs::exists(dir / "snapshot.manifest")) {
+    Database database;
+    RETURN_IF_ERROR(database.OpenWalInto(path, std::move(factory)));
+    return database;
+  }
+  return LoadFromDirectory(path);
+}
+
+Status Database::Commit() {
+  if (!wal_attached()) {
+    return FailedPreconditionError("Commit() without an attached WAL");
+  }
+  if (pending_records_ == 0) return Status::Ok();  // empty commits skipped
+  pending_ +=
+      wal::FrameRecord(wal::EncodeCommitRecord(commit_sequence_ + 1));
+  // One append for the whole batch + marker: a crash can tear the tail
+  // of this write but never interleave another writer's bytes.
+  RETURN_IF_ERROR(wal_file_->Append(pending_));
+  RETURN_IF_ERROR(wal_file_->Sync());
+  ++commit_sequence_;
+  log_bytes_ += pending_.size();
+  pending_.clear();
+  pending_records_ = 0;
+  if (compaction_threshold_ != 0 && log_bytes_ >= compaction_threshold_) {
+    return Compact();
+  }
+  return Status::Ok();
+}
+
+Status Database::Compact() {
+  if (!wal_attached()) {
+    return FailedPreconditionError("Compact() without an attached WAL");
+  }
+  if (pending_records_ != 0) {
+    // Flush the batch (without re-entering compaction) so the snapshot
+    // includes it.
+    const std::uint64_t threshold = compaction_threshold_;
+    compaction_threshold_ = 0;
+    Status committed = Commit();
+    compaction_threshold_ = threshold;
+    RETURN_IF_ERROR(committed);
+  }
+  const std::uint64_t new_generation = generation_ + 1;
+  RETURN_IF_ERROR(WriteSnapshots(new_generation));
+  ASSIGN_OR_RETURN(std::vector<std::string> ordered,
+                   TablesInDependencyOrder(*this));
+  // The manifest rename is the commit point: before it, recovery replays
+  // the old log onto the old snapshots; after it, the new snapshots are
+  // the state and any same-named old log is ignored (generation skew).
+  RETURN_IF_ERROR(wal::WriteFileAtomic(
+      (fs::path(wal_dir_) / "snapshot.manifest").string(),
+      wal::EncodeManifest(new_generation, ordered)));
+  wal_file_.reset();  // close before replacing the inode
+  RETURN_IF_ERROR(
+      wal::WriteFileAtomic((fs::path(wal_dir_) / "wal.log").string(),
+                           wal::EncodeWalHeader(new_generation)));
+  generation_ = new_generation;
+  commit_sequence_ = 0;
+  log_bytes_ = wal::kWalHeaderSize;
+  std::vector<std::string> keep;
+  for (const std::string& name : ordered) {
+    keep.push_back(SnapshotFileName(name, new_generation));
+  }
+  RemoveStaleSnapshots(wal_dir_, keep);
+  ASSIGN_OR_RETURN(wal_file_,
+                   wal_factory_((fs::path(wal_dir_) / "wal.log").string()));
+  return Status::Ok();
+}
+
+Status Database::Persist(const std::string& path) {
+  if (wal_attached()) {
+    std::error_code ec;
+    if (path == wal_dir_ ||
+        fs::weakly_canonical(path, ec) == fs::weakly_canonical(wal_dir_, ec)) {
+      return Commit();
+    }
+  }
+  return SaveToDirectory(path);
 }
 
 }  // namespace goofi::db

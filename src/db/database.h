@@ -5,17 +5,27 @@
 // be inserted without its parent, and a parent row cannot be deleted,
 // re-keyed, or its table dropped while children reference it.
 //
-// Persistence is a directory of portable text files (one schema file +
-// one TSV data file per table), so a campaign database moves between
-// hosts the way the paper's SQL database does.
+// Persistence comes in two formats:
+//   * WAL (default for new campaign databases): checkpointed binary
+//     table snapshots plus an append-only, CRC-checksummed log. Every
+//     FK-checked mutation is buffered; Commit() group-flushes the batch
+//     behind a commit marker, so recovery after a crash replays exactly
+//     the committed prefix and never a partial batch. The log compacts
+//     into fresh snapshots once it crosses a size threshold. See wal.h.
+//   * Legacy text (one schema file + one TSV data file per table), kept
+//     readable so existing campaign directories still load; saves swap
+//     a temp directory into place so a crash mid-save cannot destroy
+//     the previous database.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "db/table.h"
+#include "db/wal.h"
 #include "util/status.h"
 
 namespace goofi::db {
@@ -49,12 +59,61 @@ class Database {
       const std::string& table,
       const std::function<bool(const Row&)>& predicate);
 
-  // Persistence. SaveToDirectory creates the directory if needed and
-  // replaces its contents; LoadFromDirectory returns a fresh database.
+  // Persistence (legacy text format). SaveToDirectory writes a sibling
+  // temp directory and atomically swaps it into place; LoadFromDirectory
+  // returns a fresh database.
   Status SaveToDirectory(const std::string& path) const;
   static Result<Database> LoadFromDirectory(const std::string& path);
 
+  // ---- WAL persistence ---------------------------------------------------
+
+  // Open a database directory of either format. A directory holding
+  // wal.log / snapshot.manifest recovers WAL state (replaying to the
+  // last valid commit, truncating any torn tail) and attaches the log
+  // for writing; a legacy manifest.txt directory loads read-only-style
+  // (no log attached; use AttachWal to migrate). `factory` overrides how
+  // the log file is opened — the crash tests inject faulty files here.
+  static Result<Database> Open(const std::string& path,
+                               wal::WalFileFactory factory = nullptr);
+
+  // Attach a WAL to `path` (creating the directory), snapshotting the
+  // current in-memory state as generation 0. This is both "create a new
+  // WAL database" and "migrate a legacy text database".
+  Status AttachWal(const std::string& path,
+                   wal::WalFileFactory factory = nullptr);
+
+  bool wal_attached() const { return wal_file_ != nullptr; }
+  const std::string& wal_path() const { return wal_dir_; }
+
+  // Group commit: flush the buffered mutation batch plus a commit marker
+  // in one append, then sync. No-op when nothing is pending. Triggers
+  // compaction when the log has crossed the size threshold.
+  Status Commit();
+
+  // Fold the log into fresh table snapshots under a bumped generation
+  // and restart an empty log. Commits any pending batch first.
+  Status Compact();
+
+  // Routing door for runner checkpoints: Commit() when the WAL is
+  // attached to exactly `path`, otherwise a legacy atomic text save.
+  Status Persist(const std::string& path);
+
+  // Uncommitted records buffered since the last commit.
+  std::uint64_t pending_record_count() const { return pending_records_; }
+  std::uint64_t commit_sequence() const { return commit_sequence_; }
+  std::uint64_t generation() const { return generation_; }
+  // Log size (bytes) that triggers compaction at the next commit.
+  // 0 disables automatic compaction. Deterministic across serial and
+  // parallel runs because the log bytes themselves are deterministic.
+  void set_compaction_threshold(std::uint64_t bytes) {
+    compaction_threshold_ = bytes;
+  }
+
  private:
+  Status LogRecord(const std::string& payload);
+  Status ReplayRecord(const wal::WalRecord& record);
+  Status WriteSnapshots(std::uint64_t generation) const;
+  Status OpenWalInto(const std::string& path, wal::WalFileFactory factory);
   Status CheckForeignKeysForRow(const Table& table, const Row& row) const;
   // Is `key` in `parent_table.parent_column` referenced by any child row?
   bool HasReferencingChild(const std::string& parent_table,
@@ -62,7 +121,24 @@ class Database {
                            const Value& key) const;
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
+
+  // WAL state (empty / null when no log is attached).
+  std::string wal_dir_;
+  std::unique_ptr<wal::WalFile> wal_file_;
+  wal::WalFileFactory wal_factory_;
+  std::string pending_;                 // framed records awaiting commit
+  std::uint64_t pending_records_ = 0;
+  std::uint64_t commit_sequence_ = 0;   // last flushed commit marker
+  std::uint64_t generation_ = 0;        // snapshot generation
+  std::uint64_t log_bytes_ = 0;         // committed log size on disk
+  std::uint64_t compaction_threshold_ = 8 * 1024 * 1024;
+  bool replaying_ = false;              // suppress logging during replay
 };
+
+// Table names in FK-dependency order (parents before children); fails
+// on a cycle. Both persistence formats write tables in this order.
+Result<std::vector<std::string>> TablesInDependencyOrder(
+    const Database& database);
 
 // Serialize one schema to the text form used by persistence (also handy
 // for debugging and golden tests).

@@ -1,0 +1,17 @@
+#include "db/index.h"
+
+namespace goofi::db {
+
+void SecondaryIndex::Add(const Value& key, std::size_t row_index) {
+  if (key.is_null()) return;
+  buckets_[key.Encode()].push_back(row_index);
+}
+
+const std::vector<std::size_t>* SecondaryIndex::Find(const Value& key) const {
+  if (key.is_null()) return nullptr;
+  const auto it = buckets_.find(key.Encode());
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace goofi::db

@@ -1,0 +1,38 @@
+// Secondary (non-unique) hash indexes over hot analysis columns.
+//
+// A SecondaryIndex maps an encoded cell value to the ascending list of
+// row indices holding it. The executor consults these for equality
+// predicates on columns declared INDEXED (campaign name, outcome class,
+// parent experiment — the §3.4 analysis keys), turning full scans into
+// bucket lookups while preserving row order, so indexed results are
+// row-for-row identical to a scan.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+
+namespace goofi::db {
+
+class SecondaryIndex {
+ public:
+  // Record that row `row_index` holds `key`. Rows must be added in
+  // ascending row order (the table inserts append-only and rebuilds
+  // front-to-back), which keeps each bucket sorted for free.
+  void Add(const Value& key, std::size_t row_index);
+
+  // Rows holding `key`, ascending; nullptr when none. NULL never matches
+  // (SQL equality semantics — callers skip NULL probes anyway).
+  const std::vector<std::size_t>* Find(const Value& key) const;
+
+  void Clear() { buckets_.clear(); }
+  std::size_t key_count() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace goofi::db

@@ -30,6 +30,9 @@ struct Column {
   bool not_null = false;
   bool unique = false;       // single-column UNIQUE constraint
   bool primary_key = false;  // implies unique + not_null
+  // Maintain a secondary (non-unique) hash index; consulted by the SQL
+  // executor for equality predicates. Redundant on UNIQUE/PK columns.
+  bool indexed = false;
 };
 
 struct ForeignKey {

@@ -11,6 +11,60 @@ namespace goofi::db::sql {
 
 namespace {
 
+bool g_index_scan_enabled = true;
+std::uint64_t g_index_scan_count = 0;
+
+// Gather equality leaves usable for an index probe: non-negated kEq
+// against a non-NULL literal, at the WHERE root or anywhere under a
+// conjunction (rows outside such a leaf's bucket make the AND false or
+// unknown, so probing the bucket is a sound superset of the answer).
+void CollectEqLeaves(const Condition& node,
+                     std::vector<const Condition*>& leaves) {
+  if (node.kind == Condition::Kind::kCompare) {
+    if (node.op == CompareOp::kEq && !node.negated && !node.rhs.is_null()) {
+      leaves.push_back(&node);
+    }
+    return;
+  }
+  if (node.kind == Condition::Kind::kAnd) {
+    for (const Condition& child : node.children) {
+      CollectEqLeaves(child, leaves);
+    }
+  }
+  // kOr / kNot: an eq leaf below these does not bound the result set.
+}
+
+// Candidate row indices (ascending) for the WHERE clause via the best
+// available index, or nullopt for a full scan. The caller still applies
+// the full predicate to every candidate.
+std::optional<std::vector<std::size_t>> IndexCandidates(
+    const Table& table, const WhereClause& where) {
+  if (!g_index_scan_enabled || !where.root) return std::nullopt;
+  std::vector<const Condition*> leaves;
+  CollectEqLeaves(*where.root, leaves);
+  const TableSchema& schema = table.schema();
+  std::optional<std::vector<std::size_t>> best;
+  for (const Condition* leaf : leaves) {
+    const auto column = schema.FindColumn(leaf->column);
+    if (!column) continue;  // binding reports the error later
+    std::vector<std::size_t> candidates;
+    if (schema.columns()[*column].unique) {
+      const auto row = table.FindByUnique(*column, leaf->rhs);
+      if (row) candidates.push_back(*row);
+    } else if (table.HasSecondaryIndex(*column)) {
+      const auto* bucket = table.FindBySecondary(*column, leaf->rhs);
+      if (bucket != nullptr) candidates = *bucket;
+    } else {
+      continue;
+    }
+    if (!best || candidates.size() < best->size()) {
+      best = std::move(candidates);
+    }
+  }
+  if (best) ++g_index_scan_count;
+  return best;
+}
+
 // SQL three-valued logic: TRUE / FALSE / UNKNOWN (nullopt). A row
 // matches the WHERE clause iff its value is TRUE.
 using Truth = std::optional<bool>;
@@ -235,6 +289,23 @@ Result<QueryResult> ExecuteSelect(Database& database,
   const TableSchema& schema = table->schema();
   ASSIGN_OR_RETURN(auto predicate, BindWhere(schema, select.where));
 
+  // Ascending candidate indices from an index probe (or nullopt = scan).
+  // Ascending order means index-assisted results keep table row order,
+  // identical to the scan they replace.
+  const std::optional<std::vector<std::size_t>> candidates =
+      IndexCandidates(*table, select.where);
+  const auto for_each_matching = [&](const auto& fn) {
+    if (candidates) {
+      for (const std::size_t i : *candidates) {
+        if (predicate(table->row(i))) fn(table->row(i));
+      }
+    } else {
+      for (const Row& row : table->rows()) {
+        if (predicate(row)) fn(row);
+      }
+    }
+  };
+
   const bool has_aggregate =
       std::any_of(select.items.begin(), select.items.end(),
                   [](const SelectItem& item) {
@@ -264,13 +335,12 @@ Result<QueryResult> ExecuteSelect(Database& database,
         projection.push_back(*index);
       }
     }
-    for (const Row& row : table->rows()) {
-      if (!predicate(row)) continue;
+    for_each_matching([&](const Row& row) {
       Row out;
       out.reserve(projection.size());
       for (const std::size_t index : projection) out.push_back(row[index]);
       result.rows.push_back(std::move(out));
-    }
+    });
     // ORDER BY an output column first, falling back to any table column
     // (carried alongside during the sort via index pairing).
     if (select.order_by) {
@@ -291,14 +361,14 @@ Result<QueryResult> ExecuteSelect(Database& database,
           return InvalidArgumentError("ORDER BY references unknown column '" +
                                       by + "'");
         }
-        // Re-run the selection carrying the key column.
+        // Re-run the selection carrying the key column — over the same
+        // candidates, so keys pair with the rows selected above.
         std::vector<std::pair<Value, Row>> keyed;
         std::size_t out_index = 0;
-        for (const Row& row : table->rows()) {
-          if (!predicate(row)) continue;
+        for_each_matching([&](const Row& row) {
           keyed.emplace_back(row[*table_col],
                              std::move(result.rows[out_index++]));
-        }
+        });
         std::stable_sort(keyed.begin(), keyed.end(),
                          [&](const auto& a, const auto& b) {
                            const int c = a.first.Compare(b.first);
@@ -363,8 +433,7 @@ Result<QueryResult> ExecuteSelect(Database& database,
   if (!group_col) {
     groups.emplace("", std::make_pair(Value::Null(), make_states()));
   }
-  for (const Row& row : table->rows()) {
-    if (!predicate(row)) continue;
+  for_each_matching([&](const Row& row) {
     const std::string key = group_col ? row[*group_col].Encode() : "";
     auto it = groups.find(key);
     if (it == groups.end()) {
@@ -381,7 +450,7 @@ Result<QueryResult> ExecuteSelect(Database& database,
           bi.item.count_star ? Value::Null() : row[bi.column],
           bi.item.count_star);
     }
-  }
+  });
   for (const auto& [key, group] : groups) {
     Row out;
     out.reserve(bound_items.size());
@@ -495,6 +564,11 @@ Result<QueryResult> ExecuteDelete(Database& database,
 }
 
 }  // namespace
+
+void SetIndexScanEnabled(bool enabled) { g_index_scan_enabled = enabled; }
+bool IndexScanEnabled() { return g_index_scan_enabled; }
+std::uint64_t IndexScanCount() { return g_index_scan_count; }
+void ResetIndexScanCount() { g_index_scan_count = 0; }
 
 std::string QueryResult::ToAsciiTable() const {
   std::vector<std::size_t> widths(columns.size());

@@ -1,6 +1,7 @@
 // Statement execution against a Database.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,5 +30,14 @@ Result<QueryResult> ExecuteSql(Database& database, const std::string& sql);
 
 // Parse + execute a script; returns the last statement's result.
 Result<QueryResult> ExecuteScript(Database& database, const std::string& sql);
+
+// SELECT consults hash indexes (UNIQUE and INDEXED columns) for equality
+// predicates at the WHERE root or under a top-level AND; results are
+// row-for-row identical to a full scan. The toggle and counter exist so
+// tests and benchmarks can prove both properties.
+void SetIndexScanEnabled(bool enabled);
+bool IndexScanEnabled();
+std::uint64_t IndexScanCount();  // SELECTs answered via an index so far
+void ResetIndexScanCount();
 
 }  // namespace goofi::db::sql

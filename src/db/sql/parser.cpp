@@ -314,6 +314,8 @@ class Parser {
           } else if (ConsumeKeyword("NOT")) {
             RETURN_IF_ERROR(ExpectKeyword("NULL"));
             column.not_null = true;
+          } else if (ConsumeKeyword("INDEXED")) {
+            column.indexed = true;
           } else {
             break;
           }

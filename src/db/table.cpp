@@ -6,9 +6,14 @@ namespace goofi::db {
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   for (std::size_t i = 0; i < schema_.columns().size(); ++i) {
-    if (schema_.columns()[i].unique) unique_columns_.push_back(i);
+    if (schema_.columns()[i].unique) {
+      unique_columns_.push_back(i);
+    } else if (schema_.columns()[i].indexed) {
+      secondary_columns_.push_back(i);
+    }
   }
   indexes_.resize(unique_columns_.size());
+  secondary_indexes_.resize(secondary_columns_.size());
 }
 
 Status Table::Insert(Row row) {
@@ -29,8 +34,29 @@ Status Table::Insert(Row row) {
     const Value& v = row[unique_columns_[u]];
     if (!v.is_null()) indexes_[u].emplace(v.Encode(), index);
   }
+  for (std::size_t s = 0; s < secondary_columns_.size(); ++s) {
+    secondary_indexes_[s].Add(row[secondary_columns_[s]], index);
+  }
   rows_.push_back(std::move(row));
   return Status::Ok();
+}
+
+bool Table::HasSecondaryIndex(std::size_t column) const {
+  for (const std::size_t s : secondary_columns_) {
+    if (s == column) return true;
+  }
+  return false;
+}
+
+const std::vector<std::size_t>* Table::FindBySecondary(
+    std::size_t column, const Value& key) const {
+  for (std::size_t s = 0; s < secondary_columns_.size(); ++s) {
+    if (secondary_columns_[s] == column) {
+      return secondary_indexes_[s].Find(key);
+    }
+  }
+  assert(false && "FindBySecondary on a column without a secondary index");
+  return nullptr;
 }
 
 std::optional<std::size_t> Table::FindByUnique(std::size_t column,
@@ -71,7 +97,8 @@ bool Table::ContainsValue(std::size_t column, const Value& key) const {
 
 Result<std::size_t> Table::Update(
     const std::function<bool(const Row&)>& predicate,
-    const std::vector<ColumnUpdate>& updates) {
+    const std::vector<ColumnUpdate>& updates,
+    std::vector<std::pair<std::uint64_t, Row>>* applied) {
   const std::vector<std::size_t> matched = FindRows(predicate);
   if (matched.empty()) return std::size_t{0};
 
@@ -112,22 +139,24 @@ Result<std::size_t> Table::Update(
 
   // Phase 2: commit.
   for (std::size_t m = 0; m < matched.size(); ++m) {
+    if (applied != nullptr) applied->emplace_back(matched[m], updated[m]);
     rows_[matched[m]] = std::move(updated[m]);
   }
   RebuildIndexes();
   return matched.size();
 }
 
-std::size_t Table::Delete(
-    const std::function<bool(const Row&)>& predicate) {
+std::size_t Table::Delete(const std::function<bool(const Row&)>& predicate,
+                          std::vector<std::uint64_t>* deleted) {
   std::size_t removed = 0;
   std::vector<Row> kept;
   kept.reserve(rows_.size());
-  for (Row& row : rows_) {
-    if (predicate(row)) {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (predicate(rows_[i])) {
       ++removed;
+      if (deleted != nullptr) deleted->push_back(i);
     } else {
-      kept.push_back(std::move(row));
+      kept.push_back(std::move(rows_[i]));
     }
   }
   // Unconditionally adopt `kept`: the loop moved every surviving row out
@@ -137,6 +166,32 @@ std::size_t Table::Delete(
   return removed;
 }
 
+Status Table::ApplyUpdateBatch(
+    const std::vector<std::pair<std::uint64_t, Row>>& updates) {
+  for (const auto& [index, row] : updates) {
+    if (index >= rows_.size() || row.size() != schema_.column_count()) {
+      return DataLossError("update replay out of range in '" +
+                           schema_.table_name() + "'");
+    }
+    rows_[index] = row;
+  }
+  if (!updates.empty()) RebuildIndexes();
+  return Status::Ok();
+}
+
+Status Table::ApplyDeleteBatch(const std::vector<std::uint64_t>& ascending) {
+  // Erase back-to-front so earlier indices stay valid.
+  for (auto it = ascending.rbegin(); it != ascending.rend(); ++it) {
+    if (*it >= rows_.size()) {
+      return DataLossError("delete replay out of range in '" +
+                           schema_.table_name() + "'");
+    }
+    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  if (!ascending.empty()) RebuildIndexes();
+  return Status::Ok();
+}
+
 void Table::Clear() {
   rows_.clear();
   RebuildIndexes();
@@ -144,10 +199,14 @@ void Table::Clear() {
 
 void Table::RebuildIndexes() {
   for (auto& index : indexes_) index.clear();
+  for (auto& index : secondary_indexes_) index.Clear();
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     for (std::size_t u = 0; u < unique_columns_.size(); ++u) {
       const Value& v = rows_[i][unique_columns_[u]];
       if (!v.is_null()) indexes_[u][v.Encode()] = i;
+    }
+    for (std::size_t s = 0; s < secondary_columns_.size(); ++s) {
+      secondary_indexes_[s].Add(rows_[i][secondary_columns_[s]], i);
     }
   }
 }

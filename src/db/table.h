@@ -2,12 +2,15 @@
 // columns. Referential integrity across tables lives in Database.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "db/index.h"
 #include "db/schema.h"
 #include "util/status.h"
 
@@ -38,6 +41,14 @@ class Table {
   std::optional<std::size_t> FindByUnique(std::size_t column,
                                           const Value& key) const;
 
+  // True iff `column` carries a secondary (INDEXED, non-unique) index.
+  bool HasSecondaryIndex(std::size_t column) const;
+
+  // Ascending row indices holding `key` in secondary-indexed `column`;
+  // nullptr when the key is absent. Asserts if the column is not indexed.
+  const std::vector<std::size_t>* FindBySecondary(std::size_t column,
+                                                  const Value& key) const;
+
   // Linear scan returning indices of rows satisfying `predicate`.
   std::vector<std::size_t> FindRows(
       const std::function<bool(const Row&)>& predicate) const;
@@ -48,12 +59,26 @@ class Table {
 
   // Apply `updates` to every row matching `predicate`. All-or-nothing:
   // on any constraint violation no row is changed. Returns the number
-  // of rows updated.
-  Result<std::size_t> Update(const std::function<bool(const Row&)>& predicate,
-                             const std::vector<ColumnUpdate>& updates);
+  // of rows updated. When `applied` is non-null it receives the
+  // (row index, full post-update row) pairs, in ascending row order —
+  // exactly the payload the write-ahead log records.
+  Result<std::size_t> Update(
+      const std::function<bool(const Row&)>& predicate,
+      const std::vector<ColumnUpdate>& updates,
+      std::vector<std::pair<std::uint64_t, Row>>* applied = nullptr);
 
   // Delete every row matching `predicate`; returns the number deleted.
-  std::size_t Delete(const std::function<bool(const Row&)>& predicate);
+  // When `deleted` is non-null it receives the ascending pre-delete row
+  // indices (the WAL's delete payload).
+  std::size_t Delete(const std::function<bool(const Row&)>& predicate,
+                     std::vector<std::uint64_t>* deleted = nullptr);
+
+  // WAL replay doors: re-apply logged mutations verbatim, bypassing
+  // predicate evaluation (indices were recorded at write time). Both
+  // rebuild the indexes; constraints were validated before logging.
+  Status ApplyUpdateBatch(
+      const std::vector<std::pair<std::uint64_t, Row>>& updates);
+  Status ApplyDeleteBatch(const std::vector<std::uint64_t>& ascending);
 
   // Remove all rows.
   void Clear();
@@ -62,10 +87,14 @@ class Table {
   void RebuildIndexes();
   // Indexed (unique) column positions in schema order.
   std::vector<std::size_t> unique_columns_;
+  // Secondary (INDEXED, non-unique) column positions in schema order.
+  std::vector<std::size_t> secondary_columns_;
   TableSchema schema_;
   std::vector<Row> rows_;
   // Per unique column: encoded value -> row index.
   std::vector<std::unordered_map<std::string, std::size_t>> indexes_;
+  // Per secondary column: encoded value -> ascending row indices.
+  std::vector<SecondaryIndex> secondary_indexes_;
 };
 
 }  // namespace goofi::db

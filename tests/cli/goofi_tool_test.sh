@@ -32,7 +32,9 @@ EOF
   || fail "run exited nonzero: $(cat run.out)"
 grep -q "25 experiments run" run.out || fail "run must report 25 experiments"
 grep -q "Detection coverage" run.out || fail "run must print the analysis"
-test -f dbdir/manifest.txt || fail "database directory must persist"
+# New databases are created in the WAL format (src/db/wal.h).
+test -f dbdir/wal.log || fail "database directory must persist (wal.log)"
+test -f dbdir/snapshot.manifest || fail "snapshot manifest must persist"
 
 # --- analysis phase (separate process, reloaded database) ---------------
 "$TOOL" analyze cli_demo --db dbdir | grep -q "25 experiments" \

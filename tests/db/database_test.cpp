@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace goofi::db {
 namespace {
@@ -263,6 +264,62 @@ TEST(DatabaseTest, MissingDirectoryReportsIoError) {
   const auto loaded = Database::LoadFromDirectory("/nonexistent/goofi");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), ErrorCode::kIo);
+}
+
+TEST(DatabaseTest, SaveReplacesDirectoryAtomically) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "goofi_db_atomic_test").string();
+  fs::remove_all(dir);
+
+  Database database;
+  ASSERT_TRUE(database.CreateTable(ParentSchema()).ok());
+  ASSERT_TRUE(database.Insert("parent", {Value::Text_("a"),
+                                         Value::Text_("one")}).ok());
+  ASSERT_TRUE(database.SaveToDirectory(dir).ok());
+
+  // A second save goes through a sibling temp directory and a rename
+  // swap: no .saving/.stale residue survives a successful save, and a
+  // file that only existed in the old version is gone.
+  {
+    std::ofstream((fs::path(dir) / "leftover.rows").string()) << "junk\n";
+  }
+  ASSERT_TRUE(database.Insert("parent", {Value::Text_("b"),
+                                         Value::Text_("two")}).ok());
+  ASSERT_TRUE(database.SaveToDirectory(dir).ok());
+  EXPECT_FALSE(fs::exists(dir + ".saving"));
+  EXPECT_FALSE(fs::exists(dir + ".stale"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "leftover.rows"));
+  const auto loaded = Database::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->FindTable("parent")->row_count(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseTest, LoadRecoversInterruptedSave) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "goofi_db_interrupted_test").string();
+  fs::remove_all(dir);
+  fs::remove_all(dir + ".saving");
+
+  // Simulate a crash after the temp directory was fully written but
+  // before it was renamed into place: save elsewhere, then move the
+  // result to `<dir>.saving` with no `<dir>` present.
+  Database database;
+  ASSERT_TRUE(database.CreateTable(ParentSchema()).ok());
+  ASSERT_TRUE(database.Insert("parent", {Value::Text_("a"),
+                                         Value::Text_("one")}).ok());
+  ASSERT_TRUE(database.SaveToDirectory(dir).ok());
+  fs::rename(dir, dir + ".saving");
+
+  const auto loaded = Database::LoadFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->FindTable("parent")->row_count(), 1u);
+  // Recovery published the temp directory as the real one.
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "manifest.txt"));
+  EXPECT_FALSE(fs::exists(dir + ".saving"));
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -75,9 +75,13 @@ TEST(SqlParserTest, ScriptSplitsStatements) {
 
 class SqlExecTest : public ::testing::Test {
  protected:
+  // `wl` and `outcome` carry secondary indexes so the existing SELECTs
+  // below double as index-consistency proofs: Exec() runs every SELECT
+  // twice — index-assisted and full-scan — and requires row-for-row
+  // identical results.
   void SetUp() override {
-    Exec("CREATE TABLE runs (id INTEGER PRIMARY KEY, wl TEXT NOT NULL, "
-         "outcome TEXT, score REAL)");
+    Exec("CREATE TABLE runs (id INTEGER PRIMARY KEY, "
+         "wl TEXT NOT NULL INDEXED, outcome TEXT INDEXED, score REAL)");
     Exec("INSERT INTO runs VALUES (1, 'isort', 'detected', 0.5)");
     Exec("INSERT INTO runs VALUES (2, 'isort', 'latent', 1.5)");
     Exec("INSERT INTO runs (id, wl) VALUES (3, 'matmul')");
@@ -85,9 +89,42 @@ class SqlExecTest : public ::testing::Test {
          "(5, 'crc32', 'escaped', 4.5)");
   }
 
+  void TearDown() override { SetIndexScanEnabled(true); }
+
+  static bool IsSelect(const std::string& sql) {
+    const std::size_t start = sql.find_first_not_of(" \t\n");
+    return start != std::string::npos &&
+           (sql.compare(start, 6, "SELECT") == 0 ||
+            sql.compare(start, 6, "select") == 0);
+  }
+
+  static std::string EncodeRows(const QueryResult& result) {
+    std::string encoded;
+    for (const Row& row : result.rows) {
+      for (const Value& value : row) {
+        encoded += value.Encode();
+        encoded += '\x1f';
+      }
+      encoded += '\n';
+    }
+    return encoded;
+  }
+
   QueryResult Exec(const std::string& sql) {
+    SetIndexScanEnabled(true);
     auto result = ExecuteSql(database_, sql);
     EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    if (result.ok() && IsSelect(sql)) {
+      SetIndexScanEnabled(false);
+      auto scanned = ExecuteSql(database_, sql);
+      SetIndexScanEnabled(true);
+      EXPECT_TRUE(scanned.ok()) << sql;
+      if (scanned.ok()) {
+        EXPECT_EQ(scanned->columns, result->columns) << sql;
+        EXPECT_EQ(EncodeRows(*scanned), EncodeRows(*result))
+            << sql << " (index-assisted vs full scan)";
+      }
+    }
     return result.ok() ? *result : QueryResult{};
   }
 
@@ -368,6 +405,80 @@ TEST_F(SqlExecTest, ExecuteScriptReturnsLastResult) {
       "SELECT COUNT(*) FROM runs;");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows[0][0].AsInteger(), 6);
+}
+
+// --------------------------------------------------- secondary indexes --
+
+TEST_F(SqlExecTest, EqualityOnIndexedColumnUsesIndex) {
+  ResetIndexScanCount();
+  const QueryResult by_wl = Exec("SELECT id FROM runs WHERE wl = 'isort'");
+  EXPECT_EQ(by_wl.rows.size(), 2u);
+  EXPECT_GE(IndexScanCount(), 1u);
+
+  // The primary key goes through the unique index on the same path.
+  ResetIndexScanCount();
+  Exec("SELECT wl FROM runs WHERE id = 4");
+  EXPECT_GE(IndexScanCount(), 1u);
+
+  // An equality leaf under AND still narrows via the index even though
+  // the other conjunct needs per-row evaluation.
+  ResetIndexScanCount();
+  const QueryResult conj =
+      Exec("SELECT id FROM runs WHERE outcome = 'detected' AND score > 1.0");
+  ASSERT_EQ(conj.rows.size(), 1u);
+  EXPECT_EQ(conj.rows[0][0].AsInteger(), 4);
+  EXPECT_GE(IndexScanCount(), 1u);
+}
+
+TEST_F(SqlExecTest, IndexNeverAnswersDisjunctionsOrNegations) {
+  // OR / NOT / IS NULL must not be narrowed by one equality leaf; the
+  // executor falls back to the scan (Exec() still proves the results
+  // match a forced scan).
+  ResetIndexScanCount();
+  Exec("SELECT id FROM runs WHERE wl = 'isort' OR outcome = 'escaped'");
+  Exec("SELECT id FROM runs WHERE NOT (wl = 'isort')");
+  Exec("SELECT id FROM runs WHERE outcome IS NULL");
+  EXPECT_EQ(IndexScanCount(), 0u);
+}
+
+TEST_F(SqlExecTest, IndexSurvivesUpdateOfIndexedColumn) {
+  // Regression: updating an indexed column in place must move rows
+  // between index buckets, not leave stale entries behind.
+  Exec("UPDATE runs SET wl = 'qsort' WHERE wl = 'isort'");
+  const QueryResult old_key = Exec("SELECT id FROM runs WHERE wl = 'isort'");
+  EXPECT_TRUE(old_key.rows.empty());
+  const QueryResult new_key =
+      Exec("SELECT id FROM runs WHERE wl = 'qsort' ORDER BY id");
+  ASSERT_EQ(new_key.rows.size(), 2u);
+  EXPECT_EQ(new_key.rows[0][0].AsInteger(), 1);
+  EXPECT_EQ(new_key.rows[1][0].AsInteger(), 2);
+
+  // NULLing an indexed value removes it from the index entirely.
+  Exec("UPDATE runs SET outcome = NULL WHERE id = 4");
+  EXPECT_TRUE(Exec("SELECT id FROM runs WHERE outcome = 'detected' "
+                   "AND id = 4").rows.empty());
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM runs WHERE outcome = 'detected'")
+                .rows[0][0].AsInteger(), 1);
+}
+
+TEST_F(SqlExecTest, IndexSurvivesDeletes) {
+  Exec("DELETE FROM runs WHERE id = 1");
+  const QueryResult result =
+      Exec("SELECT id FROM runs WHERE wl = 'isort'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInteger(), 2);
+}
+
+TEST_F(SqlExecTest, IndexedResultsPreserveRowOrder) {
+  // Candidates come back in ascending row order, so an unordered SELECT
+  // over an indexed column lists rows exactly as a scan would.
+  Exec("INSERT INTO runs VALUES (9, 'isort', 'detected', 9.0)");
+  const QueryResult result =
+      Exec("SELECT id FROM runs WHERE wl = 'isort'");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].AsInteger(), 1);
+  EXPECT_EQ(result.rows[1][0].AsInteger(), 2);
+  EXPECT_EQ(result.rows[2][0].AsInteger(), 9);
 }
 
 }  // namespace
