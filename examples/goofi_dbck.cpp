@@ -62,10 +62,14 @@ int CmdVerify(const std::string& dir) {
               manifest->tables.size());
 
   bool damaged = false;
-  for (const std::string& table : manifest->tables) {
+  for (std::size_t i = 0; i < manifest->tables.size(); ++i) {
+    const std::string& table = manifest->tables[i];
+    // Per-table generation (manifest v2): a table untouched since an
+    // incremental compaction legitimately points at an older file.
+    const std::uint64_t snap_generation = manifest->table_generations[i];
     const std::string snap_path =
         (fs::path(dir) /
-         (table + "." + std::to_string(manifest->generation) + ".snap"))
+         (table + "." + std::to_string(snap_generation) + ".snap"))
             .string();
     auto bytes = db::wal::ReadFileBytes(snap_path);
     if (!bytes.ok()) {
@@ -80,7 +84,9 @@ int CmdVerify(const std::string& dir) {
       damaged = true;
       continue;
     }
-    std::printf("  snapshot %-24s ok, %zu rows, CRC valid\n", table.c_str(),
+    std::printf("  snapshot %-24s ok (gen %llu), %zu rows, CRC valid\n",
+                table.c_str(),
+                static_cast<unsigned long long>(snap_generation),
                 snapshot->rows.size());
   }
   if (damaged) {

@@ -1,0 +1,118 @@
+// goofi_submit: client CLI for a running goofi_serve daemon.
+//
+//   goofi_submit --socket PATH submit <campaign.ini>
+//   goofi_submit --socket PATH status [id]
+//   goofi_submit --socket PATH watch <id>
+//   goofi_submit --socket PATH cancel|pause|unpause <id>
+//   goofi_submit --socket PATH ping | drain
+//
+// Exit codes: 0 ok, 1 daemon-side error (the error line is printed),
+// 2 usage / cannot reach the daemon.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/socket.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace goofi;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: goofi_submit --socket PATH <command> [args]\n"
+               "commands:\n"
+               "  submit <campaign.ini>   queue a campaign, print its id\n"
+               "  status [id]             one submission or the whole queue\n"
+               "  watch <id>              stream progress until terminal\n"
+               "  cancel <id>             cancel queued/running\n"
+               "  pause <id> | unpause <id>\n"
+               "  ping                    daemon liveness\n"
+               "  drain                   ask the daemon to drain and exit\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (socket_path.empty() || positional.empty()) return Usage();
+  const std::string& command = positional[0];
+
+  std::string request;
+  if (command == "submit") {
+    if (positional.size() < 2) return Usage();
+    std::ifstream file(positional[1]);
+    if (!file) {
+      std::fprintf(stderr, "goofi_submit: cannot read %s\n",
+                   positional[1].c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    request = "submit\n" + text.str();
+  } else if (command == "ping" || command == "drain" ||
+             command == "status") {
+    request = command;
+    if (command == "status" && positional.size() > 1) {
+      request += " " + positional[1];
+    }
+  } else if (command == "watch" || command == "cancel" ||
+             command == "pause" || command == "unpause") {
+    if (positional.size() < 2) return Usage();
+    request = command + " " + positional[1];
+  } else {
+    return Usage();
+  }
+
+  auto connection = UnixSocket::Connect(socket_path);
+  if (!connection.ok()) {
+    std::fprintf(stderr, "goofi_submit: %s\n",
+                 connection.status().ToString().c_str());
+    return 2;
+  }
+  if (auto sent = connection->SendFrame(request); !sent.ok()) {
+    std::fprintf(stderr, "goofi_submit: %s\n", sent.ToString().c_str());
+    return 2;
+  }
+
+  // watch streams many frames; everything else answers with one.
+  for (;;) {
+    auto frame = connection->RecvFrame();
+    if (!frame.ok()) {
+      std::fprintf(stderr, "goofi_submit: %s\n",
+                   frame.status().ToString().c_str());
+      return 2;
+    }
+    if (StartsWith(*frame, "progress ")) {
+      std::printf("%s\n", frame->c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(*frame, "end ")) {
+      std::printf("%s\n", frame->c_str());
+      return 0;
+    }
+    auto response = service::ParseResponse(*frame);
+    if (!response.ok()) {
+      std::fprintf(stderr, "goofi_submit: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->empty() ? "ok" : response->c_str());
+    return 0;
+  }
+}

@@ -14,6 +14,7 @@
 // ./goofi_db), so phases can run in separate invocations, as they would
 // with the Java tool and its SQL database.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +30,18 @@
 namespace {
 
 using namespace goofi;
+
+// SIGINT/SIGTERM drain the in-flight campaign instead of killing it
+// mid-write: the controller's Drain() only flips lock-free atomics
+// (async-signal-safe), the run ends at its next experiment boundary,
+// and the database is left at its last cadence commit — the same state
+// a SIGKILL there would leave, so `goofi_tool resume` finishes the
+// campaign byte-identical to an uninterrupted run. Exit code 3 tells
+// scripts "checkpointed, resumable" apart from success (0)/error (1).
+constexpr int kExitDrained = 3;
+core::CampaignController g_run_controller;
+
+void HandleDrainSignal(int) { g_run_controller.Drain(); }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -246,6 +259,8 @@ int CmdRun(const Arguments& arguments, bool resume) {
   // --jobs beats the campaign's `jobs` key; either way the database is
   // bit-identical to a serial run (the sharded runner's guarantee).
   const std::size_t jobs = arguments.jobs != 0 ? arguments.jobs : ini_jobs;
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
   // With a WAL attached, checkpoints are cheap group-commit flushes, so
   // run them on a fixed cadence; legacy text databases keep the old
   // behaviour (no mid-campaign rewrites unless asked).
@@ -254,6 +269,7 @@ int CmdRun(const Arguments& arguments, bool resume) {
     if (jobs > 1) {
       std::printf("running with %zu workers\n", jobs);
       core::ParallelCampaignRunner runner(&database, factory, jobs);
+      runner.set_controller(&g_run_controller);
       runner.set_progress_callback(print_progress);
       runner.set_checkpoint_fork(arguments.checkpoint);
       if (wal) {
@@ -263,6 +279,7 @@ int CmdRun(const Arguments& arguments, bool resume) {
                     : runner.Run(campaign_name);
     }
     core::CampaignRunner runner(&database, target->get());
+    runner.set_controller(&g_run_controller);
     runner.set_target_factory(factory);
     runner.set_progress_callback(print_progress);
     runner.set_checkpoint_fork(arguments.checkpoint);
@@ -275,6 +292,24 @@ int CmdRun(const Arguments& arguments, bool resume) {
   auto summary = run_campaign();
   std::printf("\n");
   if (!summary.ok()) return Fail(summary.status());
+  if (g_run_controller.drain_requested()) {
+    // Checkpointed, not finished: the database holds exactly its last
+    // cadence commit (nothing else was written), so `goofi_tool resume`
+    // completes the campaign byte-identical to an uninterrupted run.
+    // No Persist, no analysis — that is the drain contract.
+    std::printf("campaign %s: interrupted after %zu experiments; "
+                "checkpoint saved, resume with "
+                "`goofi_tool resume %s --db %s`\n",
+                campaign_name.c_str(), summary->experiments_run,
+                campaign_name.c_str(), arguments.db_dir.c_str());
+    if (!core::WaitForAbandonedTargets(std::chrono::milliseconds(10000))) {
+      std::fprintf(stderr,
+                   "warning: %zu abandoned target(s) still in flight at "
+                   "exit\n",
+                   core::AbandonedTargetsInFlight());
+    }
+    return kExitDrained;
+  }
   std::printf("campaign %s: %zu experiments run (%zu skipped early)\n",
               campaign_name.c_str(), summary->experiments_run,
               summary->experiments_stopped_early);

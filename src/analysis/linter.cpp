@@ -352,6 +352,52 @@ std::vector<LintDiagnostic> LintWorkloadSpecFile(const std::string& file) {
   return out;
 }
 
+namespace {
+
+// The [service] section of a goofi_serve deployment ini. Keys mirror
+// service::ServiceConfig; the cross-field rules mirror what
+// ServiceCore::Start rejects, so lint-clean means the daemon boots.
+void LintServiceSection(const std::string& file, const std::string& text,
+                        const ConfigSection& section,
+                        std::vector<LintDiagnostic>* out) {
+  static const std::set<std::string> kKnownKeys = {
+      "root", "socket", "fleet_workers", "queue_limit",
+      "max_campaign_jobs"};
+  for (const auto& [key, value] : section.entries()) {
+    (void)value;
+    if (kKnownKeys.count(key) == 0) {
+      Add(out, Severity::kWarning, file, LineOfKey(text, key),
+          "unknown-key", "unknown [service] key '" + key + "'");
+    }
+  }
+  const auto fleet = section.GetIntOr("fleet_workers", 4);
+  if (fleet < 1) {
+    Add(out, Severity::kError, file, LineOfKey(text, "fleet_workers"),
+        "bad-value", "fleet_workers must be >= 1");
+  }
+  if (section.GetIntOr("queue_limit", 16) < 1) {
+    Add(out, Severity::kError, file, LineOfKey(text, "queue_limit"),
+        "bad-value",
+        "queue_limit must be >= 1 (the daemon needs at least one "
+        "submission slot)");
+  }
+  const auto max_jobs = section.GetIntOr("max_campaign_jobs", 0);
+  if (section.Has("max_campaign_jobs") && max_jobs < 1) {
+    Add(out, Severity::kError, file, LineOfKey(text, "max_campaign_jobs"),
+        "bad-value", "max_campaign_jobs must be >= 1");
+  }
+  if (max_jobs > fleet && fleet >= 1) {
+    Add(out, Severity::kError, file, LineOfKey(text, "max_campaign_jobs"),
+        "jobs-exceed-fleet",
+        StrFormat("max_campaign_jobs (%lld) exceeds fleet_workers (%lld): "
+                  "no campaign can ever be allocated that many workers",
+                  static_cast<long long>(max_jobs),
+                  static_cast<long long>(fleet)));
+  }
+}
+
+}  // namespace
+
 std::vector<LintDiagnostic> LintCampaignText(
     const std::string& file, const std::string& text,
     const std::vector<target::TargetSystemInterface::LocationInfo>*
@@ -364,10 +410,17 @@ std::vector<LintDiagnostic> LintCampaignText(
     Add(&out, Severity::kError, file, line, "ini-error", message);
     return out;
   }
+  const ConfigSection* service = parsed->FindSection("service");
+  if (service != nullptr) {
+    LintServiceSection(file, text, *service, &out);
+  }
   const ConfigSection* section = parsed->FindSection("campaign");
   if (section == nullptr) {
-    Add(&out, Severity::kError, file, 0, "missing-section",
-        "no [campaign] section");
+    // A pure [service] deployment ini is a complete file on its own.
+    if (service == nullptr) {
+      Add(&out, Severity::kError, file, 0, "missing-section",
+          "no [campaign] section");
+    }
     return out;
   }
 

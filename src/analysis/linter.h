@@ -68,6 +68,12 @@ std::vector<LintDiagnostic> LintWorkloadSpecFile(const std::string& file);
 // option combinations the machinery ignores or rejects, and — when
 // `locations` is non-null — location filters that select nothing the
 // technique can inject into.
+//
+// Files carrying a [service] section (goofi_serve deployment inis) get
+// the daemon's boot-time rules too: fleet_workers/queue_limit >= 1,
+// max_campaign_jobs within the fleet, unknown-key warnings. A file with
+// only a [service] section is a complete deployment ini and does not
+// need a [campaign] section.
 std::vector<LintDiagnostic> LintCampaignText(
     const std::string& file, const std::string& text,
     const std::vector<target::TargetSystemInterface::LocationInfo>*

@@ -374,6 +374,12 @@ Result<CampaignSummary> ParallelCampaignRunner::RunInternal(
 
   const std::size_t done = skipped_existing + summary.experiments_run;
   if (done < total) summary.experiments_stopped_early = total - done;
+  // Drain: end at the last cadence checkpoint with no "stopped" write,
+  // exactly like the serial runner — the database must look like a
+  // SIGKILL at that commit so a resume stays byte-identical.
+  if (controller != nullptr && controller->drain_requested()) {
+    return summary;
+  }
   RETURN_IF_ERROR(UpdateCampaignRunStatus(
       *database_, campaign_name,
       summary.experiments_stopped_early > 0 ? "stopped" : "completed",

@@ -73,6 +73,21 @@ Status UpdateCampaignRunStatus(db::Database& database,
                                const std::string& campaign_name,
                                const std::string& status,
                                std::size_t experiments_done) {
+  // Elide a no-op rewrite: Update() logs a WAL record for any matched
+  // row even when the stored values already equal the new ones, and
+  // that extra record would make a resumed run's database differ from
+  // an uninterrupted run's byte-for-byte.
+  if (const db::Table* table = database.FindTable(kCampaignDataTable)) {
+    for (const Row& row : table->rows()) {
+      if (row[0].AsText() != campaign_name) continue;
+      if (row[20].AsText() == status &&
+          row[21].AsInteger() ==
+              static_cast<std::int64_t>(experiments_done)) {
+        return Status::Ok();
+      }
+      break;
+    }
+  }
   const auto result = database.Update(
       kCampaignDataTable,
       [&](const Row& row) { return row[0].AsText() == campaign_name; },
@@ -200,8 +215,25 @@ Result<PreparedCampaign> PrepareCampaignRun(
   ASSIGN_OR_RETURN(const target::WorkloadSpec workload,
                    ConfigureTargetWorkload(prepared.config, reference_target));
   prepared.workload_termination = workload.termination;
-  RETURN_IF_ERROR(UpdateCampaignRunStatus(database, campaign_name,
-                                          "running", 0));
+  // Resuming a campaign that already ran to completion (e.g. a daemon
+  // killed between the final results commit and its own bookkeeping)
+  // must append zero bytes: skip the "running" reset, let the run loop
+  // skip every logged experiment, and the final status write elides as
+  // a no-op. Any other stored status resets to "running" as usual.
+  bool already_completed = false;
+  if (resume) {
+    if (const db::Table* table = database.FindTable(kCampaignDataTable)) {
+      for (const Row& row : table->rows()) {
+        if (row[0].AsText() != campaign_name) continue;
+        already_completed = row[20].AsText() == "completed";
+        break;
+      }
+    }
+  }
+  if (!already_completed) {
+    RETURN_IF_ERROR(UpdateCampaignRunStatus(database, campaign_name,
+                                            "running", 0));
+  }
 
   prepared.summary.campaign_name = campaign_name;
 
@@ -576,6 +608,14 @@ Result<CampaignSummary> CampaignRunner::RunInternal(
     }
   }
 
+  // A drain ends the run at its last cadence checkpoint: writing the
+  // "stopped" row here (or committing the partial batch) would make the
+  // database diverge from a SIGKILL at that commit, and the eventual
+  // resumed run would no longer be byte-identical to an uninterrupted
+  // one. The uncommitted tail is discarded with the Database object.
+  if (controller_ != nullptr && controller_->drain_requested()) {
+    return summary;
+  }
   RETURN_IF_ERROR(UpdateCampaignRunStatus(
       *database_, campaign_name,
       summary.experiments_stopped_early > 0 ? "stopped" : "completed",

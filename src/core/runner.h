@@ -49,12 +49,24 @@ class CampaignController {
   void Pause() { paused_ = true; }
   void Resume() { paused_ = false; }
   void Stop() { stopped_ = true; }
+  // Drain: stop like Stop(), but ALSO suppress the final "stopped"
+  // status write. A drained run ends at its last cadence checkpoint
+  // with the database byte-identical to a SIGKILL at that commit, so a
+  // later Resume() (daemon restart, goofi_tool re-run) produces the
+  // same bytes as a never-interrupted run. Only sets lock-free
+  // atomics — safe to call from a signal handler.
+  void Drain() {
+    drain_ = true;
+    stopped_ = true;
+  }
   bool paused() const { return paused_; }
   bool stopped() const { return stopped_; }
+  bool drain_requested() const { return drain_; }
 
  private:
   std::atomic<bool> paused_{false};
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> drain_{false};
 };
 
 // A value snapshot of campaign progress. Callbacks always receive their

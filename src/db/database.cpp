@@ -51,6 +51,7 @@ Status Database::CreateTable(TableSchema schema) {
   }
   const std::string name = schema.table_name();
   tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  MarkDirty(name);
   return LogRecord(
       wal::EncodeSchemaRecord(SerializeSchema(tables_[name]->schema())));
 }
@@ -70,6 +71,8 @@ Status Database::DropTable(const std::string& name) {
     }
   }
   tables_.erase(name);
+  dirty_tables_.erase(name);
+  table_snapshot_gen_.erase(name);
   return LogRecord(wal::EncodeDropRecord(name));
 }
 
@@ -145,6 +148,7 @@ Status Database::Insert(const std::string& table_name, Row row) {
   }
   RETURN_IF_ERROR(CheckForeignKeysForRow(*table, row));
   RETURN_IF_ERROR(table->Insert(std::move(row)));
+  MarkDirty(table_name);
   // Log the stored row (after INTEGER->REAL widening), not the input.
   return LogRecord(
       wal::EncodeInsertRecord(table_name, table->rows().back()));
@@ -195,6 +199,7 @@ Result<std::size_t> Database::Update(
   ASSIGN_OR_RETURN(std::size_t count,
                    table->Update(predicate, updates, &applied));
   if (count != 0) {
+    MarkDirty(table_name);
     RETURN_IF_ERROR(LogRecord(wal::EncodeUpdateRecord(table_name, applied)));
   }
   return count;
@@ -240,6 +245,7 @@ Result<std::size_t> Database::Delete(
   std::vector<std::uint64_t> deleted;
   const std::size_t count = table->Delete(predicate, &deleted);
   if (count != 0) {
+    MarkDirty(table_name);
     RETURN_IF_ERROR(LogRecord(wal::EncodeDeleteRecord(table_name, deleted)));
   }
   return count;
@@ -540,6 +546,7 @@ Status Database::ReplayRecord(const wal::WalRecord& record) {
       }
       // FK checks are skipped: the record was FK-validated before it was
       // logged, and replay preserves the original mutation order.
+      MarkDirty(record.table);
       return table->Insert(record.row);
     }
     case wal::RecordType::kUpdate: {
@@ -548,6 +555,7 @@ Status Database::ReplayRecord(const wal::WalRecord& record) {
         return DataLossError("update replay into missing table '" +
                              record.table + "'");
       }
+      MarkDirty(record.table);
       return table->ApplyUpdateBatch(record.updates);
     }
     case wal::RecordType::kDelete: {
@@ -556,6 +564,7 @@ Status Database::ReplayRecord(const wal::WalRecord& record) {
         return DataLossError("delete replay into missing table '" +
                              record.table + "'");
       }
+      MarkDirty(record.table);
       return table->ApplyDeleteBatch(record.deletes);
     }
     case wal::RecordType::kDropTable:
@@ -563,6 +572,8 @@ Status Database::ReplayRecord(const wal::WalRecord& record) {
         return DataLossError("drop replay of missing table '" +
                              record.table + "'");
       }
+      dirty_tables_.erase(record.table);
+      table_snapshot_gen_.erase(record.table);
       return Status::Ok();
     case wal::RecordType::kCommit:
       // ReadWal folds commit markers into bookkeeping; none reach here.
@@ -617,6 +628,9 @@ Status Database::AttachWal(const std::string& path,
   RETURN_IF_ERROR(wal::WriteFileAtomic((dir / "wal.log").string(),
                                        wal::EncodeWalHeader(0)));
   log_bytes_ = wal::kWalHeaderSize;
+  dirty_tables_.clear();
+  table_snapshot_gen_.clear();
+  for (const std::string& name : ordered) table_snapshot_gen_[name] = 0;
   ASSIGN_OR_RETURN(wal_file_, wal_factory_((dir / "wal.log").string()));
   return Status::Ok();
 }
@@ -646,14 +660,16 @@ Status Database::OpenWalInto(const std::string& path,
                           log.generation == manifest.generation;
 
   replaying_ = true;
-  for (const std::string& name : manifest.tables) {
+  for (std::size_t i = 0; i < manifest.tables.size(); ++i) {
+    const std::string& name = manifest.tables[i];
+    const std::uint64_t snap_generation = manifest.table_generations[i];
     auto snap_bytes = wal::ReadFileBytes(
-        (dir / SnapshotFileName(name, manifest.generation)).string());
+        (dir / SnapshotFileName(name, snap_generation)).string());
     if (!snap_bytes.ok()) {
       replaying_ = false;
       return DataLossError("missing snapshot for table '" + name +
                            "' generation " +
-                           std::to_string(manifest.generation));
+                           std::to_string(snap_generation));
     }
     auto snapshot = wal::DecodeTableSnapshot(*snap_bytes);
     if (!snapshot.ok()) {
@@ -678,6 +694,13 @@ Status Database::OpenWalInto(const std::string& path,
         return inserted;
       }
     }
+  }
+  // Snapshots just loaded are clean by definition; replayed log records
+  // below re-dirty exactly the tables they touch.
+  dirty_tables_.clear();
+  table_snapshot_gen_.clear();
+  for (std::size_t i = 0; i < manifest.tables.size(); ++i) {
+    table_snapshot_gen_[manifest.tables[i]] = manifest.table_generations[i];
   }
   if (replay_log) {
     for (const wal::WalRecord& record : log.committed) {
@@ -709,8 +732,9 @@ Status Database::OpenWalInto(const std::string& path,
   }
 
   std::vector<std::string> keep;
-  for (const std::string& name : manifest.tables) {
-    keep.push_back(SnapshotFileName(name, manifest.generation));
+  for (std::size_t i = 0; i < manifest.tables.size(); ++i) {
+    keep.push_back(
+        SnapshotFileName(manifest.tables[i], manifest.table_generations[i]));
   }
   RemoveStaleSnapshots(dir, keep);
 
@@ -764,15 +788,36 @@ Status Database::Compact() {
     RETURN_IF_ERROR(committed);
   }
   const std::uint64_t new_generation = generation_ + 1;
-  RETURN_IF_ERROR(WriteSnapshots(new_generation));
   ASSIGN_OR_RETURN(std::vector<std::string> ordered,
                    TablesInDependencyOrder(*this));
+  // Incremental: rewrite only tables mutated since their last snapshot.
+  // A clean table's manifest entry keeps pointing at its existing file,
+  // so a compaction of the submission journal (one hot queue table among
+  // static ones) costs one small snapshot, not a full rewrite. A table
+  // with no snapshot file yet always counts as dirty.
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  entries.reserve(ordered.size());
+  for (const std::string& name : ordered) {
+    const auto current = table_snapshot_gen_.find(name);
+    if (dirty_tables_.count(name) == 0 &&
+        current != table_snapshot_gen_.end()) {
+      entries.emplace_back(name, current->second);
+      continue;
+    }
+    const Table* table = FindTable(name);
+    RETURN_IF_ERROR(wal::WriteFileAtomic(
+        (fs::path(wal_dir_) / SnapshotFileName(name, new_generation))
+            .string(),
+        wal::EncodeTableSnapshot(SerializeSchema(table->schema()),
+                                 table->rows())));
+    entries.emplace_back(name, new_generation);
+  }
   // The manifest rename is the commit point: before it, recovery replays
   // the old log onto the old snapshots; after it, the new snapshots are
   // the state and any same-named old log is ignored (generation skew).
   RETURN_IF_ERROR(wal::WriteFileAtomic(
       (fs::path(wal_dir_) / "snapshot.manifest").string(),
-      wal::EncodeManifest(new_generation, ordered)));
+      wal::EncodeManifest(new_generation, entries)));
   wal_file_.reset();  // close before replacing the inode
   RETURN_IF_ERROR(
       wal::WriteFileAtomic((fs::path(wal_dir_) / "wal.log").string(),
@@ -780,9 +825,12 @@ Status Database::Compact() {
   generation_ = new_generation;
   commit_sequence_ = 0;
   log_bytes_ = wal::kWalHeaderSize;
+  dirty_tables_.clear();
+  table_snapshot_gen_.clear();
   std::vector<std::string> keep;
-  for (const std::string& name : ordered) {
-    keep.push_back(SnapshotFileName(name, new_generation));
+  for (const auto& [name, snap_generation] : entries) {
+    table_snapshot_gen_[name] = snap_generation;
+    keep.push_back(SnapshotFileName(name, snap_generation));
   }
   RemoveStaleSnapshots(wal_dir_, keep);
   ASSIGN_OR_RETURN(wal_file_,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,9 @@ class Database {
 
   // Fold the log into fresh table snapshots under a bumped generation
   // and restart an empty log. Commits any pending batch first.
+  // Incremental: only tables mutated since their last snapshot are
+  // rewritten; a clean table's manifest entry keeps pointing at its
+  // existing snapshot file (manifest v2, see wal.h).
   Status Compact();
 
   // Routing door for runner checkpoints: Commit() when the WAL is
@@ -102,6 +106,16 @@ class Database {
   std::uint64_t pending_record_count() const { return pending_records_; }
   std::uint64_t commit_sequence() const { return commit_sequence_; }
   std::uint64_t generation() const { return generation_; }
+  // Generation in `table`'s current snapshot file name (0 if never
+  // snapshotted). Lags generation() for tables untouched since their
+  // last rewrite — how tests observe that compaction skipped a table.
+  std::uint64_t table_snapshot_generation(const std::string& table) const {
+    const auto it = table_snapshot_gen_.find(table);
+    return it == table_snapshot_gen_.end() ? 0 : it->second;
+  }
+  bool table_dirty(const std::string& table) const {
+    return dirty_tables_.count(table) != 0;
+  }
   // Log size (bytes) that triggers compaction at the next commit.
   // 0 disables automatic compaction. Deterministic across serial and
   // parallel runs because the log bytes themselves are deterministic.
@@ -112,6 +126,8 @@ class Database {
  private:
   Status LogRecord(const std::string& payload);
   Status ReplayRecord(const wal::WalRecord& record);
+  // A mutated table needs a fresh snapshot at the next compaction.
+  void MarkDirty(const std::string& table) { dirty_tables_.insert(table); }
   Status WriteSnapshots(std::uint64_t generation) const;
   Status OpenWalInto(const std::string& path, wal::WalFileFactory factory);
   Status CheckForeignKeysForRow(const Table& table, const Row& row) const;
@@ -133,6 +149,10 @@ class Database {
   std::uint64_t log_bytes_ = 0;         // committed log size on disk
   std::uint64_t compaction_threshold_ = 8 * 1024 * 1024;
   bool replaying_ = false;              // suppress logging during replay
+  // Incremental-compaction bookkeeping: which tables changed since their
+  // last snapshot, and the generation each table's snapshot file carries.
+  std::set<std::string> dirty_tables_;
+  std::map<std::string, std::uint64_t> table_snapshot_gen_;
 };
 
 // Table names in FK-dependency order (parents before children); fails

@@ -426,11 +426,26 @@ Result<DecodedSnapshot> DecodeTableSnapshot(std::string_view bytes) {
 
 std::string EncodeManifest(std::uint64_t generation,
                            const std::vector<std::string>& tables) {
-  std::string text = "goofi-wal-manifest v1\n";
+  std::vector<std::pair<std::string, std::uint64_t>> with_generations;
+  with_generations.reserve(tables.size());
+  for (const std::string& table : tables) {
+    with_generations.emplace_back(table, generation);
+  }
+  return EncodeManifest(generation, with_generations);
+}
+
+std::string EncodeManifest(
+    std::uint64_t generation,
+    const std::vector<std::pair<std::string, std::uint64_t>>& tables) {
+  std::string text = "goofi-wal-manifest v2\n";
   text += StrFormat("generation %llu\n",
                     static_cast<unsigned long long>(generation));
-  for (const std::string& table : tables) {
-    text += "table " + EscapeTsvField(table) + "\n";
+  for (const auto& [table, table_generation] : tables) {
+    // Tab-separated: EscapeTsvField keeps a literal tab out of the name.
+    text += "table\t" + EscapeTsvField(table) + "\t" +
+            StrFormat("%llu",
+                      static_cast<unsigned long long>(table_generation)) +
+            "\n";
   }
   return text;
 }
@@ -438,11 +453,14 @@ std::string EncodeManifest(std::uint64_t generation,
 Result<DecodedManifest> DecodeManifest(std::string_view text) {
   std::istringstream stream{std::string(text)};
   std::string line;
-  if (!std::getline(stream, line) || line != "goofi-wal-manifest v1") {
+  if (!std::getline(stream, line)) return DataLossError("empty manifest");
+  const bool v1 = line == "goofi-wal-manifest v1";
+  if (!v1 && line != "goofi-wal-manifest v2") {
     return DataLossError("bad manifest header");
   }
   DecodedManifest manifest;
   bool have_generation = false;
+  std::vector<std::string> pending_v1_tables;
   while (std::getline(stream, line)) {
     if (line.empty()) continue;
     if (StartsWith(line, "generation ")) {
@@ -450,15 +468,32 @@ Result<DecodedManifest> DecodeManifest(std::string_view text) {
       if (!generation) return DataLossError("bad manifest generation");
       manifest.generation = *generation;
       have_generation = true;
-    } else if (StartsWith(line, "table ")) {
+    } else if (v1 && StartsWith(line, "table ")) {
       const auto name = UnescapeTsvField(line.substr(6));
       if (!name) return DataLossError("bad manifest table line");
+      pending_v1_tables.push_back(*name);
+    } else if (!v1 && StartsWith(line, "table\t")) {
+      const std::vector<std::string> fields = SplitString(line, '\t');
+      if (fields.size() != 3) {
+        return DataLossError("bad manifest table line: " + line);
+      }
+      const auto name = UnescapeTsvField(fields[1]);
+      const auto table_generation = ParseUint64(fields[2]);
+      if (!name || !table_generation) {
+        return DataLossError("bad manifest table line: " + line);
+      }
       manifest.tables.push_back(*name);
+      manifest.table_generations.push_back(*table_generation);
     } else {
       return DataLossError("unknown manifest line: " + line);
     }
   }
   if (!have_generation) return DataLossError("manifest missing generation");
+  // v1: every table snapshot lives at the shared generation.
+  for (std::string& name : pending_v1_tables) {
+    manifest.tables.push_back(std::move(name));
+    manifest.table_generations.push_back(manifest.generation);
+  }
   return manifest;
 }
 

@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "db/table.h"
@@ -146,12 +147,26 @@ struct DecodedSnapshot {
 };
 Result<DecodedSnapshot> DecodeTableSnapshot(std::string_view bytes);
 
-// snapshot.manifest: "goofi-wal-manifest v1", generation, table order.
+// snapshot.manifest. Two text formats are read:
+//   v1  "goofi-wal-manifest v1": one shared generation; every table's
+//       snapshot file is <table>.<generation>.snap.
+//   v2  "goofi-wal-manifest v2": the shared generation names the live
+//       log, and each table line carries its own snapshot generation —
+//       incremental compaction rewrites only dirty tables, so a clean
+//       table keeps pointing at its older snapshot file.
+// Writers emit v2; v1 directories from before incremental compaction
+// keep loading (every per-table generation = the shared one).
 std::string EncodeManifest(std::uint64_t generation,
                            const std::vector<std::string>& tables);
+std::string EncodeManifest(
+    std::uint64_t generation,
+    const std::vector<std::pair<std::string, std::uint64_t>>& tables);
 struct DecodedManifest {
   std::uint64_t generation = 0;
   std::vector<std::string> tables;  // FK-dependency order
+  // Index-aligned with `tables`: the generation in each table's
+  // snapshot file name (== `generation` for every table of a v1 file).
+  std::vector<std::uint64_t> table_generations;
 };
 Result<DecodedManifest> DecodeManifest(std::string_view text);
 

@@ -1,0 +1,105 @@
+// The submission journal: goofi_serve's crash-safe campaign queue.
+//
+// Every accepted submission becomes a row in a WAL-backed database
+// (db/database.h) under <service root>/journal, and every lifecycle
+// transition (queued -> running -> completed/failed, or -> cancelled)
+// is one group commit. The daemon can therefore be SIGKILLed at any
+// instant and replay the journal on restart: committed transitions
+// survive, a torn tail truncates to the previous transition, and no
+// submission is ever lost or duplicated (tests/service/
+// journal_crash_test.cpp drives the same cut/torn-write sweeps as the
+// storage engine's own crash harness).
+//
+// The journal holds two tables: SubmissionQueue (one row per
+// submission, high churn) and ServiceMeta (written once at creation).
+// The split is deliberate — it makes the journal the natural beneficiary
+// of incremental compaction, where Compact() rewrites the hot queue
+// table's snapshot but leaves the clean meta table's file untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/status.h"
+
+namespace goofi::service {
+
+inline constexpr const char* kSubmissionQueueTable = "SubmissionQueue";
+inline constexpr const char* kServiceMetaTable = "ServiceMeta";
+
+// Lifecycle states. A "running" row whose daemon died stays "running"
+// in the journal and is resumed on restart — the results database's
+// own checkpoints carry the fine-grained progress.
+inline constexpr const char* kStateQueued = "queued";
+inline constexpr const char* kStateRunning = "running";
+inline constexpr const char* kStateCompleted = "completed";
+inline constexpr const char* kStateFailed = "failed";
+inline constexpr const char* kStateCancelled = "cancelled";
+
+struct Submission {
+  std::uint64_t id = 0;
+  std::string name;         // campaign name (unique across the journal)
+  std::string config_text;  // the submitted campaign ini, verbatim
+  std::size_t jobs = 1;     // requested worker count
+  std::string state;
+  std::string error;        // failure detail (empty unless failed)
+};
+
+class SubmissionJournal {
+ public:
+  SubmissionJournal(SubmissionJournal&&) = default;
+  SubmissionJournal& operator=(SubmissionJournal&&) = default;
+
+  // Open (or create) the journal database in `dir`. `queue_limit`
+  // bounds queued+running submissions; `factory` lets the crash tests
+  // interpose a fault-injecting log file.
+  static Result<SubmissionJournal> Open(
+      const std::string& dir, std::size_t queue_limit,
+      db::wal::WalFileFactory factory = nullptr);
+
+  // Append a submission in state "queued" and commit. Fails with
+  // kQueueFull when queued+running >= the queue limit (explicit
+  // backpressure, never silent dropping) and kAlreadyExists when the
+  // campaign name was ever submitted before.
+  Result<std::uint64_t> Submit(const std::string& name,
+                               const std::string& config_text,
+                               std::size_t jobs);
+
+  // Oldest queued submission -> "running" (committed), or nullopt when
+  // the queue is empty.
+  Result<std::optional<Submission>> ClaimNext();
+
+  // Terminal transitions, each one commit. MarkCancelled is only valid
+  // from "queued" or "running" (a cancelled running campaign keeps its
+  // partial results database).
+  Status MarkCompleted(std::uint64_t id);
+  Status MarkFailed(std::uint64_t id, const std::string& error);
+  Status MarkCancelled(std::uint64_t id);
+
+  Result<Submission> Find(std::uint64_t id) const;
+  std::vector<Submission> All() const;
+  // Rows in a given state (e.g. "running" right after Open = campaigns
+  // a previous daemon life was executing when it died).
+  std::vector<Submission> InState(const std::string& state) const;
+  // queued + running rows (what the queue bound counts).
+  std::size_t ActiveCount() const;
+  std::size_t queue_limit() const { return queue_limit_; }
+
+  db::Database& database() { return database_; }
+
+ private:
+  SubmissionJournal(db::Database database, std::size_t queue_limit)
+      : database_(std::move(database)), queue_limit_(queue_limit) {}
+
+  Status SetState(std::uint64_t id, const std::string& state,
+                  const std::string& error);
+
+  db::Database database_;
+  std::size_t queue_limit_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace goofi::service

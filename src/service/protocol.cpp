@@ -1,0 +1,83 @@
+#include "service/protocol.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace goofi::service {
+
+namespace {
+
+// Verbs that take a numeric <id> argument.
+bool TakesId(const std::string& verb) {
+  return verb == "status" || verb == "cancel" || verb == "pause" ||
+         verb == "unpause" || verb == "watch";
+}
+
+constexpr std::array<ErrorCode, 13> kWireCodes = {
+    ErrorCode::kInvalidArgument,    ErrorCode::kNotFound,
+    ErrorCode::kAlreadyExists,      ErrorCode::kFailedPrecondition,
+    ErrorCode::kOutOfRange,         ErrorCode::kUnimplemented,
+    ErrorCode::kInternal,           ErrorCode::kDataLoss,
+    ErrorCode::kConstraintViolation, ErrorCode::kParseError,
+    ErrorCode::kTargetFault,        ErrorCode::kIo,
+    ErrorCode::kQueueFull,
+};
+
+ErrorCode CodeFromName(const std::string& name) {
+  for (const ErrorCode code : kWireCodes) {
+    if (name == ErrorCodeName(code)) return code;
+  }
+  return ErrorCode::kInternal;  // unknown code from a newer daemon
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view frame) {
+  Request request;
+  const std::size_t newline = frame.find('\n');
+  std::string line(frame.substr(0, newline));
+  if (newline != std::string_view::npos) {
+    request.body = std::string(frame.substr(newline + 1));
+  }
+  const std::vector<std::string> words = SplitString(line, ' ');
+  if (words.empty() || words[0].empty()) {
+    return InvalidArgumentError("empty request");
+  }
+  request.verb = words[0];
+  if (TakesId(request.verb) && words.size() > 1) {
+    const auto id = ParseUint64(words[1]);
+    if (!id) {
+      return InvalidArgumentError("bad id '" + words[1] + "' for " +
+                                  request.verb);
+    }
+    request.id = *id;
+    request.has_id = true;
+  }
+  return request;
+}
+
+std::string FormatOk(const std::string& detail) {
+  return detail.empty() ? "ok" : "ok " + detail;
+}
+
+std::string FormatError(const Status& status) {
+  return std::string("error ") + ErrorCodeName(status.code()) + " " +
+         status.message();
+}
+
+Result<std::string> ParseResponse(std::string_view frame) {
+  if (frame == "ok") return std::string();
+  if (StartsWith(frame, "ok ")) return std::string(frame.substr(3));
+  if (StartsWith(frame, "error ")) {
+    const std::string rest(frame.substr(6));
+    const std::size_t space = rest.find(' ');
+    const std::string code = rest.substr(0, space);
+    const std::string message =
+        space == std::string::npos ? "" : rest.substr(space + 1);
+    return Status(CodeFromName(code), message);
+  }
+  return DataLossError("malformed response frame");
+}
+
+}  // namespace goofi::service

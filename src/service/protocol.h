@@ -1,0 +1,51 @@
+// The goofi_serve wire protocol: framed text messages over a local
+// Unix-domain socket (util/socket.h supplies the framing).
+//
+// A request frame is one verb line, optionally followed by a newline
+// and a body:
+//
+//   ping
+//   submit\n<campaign ini text>
+//   status            status <id>
+//   cancel <id>       pause <id>        unpause <id>
+//   watch <id>
+//   drain
+//
+// A response frame starts with "ok" or "error <CODE>":
+//
+//   ok <detail...>
+//   error QUEUE_FULL submission queue is full (...)
+//
+// `watch` is the one streaming verb: the daemon keeps the connection
+// and sends "progress <done> <total> <faults>" frames until the
+// campaign reaches a terminal journal state, then "end <state>" —
+// closing the client mid-stream never affects the campaign (the run
+// belongs to the daemon's fleet, not to the connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace goofi::service {
+
+struct Request {
+  std::string verb;
+  std::uint64_t id = 0;   // verbs taking an <id> argument
+  bool has_id = false;
+  std::string body;       // submit: the campaign ini
+};
+
+Result<Request> ParseRequest(std::string_view frame);
+
+// "ok" / "ok <detail>".
+std::string FormatOk(const std::string& detail = "");
+// "error <CODE> <message>" from a Status (never from an OK status).
+std::string FormatError(const Status& status);
+// Parse a response: OK -> detail text, error -> a Status carrying the
+// code and message (the client CLI surfaces it verbatim).
+Result<std::string> ParseResponse(std::string_view frame);
+
+}  // namespace goofi::service

@@ -1,0 +1,405 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "service/executor.h"
+#include "service/protocol.h"
+#include "util/strings.h"
+
+namespace goofi::service {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// ServiceCore
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ServiceCore>> ServiceCore::Start(
+    ServiceConfig config) {
+  if (config.fleet_workers == 0) {
+    return InvalidArgumentError("fleet_workers must be >= 1");
+  }
+  if (config.max_campaign_jobs == 0 ||
+      config.max_campaign_jobs > config.fleet_workers) {
+    return InvalidArgumentError(
+        "max_campaign_jobs must be in [1, fleet_workers]");
+  }
+  std::error_code ec;
+  fs::create_directories(fs::path(config.root) / "campaigns", ec);
+  if (ec) {
+    return IoError("cannot create service root '" + config.root + "'");
+  }
+  std::unique_ptr<ServiceCore> core(new ServiceCore(std::move(config)));
+  ASSIGN_OR_RETURN(
+      SubmissionJournal journal,
+      SubmissionJournal::Open(
+          (fs::path(core->config_.root) / "journal").string(),
+          core->config_.queue_limit));
+  core->journal_ =
+      std::make_unique<SubmissionJournal>(std::move(journal));
+  // Campaigns a previous daemon life was executing when it died (or
+  // drained): schedule them first. The executor resumes each from its
+  // results database's last cadence checkpoint.
+  {
+    std::lock_guard<std::mutex> lock(core->mutex_);
+    for (Submission& orphan : core->journal_->InState(kStateRunning)) {
+      core->LaunchCampaign(std::move(orphan));
+    }
+  }
+  core->scheduler_ = std::thread([ptr = core.get()] {
+    ptr->SchedulerLoop();
+  });
+  return core;
+}
+
+ServiceCore::~ServiceCore() { Drain(); }
+
+std::string ServiceCore::CampaignDbDir(const std::string& name) const {
+  return (fs::path(config_.root) / "campaigns" / name).string();
+}
+
+std::size_t ServiceCore::JobsInUseLocked() const {
+  std::size_t used = 0;
+  for (const auto& active : active_) {
+    if (!active->finished) used += active->jobs_allocated;
+  }
+  return used;
+}
+
+Result<std::uint64_t> ServiceCore::Submit(const std::string& config_text) {
+  ASSIGN_OR_RETURN(const SubmissionInfo info,
+                   InspectSubmission(config_text));
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_) {
+    return FailedPreconditionError("daemon is draining; resubmit later");
+  }
+  ASSIGN_OR_RETURN(const std::uint64_t id,
+                   journal_->Submit(info.name, config_text, info.jobs));
+  lock.unlock();
+  wake_.notify_all();
+  return id;
+}
+
+Result<SubmissionStatus> ServiceCore::GetStatus(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(Submission submission, journal_->Find(id));
+  SubmissionStatus status;
+  status.submission = std::move(submission);
+  for (const auto& active : active_) {
+    if (active->submission.id != id || active->finished) continue;
+    status.active = true;
+    status.jobs_allocated = active->jobs_allocated;
+    status.experiments_done = active->progress.experiments_done;
+    status.experiments_total = active->progress.experiments_total;
+    status.faults_injected = active->progress.faults_injected;
+  }
+  return status;
+}
+
+std::vector<SubmissionStatus> ServiceCore::List() const {
+  std::vector<SubmissionStatus> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Submission& submission : journal_->All()) {
+    SubmissionStatus status;
+    status.submission = std::move(submission);
+    for (const auto& active : active_) {
+      if (active->submission.id != status.submission.id ||
+          active->finished) {
+        continue;
+      }
+      status.active = true;
+      status.jobs_allocated = active->jobs_allocated;
+      status.experiments_done = active->progress.experiments_done;
+      status.experiments_total = active->progress.experiments_total;
+      status.faults_injected = active->progress.faults_injected;
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+Status ServiceCore::Cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& active : active_) {
+    if (active->submission.id != id || active->finished) continue;
+    // Running: stop at the next experiment boundary. The campaign
+    // thread journals "cancelled" once the runner returns.
+    active->cancelled = true;
+    active->controller.Stop();
+    return Status::Ok();
+  }
+  ASSIGN_OR_RETURN(const Submission submission, journal_->Find(id));
+  if (submission.state != kStateQueued) {
+    return FailedPreconditionError("submission " + std::to_string(id) +
+                                   " is " + submission.state);
+  }
+  return journal_->MarkCancelled(id);
+}
+
+Status ServiceCore::Pause(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& active : active_) {
+    if (active->submission.id != id || active->finished) continue;
+    active->controller.Pause();
+    return Status::Ok();
+  }
+  return FailedPreconditionError("submission " + std::to_string(id) +
+                                 " is not running");
+}
+
+Status ServiceCore::Unpause(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& active : active_) {
+    if (active->submission.id != id || active->finished) continue;
+    active->controller.Resume();
+    return Status::Ok();
+  }
+  return FailedPreconditionError("submission " + std::to_string(id) +
+                                 " is not running");
+}
+
+void ServiceCore::LaunchCampaign(Submission submission) {
+  // Caller holds mutex_. Allocation: what the campaign asked for,
+  // capped per-campaign and by what the fleet has free right now. The
+  // allocation can differ between daemon lives — worker count never
+  // affects the results database bytes.
+  auto active = std::make_unique<ActiveCampaign>();
+  active->submission = std::move(submission);
+  const std::size_t available = config_.fleet_workers - JobsInUseLocked();
+  active->jobs_allocated = std::max<std::size_t>(
+      1, std::min({active->submission.jobs, config_.max_campaign_jobs,
+                   std::max<std::size_t>(1, available)}));
+  ActiveCampaign* raw = active.get();
+  active_.push_back(std::move(active));
+  raw->thread = std::thread([this, raw] { RunCampaignThread(raw); });
+}
+
+void ServiceCore::RunCampaignThread(ActiveCampaign* active) {
+  ExecutionRequest request;
+  request.db_dir = CampaignDbDir(active->submission.name);
+  request.config_text = active->submission.config_text;
+  request.jobs = active->jobs_allocated;
+  request.controller = &active->controller;
+  request.progress = [this, active](core::ProgressInfo info) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active->progress = std::move(info);
+  };
+  const auto summary = ExecuteSubmission(request);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Drained: the journal row stays "running" so the next daemon life
+    // resumes it. Anything journalled here is one committed transition.
+    if (!active->controller.drain_requested()) {
+      Status journalled = Status::Ok();
+      if (!summary.ok()) {
+        journalled = journal_->MarkFailed(active->submission.id,
+                                          summary.status().ToString());
+      } else if (active->cancelled) {
+        journalled = journal_->MarkCancelled(active->submission.id);
+      } else {
+        journalled = journal_->MarkCompleted(active->submission.id);
+      }
+      (void)journalled;  // journal errors must not tear down the fleet
+    }
+    active->finished = true;
+  }
+  wake_.notify_all();
+}
+
+void ServiceCore::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!draining_) {
+    // Reap finished campaign threads so their fleet workers free up.
+    for (auto it = active_.begin(); it != active_.end();) {
+      if ((*it)->finished && (*it)->thread.joinable()) {
+        std::thread finished = std::move((*it)->thread);
+        lock.unlock();
+        finished.join();
+        lock.lock();
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Claim while workers are free. Each claim is one committed journal
+    // transition; a crash right after it resumes the campaign next life.
+    while (!draining_ && JobsInUseLocked() < config_.fleet_workers) {
+      auto claimed = journal_->ClaimNext();
+      if (!claimed.ok() || !claimed->has_value()) break;
+      LaunchCampaign(std::move(**claimed));
+    }
+    wake_.wait_for(lock, 20ms);
+  }
+}
+
+void ServiceCore::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drained_) return;
+    draining_ = true;
+    for (const auto& active : active_) {
+      if (!active->finished) active->controller.Drain();
+    }
+  }
+  wake_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // The scheduler has exited; campaign threads finish at their next
+  // experiment boundary.
+  for (const auto& active : active_) {
+    if (active->thread.joinable()) active->thread.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.clear();
+  drained_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceServer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ServiceServer>> ServiceServer::Start(
+    ServiceCore* core, const std::string& socket_path,
+    std::function<void()> on_drain) {
+  std::unique_ptr<ServiceServer> server(
+      new ServiceServer(core, std::move(on_drain)));
+  ASSIGN_OR_RETURN(server->listener_, UnixSocket::Listen(socket_path));
+  server->accept_thread_ = std::thread([ptr = server.get()] {
+    ptr->AcceptLoop();
+  });
+  return server;
+}
+
+ServiceServer::~ServiceServer() { Shutdown(); }
+
+void ServiceServer::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  listener_.Shutdown();
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::pair<std::thread, std::shared_ptr<UnixSocket>>>
+      connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& [thread, socket] : connections) {
+    socket->Shutdown();  // wake a RecvFrame-blocked thread
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ServiceServer::AcceptLoop() {
+  while (!shutdown_) {
+    auto connection = listener_.Accept();
+    if (!connection.ok()) break;  // Shutdown() closed the listener
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) break;
+    auto socket = std::make_shared<UnixSocket>(std::move(*connection));
+    std::thread thread([this, socket] { ServeConnection(*socket); });
+    connections_.emplace_back(std::move(thread), socket);
+  }
+}
+
+void ServiceServer::ServeConnection(const UnixSocket& connection) {
+  // One request frame -> one (or, for watch, many) response frames.
+  // Any client death — clean close, mid-frame kill — just ends this
+  // loop; the campaigns it submitted or watched keep running.
+  while (!shutdown_) {
+    auto frame = connection.RecvFrame();
+    if (!frame.ok()) break;
+    const std::string reply = HandleFrame(*frame, connection);
+    if (!reply.empty() && !connection.SendFrame(reply).ok()) break;
+  }
+}
+
+std::string ServiceServer::HandleFrame(const std::string& frame,
+                                       const UnixSocket& connection) {
+  auto request = ParseRequest(frame);
+  if (!request.ok()) return FormatError(request.status());
+
+  if (request->verb == "ping") return FormatOk("pong");
+
+  if (request->verb == "submit") {
+    auto id = core_->Submit(request->body);
+    if (!id.ok()) return FormatError(id.status());
+    return FormatOk("id " + std::to_string(*id));
+  }
+
+  if (request->verb == "status") {
+    if (request->has_id) {
+      auto status = core_->GetStatus(request->id);
+      if (!status.ok()) return FormatError(status.status());
+      return FormatOk(StrFormat(
+          "%llu %s %s %zu/%zu jobs=%zu",
+          static_cast<unsigned long long>(status->submission.id),
+          status->submission.name.c_str(),
+          status->submission.state.c_str(), status->experiments_done,
+          status->experiments_total, status->jobs_allocated));
+    }
+    std::string listing;
+    for (const SubmissionStatus& status : core_->List()) {
+      listing += StrFormat(
+          "%llu %s %s %zu/%zu jobs=%zu\n",
+          static_cast<unsigned long long>(status.submission.id),
+          status.submission.name.c_str(),
+          status.submission.state.c_str(), status.experiments_done,
+          status.experiments_total, status.jobs_allocated);
+    }
+    return FormatOk(listing.empty() ? "empty" : "\n" + listing);
+  }
+
+  if (request->verb == "cancel") {
+    if (!request->has_id) return FormatError(InvalidArgumentError("cancel <id>"));
+    const Status status = core_->Cancel(request->id);
+    return status.ok() ? FormatOk("cancelling") : FormatError(status);
+  }
+  if (request->verb == "pause") {
+    if (!request->has_id) return FormatError(InvalidArgumentError("pause <id>"));
+    const Status status = core_->Pause(request->id);
+    return status.ok() ? FormatOk("paused") : FormatError(status);
+  }
+  if (request->verb == "unpause") {
+    if (!request->has_id) {
+      return FormatError(InvalidArgumentError("unpause <id>"));
+    }
+    const Status status = core_->Unpause(request->id);
+    return status.ok() ? FormatOk("running") : FormatError(status);
+  }
+
+  if (request->verb == "watch") {
+    if (!request->has_id) return FormatError(InvalidArgumentError("watch <id>"));
+    // Stream progress until the journal state is terminal. Errors on
+    // the connection just end the stream; the campaign is unaffected.
+    for (;;) {
+      auto status = core_->GetStatus(request->id);
+      if (!status.ok()) return FormatError(status.status());
+      const std::string& state = status->submission.state;
+      if (state != kStateQueued && state != kStateRunning) {
+        return "end " + state;
+      }
+      if (!connection
+               .SendFrame(StrFormat("progress %zu %zu %zu",
+                                    status->experiments_done,
+                                    status->experiments_total,
+                                    status->faults_injected))
+               .ok()) {
+        return std::string();
+      }
+      std::this_thread::sleep_for(50ms);
+      if (shutdown_) return std::string();
+    }
+  }
+
+  if (request->verb == "drain") {
+    if (on_drain_) on_drain_();
+    return FormatOk("draining");
+  }
+
+  return FormatError(
+      InvalidArgumentError("unknown verb '" + request->verb + "'"));
+}
+
+}  // namespace goofi::service

@@ -1,0 +1,169 @@
+// goofi_serve's engine: a multi-tenant campaign scheduler over a shared
+// worker fleet, with a socket front-end.
+//
+// Two classes, split so tests can drive scheduling without sockets:
+//
+//   ServiceCore    journal + fleet scheduler + campaign threads. Owns
+//                  the WAL-backed submission journal (journal.h), claims
+//                  queued submissions when fleet workers free up, and
+//                  runs each claimed campaign on its own thread via the
+//                  executor (executor.h) against its own results
+//                  database under <root>/campaigns/<name>.
+//   ServiceServer  accept loop + per-connection threads translating
+//                  protocol frames (protocol.h) into ServiceCore calls.
+//
+// Robustness contract:
+//   * SIGKILL at any instant: journal replay on the next Start()
+//     reclassifies every committed submission; "running" rows resume
+//     from their results database's last cadence checkpoint and finish
+//     byte-identical to an uninterrupted run.
+//   * Drain() (SIGTERM path): every active campaign stops at its next
+//     experiment boundary WITHOUT committing its partial batch or
+//     writing a status row — the results database is left exactly as a
+//     SIGKILL at the last commit would leave it, so the two shutdown
+//     paths converge on one recovery story.
+//   * Client disconnects never touch campaigns: runs belong to the
+//     fleet, connections only observe them.
+//   * The queue is bounded: Submit past the limit fails with
+//     kQueueFull instead of queueing unboundedly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/runner.h"
+#include "service/journal.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace goofi::service {
+
+struct ServiceConfig {
+  std::string root;              // journal/ and campaigns/ live here
+  std::size_t fleet_workers = 4; // shared worker budget across campaigns
+  std::size_t queue_limit = 16;  // queued+running bound (backpressure)
+  std::size_t max_campaign_jobs = 4;  // per-campaign worker cap
+};
+
+// A point-in-time view of one submission, journal state + live progress.
+struct SubmissionStatus {
+  Submission submission;
+  bool active = false;              // a campaign thread is running it
+  std::size_t jobs_allocated = 0;   // fleet workers it currently holds
+  std::size_t experiments_done = 0;
+  std::size_t experiments_total = 0;
+  std::size_t faults_injected = 0;
+};
+
+class ServiceCore {
+ public:
+  // Opens (or creates) the journal under <root>/journal, re-queues
+  // nothing — rows already "running" from a killed daemon life are
+  // scheduled first, as resumes — and starts the scheduler thread.
+  static Result<std::unique_ptr<ServiceCore>> Start(ServiceConfig config);
+  ~ServiceCore();
+
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  // Validate the ini, journal it as "queued", return its id. Fails with
+  // kQueueFull at the queue bound and kAlreadyExists on a duplicate
+  // campaign name — the daemon never silently drops a submission.
+  Result<std::uint64_t> Submit(const std::string& config_text);
+
+  Result<SubmissionStatus> GetStatus(std::uint64_t id) const;
+  std::vector<SubmissionStatus> List() const;
+
+  // Cancel: a queued submission is journalled "cancelled" immediately;
+  // a running one is stopped at its next experiment boundary (its
+  // partial results database persists) and then journalled.
+  Status Cancel(std::uint64_t id);
+  // Fig. 7 controls, per campaign, byte-safe (pausing never commits).
+  Status Pause(std::uint64_t id);
+  Status Unpause(std::uint64_t id);
+
+  // Graceful drain: stop claiming, drain every active campaign at its
+  // next experiment boundary, join all threads. Idempotent. After
+  // Drain() returns the journal still lists drained campaigns as
+  // "running" — the next Start() resumes them.
+  void Drain();
+  bool draining() const { return draining_; }
+
+  const ServiceConfig& config() const { return config_; }
+  std::string CampaignDbDir(const std::string& name) const;
+
+ private:
+  explicit ServiceCore(ServiceConfig config) : config_(std::move(config)) {}
+
+  struct ActiveCampaign {
+    Submission submission;
+    std::size_t jobs_allocated = 0;
+    core::CampaignController controller;
+    std::atomic<bool> finished{false};
+    bool cancelled = false;  // guarded by mutex_
+    core::ProgressInfo progress;  // guarded by mutex_
+    std::thread thread;
+  };
+
+  void SchedulerLoop();
+  void LaunchCampaign(Submission submission);
+  void RunCampaignThread(ActiveCampaign* active);
+  std::size_t JobsInUseLocked() const;
+
+  ServiceConfig config_;
+  mutable std::mutex mutex_;  // journal + actives + progress
+  std::condition_variable wake_;
+  std::unique_ptr<SubmissionJournal> journal_;
+  std::vector<std::unique_ptr<ActiveCampaign>> active_;
+  std::thread scheduler_;
+  std::atomic<bool> draining_{false};
+  bool drained_ = false;  // Drain() already completed
+};
+
+class ServiceServer {
+ public:
+  // Listen on `socket_path` and serve until Shutdown(). `on_drain` runs
+  // when a client sends the "drain" verb (the daemon's main loop treats
+  // it like SIGTERM).
+  static Result<std::unique_ptr<ServiceServer>> Start(
+      ServiceCore* core, const std::string& socket_path,
+      std::function<void()> on_drain);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  // Stop accepting, wake every blocked connection, join all threads.
+  // Running campaigns are untouched (they belong to ServiceCore).
+  void Shutdown();
+
+ private:
+  ServiceServer(ServiceCore* core, std::function<void()> on_drain)
+      : core_(core), on_drain_(std::move(on_drain)) {}
+
+  void AcceptLoop();
+  void ServeConnection(const UnixSocket& connection);
+  std::string HandleFrame(const std::string& frame,
+                          const UnixSocket& connection);
+
+  ServiceCore* core_;
+  std::function<void()> on_drain_;
+  UnixSocket listener_;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  // Connection threads + their sockets (kept so Shutdown() can wake a
+  // thread blocked in RecvFrame before joining it).
+  std::vector<std::pair<std::thread, std::shared_ptr<UnixSocket>>>
+      connections_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace goofi::service

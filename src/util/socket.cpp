@@ -1,0 +1,171 @@
+#include "util/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace goofi {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_un> MakeAddress(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    return InvalidArgumentError("socket path '" + path +
+                                "' is empty or too long for sockaddr_un");
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UnixSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void UnixSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<UnixSocket> UnixSocket::Listen(const std::string& path, int backlog) {
+  ASSIGN_OR_RETURN(const sockaddr_un address, MakeAddress(path));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  UnixSocket socket(fd);
+  ::unlink(path.c_str());  // stale file from a killed daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Errno("bind '" + path + "'");
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen '" + path + "'");
+  return socket;
+}
+
+Result<UnixSocket> UnixSocket::Connect(const std::string& path) {
+  ASSIGN_OR_RETURN(const sockaddr_un address, MakeAddress(path));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  UnixSocket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect '" + path + "'");
+  return socket;
+}
+
+Result<UnixSocket> UnixSocket::Accept() const {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return UnixSocket(fd);
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Status UnixSocket::WriteAll(const char* data, std::size_t size) const {
+  std::size_t written = 0;
+  while (written < size) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead of
+    // killing the daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status UnixSocket::ReadAll(char* data, std::size_t size,
+                           bool* clean_eof) const {
+  if (clean_eof != nullptr) *clean_eof = false;
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::Ok();
+      }
+      return IoError("peer closed the connection mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status UnixSocket::SendFrame(std::string_view payload) const {
+  if (!valid()) return FailedPreconditionError("SendFrame on closed socket");
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgumentError("frame exceeds kMaxFrameBytes");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(length & 0xff);
+  prefix[1] = static_cast<char>((length >> 8) & 0xff);
+  prefix[2] = static_cast<char>((length >> 16) & 0xff);
+  prefix[3] = static_cast<char>((length >> 24) & 0xff);
+  // One buffered write so a frame is a single send when it fits the
+  // socket buffer (no interleaving hazard on this point-to-point pipe,
+  // but it keeps small messages to one syscall).
+  std::string wire;
+  wire.reserve(sizeof(prefix) + payload.size());
+  wire.append(prefix, sizeof(prefix));
+  wire.append(payload.data(), payload.size());
+  return WriteAll(wire.data(), wire.size());
+}
+
+Result<std::string> UnixSocket::RecvFrame() const {
+  if (!valid()) return FailedPreconditionError("RecvFrame on closed socket");
+  char prefix[4];
+  bool clean_eof = false;
+  RETURN_IF_ERROR(ReadAll(prefix, sizeof(prefix), &clean_eof));
+  if (clean_eof) return NotFoundError("end of stream");
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+       << 24);
+  if (length > kMaxFrameBytes) {
+    return DataLossError("frame length prefix exceeds kMaxFrameBytes");
+  }
+  std::string payload(length, '\0');
+  if (length != 0) {
+    RETURN_IF_ERROR(ReadAll(payload.data(), length, nullptr));
+  }
+  return payload;
+}
+
+}  // namespace goofi

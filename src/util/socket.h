@@ -1,0 +1,79 @@
+// Local (Unix-domain) stream sockets with length-prefixed framing.
+//
+// This is the transport under the goofi_serve submission protocol
+// (src/service/protocol.h): a daemon listens on a filesystem socket,
+// clients connect and exchange framed messages. A frame on the wire is
+//
+//   u32 payload_length (little-endian) | payload bytes
+//
+// so a reader always knows message boundaries and a half-written frame
+// from a dying peer is detected as a short read, never misparsed as the
+// next message. The frame length is capped (kMaxFrameBytes) so a
+// corrupt or hostile peer cannot make the receiver allocate unbounded
+// memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace goofi {
+
+// Largest frame either side will send or accept. Campaign submissions
+// are ini text (a few KiB); 4 MiB leaves room without letting a bad
+// length prefix drive allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+// A connected (or listening) Unix-domain stream socket owning its fd.
+// Move-only; the destructor closes. All operations are blocking.
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  UnixSocket(UnixSocket&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  UnixSocket& operator=(UnixSocket&& other) noexcept;
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+  ~UnixSocket() { Close(); }
+
+  // Bind + listen on `path`. Any stale socket file at `path` (left by a
+  // killed daemon) is removed first — the caller is the one daemon
+  // allowed to own it.
+  static Result<UnixSocket> Listen(const std::string& path, int backlog = 16);
+
+  // Connect to a listening daemon at `path`.
+  static Result<UnixSocket> Connect(const std::string& path);
+
+  // Accept one connection (blocks). Fails with kIo once the listening
+  // fd has been shut down (how Drain() unblocks the accept loop).
+  Result<UnixSocket> Accept() const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Close the fd (idempotent). Shutdown() additionally wakes any thread
+  // blocked in Accept()/RecvFrame() on this socket from another thread.
+  void Close();
+  void Shutdown();
+
+  // Send one framed message (length prefix + payload). Partial writes
+  // are retried; a closed peer reports kIo instead of raising SIGPIPE.
+  Status SendFrame(std::string_view payload) const;
+
+  // Receive one framed message. A peer that closes cleanly before the
+  // first length byte reports kNotFound ("end of stream"); a close or
+  // error mid-frame reports kIo; an over-cap length reports kDataLoss.
+  Result<std::string> RecvFrame() const;
+
+ private:
+  Status WriteAll(const char* data, std::size_t size) const;
+  Status ReadAll(char* data, std::size_t size, bool* clean_eof) const;
+
+  int fd_ = -1;
+};
+
+}  // namespace goofi

@@ -17,6 +17,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kParseError: return "PARSE_ERROR";
     case ErrorCode::kTargetFault: return "TARGET_FAULT";
     case ErrorCode::kIo: return "IO";
+    case ErrorCode::kQueueFull: return "QUEUE_FULL";
   }
   return "UNKNOWN";
 }
@@ -66,6 +67,9 @@ Status TargetFaultError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(ErrorCode::kIo, std::move(message));
+}
+Status QueueFullError(std::string message) {
+  return Status(ErrorCode::kQueueFull, std::move(message));
 }
 
 }  // namespace goofi

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kParseError,           // SQL / assembler / config syntax errors
   kTargetFault,          // target system refused or failed an operation
   kIo,                   // filesystem / transport failures
+  kQueueFull,            // bounded queue rejected a submission (backpressure)
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -71,6 +72,7 @@ Status ConstraintViolationError(std::string message);
 Status ParseError(std::string message);
 Status TargetFaultError(std::string message);
 Status IoError(std::string message);
+Status QueueFullError(std::string message);
 
 // A value or an error. `value()` asserts on the error path; call `ok()`
 // (or use RETURN_IF_ERROR/ASSIGN_OR_RETURN) first.

@@ -664,5 +664,69 @@ TEST(LintCampaignTest, EquivalenceRejectsMultiBitAndDetailLogging) {
   EXPECT_NE(Find(diagnostics, "equivalence-needs-normal-logging"), nullptr);
 }
 
+// ---- [service] deployment-ini checks ----------------------------------
+
+TEST(LintServiceTest, PureServiceIniIsACompleteFile) {
+  const auto diagnostics = LintCampaign(
+      "[service]\n"
+      "root = /var/lib/goofi\n"
+      "fleet_workers = 4\n"
+      "queue_limit = 16\n"
+      "max_campaign_jobs = 2\n");
+  EXPECT_TRUE(diagnostics.empty()) << FormatDiagnostic(diagnostics.front());
+}
+
+TEST(LintServiceTest, NonPositiveFleetAndQueueAreErrors) {
+  const auto diagnostics = LintCampaign(
+      "[service]\n"
+      "fleet_workers = 0\n"
+      "queue_limit = -1\n");
+  const LintDiagnostic* fleet = Find(diagnostics, "bad-value");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->severity, Severity::kError);
+  EXPECT_EQ(fleet->line, 2);
+  std::size_t bad_values = 0;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check == "bad-value") ++bad_values;
+  }
+  EXPECT_EQ(bad_values, 2u);
+}
+
+TEST(LintServiceTest, MaxJobsBeyondTheFleetIsAnError) {
+  const auto diagnostics = LintCampaign(
+      "[service]\n"
+      "fleet_workers = 2\n"
+      "max_campaign_jobs = 8\n");
+  const LintDiagnostic* found = Find(diagnostics, "jobs-exceed-fleet");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kError);
+  EXPECT_EQ(found->line, 3);
+  EXPECT_NE(found->message.find("8"), std::string::npos);
+  EXPECT_NE(found->message.find("2"), std::string::npos);
+}
+
+TEST(LintServiceTest, UnknownServiceKeyWarns) {
+  const auto diagnostics = LintCampaign(
+      "[service]\n"
+      "fleet_wrokers = 4\n");
+  const LintDiagnostic* found = Find(diagnostics, "unknown-key");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, Severity::kWarning);
+  EXPECT_EQ(found->line, 2);
+}
+
+TEST(LintServiceTest, ServiceSectionComposesWithACampaignSection) {
+  // A deployment ini may carry a default campaign next to the daemon
+  // settings; both sections get their own checks.
+  const auto diagnostics = LintCampaign(
+      "[service]\n"
+      "fleet_workers = 0\n"
+      "[campaign]\n"
+      "name = demo\n"
+      "workload = nosuch\n");
+  EXPECT_NE(Find(diagnostics, "bad-value"), nullptr);
+  EXPECT_NE(Find(diagnostics, "unknown-workload"), nullptr);
+}
+
 }  // namespace
 }  // namespace goofi::analysis

@@ -135,6 +135,39 @@ else
   test $? -eq 2 || fail "unknown format must exit 2, got $?"
 fi
 
+# --- [service] deployment inis -------------------------------------------
+cat > serve_bad.ini <<'EOF'
+[service]
+fleet_workers = 2
+max_campaign_jobs = 8
+queue_limit = 0
+EOF
+if "$LINT" serve_bad.ini 2> serve_bad.err; then
+  fail "oversubscribed service ini must exit 1"
+fi
+grep -q "jobs-exceed-fleet" serve_bad.err || fail "jobs-exceed-fleet check"
+grep -q "serve_bad.ini:4: error:.*queue_limit" serve_bad.err \
+  || fail "queue_limit diagnostic with line anchor"
+
+cat > serve_typo.ini <<'EOF'
+[service]
+fleet_wrokers = 4
+EOF
+"$LINT" serve_typo.ini 2> serve_typo.err || fail "typo alone is a warning"
+grep -q "warning:.*unknown-key" serve_typo.err \
+  || fail "unknown [service] key warning"
+
+cat > serve_clean.ini <<'EOF'
+[service]
+root = /tmp/goofi
+fleet_workers = 4
+queue_limit = 8
+max_campaign_jobs = 2
+EOF
+"$LINT" serve_clean.ini 2> serve_clean.err \
+  || fail "clean service ini must exit 0"
+test ! -s serve_clean.err || fail "clean service ini must print nothing"
+
 # --- repeated (file, line, check) diagnostics are reported once ----------
 cat > dup.s <<'EOF'
 .entry start

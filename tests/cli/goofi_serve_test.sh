@@ -1,0 +1,172 @@
+#!/bin/sh
+# End-to-end exercise of the goofi_serve daemon: submissions over the
+# Unix socket, multi-tenant scheduling, kill -9 mid-campaign, restart,
+# graceful drain — and the robustness contract at the center of it all:
+# the daemon's results databases must be BYTE-identical to one-shot
+# goofi_tool runs of the same campaign inis, at different worker counts.
+set -eu
+
+SERVE="$1"
+SUBMIT="$2"
+TOOL="$3"
+WORK=$(mktemp -d)
+SERVE_PID=""
+trap 'test -n "$SERVE_PID" && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+SOCK="$WORK/serve.sock"
+ROOT="$WORK/root"
+
+# Wait for the daemon to answer pings (it unlinks/creates the socket).
+await_daemon() {
+  i=0
+  while ! "$SUBMIT" --socket "$SOCK" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    test "$i" -lt 100 || fail "daemon never answered ping"
+    sleep 0.1
+  done
+}
+
+# Wait until the submission with id $1 reaches journal state $2.
+await_state() {
+  i=0
+  while true; do
+    STATE=$("$SUBMIT" --socket "$SOCK" status "$1" | awk '{print $3}')
+    test "$STATE" = "$2" && return 0
+    case "$STATE" in failed|cancelled)
+      test "$STATE" = "$2" || fail "submission $1 is $STATE, wanted $2";;
+    esac
+    i=$((i + 1))
+    test "$i" -lt 1200 || fail "submission $1 stuck in $STATE, wanted $2"
+    sleep 0.1
+  done
+}
+
+# Two campaigns, sized for a couple of cadence commits each, one serial
+# and one sharded (the daemon multiplexes both over its fleet).
+cat > alpha.ini <<'EOF'
+[campaign]
+name = alpha
+workload = fib
+technique = scifi
+experiments = 70
+seed = 9
+location[] = cpu.regs.*
+EOF
+cat > beta.ini <<'EOF'
+[campaign]
+name = beta
+workload = isort
+technique = scifi
+experiments = 70
+seed = 23
+location[] = cpu.regs.*
+jobs = 2
+EOF
+
+# --- reference: one-shot goofi_tool runs of the same inis ---------------
+"$TOOL" run alpha.ini --db ref_alpha > /dev/null 2>&1 || fail "ref alpha"
+"$TOOL" run beta.ini --db ref_beta > /dev/null 2>&1 || fail "ref beta"
+
+# --- life 1: submit both, then kill -9 mid-run ---------------------------
+"$SERVE" --root "$ROOT" --socket "$SOCK" --fleet 3 > serve1.log 2>&1 &
+SERVE_PID=$!
+await_daemon
+
+"$SUBMIT" --socket "$SOCK" ping | grep -q pong || fail "ping"
+OUT=$("$SUBMIT" --socket "$SOCK" submit alpha.ini) || fail "submit alpha"
+echo "$OUT" | grep -q "id 1" || fail "alpha must get id 1, got: $OUT"
+OUT=$("$SUBMIT" --socket "$SOCK" submit beta.ini) || fail "submit beta"
+echo "$OUT" | grep -q "id 2" || fail "beta must get id 2, got: $OUT"
+
+# Duplicate names are rejected at submit time, not at run time.
+if "$SUBMIT" --socket "$SOCK" submit alpha.ini > dup.out 2>&1; then
+  fail "duplicate submit must fail"
+fi
+grep -q ALREADY_EXISTS dup.out || fail "duplicate must say ALREADY_EXISTS"
+
+await_state 1 running
+await_state 2 running
+# SIGKILL: no drain, no cleanup. The journal and the campaigns' WAL
+# checkpoints are all that survives.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# --- life 2: restart resumes both in-flight campaigns --------------------
+# This life boots from a [service] deployment ini (the same format
+# goofi_lint checks) instead of flags, at a different fleet width.
+cat > serve.ini <<EOF
+[service]
+root = $ROOT
+socket = $SOCK
+fleet_workers = 2
+EOF
+"$SERVE" --config serve.ini > serve2.log 2>&1 &
+SERVE_PID=$!
+await_daemon
+# The journal replay must show both campaigns, still owned by the fleet.
+"$SUBMIT" --socket "$SOCK" status | grep -q "alpha" || fail "alpha in status"
+"$SUBMIT" --socket "$SOCK" status | grep -q "beta" || fail "beta in status"
+await_state 1 completed
+await_state 2 completed
+
+# watch on a completed campaign terminates immediately with its state.
+"$SUBMIT" --socket "$SOCK" watch 1 | grep -q "end completed" || fail "watch"
+
+# --- the robustness claim: byte-identical to the one-shot runs -----------
+cmp -s "$ROOT/campaigns/alpha/wal.log" ref_alpha/wal.log \
+  || fail "alpha database differs from one-shot goofi_tool run"
+cmp -s "$ROOT/campaigns/beta/wal.log" ref_beta/wal.log \
+  || fail "beta database differs from one-shot goofi_tool run"
+# And readable by the ordinary toolchain.
+"$TOOL" analyze alpha --db "$ROOT/campaigns/alpha" | grep -q "70 experiments" \
+  || fail "daemon database must analyze like any other"
+
+# --- backpressure: a full queue is an explicit error ---------------------
+if "$SUBMIT" --socket "$SOCK" submit alpha.ini > dup2.out 2>&1; then
+  fail "resubmitting a completed campaign must still fail (name taken)"
+fi
+
+# --- graceful drain: SIGTERM => exit 0 -----------------------------------
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+  i=$((i + 1))
+  test "$i" -lt 300 || fail "daemon did not drain after SIGTERM"
+  sleep 0.1
+done
+wait "$SERVE_PID" && RC=0 || RC=$?
+SERVE_PID=""
+test "$RC" -eq 0 || fail "SIGTERM drain must exit 0, got $RC"
+
+# --- client-side failure modes ------------------------------------------
+if "$SUBMIT" --socket "$SOCK" ping > /dev/null 2>&1; then
+  fail "ping must fail once the daemon is gone"
+fi
+
+# --- one-shot goofi_tool drains on SIGINT with exit code 3 ---------------
+cat > gamma.ini <<'EOF'
+[campaign]
+name = gamma
+workload = fib
+technique = scifi
+experiments = 4000
+seed = 5
+location[] = cpu.regs.*
+EOF
+"$TOOL" run gamma.ini --db gamma_db > gamma.out 2>&1 &
+TOOL_PID=$!
+sleep 1
+kill -INT "$TOOL_PID"
+wait "$TOOL_PID" && RC=0 || RC=$?
+test "$RC" -eq 3 || fail "interrupted goofi_tool must exit 3, got $RC"
+grep -q "checkpoint saved" gamma.out || fail "drain message"
+# The checkpointed campaign resumes to completion.
+"$TOOL" resume gamma --db gamma_db > /dev/null 2>&1 || fail "resume gamma"
+"$TOOL" analyze gamma --db gamma_db | grep -q "4000 experiments" \
+  || fail "resumed gamma incomplete"
+
+echo "goofi_serve CLI: all checks passed"
