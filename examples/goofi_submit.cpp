@@ -6,8 +6,9 @@
 //   goofi_submit --socket PATH cancel|pause|unpause <id>
 //   goofi_submit --socket PATH ping | drain
 //
-// Exit codes: 0 ok, 1 daemon-side error (the error line is printed),
-// 2 usage / cannot reach the daemon.
+// Exit codes: 0 ok, 1 daemon-side error (the error line is printed) or
+// a watch that ended in a terminal state other than "completed"
+// (failed/cancelled), 2 usage / cannot reach the daemon.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -103,8 +104,10 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(*frame, "end ")) {
+      // Scripts branch on the exit code: only a campaign that actually
+      // completed is success; "end failed"/"end cancelled" are not.
       std::printf("%s\n", frame->c_str());
-      return 0;
+      return *frame == "end completed" ? 0 : 1;
     }
     auto response = service::ParseResponse(*frame);
     if (!response.ok()) {

@@ -1,6 +1,5 @@
 #include "db/wal.h"
 
-#include <array>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -13,25 +12,6 @@
 namespace goofi::db::wal {
 
 namespace fs = std::filesystem;
-
-std::uint32_t Crc32(std::string_view bytes) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char ch : bytes) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 // ---- file seam ----------------------------------------------------------
 

@@ -30,12 +30,15 @@
 #include <vector>
 
 #include "db/table.h"
+#include "util/crc32.h"
 #include "util/status.h"
 
 namespace goofi::db::wal {
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
-std::uint32_t Crc32(std::string_view bytes);
+// The implementation lives in util/crc32.h so the socket framing
+// (util/socket.h) shares the exact same checksum.
+using goofi::Crc32;
 
 // ---- file seam ----------------------------------------------------------
 

@@ -1,5 +1,10 @@
 #include "service/server.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <filesystem>
 
@@ -31,7 +36,27 @@ Result<std::unique_ptr<ServiceCore>> ServiceCore::Start(
   if (ec) {
     return IoError("cannot create service root '" + config.root + "'");
   }
+  // Single-instance lock before touching the journal or the socket: two
+  // daemons on one root would double-execute submissions and corrupt
+  // the WAL. flock is owned by the open file description, so it
+  // vanishes on any exit, kill -9 included.
+  const std::string lock_path = (fs::path(config.root) / "lock").string();
+  const int lock_fd =
+      ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd < 0) {
+    return IoError("cannot open '" + lock_path + "'");
+  }
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    const int saved = errno;
+    ::close(lock_fd);
+    if (saved == EWOULDBLOCK) {
+      return AlreadyExistsError("another goofi_serve already owns '" +
+                                config.root + "'");
+    }
+    return IoError("cannot lock '" + lock_path + "'");
+  }
   std::unique_ptr<ServiceCore> core(new ServiceCore(std::move(config)));
+  core->lock_fd_ = lock_fd;
   ASSIGN_OR_RETURN(
       SubmissionJournal journal,
       SubmissionJournal::Open(
@@ -54,7 +79,10 @@ Result<std::unique_ptr<ServiceCore>> ServiceCore::Start(
   return core;
 }
 
-ServiceCore::~ServiceCore() { Drain(); }
+ServiceCore::~ServiceCore() {
+  Drain();
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+}
 
 std::string ServiceCore::CampaignDbDir(const std::string& name) const {
   return (fs::path(config_.root) / "campaigns" / name).string();
@@ -167,7 +195,12 @@ void ServiceCore::LaunchCampaign(Submission submission) {
   // affects the results database bytes.
   auto active = std::make_unique<ActiveCampaign>();
   active->submission = std::move(submission);
-  const std::size_t available = config_.fleet_workers - JobsInUseLocked();
+  // Saturating: orphan resumes at Start() can oversubscribe the fleet
+  // (every recovered campaign gets at least one job), so `used` may
+  // already exceed the budget.
+  const std::size_t used = JobsInUseLocked();
+  const std::size_t available =
+      used >= config_.fleet_workers ? 0 : config_.fleet_workers - used;
   active->jobs_allocated = std::max<std::size_t>(
       1, std::min({active->submission.jobs, config_.max_campaign_jobs,
                    std::max<std::size_t>(1, available)}));
@@ -279,40 +312,87 @@ void ServiceServer::Shutdown() {
   listener_.Shutdown();
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::pair<std::thread, std::shared_ptr<UnixSocket>>>
-      connections;
+  std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     connections.swap(connections_);
   }
-  for (auto& [thread, socket] : connections) {
-    socket->Shutdown();  // wake a RecvFrame-blocked thread
-    if (thread.joinable()) thread.join();
+  for (auto& connection : connections) {
+    connection->socket->Shutdown();  // wake a RecvFrame-blocked thread
+    if (connection->thread.joinable()) connection->thread.join();
   }
 }
 
 void ServiceServer::AcceptLoop() {
   while (!shutdown_) {
-    auto connection = listener_.Accept();
-    if (!connection.ok()) break;  // Shutdown() closed the listener
+    // Reap before blocking so a burst of short-lived clients (status
+    // polls, benches) frees its fds and threads as the next client
+    // arrives instead of accumulating for the daemon's lifetime.
+    ReapFinishedConnections();
+    int accept_errno = 0;
+    auto connection = listener_.Accept(&accept_errno);
+    if (!connection.ok()) {
+      if (shutdown_) break;  // Shutdown() closed the listener
+      // Out of fds (EMFILE/ENFILE) or kernel buffers: transient. Back
+      // off — reaping above frees fds — and keep serving; a daemon
+      // that stops accepting forever over a poll flood is dead to its
+      // clients while its campaigns still run.
+      if (accept_errno == EMFILE || accept_errno == ENFILE ||
+          accept_errno == ENOBUFS || accept_errno == ENOMEM) {
+        std::this_thread::sleep_for(10ms);
+        continue;
+      }
+      break;  // the listener itself is broken
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) break;
-    auto socket = std::make_shared<UnixSocket>(std::move(*connection));
-    std::thread thread([this, socket] { ServeConnection(*socket); });
-    connections_.emplace_back(std::move(thread), socket);
+    auto entry = std::make_unique<Connection>();
+    entry->socket = std::make_shared<UnixSocket>(std::move(*connection));
+    Connection* raw = entry.get();
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    connections_.push_back(std::move(entry));
   }
 }
 
-void ServiceServer::ServeConnection(const UnixSocket& connection) {
+void ServiceServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock; `done` means the thread is past its last
+  // shared access, so these joins return immediately.
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void ServiceServer::ServeConnection(Connection* connection) {
   // One request frame -> one (or, for watch, many) response frames.
   // Any client death — clean close, mid-frame kill — just ends this
   // loop; the campaigns it submitted or watched keep running.
+  const UnixSocket& socket = *connection->socket;
   while (!shutdown_) {
-    auto frame = connection.RecvFrame();
+    auto frame = socket.RecvFrame();
     if (!frame.ok()) break;
-    const std::string reply = HandleFrame(*frame, connection);
-    if (!reply.empty() && !connection.SendFrame(reply).ok()) break;
+    const std::string reply = HandleFrame(*frame, socket);
+    if (!reply.empty() && !socket.SendFrame(reply).ok()) break;
   }
+  // Close eagerly so the fd frees now, not at reap time. Skipped during
+  // shutdown: Shutdown() is walking the list calling socket->Shutdown()
+  // and close would race the fd out from under it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) connection->socket->Close();
+  }
+  connection->done = true;
 }
 
 std::string ServiceServer::HandleFrame(const std::string& frame,

@@ -68,6 +68,11 @@ class ServiceCore {
   // Opens (or creates) the journal under <root>/journal, re-queues
   // nothing — rows already "running" from a killed daemon life are
   // scheduled first, as resumes — and starts the scheduler thread.
+  // The service root is single-instance: Start takes an flock() on
+  // <root>/lock and fails with kAlreadyExists while another live
+  // daemon holds it, so a second goofi_serve can never steal the
+  // socket and double-execute the same journal. (The lock dies with
+  // the process, so a kill -9 leaves nothing to clean up.)
   static Result<std::unique_ptr<ServiceCore>> Start(ServiceConfig config);
   ~ServiceCore();
 
@@ -119,6 +124,7 @@ class ServiceCore {
   std::size_t JobsInUseLocked() const;
 
   ServiceConfig config_;
+  int lock_fd_ = -1;  // flock()'d <root>/lock, held for the daemon's life
   mutable std::mutex mutex_;  // journal + actives + progress
   std::condition_variable wake_;
   std::unique_ptr<SubmissionJournal> journal_;
@@ -146,11 +152,23 @@ class ServiceServer {
   void Shutdown();
 
  private:
+  // One live client connection: its serving thread, its socket (kept so
+  // Shutdown() can wake a thread blocked in RecvFrame before joining
+  // it), and a done flag the thread raises when it finishes so the
+  // accept loop can reap the entry — a long-running daemon must not
+  // accumulate an fd and a zombie thread per finished client.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<UnixSocket> socket;
+    std::atomic<bool> done{false};
+  };
+
   ServiceServer(ServiceCore* core, std::function<void()> on_drain)
       : core_(core), on_drain_(std::move(on_drain)) {}
 
   void AcceptLoop();
-  void ServeConnection(const UnixSocket& connection);
+  void ReapFinishedConnections();
+  void ServeConnection(Connection* connection);
   std::string HandleFrame(const std::string& frame,
                           const UnixSocket& connection);
 
@@ -159,10 +177,7 @@ class ServiceServer {
   UnixSocket listener_;
   std::thread accept_thread_;
   std::mutex mutex_;
-  // Connection threads + their sockets (kept so Shutdown() can wake a
-  // thread blocked in RecvFrame before joining it).
-  std::vector<std::pair<std::thread, std::shared_ptr<UnixSocket>>>
-      connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
   std::atomic<bool> shutdown_{false};
 };
 

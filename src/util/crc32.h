@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the one
+// integrity checksum shared by every GOOFI wire/disk format: WAL log
+// records and snapshot trailers (db/wal.h) and the goofi_serve socket
+// frames (util/socket.h).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace goofi {
+
+std::uint32_t Crc32(std::string_view bytes);
+
+}  // namespace goofi

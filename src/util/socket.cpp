@@ -7,12 +7,31 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace goofi {
 
 namespace {
 
 Status Errno(const std::string& what) {
   return IoError(what + ": " + std::strerror(errno));
+}
+
+void AppendU32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t DecodeU32(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]))
+          << 24);
 }
 
 Result<sockaddr_un> MakeAddress(const std::string& path) {
@@ -76,11 +95,15 @@ Result<UnixSocket> UnixSocket::Connect(const std::string& path) {
   return socket;
 }
 
-Result<UnixSocket> UnixSocket::Accept() const {
+Result<UnixSocket> UnixSocket::Accept(int* accept_errno) const {
+  if (accept_errno != nullptr) *accept_errno = 0;
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) return UnixSocket(fd);
-    if (errno == EINTR) continue;
+    // A client that connected and died while queued in the backlog is
+    // not the listener's problem: take the next one.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (accept_errno != nullptr) *accept_errno = errno;
     return Errno("accept");
   }
 }
@@ -128,42 +151,34 @@ Status UnixSocket::SendFrame(std::string_view payload) const {
   if (payload.size() > kMaxFrameBytes) {
     return InvalidArgumentError("frame exceeds kMaxFrameBytes");
   }
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  char prefix[4];
-  prefix[0] = static_cast<char>(length & 0xff);
-  prefix[1] = static_cast<char>((length >> 8) & 0xff);
-  prefix[2] = static_cast<char>((length >> 16) & 0xff);
-  prefix[3] = static_cast<char>((length >> 24) & 0xff);
   // One buffered write so a frame is a single send when it fits the
   // socket buffer (no interleaving hazard on this point-to-point pipe,
   // but it keeps small messages to one syscall).
   std::string wire;
-  wire.reserve(sizeof(prefix) + payload.size());
-  wire.append(prefix, sizeof(prefix));
+  wire.reserve(8 + payload.size());
+  AppendU32(wire, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(wire, Crc32(payload));
   wire.append(payload.data(), payload.size());
   return WriteAll(wire.data(), wire.size());
 }
 
 Result<std::string> UnixSocket::RecvFrame() const {
   if (!valid()) return FailedPreconditionError("RecvFrame on closed socket");
-  char prefix[4];
+  char prefix[8];
   bool clean_eof = false;
   RETURN_IF_ERROR(ReadAll(prefix, sizeof(prefix), &clean_eof));
   if (clean_eof) return NotFoundError("end of stream");
-  const std::uint32_t length =
-      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
-       << 8) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
-       << 16) |
-      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
-       << 24);
+  const std::uint32_t length = DecodeU32(prefix);
+  const std::uint32_t crc = DecodeU32(prefix + 4);
   if (length > kMaxFrameBytes) {
     return DataLossError("frame length prefix exceeds kMaxFrameBytes");
   }
   std::string payload(length, '\0');
   if (length != 0) {
     RETURN_IF_ERROR(ReadAll(payload.data(), length, nullptr));
+  }
+  if (Crc32(payload) != crc) {
+    return DataLossError("frame payload fails its CRC");
   }
   return payload;
 }

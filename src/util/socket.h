@@ -1,16 +1,19 @@
-// Local (Unix-domain) stream sockets with length-prefixed framing.
+// Local (Unix-domain) stream sockets with length-prefixed, CRC-framed
+// messages.
 //
 // This is the transport under the goofi_serve submission protocol
 // (src/service/protocol.h): a daemon listens on a filesystem socket,
 // clients connect and exchange framed messages. A frame on the wire is
 //
-//   u32 payload_length (little-endian) | payload bytes
+//   u32 payload_length (little-endian) | u32 crc32(payload) | payload
 //
 // so a reader always knows message boundaries and a half-written frame
 // from a dying peer is detected as a short read, never misparsed as the
-// next message. The frame length is capped (kMaxFrameBytes) so a
-// corrupt or hostile peer cannot make the receiver allocate unbounded
-// memory.
+// next message; the CRC (same CRC-32 as the WAL log records,
+// util/crc32.h) rejects a desynchronized or corrupted stream as
+// kDataLoss instead of executing a garbled verb. The frame length is
+// capped (kMaxFrameBytes) so a corrupt or hostile peer cannot make the
+// receiver allocate unbounded memory.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +53,11 @@ class UnixSocket {
 
   // Accept one connection (blocks). Fails with kIo once the listening
   // fd has been shut down (how Drain() unblocks the accept loop).
-  Result<UnixSocket> Accept() const;
+  // Connections that died while queued in the backlog (ECONNABORTED)
+  // are retried internally; for other failures `accept_errno`, when
+  // non-null, receives the errno so the caller can tell transient
+  // resource exhaustion (EMFILE/ENFILE) from a dead listener.
+  Result<UnixSocket> Accept(int* accept_errno = nullptr) const;
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -60,13 +67,15 @@ class UnixSocket {
   void Close();
   void Shutdown();
 
-  // Send one framed message (length prefix + payload). Partial writes
-  // are retried; a closed peer reports kIo instead of raising SIGPIPE.
+  // Send one framed message (length prefix + CRC + payload). Partial
+  // writes are retried; a closed peer reports kIo instead of raising
+  // SIGPIPE.
   Status SendFrame(std::string_view payload) const;
 
   // Receive one framed message. A peer that closes cleanly before the
   // first length byte reports kNotFound ("end of stream"); a close or
-  // error mid-frame reports kIo; an over-cap length reports kDataLoss.
+  // error mid-frame reports kIo; an over-cap length or a payload that
+  // fails its CRC reports kDataLoss.
   Result<std::string> RecvFrame() const;
 
  private:

@@ -130,6 +130,33 @@ if "$SUBMIT" --socket "$SOCK" submit alpha.ini > dup2.out 2>&1; then
   fail "resubmitting a completed campaign must still fail (name taken)"
 fi
 
+# --- single instance: a second daemon on the same root is refused --------
+if "$SERVE" --root "$ROOT" --socket "$WORK/second.sock" > second.log 2>&1; then
+  fail "a second daemon on the same root must fail"
+fi
+grep -q ALREADY_EXISTS second.log || fail "second daemon must say ALREADY_EXISTS"
+# ... and it must not have stolen the live daemon's socket.
+"$SUBMIT" --socket "$SOCK" ping | grep -q pong || fail "ping after second daemon"
+
+# --- watch exit code: cancelled/failed is not success --------------------
+cat > delta.ini <<'EOF'
+[campaign]
+name = delta
+workload = fib
+technique = scifi
+experiments = 4000
+seed = 3
+location[] = cpu.regs.*
+EOF
+"$SUBMIT" --socket "$SOCK" submit delta.ini > /dev/null || fail "submit delta"
+await_state 3 running
+"$SUBMIT" --socket "$SOCK" cancel 3 > /dev/null || fail "cancel delta"
+await_state 3 cancelled
+if "$SUBMIT" --socket "$SOCK" watch 3 > watch3.out; then
+  fail "watch of a cancelled campaign must exit nonzero"
+fi
+grep -q "end cancelled" watch3.out || fail "watch must report end cancelled"
+
 # --- graceful drain: SIGTERM => exit 0 -----------------------------------
 kill -TERM "$SERVE_PID"
 i=0

@@ -2,11 +2,14 @@
 // daemon and client share.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <filesystem>
 #include <string>
 #include <thread>
 
 #include "service/protocol.h"
+#include "util/crc32.h"
 #include "util/socket.h"
 
 namespace goofi::service {
@@ -107,6 +110,58 @@ TEST(SocketTest, FramesRoundTripAndEofIsClean) {
   auto eof = again->RecvFrame();
   ASSERT_FALSE(eof.ok());
   EXPECT_EQ(eof.status().code(), ErrorCode::kNotFound);  // clean EOF
+  fs::remove(path);
+}
+
+TEST(SocketTest, CorruptedFrameFailsItsCrc) {
+  const std::string path =
+      (fs::temp_directory_path() / "goofi_crc_test.sock").string();
+  auto listener = UnixSocket::Listen(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  Result<std::string> received = NotFoundError("never received");
+  std::thread server([&listener, &received] {
+    auto connection = listener->Accept();
+    ASSERT_TRUE(connection.ok());
+    received = connection->RecvFrame();
+  });
+
+  auto client = UnixSocket::Connect(path);
+  ASSERT_TRUE(client.ok());
+  // Hand-build a frame whose length prefix is right but whose payload
+  // was flipped after the CRC was computed — a desynchronized or
+  // corrupted stream must surface as kDataLoss, not parse as a verb.
+  const std::string payload = "cancel 1";
+  std::string corrupted = payload;
+  corrupted[0] ^= 0x20;
+  std::string wire;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload);
+  for (const std::uint32_t word : {length, crc}) {
+    wire.push_back(static_cast<char>(word & 0xff));
+    wire.push_back(static_cast<char>((word >> 8) & 0xff));
+    wire.push_back(static_cast<char>((word >> 16) & 0xff));
+    wire.push_back(static_cast<char>((word >> 24) & 0xff));
+  }
+  wire += corrupted;
+  ASSERT_EQ(::send(client->fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  server.join();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), ErrorCode::kDataLoss);
+
+  // An intact frame on a fresh connection still round-trips.
+  auto again = UnixSocket::Connect(path);
+  ASSERT_TRUE(again.ok());
+  std::thread server2([&listener] {
+    auto connection = listener->Accept();
+    ASSERT_TRUE(connection.ok());
+    auto frame = connection->RecvFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(*frame, "cancel 1");
+  });
+  ASSERT_TRUE(again->SendFrame("cancel 1").ok());
+  server2.join();
   fs::remove(path);
 }
 

@@ -149,6 +149,43 @@ TEST_F(ServiceCoreTest, CancelQueuedAndRunningSubmissions) {
             ErrorCode::kFailedPrecondition);
 }
 
+TEST_F(ServiceCoreTest, SecondDaemonOnTheSameRootIsRejected) {
+  auto first = ServiceCore::Start(Config_(1, 4));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // A second daemon would race the first for the journal and the
+  // campaign databases; the root lock refuses it outright.
+  auto second = ServiceCore::Start(Config_(1, 4));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), ErrorCode::kAlreadyExists);
+  // The lock dies with its owner: a new life starts cleanly.
+  first->reset();
+  auto next_life = ServiceCore::Start(Config_(1, 4));
+  EXPECT_TRUE(next_life.ok()) << next_life.status().ToString();
+}
+
+TEST_F(ServiceCoreTest, ServerSurvivesConnectionChurn) {
+  auto core = ServiceCore::Start(Config_(1, 4));
+  ASSERT_TRUE(core.ok());
+  const std::string socket_path =
+      (fs::path(root_) / "churn.sock").string();
+  auto server = ServiceServer::Start(core->get(), socket_path, nullptr);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  // A long-lived daemon sees thousands of short-lived clients (status
+  // polls, benches). Each finished connection must release its fd and
+  // thread — this churns well past the fd budget a leak would tolerate
+  // under a tight RLIMIT_NOFILE, and the daemon must still answer.
+  for (int i = 0; i < 200; ++i) {
+    auto client = UnixSocket::Connect(socket_path);
+    ASSERT_TRUE(client.ok()) << "connect " << i << ": "
+                             << client.status().ToString();
+    ASSERT_TRUE(client->SendFrame("ping").ok());
+    auto reply = client->RecvFrame();
+    ASSERT_TRUE(reply.ok()) << "ping " << i << ": "
+                            << reply.status().ToString();
+    EXPECT_EQ(*reply, "ok pong");
+  }
+}
+
 TEST_F(ServiceCoreTest, MultiplexesCampaignsOverTheFleet) {
   auto core = ServiceCore::Start(Config_(2, 8));
   ASSERT_TRUE(core.ok());
